@@ -1,0 +1,291 @@
+// Command crowdrtse is the CrowdRTSE toolchain:
+//
+//	crowdrtse datagen -out DIR [-roads N] [-days D] [-seed S] [-costmax C]
+//	    generate a synthetic network (network.json) and historical record
+//	    (history.csv)
+//	crowdrtse train -data DIR -out model.gob [-days D] [-window W]
+//	    fit the RTF model offline and save it
+//	crowdrtse query -data DIR -model model.gob -slot T -roads 1,2,3
+//	    [-budget K] [-theta θ] [-selector Hybrid] [-days D]
+//	    run the online pipeline (OCS → probe → GSP) against the last
+//	    recorded day as ground truth and print the estimates
+//	crowdrtse serve -data DIR -model model.gob [-addr :8080] [-days D]
+//	    serve the HTTP estimation API
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/network"
+	"repro/internal/rtf"
+	"repro/internal/server"
+	"repro/internal/speedgen"
+	"repro/internal/tslot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "crowdrtse:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: crowdrtse <datagen|train|query|serve> [flags]")
+	}
+	switch args[0] {
+	case "datagen":
+		return cmdDatagen(args[1:])
+	case "train":
+		return cmdTrain(args[1:])
+	case "query":
+		return cmdQuery(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func cmdDatagen(args []string) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	out := fs.String("out", "", "output directory (required)")
+	roads := fs.Int("roads", 607, "number of roads")
+	days := fs.Int("days", 30, "days of history")
+	seed := fs.Int64("seed", 1, "generator seed")
+	costMax := fs.Int("costmax", 5, "road costs drawn uniformly from [1,costmax]")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("datagen: -out is required")
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	net := network.Synthetic(network.SyntheticOptions{
+		Roads: *roads, Seed: *seed, CostMax: *costMax,
+	})
+	hist, err := speedgen.Generate(net, speedgen.Default(*days, *seed+1))
+	if err != nil {
+		return err
+	}
+	nf, err := os.Create(filepath.Join(*out, "network.json"))
+	if err != nil {
+		return err
+	}
+	defer nf.Close()
+	if err := net.WriteJSON(nf); err != nil {
+		return err
+	}
+	hf, err := os.Create(filepath.Join(*out, "history.csv"))
+	if err != nil {
+		return err
+	}
+	defer hf.Close()
+	if err := hist.WriteCSV(hf); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d roads, %d edges, %d days, %d records\n",
+		*out, net.N(), net.M(), *days, hist.Records())
+	return nil
+}
+
+// loadData reads network.json and history.csv from dir.
+func loadData(dir string, days int) (*network.Network, *speedgen.History, error) {
+	nf, err := os.Open(filepath.Join(dir, "network.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer nf.Close()
+	net, err := network.ReadJSON(nf)
+	if err != nil {
+		return nil, nil, err
+	}
+	hf, err := os.Open(filepath.Join(dir, "history.csv"))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer hf.Close()
+	hist, err := speedgen.ReadCSV(hf, net.N(), days)
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, hist, nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	data := fs.String("data", "", "data directory from datagen (required)")
+	out := fs.String("out", "model.gob", "output model path")
+	days := fs.Int("days", 30, "days recorded in history.csv")
+	window := fs.Int("window", 1, "slot pooling window for fitting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("train: -data is required")
+	}
+	net, hist, err := loadData(*data, *days)
+	if err != nil {
+		return err
+	}
+	model := rtf.New(net)
+	if err := rtf.FitMoments(model, hist, *window); err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := model.Write(f); err != nil {
+		return err
+	}
+	fmt.Printf("trained RTF on %d roads × %d days → %s\n", net.N(), *days, *out)
+	return nil
+}
+
+// loadSystem loads data + model into a queryable system.
+func loadSystem(data, modelPath string, days int) (*core.System, *speedgen.History, error) {
+	net, hist, err := loadData(data, days)
+	if err != nil {
+		return nil, nil, err
+	}
+	mf, err := os.Open(modelPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer mf.Close()
+	model, err := rtf.Read(mf)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := core.NewFromModel(net, model, core.DefaultConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, hist, nil
+}
+
+func parseRoads(raw string, n int) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(raw, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad road id %q", part)
+		}
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("road %d out of range [0,%d)", id, n)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	data := fs.String("data", "", "data directory (required)")
+	modelPath := fs.String("model", "model.gob", "trained model path")
+	days := fs.Int("days", 30, "days recorded in history.csv")
+	slotN := fs.Int("slot", 102, "time slot [0,288)")
+	roadsRaw := fs.String("roads", "", "comma-separated queried road ids (required)")
+	budget := fs.Int("budget", 30, "crowdsourcing budget K")
+	theta := fs.Float64("theta", 0.92, "redundancy threshold")
+	selName := fs.String("selector", "Hybrid", "Hybrid | Ratio | OBJ | Rand")
+	seed := fs.Int64("seed", 1, "probe/selector seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" || *roadsRaw == "" {
+		return fmt.Errorf("query: -data and -roads are required")
+	}
+	sys, hist, err := loadSystem(*data, *modelPath, *days)
+	if err != nil {
+		return err
+	}
+	query, err := parseRoads(*roadsRaw, sys.Network().N())
+	if err != nil {
+		return err
+	}
+	slot := tslot.Slot(*slotN)
+	sel, err := parseSelectorName(*selName)
+	if err != nil {
+		return err
+	}
+	day := hist.Days - 1
+	res, err := sys.Query(core.QueryRequest{
+		Slot: slot, Roads: query, Budget: *budget, Theta: *theta,
+		Workers:  crowd.PlaceEverywhere(sys.Network()),
+		Selector: sel, Seed: *seed,
+		Probe: crowd.ProbeConfig{NoiseSD: 0.02, Seed: *seed},
+		Truth: func(r int) float64 { return hist.At(day, slot, r) },
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("slot %s (%d), budget %d, theta %.2f, selector %s\n",
+		slot, slot, *budget, *theta, sel)
+	fmt.Printf("crowdsourced roads (cost %d/%d): %v\n", res.Ledger.Spent, *budget, res.Selected.Roads)
+	fmt.Printf("%-6s %10s %10s %8s\n", "road", "estimate", "truth", "APE")
+	ids := append([]int(nil), query...)
+	sort.Ints(ids)
+	for _, r := range ids {
+		truth := hist.At(day, slot, r)
+		est := res.QuerySpeeds[r]
+		fmt.Printf("%-6d %10.2f %10.2f %7.1f%%\n", r, est, truth, 100*absf(est-truth)/truth)
+	}
+	return nil
+}
+
+func parseSelectorName(name string) (core.Selector, error) {
+	switch name {
+	case "Hybrid":
+		return core.Hybrid, nil
+	case "Ratio":
+		return core.Ratio, nil
+	case "OBJ", "Objective":
+		return core.Objective, nil
+	case "Rand", "Random":
+		return core.RandomSel, nil
+	default:
+		return 0, fmt.Errorf("unknown selector %q", name)
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	data := fs.String("data", "", "data directory (required)")
+	modelPath := fs.String("model", "model.gob", "trained model path")
+	days := fs.Int("days", 30, "days recorded in history.csv")
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("serve: -data is required")
+	}
+	sys, _, err := loadSystem(*data, *modelPath, *days)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving CrowdRTSE API on %s (%d roads)\n", *addr, sys.Network().N())
+	return http.ListenAndServe(*addr, server.New(sys).Handler())
+}

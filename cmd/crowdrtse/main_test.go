@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPipelineEndToEnd drives datagen → train → query on a small dataset,
+// exercising the whole CLI surface except serve (covered by internal/server
+// tests).
+func TestPipelineEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	dataDir := filepath.Join(dir, "data")
+	modelPath := filepath.Join(dir, "model.gob")
+
+	if err := run([]string{"datagen", "-out", dataDir, "-roads", "40", "-days", "6", "-seed", "3"}); err != nil {
+		t.Fatalf("datagen: %v", err)
+	}
+	for _, f := range []string{"network.json", "history.csv"} {
+		if _, err := os.Stat(filepath.Join(dataDir, f)); err != nil {
+			t.Fatalf("datagen output missing %s: %v", f, err)
+		}
+	}
+	if err := run([]string{"train", "-data", dataDir, "-days", "6", "-out", modelPath}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if _, err := os.Stat(modelPath); err != nil {
+		t.Fatalf("model missing: %v", err)
+	}
+	if err := run([]string{"query", "-data", dataDir, "-days", "6", "-model", modelPath,
+		"-slot", "100", "-roads", "1,5,9", "-budget", "10"}); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("empty args accepted")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"datagen"}); err == nil {
+		t.Error("datagen without -out accepted")
+	}
+	if err := run([]string{"train"}); err == nil {
+		t.Error("train without -data accepted")
+	}
+	if err := run([]string{"query"}); err == nil {
+		t.Error("query without -data accepted")
+	}
+	if err := run([]string{"serve"}); err == nil {
+		t.Error("serve without -data accepted")
+	}
+}
+
+func TestParseRoads(t *testing.T) {
+	got, err := parseRoads("1, 2,3", 10)
+	if err != nil || len(got) != 3 || got[2] != 3 {
+		t.Errorf("parseRoads = %v, %v", got, err)
+	}
+	if _, err := parseRoads("x", 10); err == nil {
+		t.Error("bad id accepted")
+	}
+	if _, err := parseRoads("99", 10); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+}
+
+func TestParseSelectorName(t *testing.T) {
+	for _, name := range []string{"Hybrid", "Ratio", "OBJ", "Objective", "Rand", "Random"} {
+		if _, err := parseSelectorName(name); err != nil {
+			t.Errorf("parseSelectorName(%q): %v", name, err)
+		}
+	}
+	if _, err := parseSelectorName("zzz"); err == nil {
+		t.Error("unknown selector accepted")
+	}
+}

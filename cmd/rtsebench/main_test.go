@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+// TestRunSmallSubset drives the harness end to end on the reduced
+// configuration for a cheap subset of experiments.
+func TestRunSmallSubset(t *testing.T) {
+	if err := run(false, "tableII,tableIII,fig5", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQuerySizeOverride(t *testing.T) {
+	if err := run(false, "tableIII", 8); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "Realtime Traffic
+// Speed Estimation with Sparse Crowdsourced Data" (ICDE 2018): the
+// CrowdRTSE system — RTF graphical model, optimal crowdsourced-road
+// selection, and graph-based speed propagation — together with the
+// simulated substrate (road networks, historical speed fields, worker
+// pools) and the full experiment harness regenerating every table and
+// figure of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate each experiment at test scale; cmd/rtsebench
+// runs them at paper scale.
+package repro

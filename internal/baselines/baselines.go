@@ -1,0 +1,112 @@
+// Package baselines implements the comparison estimators of the paper's
+// evaluation (§VII-C):
+//
+//   - Per — pure periodicity: report the historical periodic speed (the RTF
+//     means) regardless of realtime data.
+//   - LASSO — pure correlation via L1-regularized linear regression [32]:
+//     for each target road, regress its historical speeds on the currently
+//     observed roads' speeds and predict from the realtime observations.
+//   - GRMC — graph-regularized matrix completion [33, 16]: factor the
+//     roads×samples speed matrix (historical columns + the partially
+//     observed realtime column) with a graph-Laplacian smoothness term and
+//     read the completed realtime column.
+//
+// All three implement Estimator, the same contract GSP is wrapped in by the
+// core package, so the experiment harness can swap them freely.
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tslot"
+)
+
+// History is the historical record interface shared with package rtf
+// (*speedgen.History satisfies it).
+type History interface {
+	NumDays() int
+	Speed(day int, t tslot.Slot, r int) float64
+}
+
+// Estimator produces a full-network speed estimate for one time slot from
+// the realtime observations probed on the crowdsourced roads.
+type Estimator interface {
+	// Name identifies the method in experiment output ("GSP", "LASSO", ...).
+	Name() string
+	// Estimate returns the estimated speed of every road given the observed
+	// road → speed map. Implementations must not retain or mutate observed.
+	Estimate(observed map[int]float64) ([]float64, error)
+}
+
+// Per is the periodicity-only estimator: it always answers with the
+// per-slot historical means and ignores the crowdsourced data entirely.
+type Per struct {
+	mu []float64
+}
+
+// NewPer builds the Per baseline from the slot's expected speeds (pass the
+// RTF view's Mu, or raw per-slot sample means).
+func NewPer(mu []float64) *Per {
+	out := make([]float64, len(mu))
+	copy(out, mu)
+	return &Per{mu: out}
+}
+
+// Name implements Estimator.
+func (p *Per) Name() string { return "Per" }
+
+// Estimate implements Estimator; the observations are deliberately unused.
+func (p *Per) Estimate(map[int]float64) ([]float64, error) {
+	out := make([]float64, len(p.mu))
+	copy(out, p.mu)
+	return out, nil
+}
+
+// designMatrix assembles the pooled historical samples at slot±window:
+// rows = samples, cols = the given roads. Also returns per-road sample
+// means for centering.
+func designMatrix(h History, t tslot.Slot, window int, roads []int) (x [][]float64, means []float64) {
+	nSamples := h.NumDays() * (2*window + 1)
+	x = make([][]float64, 0, nSamples)
+	means = make([]float64, len(roads))
+	for w := -window; w <= window; w++ {
+		s := t.Add(w)
+		for d := 0; d < h.NumDays(); d++ {
+			row := make([]float64, len(roads))
+			for c, r := range roads {
+				row[c] = h.Speed(d, s, r)
+				means[c] += row[c]
+			}
+			x = append(x, row)
+		}
+	}
+	for c := range means {
+		means[c] /= float64(len(x))
+	}
+	return x, means
+}
+
+// sortedKeys returns the observed road ids in ascending order.
+func sortedKeys(observed map[int]float64) []int {
+	keys := make([]int, 0, len(observed))
+	for k := range observed {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// validateObserved checks ids and values against the road count.
+func validateObserved(observed map[int]float64, n int) error {
+	for r, v := range observed {
+		if r < 0 || r >= n {
+			return fmt.Errorf("baselines: observed road %d out of range [0,%d)", r, n)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("baselines: observed speed %v on road %d invalid", v, r)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/rtf"
+	"repro/internal/speedgen"
+	"repro/internal/tslot"
+)
+
+func fixture(tb testing.TB, roads, days int, seed int64) (*network.Network, *speedgen.History) {
+	tb.Helper()
+	net := network.Synthetic(network.SyntheticOptions{Roads: roads, Seed: seed})
+	h, err := speedgen.Generate(net, speedgen.Default(days, seed+1))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return net, h
+}
+
+func TestPer(t *testing.T) {
+	mu := []float64{10, 20, 30}
+	p := NewPer(mu)
+	if p.Name() != "Per" {
+		t.Error("name")
+	}
+	got, err := p.Estimate(map[int]float64{0: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mu {
+		if got[i] != mu[i] {
+			t.Errorf("Per[%d] = %v, want %v (must ignore observations)", i, got[i], mu[i])
+		}
+	}
+	// Output and internal state are isolated from the caller.
+	got[0] = -1
+	mu[1] = -1
+	got2, _ := p.Estimate(nil)
+	if got2[0] == -1 || got2[1] == -1 {
+		t.Error("Per shares storage with caller")
+	}
+}
+
+func TestLassoObservedPassThrough(t *testing.T) {
+	_, h := fixture(t, 30, 6, 1)
+	l := NewLasso(h, 30, 140, 1, 0.1)
+	if l.Name() != "LASSO" {
+		t.Error("name")
+	}
+	obs := map[int]float64{3: 77.5, 9: 12.0}
+	got, err := l.Estimate(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[3] != 77.5 || got[9] != 12.0 {
+		t.Errorf("observed roads not passed through: %v %v", got[3], got[9])
+	}
+	for r, v := range got {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("road %d estimate %v", r, v)
+		}
+	}
+}
+
+func TestLassoNoObservationsFallsBackToMeans(t *testing.T) {
+	_, h := fixture(t, 20, 6, 2)
+	slot := tslot.Slot(60)
+	l := NewLasso(h, 20, slot, 0, 0.1)
+	got, err := l.Estimate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 20; r++ {
+		var want float64
+		for d := 0; d < h.Days; d++ {
+			want += h.At(d, slot, r)
+		}
+		want /= float64(h.Days)
+		if math.Abs(got[r]-want) > 1e-9 {
+			t.Fatalf("fallback mean road %d: %v vs %v", r, got[r], want)
+		}
+	}
+}
+
+func TestLassoValidation(t *testing.T) {
+	_, h := fixture(t, 10, 4, 3)
+	l := NewLasso(h, 10, 0, 0, 0.1)
+	if _, err := l.Estimate(map[int]float64{99: 5}); err == nil {
+		t.Error("out-of-range road accepted")
+	}
+	if _, err := l.Estimate(map[int]float64{0: math.Inf(1)}); err == nil {
+		t.Error("Inf speed accepted")
+	}
+	if _, err := l.Estimate(map[int]float64{0: -1}); err == nil {
+		t.Error("negative speed accepted")
+	}
+}
+
+func TestLassoLearnsCorrelatedNeighbor(t *testing.T) {
+	// The generator produces strongly correlated adjacent roads. Observing a
+	// road's true realtime value should estimate its neighbor better than the
+	// historical mean does, on a day with a strong deviation.
+	net, h := fixture(t, 50, 12, 4)
+	slot := tslot.Slot(110)
+	// Pick an edge and the evaluation day with the largest deviation on j.
+	e := net.Graph().EdgeList()[0]
+	i, j := e[0], e[1]
+	meanJ := historicalMean(h, slot, 1, j)
+	bestDay, bestDev := 0, 0.0
+	for d := 0; d < h.Days; d++ {
+		if dev := math.Abs(h.At(d, slot, j) - meanJ); dev > bestDev {
+			bestDay, bestDev = d, dev
+		}
+	}
+	truthJ := h.At(bestDay, slot, j)
+	l := NewLasso(h, 50, slot, 1, 0.1)
+	got, err := l.Estimate(map[int]float64{i: h.At(bestDay, slot, i)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errLasso := math.Abs(got[j] - truthJ)
+	errMean := math.Abs(meanJ - truthJ)
+	if errLasso > errMean*1.1 {
+		t.Errorf("lasso (%v) did not beat the mean (%v) on a high-deviation day", errLasso, errMean)
+	}
+}
+
+func TestGRMCBasics(t *testing.T) {
+	net, h := fixture(t, 40, 6, 5)
+	g := NewGRMC(net.Graph(), h, 150, 1)
+	if g.Name() != "GRMC" {
+		t.Error("name")
+	}
+	obs := map[int]float64{1: 44.0, 8: 31.0, 20: 66.0}
+	got, err := g.Estimate(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 40 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for r, v := range obs {
+		if got[r] != v {
+			t.Errorf("observed road %d not passed through: %v", r, got[r])
+		}
+	}
+	for r, v := range got {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("road %d estimate %v", r, v)
+		}
+	}
+}
+
+func TestGRMCDeterministic(t *testing.T) {
+	net, h := fixture(t, 25, 5, 6)
+	obs := map[int]float64{0: 50, 5: 40}
+	a, err := NewGRMC(net.Graph(), h, 100, 0).Estimate(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGRMC(net.Graph(), h, 100, 0).Estimate(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("GRMC non-deterministic at road %d", i)
+		}
+	}
+}
+
+func TestGRMCValidation(t *testing.T) {
+	net, h := fixture(t, 10, 4, 7)
+	g := NewGRMC(net.Graph(), h, 0, 0)
+	if _, err := g.Estimate(map[int]float64{99: 5}); err == nil {
+		t.Error("out-of-range road accepted")
+	}
+	g.K = 0
+	if _, err := g.Estimate(nil); err == nil {
+		t.Error("k=0 accepted")
+	}
+	g.K = 5
+	g.ALSIters = 0
+	if _, err := g.Estimate(nil); err == nil {
+		t.Error("iters=0 accepted")
+	}
+}
+
+func TestGRMCApproximatesHistory(t *testing.T) {
+	// With no realtime observations, the completed realtime column should
+	// land near the historical structure (the factorization reconstructs
+	// typical speeds, not garbage).
+	net, h := fixture(t, 30, 8, 8)
+	slot := tslot.Slot(96)
+	g := NewGRMC(net.Graph(), h, slot, 1)
+	got, err := g.Estimate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apeSum float64
+	for r := 0; r < 30; r++ {
+		mean := historicalMean(h, slot, 1, r)
+		apeSum += math.Abs(got[r]-mean) / mean
+	}
+	if mape := apeSum / 30; mape > 0.30 {
+		t.Errorf("GRMC unobserved completion MAPE vs mean = %.3f", mape)
+	}
+}
+
+func TestEstimatorInterfaceCompliance(t *testing.T) {
+	net, h := fixture(t, 10, 4, 9)
+	m := rtf.New(net)
+	if err := rtf.FitMoments(m, h, 0); err != nil {
+		t.Fatal(err)
+	}
+	var _ Estimator = NewPer(m.At(0).Mu)
+	var _ Estimator = NewLasso(h, 10, 0, 0, 0.1)
+	var _ Estimator = NewGRMC(net.Graph(), h, 0, 0)
+}
+
+func TestDesignMatrixShape(t *testing.T) {
+	_, h := fixture(t, 12, 5, 10)
+	x, means := designMatrix(h, 10, 1, []int{2, 7})
+	if len(x) != 5*3 || len(x[0]) != 2 || len(means) != 2 {
+		t.Fatalf("designMatrix shape: %d×%d, means %d", len(x), len(x[0]), len(means))
+	}
+	var sum float64
+	for _, row := range x {
+		sum += row[0]
+	}
+	if math.Abs(sum/float64(len(x))-means[0]) > 1e-9 {
+		t.Error("means inconsistent with matrix")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	keys := sortedKeys(map[int]float64{5: 1, 1: 2, 9: 3})
+	if len(keys) != 3 || keys[0] != 1 || keys[1] != 5 || keys[2] != 9 {
+		t.Errorf("sortedKeys = %v", keys)
+	}
+}

@@ -1,0 +1,189 @@
+package baselines
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/tslot"
+)
+
+// Lasso is the L1-regularized regression baseline. For every non-observed
+// road it fits, at query time, a lasso regression of that road's historical
+// speeds on the observed roads' historical speeds, then predicts from the
+// realtime observations. Because the observed set changes per query (the
+// crowdsourcing scenario), training happens inside Estimate; the Gram matrix
+// of the shared design is computed once per call and reused across all
+// target roads.
+//
+// The paper tunes the L1 weight in [0, 0.5] and settles on 0.1.
+type Lasso struct {
+	h      History
+	slot   tslot.Slot
+	window int
+	nRoads int
+
+	// L1 is the regularization weight λ (on standardized features).
+	L1 float64
+	// MaxIters / Tol bound the coordinate-descent loop per target road.
+	MaxIters int
+	Tol      float64
+}
+
+// NewLasso builds the baseline for one slot. window pools ±window slots of
+// history per sample, mirroring the RTF fitting.
+func NewLasso(h History, nRoads int, slot tslot.Slot, window int, l1 float64) *Lasso {
+	return &Lasso{
+		h: h, slot: slot, window: window, nRoads: nRoads,
+		L1: l1, MaxIters: 200, Tol: 1e-6,
+	}
+}
+
+// Name implements Estimator.
+func (l *Lasso) Name() string { return "LASSO" }
+
+// Estimate implements Estimator.
+func (l *Lasso) Estimate(observed map[int]float64) ([]float64, error) {
+	if err := validateObserved(observed, l.nRoads); err != nil {
+		return nil, err
+	}
+	out := make([]float64, l.nRoads)
+	feats := sortedKeys(observed)
+	if len(feats) == 0 {
+		// No realtime data: fall back to historical means.
+		for r := 0; r < l.nRoads; r++ {
+			out[r] = historicalMean(l.h, l.slot, l.window, r)
+		}
+		return out, nil
+	}
+
+	x, xMeans := designMatrix(l.h, l.slot, l.window, feats)
+	n := len(x)
+	p := len(feats)
+
+	// Center and scale columns to unit variance; degenerate columns get
+	// scale 1 (their β will be 0 anyway).
+	scales := make([]float64, p)
+	for c := 0; c < p; c++ {
+		var ss float64
+		for i := 0; i < n; i++ {
+			d := x[i][c] - xMeans[c]
+			ss += d * d
+		}
+		s := ss / float64(n)
+		if s < 1e-12 {
+			scales[c] = 1
+		} else {
+			scales[c] = 1 / sqrt(s)
+		}
+	}
+	z := linalg.NewDense(n, p) // standardized design
+	for i := 0; i < n; i++ {
+		for c := 0; c < p; c++ {
+			z.Set(i, c, (x[i][c]-xMeans[c])*scales[c])
+		}
+	}
+	gram := z.T().Mul(z) // p×p, shared across targets
+
+	// Realtime feature vector, standardized.
+	xq := make([]float64, p)
+	for c, r := range feats {
+		xq[c] = (observed[r] - xMeans[c]) * scales[c]
+	}
+
+	zty := make([]float64, p)
+	yCol := make([]float64, n)
+	for r := 0; r < l.nRoads; r++ {
+		if v, ok := observed[r]; ok {
+			out[r] = v
+			continue
+		}
+		// Target samples, centered.
+		var yMean float64
+		i := 0
+		for w := -l.window; w <= l.window; w++ {
+			s := l.slot.Add(w)
+			for d := 0; d < l.h.NumDays(); d++ {
+				yCol[i] = l.h.Speed(d, s, r)
+				yMean += yCol[i]
+				i++
+			}
+		}
+		yMean /= float64(n)
+		for i := range yCol {
+			yCol[i] -= yMean
+		}
+		for c := 0; c < p; c++ {
+			zty[c] = linalg.Dot(z.Col(c, nil), yCol)
+		}
+		beta := l.coordinateDescent(gram, zty, n)
+		out[r] = yMean + linalg.Dot(beta, xq)
+		if out[r] < 0 {
+			out[r] = 0
+		}
+	}
+	return out, nil
+}
+
+// coordinateDescent minimizes (1/2n)‖y − Zβ‖² + λ‖β‖₁ using the Gram matrix
+// formulation: each coordinate update needs only G and Zᵀy.
+func (l *Lasso) coordinateDescent(gram *linalg.Dense, zty []float64, n int) []float64 {
+	p := len(zty)
+	beta := make([]float64, p)
+	nf := float64(n)
+	for iter := 0; iter < l.MaxIters; iter++ {
+		var maxChange float64
+		for j := 0; j < p; j++ {
+			gjj := gram.At(j, j)
+			if gjj < 1e-12 {
+				continue // constant column
+			}
+			// Partial residual correlation: Zⱼᵀ(y − Z_{−j}β_{−j}) / n
+			s := zty[j]
+			row := gram.Row(j)
+			for k := 0; k < p; k++ {
+				if k != j && beta[k] != 0 {
+					s -= row[k] * beta[k]
+				}
+			}
+			newB := linalg.SoftThreshold(s/nf, l.L1) / (gjj / nf)
+			if d := abs(newB - beta[j]); d > maxChange {
+				maxChange = d
+			}
+			beta[j] = newB
+		}
+		if maxChange < l.Tol {
+			break
+		}
+	}
+	return beta
+}
+
+func historicalMean(h History, t tslot.Slot, window int, r int) float64 {
+	var sum float64
+	var n int
+	for w := -window; w <= window; w++ {
+		s := t.Add(w)
+		for d := 0; d < h.NumDays(); d++ {
+			sum += h.Speed(d, s, r)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/crowd"
+)
+
+// AdaptiveResult is QueryResult plus the adaptive-spending diagnostics.
+type AdaptiveResult struct {
+	QueryResult
+	// StagesUsed is how many budget increments were actually spent.
+	StagesUsed int
+	// MaxQuerySD is the final largest posterior SD over the queried roads.
+	MaxQuerySD float64
+}
+
+// QueryAdaptive answers a query while spending the budget incrementally:
+// the budget is split into `stages` increments, and after each
+// select-probe-propagate round the posterior uncertainty (gsp.Result.SD) of
+// the queried roads is checked — once every queried road's SD is at or
+// below targetSD, no further budget is spent. Crowdsourcing money goes only
+// where the model is still unsure, an economics refinement in the spirit of
+// the paper's "modest budget" goal.
+//
+// Observations accumulate across stages; each stage re-runs OCS with the
+// enlarged budget and probes only roads not yet probed, paying from one
+// shared ledger so the total spend never exceeds req.Budget.
+func (s *System) QueryAdaptive(req QueryRequest, targetSD float64, stages int) (*AdaptiveResult, error) {
+	if stages <= 0 {
+		return nil, fmt.Errorf("core: stages must be positive, got %d", stages)
+	}
+	if targetSD < 0 {
+		return nil, fmt.Errorf("core: negative target SD %v", targetSD)
+	}
+	if req.Workers == nil || req.Truth == nil {
+		return nil, fmt.Errorf("core: adaptive query needs workers and a truth source")
+	}
+	if !req.Slot.Valid() {
+		return nil, fmt.Errorf("core: invalid slot %d", req.Slot)
+	}
+	probeCfg := req.Probe
+	if probeCfg.Seed == 0 {
+		probeCfg.Seed = req.Seed
+	}
+	ledger := crowd.Ledger{Budget: req.Budget}
+	observed := make(map[int]float64)
+	var answers []crowd.Answer
+	out := &AdaptiveResult{}
+
+	costs := s.net.Costs()
+	workerRoads := req.Workers.Roads()
+	for stage := 1; stage <= stages; stage++ {
+		stageBudget := req.Budget * stage / stages
+		if stageBudget <= 0 {
+			continue
+		}
+		sol, err := s.SelectRoads(req.Slot, req.Roads, workerRoads, stageBudget, req.Theta, req.Selector, req.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: OCS stage %d: %w", stage, err)
+		}
+		out.Selected = sol
+		for _, r := range sol.Roads {
+			if _, done := observed[r]; done {
+				continue
+			}
+			if costs[r] > ledger.Remaining() {
+				continue // cannot afford this road anymore
+			}
+			probed, ans, err := req.Workers.Probe([]int{r}, costs, req.Truth, probeCfg, &ledger)
+			if err != nil {
+				return nil, fmt.Errorf("core: probing stage %d: %w", stage, err)
+			}
+			observed[r] = probed[r]
+			answers = append(answers, ans...)
+		}
+		prop, err := s.Estimate(req.Slot, observed)
+		if err != nil {
+			return nil, fmt.Errorf("core: GSP stage %d: %w", stage, err)
+		}
+		out.Propagation = prop
+		out.Speeds = prop.Speeds
+		out.StagesUsed = stage
+
+		out.MaxQuerySD = 0
+		for _, r := range req.Roads {
+			if r < 0 || r >= len(prop.SD) {
+				return nil, fmt.Errorf("core: queried road %d out of range", r)
+			}
+			if prop.SD[r] > out.MaxQuerySD {
+				out.MaxQuerySD = prop.SD[r]
+			}
+		}
+		if out.MaxQuerySD <= targetSD {
+			break
+		}
+	}
+	out.Probed = observed
+	out.Answers = answers
+	out.Ledger = ledger
+	out.QuerySpeeds = make(map[int]float64, len(req.Roads))
+	for _, r := range req.Roads {
+		out.QuerySpeeds[r] = out.Speeds[r]
+	}
+	return out, nil
+}

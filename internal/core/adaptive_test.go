@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/crowd"
+	"repro/internal/tslot"
+)
+
+func TestQueryAdaptiveValidation(t *testing.T) {
+	f := newFixture(t, 30, 5, 40)
+	pool := crowd.PlaceEverywhere(f.net)
+	req := QueryRequest{
+		Slot: 100, Roads: []int{1, 2}, Budget: 10, Theta: 0.92,
+		Workers: pool, Truth: f.truth(f.hist.Days-1, 100),
+	}
+	if _, err := f.sys.QueryAdaptive(req, 1, 0); err == nil {
+		t.Error("zero stages accepted")
+	}
+	if _, err := f.sys.QueryAdaptive(req, -1, 2); err == nil {
+		t.Error("negative target accepted")
+	}
+	bad := req
+	bad.Workers = nil
+	if _, err := f.sys.QueryAdaptive(bad, 1, 2); err == nil {
+		t.Error("nil workers accepted")
+	}
+	bad = req
+	bad.Slot = 999
+	if _, err := f.sys.QueryAdaptive(bad, 1, 2); err == nil {
+		t.Error("bad slot accepted")
+	}
+}
+
+func TestQueryAdaptiveStopsEarlyOnLooseTarget(t *testing.T) {
+	f := newFixture(t, 80, 8, 41)
+	slot := tslot.Slot(110)
+	day := f.hist.Days - 1
+	pool := crowd.PlaceEverywhere(f.net)
+	req := QueryRequest{
+		Slot: slot, Roads: []int{3, 9, 14, 21, 30}, Budget: 40, Theta: 0.92,
+		Workers: pool, Truth: f.truth(day, slot), Seed: 42,
+	}
+	// Loose target: the prior σ already satisfies it → a single stage.
+	loose, err := f.sys.QueryAdaptive(req, 1e9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.StagesUsed != 1 {
+		t.Errorf("loose target used %d stages", loose.StagesUsed)
+	}
+	if loose.Ledger.Spent > req.Budget/4 {
+		t.Errorf("loose target spent %d of %d", loose.Ledger.Spent, req.Budget)
+	}
+	// Strict target: keeps spending until the uncertainty hits zero (every
+	// queried road probed) or the stages run out.
+	strict, err := f.sys.QueryAdaptive(req, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.StagesUsed <= loose.StagesUsed {
+		t.Errorf("strict target used %d stages, loose used %d", strict.StagesUsed, loose.StagesUsed)
+	}
+	if strict.StagesUsed < 4 && strict.MaxQuerySD > 0 {
+		t.Errorf("stopped at stage %d with MaxQuerySD %v > 0", strict.StagesUsed, strict.MaxQuerySD)
+	}
+	if strict.Ledger.Spent < loose.Ledger.Spent {
+		t.Errorf("strict target spent less (%d) than loose (%d)", strict.Ledger.Spent, loose.Ledger.Spent)
+	}
+	if strict.Ledger.Spent > req.Budget {
+		t.Errorf("budget exceeded: %d", strict.Ledger.Spent)
+	}
+	// More spend cannot raise the worst-case uncertainty.
+	if strict.MaxQuerySD > loose.MaxQuerySD+1e-9 {
+		t.Errorf("more budget raised MaxQuerySD: %v vs %v", strict.MaxQuerySD, loose.MaxQuerySD)
+	}
+	if len(strict.QuerySpeeds) != 5 {
+		t.Errorf("query speeds = %d", len(strict.QuerySpeeds))
+	}
+}
+
+func TestQueryAdaptiveObservationsAccumulate(t *testing.T) {
+	f := newFixture(t, 60, 6, 43)
+	slot := tslot.Slot(150)
+	day := f.hist.Days - 1
+	pool := crowd.PlaceEverywhere(f.net)
+	req := QueryRequest{
+		Slot: slot, Roads: []int{1, 7, 13, 22, 31, 40}, Budget: 30, Theta: 0.92,
+		Workers: pool, Truth: f.truth(day, slot), Seed: 44,
+	}
+	res, err := f.sys.QueryAdaptive(req, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every probed road's estimate equals its observation (GSP pins them).
+	for r, v := range res.Probed {
+		if res.Speeds[r] != v {
+			t.Errorf("probed road %d drifted: %v vs %v", r, res.Speeds[r], v)
+		}
+	}
+	// Spend equals the sum of probed costs.
+	want := 0
+	for r := range res.Probed {
+		want += f.net.Road(r).Cost
+	}
+	if res.Ledger.Spent != want {
+		t.Errorf("spent %d, probed costs sum %d", res.Ledger.Spent, want)
+	}
+}

@@ -1,0 +1,300 @@
+// Package core assembles the CrowdRTSE system (§III-B): the offline stage
+// trains the RTF graphical model from historical records; the online stage
+// answers a realtime speed query in three steps — select the crowdsourced
+// roads (OCS), probe them through the worker pool, and propagate the probed
+// speeds over the network (GSP).
+//
+// Typical use:
+//
+//	sys, err := core.Train(net, history, core.DefaultConfig())
+//	res, err := sys.Query(core.QueryRequest{
+//		Slot: slot, Roads: queried, Budget: 60, Theta: 0.92,
+//		Workers: pool, Truth: truth,
+//	})
+//	speeds := res.QuerySpeeds // road → estimated realtime speed
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/corr"
+	"repro/internal/crowd"
+	"repro/internal/gsp"
+	"repro/internal/network"
+	"repro/internal/ocs"
+	"repro/internal/rtf"
+	"repro/internal/tslot"
+)
+
+// Config controls the offline stage and the propagation defaults.
+type Config struct {
+	// Window pools ±Window neighboring slots when fitting RTF parameters.
+	Window int
+	// RefineSlots optionally runs CCD refinement (Alg. 1) on these slots
+	// after the moment fit; empty means moment fit only (the moment
+	// estimates are already maximum-likelihood for μ and near-ML for σ, ρ).
+	RefineSlots []tslot.Slot
+	// CCD configures the refinement when RefineSlots is non-empty.
+	CCD rtf.CCDOptions
+	// Transform selects the path-correlation transform (NegLog is exact).
+	Transform corr.Transform
+	// GSP configures the propagation engine.
+	GSP gsp.Options
+}
+
+// DefaultConfig returns the configuration used throughout the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Window:    1,
+		CCD:       rtf.DefaultCCD(),
+		Transform: corr.NegLog,
+		GSP:       gsp.DefaultOptions(),
+	}
+}
+
+// System is a trained CrowdRTSE instance, safe for concurrent queries.
+type System struct {
+	net   *network.Network
+	model *rtf.Model
+	cfg   Config
+
+	mu      sync.Mutex
+	oracles map[tslot.Slot]*corr.Oracle
+}
+
+// Train runs the offline stage: fit RTF on the history and prepare the
+// correlation machinery.
+func Train(net *network.Network, h rtf.History, cfg Config) (*System, error) {
+	if net == nil {
+		return nil, fmt.Errorf("core: nil network")
+	}
+	model := rtf.New(net)
+	if err := rtf.FitMoments(model, h, cfg.Window); err != nil {
+		return nil, fmt.Errorf("core: offline fit: %w", err)
+	}
+	if len(cfg.RefineSlots) > 0 {
+		if _, err := rtf.RefineCCD(model, net, h, cfg.RefineSlots, cfg.CCD); err != nil {
+			return nil, fmt.Errorf("core: CCD refinement: %w", err)
+		}
+	}
+	return &System{
+		net:     net,
+		model:   model,
+		cfg:     cfg,
+		oracles: make(map[tslot.Slot]*corr.Oracle),
+	}, nil
+}
+
+// NewFromModel wraps an existing fitted model (e.g. loaded from disk) into a
+// queryable system.
+func NewFromModel(net *network.Network, model *rtf.Model, cfg Config) (*System, error) {
+	if net == nil || model == nil {
+		return nil, fmt.Errorf("core: nil network or model")
+	}
+	if model.N() != net.N() {
+		return nil, fmt.Errorf("core: model covers %d roads, network has %d", model.N(), net.N())
+	}
+	return &System{net: net, model: model, cfg: cfg, oracles: make(map[tslot.Slot]*corr.Oracle)}, nil
+}
+
+// Network returns the system's road network.
+func (s *System) Network() *network.Network { return s.net }
+
+// Model returns the fitted RTF model.
+func (s *System) Model() *rtf.Model { return s.model }
+
+// Oracle returns the (cached) correlation oracle for slot t.
+func (s *System) Oracle(t tslot.Slot) *corr.Oracle {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if o, ok := s.oracles[t]; ok {
+		return o
+	}
+	o := corr.NewOracle(s.net.Graph(), s.model.At(t), s.cfg.Transform)
+	s.oracles[t] = o
+	return o
+}
+
+// Selector chooses the crowdsourced-road selection algorithm.
+type Selector int
+
+const (
+	// Hybrid is Hybrid-Greedy (Alg. 4), the paper's recommended solver.
+	Hybrid Selector = iota
+	// Ratio is Ratio-Greedy alone (Alg. 2).
+	Ratio
+	// Objective is Objective-Greedy alone (Alg. 3).
+	Objective
+	// RandomSel is the randomized baseline.
+	RandomSel
+)
+
+// String returns the selector name as used in the paper's figures.
+func (s Selector) String() string {
+	switch s {
+	case Hybrid:
+		return "Hybrid"
+	case Ratio:
+		return "Ratio"
+	case Objective:
+		return "OBJ"
+	case RandomSel:
+		return "Rand"
+	default:
+		return fmt.Sprintf("Selector(%d)", int(s))
+	}
+}
+
+// SelectRoads solves OCS for the given query at slot t.
+func (s *System) SelectRoads(t tslot.Slot, query, workerRoads []int, budget int, theta float64, sel Selector, seed int64) (ocs.Solution, error) {
+	view := s.model.At(t)
+	p := &ocs.Problem{
+		Query:   query,
+		Workers: workerRoads,
+		Costs:   s.net.Costs(),
+		Budget:  budget,
+		Theta:   theta,
+		Sigma:   view.Sigma,
+		Oracle:  s.Oracle(t),
+	}
+	switch sel {
+	case Hybrid:
+		return ocs.HybridGreedy(p)
+	case Ratio:
+		return ocs.RatioGreedy(p)
+	case Objective:
+		return ocs.ObjectiveGreedy(p)
+	case RandomSel:
+		return ocs.Random(p, rand.New(rand.NewSource(seed)))
+	default:
+		return ocs.Solution{}, fmt.Errorf("core: unknown selector %d", sel)
+	}
+}
+
+// Estimate runs GSP at slot t from already-collected observations,
+// returning the full-network speed field. Use Query for the complete
+// select-probe-propagate pipeline.
+func (s *System) Estimate(t tslot.Slot, observed map[int]float64) (gsp.Result, error) {
+	return gsp.Propagate(s.net, s.model.At(t), observed, s.cfg.GSP)
+}
+
+// QueryRequest is one online realtime-speed query.
+type QueryRequest struct {
+	Slot   tslot.Slot
+	Roads  []int // R^q, the queried roads
+	Budget int   // K
+	Theta  float64
+	// Workers is the current worker pool; its distinct roads form R^w.
+	Workers *crowd.Pool
+	// Selector picks the OCS algorithm (default Hybrid).
+	Selector Selector
+	// Seed drives the Random selector and the probe noise.
+	Seed int64
+	// Probe configures answer generation (noise, aggregation).
+	Probe crowd.ProbeConfig
+	// Campaign, when non-nil, replaces the direct probe with the full task
+	// lifecycle (worker willingness, assignment rounds, partial tasks).
+	// Only fulfilled tasks feed GSP.
+	Campaign *crowd.CampaignConfig
+	// Truth supplies ground-truth speeds to the simulated workers.
+	Truth crowd.TruthFunc
+}
+
+// QueryResult is the answer to a query plus full diagnostics.
+type QueryResult struct {
+	Selected    ocs.Solution    // the crowdsourced roads R^c
+	Probed      map[int]float64 // aggregated crowd answers
+	Answers     []crowd.Answer  // raw per-worker answers
+	Speeds      []float64       // estimated speeds for every road
+	QuerySpeeds map[int]float64 // estimates restricted to R^q
+	Propagation gsp.Result      // GSP diagnostics
+	Ledger      crowd.Ledger    // budget accounting
+	// Campaign holds the task-lifecycle report when the query ran with a
+	// campaign configuration; nil for direct probes.
+	Campaign *crowd.CampaignReport
+}
+
+// Query executes the online pipeline: OCS → crowd probing → GSP.
+func (s *System) Query(req QueryRequest) (*QueryResult, error) {
+	if req.Workers == nil {
+		return nil, fmt.Errorf("core: query without a worker pool")
+	}
+	if req.Truth == nil {
+		return nil, fmt.Errorf("core: query without a truth source (workers need speeds to report)")
+	}
+	if !req.Slot.Valid() {
+		return nil, fmt.Errorf("core: invalid slot %d", req.Slot)
+	}
+	probeCfg := req.Probe
+	if probeCfg.Seed == 0 {
+		probeCfg.Seed = req.Seed
+	}
+
+	sol, err := s.SelectRoads(req.Slot, req.Roads, req.Workers.Roads(), req.Budget, req.Theta, req.Selector, req.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: OCS: %w", err)
+	}
+	ledger := crowd.Ledger{Budget: req.Budget}
+	var probed map[int]float64
+	var answers []crowd.Answer
+	var campaignReport *crowd.CampaignReport
+	if req.Campaign != nil {
+		probed, campaignReport, err = req.Workers.RunCampaign(sol.Roads, s.net.Costs(), req.Truth, *req.Campaign, &ledger)
+		if err != nil {
+			return nil, fmt.Errorf("core: campaign: %w", err)
+		}
+		answers = campaignReport.Answers
+	} else {
+		probed, answers, err = req.Workers.Probe(sol.Roads, s.net.Costs(), req.Truth, probeCfg, &ledger)
+		if err != nil {
+			return nil, fmt.Errorf("core: probing: %w", err)
+		}
+	}
+	prop, err := s.Estimate(req.Slot, probed)
+	if err != nil {
+		return nil, fmt.Errorf("core: GSP: %w", err)
+	}
+	qs := make(map[int]float64, len(req.Roads))
+	for _, r := range req.Roads {
+		if r < 0 || r >= len(prop.Speeds) {
+			return nil, fmt.Errorf("core: queried road %d out of range", r)
+		}
+		qs[r] = prop.Speeds[r]
+	}
+	return &QueryResult{
+		Selected:    sol,
+		Probed:      probed,
+		Answers:     answers,
+		Speeds:      prop.Speeds,
+		QuerySpeeds: qs,
+		Propagation: prop,
+		Ledger:      ledger,
+		Campaign:    campaignReport,
+	}, nil
+}
+
+// GSPEstimator adapts the system to the baselines.Estimator interface for
+// one slot, so GSP can be compared head-to-head with LASSO/GRMC/Per.
+type GSPEstimator struct {
+	sys  *System
+	slot tslot.Slot
+}
+
+// NewGSPEstimator returns the adapter for slot t.
+func (s *System) NewGSPEstimator(t tslot.Slot) *GSPEstimator {
+	return &GSPEstimator{sys: s, slot: t}
+}
+
+// Name implements baselines.Estimator.
+func (g *GSPEstimator) Name() string { return "GSP" }
+
+// Estimate implements baselines.Estimator.
+func (g *GSPEstimator) Estimate(observed map[int]float64) ([]float64, error) {
+	res, err := g.sys.Estimate(g.slot, observed)
+	if err != nil {
+		return nil, err
+	}
+	return res.Speeds, nil
+}

@@ -1,0 +1,27 @@
+package corr_test
+
+import (
+	"fmt"
+
+	"repro/internal/corr"
+	"repro/internal/graph"
+	"repro/internal/network"
+	"repro/internal/rtf"
+)
+
+// Non-adjacent roads correlate through the best joining path: the product
+// of its edge weights (Eq. 8–10).
+func ExampleOracle_Corr() {
+	g := graph.Path(4)
+	net, _ := network.New(g, make([]network.Road, 4))
+	m := rtf.New(net)
+	m.SetRho(0, 0, 1, 0.9)
+	m.SetRho(0, 1, 2, 0.8)
+	m.SetRho(0, 2, 3, 0.7)
+	o := corr.NewOracle(g, m.At(0), corr.NegLog)
+	fmt.Printf("corr(0,1) = %.3f (adjacent: the edge weight)\n", o.Corr(0, 1))
+	fmt.Printf("corr(0,3) = %.3f (path product 0.9*0.8*0.7)\n", o.Corr(0, 3))
+	// Output:
+	// corr(0,1) = 0.900 (adjacent: the edge weight)
+	// corr(0,3) = 0.504 (path product 0.9*0.8*0.7)
+}

@@ -1,0 +1,150 @@
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// TaskStatus is the lifecycle state of a probe task.
+type TaskStatus uint8
+
+const (
+	// TaskFulfilled means the road collected its full quota of answers.
+	TaskFulfilled TaskStatus = iota
+	// TaskPartial means some but not all answers arrived before the round
+	// limit; the aggregate is considered unreliable and excluded from the
+	// observation set (the paper defines the cost as the *minimum* number
+	// of answers required for a reliable probe).
+	TaskPartial
+	// TaskFailed means no answers arrived at all.
+	TaskFailed
+)
+
+// String returns the status name.
+func (s TaskStatus) String() string {
+	switch s {
+	case TaskFulfilled:
+		return "fulfilled"
+	case TaskPartial:
+		return "partial"
+	case TaskFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("TaskStatus(%d)", uint8(s))
+	}
+}
+
+// Task is one road's probe task and its outcome.
+type Task struct {
+	Road      int
+	Needed    int // the road's cost c_i
+	Collected int
+	Status    TaskStatus
+}
+
+// CampaignConfig controls RunCampaign.
+type CampaignConfig struct {
+	// AcceptProb is the probability that an asked worker accepts the task
+	// in a given round — the "workers' willingness" the paper warns about
+	// (§I): tasks requiring physical travel would have much lower values.
+	AcceptProb float64
+	// MaxRounds bounds how many times each road's workers are re-asked.
+	MaxRounds int
+	// NoiseSD and Agg follow ProbeConfig semantics.
+	NoiseSD float64
+	Agg     Aggregation
+	Seed    int64
+}
+
+// DefaultCampaign reflects report-in-place tasks (high willingness).
+func DefaultCampaign(seed int64) CampaignConfig {
+	return CampaignConfig{AcceptProb: 0.7, MaxRounds: 3, NoiseSD: 0.02, Seed: seed}
+}
+
+// CampaignReport is the outcome of a crowdsourcing campaign.
+type CampaignReport struct {
+	Tasks   []Task
+	Answers []Answer
+	// Fulfilled/Partial/Failed count tasks by final status.
+	Fulfilled, Partial, Failed int
+}
+
+// RunCampaign executes the probing step with a worker-willingness model:
+// for each selected road a task demanding costs[road] answers is issued;
+// each round every worker on the road is asked once and accepts with
+// probability AcceptProb; accepted answers are paid one unit each from the
+// ledger. Only fulfilled tasks contribute to the returned observation map —
+// partial data is recorded in the report but not trusted.
+//
+// RunCampaign never overspends: a task stops collecting when the ledger
+// cannot pay the next answer, leaving the task partial.
+func (p *Pool) RunCampaign(roads []int, costs []int, truth TruthFunc, cfg CampaignConfig, ledger *Ledger) (map[int]float64, *CampaignReport, error) {
+	if truth == nil {
+		return nil, nil, fmt.Errorf("crowd: nil truth function")
+	}
+	if cfg.AcceptProb < 0 || cfg.AcceptProb > 1 {
+		return nil, nil, fmt.Errorf("crowd: AcceptProb %v outside [0,1]", cfg.AcceptProb)
+	}
+	if cfg.MaxRounds <= 0 {
+		return nil, nil, fmt.Errorf("crowd: MaxRounds must be positive, got %d", cfg.MaxRounds)
+	}
+	if cfg.NoiseSD < 0 {
+		return nil, nil, fmt.Errorf("crowd: negative noise SD %v", cfg.NoiseSD)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	report := &CampaignReport{}
+	observed := make(map[int]float64)
+	sorted := append([]int(nil), roads...)
+	sort.Ints(sorted)
+	for _, road := range sorted {
+		if road < 0 || road >= len(costs) {
+			return nil, nil, fmt.Errorf("crowd: campaign road %d out of range", road)
+		}
+		need := costs[road]
+		if need <= 0 {
+			return nil, nil, fmt.Errorf("crowd: road %d has non-positive cost %d", road, need)
+		}
+		task := Task{Road: road, Needed: need}
+		onRoad := p.byRoad[road]
+		var speeds []float64
+		base := truth(road)
+	rounds:
+		for round := 0; round < cfg.MaxRounds && task.Collected < need; round++ {
+			for _, w := range onRoad {
+				if task.Collected >= need {
+					break
+				}
+				if rng.Float64() >= cfg.AcceptProb {
+					continue // worker declined this round
+				}
+				if ledger != nil {
+					if err := ledger.Pay(1); err != nil {
+						break rounds // budget exhausted mid-task
+					}
+				}
+				v := base * (1 + cfg.NoiseSD*rng.NormFloat64())
+				if v < 0 {
+					v = 0
+				}
+				speeds = append(speeds, v)
+				report.Answers = append(report.Answers, Answer{Worker: w, Road: road, Speed: v})
+				task.Collected++
+			}
+		}
+		switch {
+		case task.Collected >= need:
+			task.Status = TaskFulfilled
+			report.Fulfilled++
+			observed[road] = cfg.Agg.Aggregate(speeds)
+		case task.Collected > 0:
+			task.Status = TaskPartial
+			report.Partial++
+		default:
+			task.Status = TaskFailed
+			report.Failed++
+		}
+		report.Tasks = append(report.Tasks, task)
+	}
+	return observed, report, nil
+}

@@ -1,0 +1,164 @@
+package crowd
+
+import (
+	"testing"
+
+	"repro/internal/network"
+)
+
+func TestTaskStatusString(t *testing.T) {
+	if TaskFulfilled.String() != "fulfilled" || TaskPartial.String() != "partial" ||
+		TaskFailed.String() != "failed" || TaskStatus(9).String() == "" {
+		t.Error("status names wrong")
+	}
+}
+
+func TestRunCampaignValidation(t *testing.T) {
+	net := network.Synthetic(network.SyntheticOptions{Roads: 10, Seed: 7})
+	p := PlaceEverywhere(net)
+	costs := net.Costs()
+	truth := func(int) float64 { return 50 }
+	if _, _, err := p.RunCampaign([]int{0}, costs, nil, DefaultCampaign(1), nil); err == nil {
+		t.Error("nil truth accepted")
+	}
+	bad := DefaultCampaign(1)
+	bad.AcceptProb = 1.5
+	if _, _, err := p.RunCampaign([]int{0}, costs, truth, bad, nil); err == nil {
+		t.Error("AcceptProb > 1 accepted")
+	}
+	bad = DefaultCampaign(1)
+	bad.MaxRounds = 0
+	if _, _, err := p.RunCampaign([]int{0}, costs, truth, bad, nil); err == nil {
+		t.Error("MaxRounds = 0 accepted")
+	}
+	bad = DefaultCampaign(1)
+	bad.NoiseSD = -1
+	if _, _, err := p.RunCampaign([]int{0}, costs, truth, bad, nil); err == nil {
+		t.Error("negative noise accepted")
+	}
+	if _, _, err := p.RunCampaign([]int{99}, costs, truth, DefaultCampaign(1), nil); err == nil {
+		t.Error("out-of-range road accepted")
+	}
+	zero := make([]int, 10)
+	if _, _, err := p.RunCampaign([]int{0}, zero, truth, DefaultCampaign(1), nil); err == nil {
+		t.Error("zero cost accepted")
+	}
+}
+
+func TestRunCampaignFullWillingness(t *testing.T) {
+	// With AcceptProb = 1 and enough workers+rounds every task fulfills and
+	// the result matches Probe's accounting.
+	net := network.Synthetic(network.SyntheticOptions{Roads: 20, Seed: 8})
+	// 3 workers per road guarantees quota within MaxRounds for costs ≤ 9.
+	var ws []Worker
+	for r := 0; r < 20; r++ {
+		for k := 0; k < 3; k++ {
+			ws = append(ws, Worker{Road: r})
+		}
+	}
+	p := NewPool(ws)
+	costs := net.Costs()
+	truth := func(r int) float64 { return 30 + float64(r) }
+	cfg := DefaultCampaign(9)
+	cfg.AcceptProb = 1
+	cfg.NoiseSD = 0
+	ledger := &Ledger{Budget: 100}
+	obs, rep, err := p.RunCampaign([]int{2, 5, 11}, costs, truth, cfg, ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fulfilled != 3 || rep.Partial != 0 || rep.Failed != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	want := costs[2] + costs[5] + costs[11]
+	if ledger.Spent != want || len(rep.Answers) != want {
+		t.Errorf("spent %d answers %d, want %d", ledger.Spent, len(rep.Answers), want)
+	}
+	for _, r := range []int{2, 5, 11} {
+		if obs[r] != truth(r) {
+			t.Errorf("noise-free observation %v != %v", obs[r], truth(r))
+		}
+	}
+}
+
+func TestRunCampaignUnwillingWorkers(t *testing.T) {
+	// AcceptProb = 0: everything fails, nothing is paid.
+	net := network.Synthetic(network.SyntheticOptions{Roads: 10, Seed: 10})
+	p := PlaceEverywhere(net)
+	cfg := DefaultCampaign(11)
+	cfg.AcceptProb = 0
+	ledger := &Ledger{Budget: 50}
+	obs, rep, err := p.RunCampaign([]int{1, 2}, net.Costs(), func(int) float64 { return 40 }, cfg, ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 0 || rep.Failed != 2 || ledger.Spent != 0 {
+		t.Errorf("obs=%v rep=%+v spent=%d", obs, rep, ledger.Spent)
+	}
+}
+
+func TestRunCampaignPartialOnBudgetExhaustion(t *testing.T) {
+	net := network.Synthetic(network.SyntheticOptions{Roads: 10, Seed: 12})
+	p := PlaceEverywhere(net)
+	costs := make([]int, 10)
+	for i := range costs {
+		costs[i] = 5
+	}
+	cfg := DefaultCampaign(13)
+	cfg.AcceptProb = 1
+	cfg.MaxRounds = 10           // one worker per road needs 5 rounds per task
+	ledger := &Ledger{Budget: 7} // first task (5) fulfills, second runs out at 2
+	obs, rep, err := p.RunCampaign([]int{3, 4}, costs, func(int) float64 { return 40 }, cfg, ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fulfilled != 1 || rep.Partial != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if _, ok := obs[4]; ok {
+		t.Error("partial task leaked into observations")
+	}
+	if ledger.Spent != 7 {
+		t.Errorf("spent %d, want 7", ledger.Spent)
+	}
+	// Task bookkeeping: collected counts match answers.
+	var collected int
+	for _, task := range rep.Tasks {
+		collected += task.Collected
+	}
+	if collected != len(rep.Answers) {
+		t.Errorf("collected %d != answers %d", collected, len(rep.Answers))
+	}
+}
+
+func TestRunCampaignWillingnessAffectsYield(t *testing.T) {
+	// Lower willingness must not increase fulfilled tasks (statistical, but
+	// with one worker per road, cost > 1 and limited rounds it is
+	// deterministic enough over many roads).
+	net := network.Synthetic(network.SyntheticOptions{Roads: 60, Seed: 14})
+	p := PlaceEverywhere(net)
+	costs := make([]int, 60)
+	for i := range costs {
+		costs[i] = 3
+	}
+	roads := make([]int, 60)
+	for i := range roads {
+		roads[i] = i
+	}
+	truth := func(int) float64 { return 40 }
+	run := func(prob float64) int {
+		cfg := DefaultCampaign(15)
+		cfg.AcceptProb = prob
+		cfg.MaxRounds = 3
+		_, rep, err := p.RunCampaign(roads, costs, truth, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Fulfilled
+	}
+	high := run(0.9)
+	low := run(0.2)
+	if low >= high {
+		t.Errorf("fulfilled: low-willingness %d ≥ high-willingness %d", low, high)
+	}
+}

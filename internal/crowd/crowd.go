@@ -1,0 +1,252 @@
+// Package crowd simulates the crowdsourcing side of CrowdRTSE (§III-A):
+// workers distributed over roads, task assignment, noisy speed answers,
+// multi-answer aggregation, and budget accounting.
+//
+// In the paper, each worker demands a task and reports her localization;
+// once selected she reports the realtime speed of her current location
+// (modern phones measure travel speed directly) and earns one unit of
+// payment per answer. A road's cost c_i is the minimum number of answers
+// that must be collected (and paid) for a reliable probe.
+//
+// The gMission deployment is simulated by PlaceSubcomponent: workers travel
+// along a mutually connected subcomponent of the queried roads, giving
+// R^w ⊂ R^q exactly as in §VII-A.
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/network"
+)
+
+// Worker is one crowd worker currently positioned on a road.
+type Worker struct {
+	ID   int
+	Road int
+}
+
+// Pool is a set of workers with their current positions.
+type Pool struct {
+	workers []Worker
+	byRoad  map[int][]int // road → indices into workers
+}
+
+// NewPool builds a pool from explicit workers (IDs are reassigned densely).
+func NewPool(workers []Worker) *Pool {
+	p := &Pool{workers: make([]Worker, len(workers)), byRoad: make(map[int][]int)}
+	for i, w := range workers {
+		w.ID = i
+		p.workers[i] = w
+		p.byRoad[w.Road] = append(p.byRoad[w.Road], i)
+	}
+	return p
+}
+
+// PlaceUniform scatters n workers uniformly over the network's roads.
+func PlaceUniform(net *network.Network, n int, rng *rand.Rand) *Pool {
+	ws := make([]Worker, n)
+	for i := range ws {
+		ws[i] = Worker{Road: rng.Intn(net.N())}
+	}
+	return NewPool(ws)
+}
+
+// PlaceEverywhere puts one worker on every road — the semi-synthesized
+// dataset's assumption that "workers cover all the tested roads, i.e.
+// R^w = R" (§VII-A).
+func PlaceEverywhere(net *network.Network) *Pool {
+	ws := make([]Worker, net.N())
+	for i := range ws {
+		ws[i] = Worker{Road: i}
+	}
+	return NewPool(ws)
+}
+
+// PlaceSubcomponent distributes n workers over a mutually connected
+// subcomponent of `size` roads grown from start — the gMission scenario.
+// It returns the pool and the subcomponent's road ids, or an error if the
+// component of start is too small.
+func PlaceSubcomponent(net *network.Network, start, size, n int, rng *rand.Rand) (*Pool, []int, error) {
+	roads := net.Graph().ConnectedSubset(start, size)
+	if roads == nil {
+		return nil, nil, fmt.Errorf("crowd: component of road %d smaller than %d", start, size)
+	}
+	ws := make([]Worker, n)
+	for i := range ws {
+		ws[i] = Worker{Road: roads[rng.Intn(len(roads))]}
+	}
+	return NewPool(ws), roads, nil
+}
+
+// Step moves every worker to a uniformly random adjacent road with
+// probability moveProb (staying put otherwise) and returns the new pool.
+// The paper stresses that the workers' distribution is time-variant (§II-A)
+// — this is the simplest honest model of it: drivers keep driving. The
+// receiver is unchanged; pools are immutable.
+func (p *Pool) Step(g interface{ Neighbors(int) []int32 }, moveProb float64, rng *rand.Rand) *Pool {
+	ws := p.Workers()
+	for i := range ws {
+		if rng.Float64() >= moveProb {
+			continue
+		}
+		nbs := g.Neighbors(ws[i].Road)
+		if len(nbs) == 0 {
+			continue
+		}
+		ws[i].Road = int(nbs[rng.Intn(len(nbs))])
+	}
+	return NewPool(ws)
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// Workers returns a copy of the worker list.
+func (p *Pool) Workers() []Worker {
+	out := make([]Worker, len(p.workers))
+	copy(out, p.workers)
+	return out
+}
+
+// Roads returns the distinct roads currently holding at least one worker —
+// the candidate set R^w for OCS — sorted ascending.
+func (p *Pool) Roads() []int {
+	out := make([]int, 0, len(p.byRoad))
+	for r := range p.byRoad {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// WorkersOn returns the ids of workers positioned on road r.
+func (p *Pool) WorkersOn(r int) []int {
+	return append([]int(nil), p.byRoad[r]...)
+}
+
+// Answer is one worker's speed report for a road.
+type Answer struct {
+	Worker int
+	Road   int
+	Speed  float64
+}
+
+// Aggregation selects how multiple answers for one road are combined.
+type Aggregation int
+
+const (
+	// Mean averages the answers.
+	Mean Aggregation = iota
+	// Median takes the middle answer (robust to one-off outliers).
+	Median
+)
+
+// Aggregate combines the answer speeds. It panics on an empty slice.
+func (a Aggregation) Aggregate(speeds []float64) float64 {
+	if len(speeds) == 0 {
+		panic("crowd: aggregate of zero answers")
+	}
+	switch a {
+	case Median:
+		s := append([]float64(nil), speeds...)
+		sort.Float64s(s)
+		mid := len(s) / 2
+		if len(s)%2 == 1 {
+			return s[mid]
+		}
+		return (s[mid-1] + s[mid]) / 2
+	default:
+		var sum float64
+		for _, v := range speeds {
+			sum += v
+		}
+		return sum / float64(len(speeds))
+	}
+}
+
+// TruthFunc reports the ground-truth realtime speed of a road.
+type TruthFunc func(road int) float64
+
+// ProbeConfig controls answer generation.
+type ProbeConfig struct {
+	// NoiseSD is the per-answer relative measurement noise (fraction of the
+	// true speed); phone GPS speedometers are good, so a few percent.
+	NoiseSD float64
+	// Agg combines a road's multiple answers.
+	Agg Aggregation
+	// Seed drives the answer noise.
+	Seed int64
+}
+
+// Ledger tracks crowdsourcing payments against the budget K. Each answer
+// costs one unit.
+type Ledger struct {
+	Budget int
+	Spent  int
+}
+
+// Pay records n answers. It returns an error (and records nothing) if the
+// payment would exceed the budget.
+func (l *Ledger) Pay(n int) error {
+	if n < 0 {
+		return fmt.Errorf("crowd: negative payment %d", n)
+	}
+	if l.Spent+n > l.Budget {
+		return fmt.Errorf("crowd: payment of %d exceeds remaining budget %d", n, l.Budget-l.Spent)
+	}
+	l.Spent += n
+	return nil
+}
+
+// Remaining returns the unspent budget.
+func (l *Ledger) Remaining() int { return l.Budget - l.Spent }
+
+// Probe collects and aggregates answers for every road in roads: road r gets
+// costs[r] answers (its cost, §V-A), each from a worker on r (workers answer
+// repeatedly if the road has fewer workers than answers needed), each paid
+// one unit from the ledger. It returns the aggregated road → speed map and
+// the raw answers.
+func (p *Pool) Probe(roads []int, costs []int, truth TruthFunc, cfg ProbeConfig, ledger *Ledger) (map[int]float64, []Answer, error) {
+	if truth == nil {
+		return nil, nil, fmt.Errorf("crowd: nil truth function")
+	}
+	if cfg.NoiseSD < 0 {
+		return nil, nil, fmt.Errorf("crowd: negative noise SD %v", cfg.NoiseSD)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make(map[int]float64, len(roads))
+	var answers []Answer
+	for _, r := range roads {
+		if r < 0 || r >= len(costs) {
+			return nil, nil, fmt.Errorf("crowd: probed road %d out of range", r)
+		}
+		onRoad := p.byRoad[r]
+		if len(onRoad) == 0 {
+			return nil, nil, fmt.Errorf("crowd: no workers on road %d", r)
+		}
+		need := costs[r]
+		if need <= 0 {
+			return nil, nil, fmt.Errorf("crowd: road %d has non-positive cost %d", r, need)
+		}
+		if ledger != nil {
+			if err := ledger.Pay(need); err != nil {
+				return nil, nil, err
+			}
+		}
+		speeds := make([]float64, need)
+		base := truth(r)
+		for k := 0; k < need; k++ {
+			w := onRoad[k%len(onRoad)]
+			v := base * (1 + cfg.NoiseSD*rng.NormFloat64())
+			if v < 0 {
+				v = 0
+			}
+			speeds[k] = v
+			answers = append(answers, Answer{Worker: w, Road: r, Speed: v})
+		}
+		out[r] = cfg.Agg.Aggregate(speeds)
+	}
+	return out, answers, nil
+}

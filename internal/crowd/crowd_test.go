@@ -1,0 +1,272 @@
+package crowd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/network"
+)
+
+func testNet(tb testing.TB, roads int) *network.Network {
+	tb.Helper()
+	return network.Synthetic(network.SyntheticOptions{Roads: roads, Seed: 7})
+}
+
+func TestNewPoolAssignsIDs(t *testing.T) {
+	p := NewPool([]Worker{{ID: 99, Road: 2}, {ID: 99, Road: 2}, {ID: 99, Road: 5}})
+	ws := p.Workers()
+	if ws[0].ID != 0 || ws[1].ID != 1 || ws[2].ID != 2 {
+		t.Errorf("IDs not densified: %+v", ws)
+	}
+	if p.Size() != 3 {
+		t.Errorf("Size = %d", p.Size())
+	}
+	if got := p.WorkersOn(2); len(got) != 2 {
+		t.Errorf("WorkersOn(2) = %v", got)
+	}
+	if got := p.WorkersOn(4); len(got) != 0 {
+		t.Errorf("WorkersOn(4) = %v", got)
+	}
+	roads := p.Roads()
+	if len(roads) != 2 || roads[0] != 2 || roads[1] != 5 {
+		t.Errorf("Roads = %v", roads)
+	}
+}
+
+func TestPlaceUniform(t *testing.T) {
+	net := testNet(t, 50)
+	p := PlaceUniform(net, 30, rand.New(rand.NewSource(1)))
+	if p.Size() != 30 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	for _, w := range p.Workers() {
+		if w.Road < 0 || w.Road >= 50 {
+			t.Fatalf("worker off-network: %+v", w)
+		}
+	}
+}
+
+func TestPlaceEverywhere(t *testing.T) {
+	net := testNet(t, 20)
+	p := PlaceEverywhere(net)
+	if p.Size() != 20 || len(p.Roads()) != 20 {
+		t.Errorf("R^w = R violated: size=%d roads=%d", p.Size(), len(p.Roads()))
+	}
+}
+
+func TestPlaceSubcomponent(t *testing.T) {
+	net := testNet(t, 100)
+	p, roads, err := PlaceSubcomponent(net, 0, 50, 30, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roads) != 50 || p.Size() != 30 {
+		t.Fatalf("roads=%d workers=%d", len(roads), p.Size())
+	}
+	// R^w ⊂ the subcomponent
+	inComp := map[int]bool{}
+	for _, r := range roads {
+		inComp[r] = true
+	}
+	for _, r := range p.Roads() {
+		if !inComp[r] {
+			t.Fatalf("worker road %d outside subcomponent", r)
+		}
+	}
+	// the subcomponent is connected
+	sub, _, err := net.Subnetwork(roads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Graph().Connected() {
+		t.Error("subcomponent disconnected")
+	}
+	if _, _, err := PlaceSubcomponent(net, 0, 1000, 5, rand.New(rand.NewSource(3))); err == nil {
+		t.Error("oversize subcomponent accepted")
+	}
+}
+
+func TestStep(t *testing.T) {
+	net := testNet(t, 50)
+	p := PlaceUniform(net, 40, rand.New(rand.NewSource(4)))
+	rng := rand.New(rand.NewSource(5))
+
+	// moveProb 0: nothing moves; the original pool is untouched either way.
+	before := p.Workers()
+	same := p.Step(net.Graph(), 0, rng)
+	for i, w := range same.Workers() {
+		if w.Road != before[i].Road {
+			t.Fatalf("worker %d moved with moveProb 0", i)
+		}
+	}
+	// moveProb 1: every worker with a neighbor moves to an adjacent road.
+	moved := p.Step(net.Graph(), 1, rng)
+	after := moved.Workers()
+	changed := 0
+	for i := range after {
+		if after[i].Road != before[i].Road {
+			if !net.Adjacent(before[i].Road, after[i].Road) {
+				t.Fatalf("worker %d jumped to non-adjacent road", i)
+			}
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("no workers moved with moveProb 1")
+	}
+	// Original pool untouched (immutability).
+	for i, w := range p.Workers() {
+		if w.Road != before[i].Road {
+			t.Fatalf("Step mutated the original pool at worker %d", i)
+		}
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	if got := Mean.Aggregate([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := Median.Aggregate([]float64{5, 1, 9}); got != 5 {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := Median.Aggregate([]float64{1, 3, 5, 100}); got != 4 {
+		t.Errorf("even median = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty aggregate did not panic")
+		}
+	}()
+	Mean.Aggregate(nil)
+}
+
+func TestMedianRobustToOutlier(t *testing.T) {
+	answers := []float64{50, 51, 49, 500}
+	if m := Median.Aggregate(answers); m > 60 {
+		t.Errorf("median not robust: %v", m)
+	}
+	if m := Mean.Aggregate(answers); m < 60 {
+		t.Errorf("mean unexpectedly robust: %v", m)
+	}
+}
+
+func TestLedger(t *testing.T) {
+	l := &Ledger{Budget: 10}
+	if err := l.Pay(4); err != nil {
+		t.Fatal(err)
+	}
+	if l.Remaining() != 6 {
+		t.Errorf("Remaining = %d", l.Remaining())
+	}
+	if err := l.Pay(7); err == nil {
+		t.Error("overspend accepted")
+	}
+	if l.Spent != 4 {
+		t.Errorf("failed payment mutated ledger: %d", l.Spent)
+	}
+	if err := l.Pay(-1); err == nil {
+		t.Error("negative payment accepted")
+	}
+	if err := l.Pay(6); err != nil {
+		t.Errorf("exact spend rejected: %v", err)
+	}
+}
+
+func TestProbe(t *testing.T) {
+	net := testNet(t, 30)
+	p := PlaceEverywhere(net)
+	costs := net.Costs()
+	truth := func(r int) float64 { return 40 + float64(r) }
+	ledger := &Ledger{Budget: 1000}
+	probed, answers, err := p.Probe([]int{3, 17}, costs, truth, ProbeConfig{NoiseSD: 0, Seed: 1}, ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probed) != 2 {
+		t.Fatalf("probed = %v", probed)
+	}
+	if probed[3] != 43 || probed[17] != 57 {
+		t.Errorf("noise-free probe wrong: %v", probed)
+	}
+	wantAnswers := costs[3] + costs[17]
+	if len(answers) != wantAnswers || ledger.Spent != wantAnswers {
+		t.Errorf("answers=%d spent=%d want=%d", len(answers), ledger.Spent, wantAnswers)
+	}
+	for _, a := range answers {
+		if a.Road != 3 && a.Road != 17 {
+			t.Errorf("answer for unprobed road: %+v", a)
+		}
+	}
+}
+
+func TestProbeNoiseAveragesOut(t *testing.T) {
+	net := testNet(t, 10)
+	// Put many workers on road 0 and give it a high cost so aggregation has
+	// many answers to average.
+	ws := make([]Worker, 20)
+	for i := range ws {
+		ws[i] = Worker{Road: 0}
+	}
+	p := NewPool(ws)
+	costs := make([]int, 10)
+	costs[0] = 20
+	truth := func(int) float64 { return 50 }
+	probed, _, err := p.Probe([]int{0}, costs, truth, ProbeConfig{NoiseSD: 0.1, Seed: 42}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(probed[0]-50) > 5 {
+		t.Errorf("aggregated probe %v too far from truth 50", probed[0])
+	}
+	_ = net
+}
+
+func TestProbeErrors(t *testing.T) {
+	net := testNet(t, 10)
+	p := PlaceEverywhere(net)
+	costs := net.Costs()
+	truth := func(int) float64 { return 50 }
+	if _, _, err := p.Probe([]int{0}, costs, nil, ProbeConfig{}, nil); err == nil {
+		t.Error("nil truth accepted")
+	}
+	if _, _, err := p.Probe([]int{99}, costs, truth, ProbeConfig{}, nil); err == nil {
+		t.Error("out-of-range road accepted")
+	}
+	if _, _, err := p.Probe([]int{0}, costs, truth, ProbeConfig{NoiseSD: -1}, nil); err == nil {
+		t.Error("negative noise accepted")
+	}
+	empty := NewPool(nil)
+	if _, _, err := empty.Probe([]int{0}, costs, truth, ProbeConfig{}, nil); err == nil {
+		t.Error("probe with no workers accepted")
+	}
+	badCosts := make([]int, 10)
+	if _, _, err := p.Probe([]int{0}, badCosts, truth, ProbeConfig{}, nil); err == nil {
+		t.Error("zero cost accepted")
+	}
+	tiny := &Ledger{Budget: 0}
+	if _, _, err := p.Probe([]int{0}, costs, truth, ProbeConfig{}, tiny); err == nil {
+		t.Error("probe beyond budget accepted")
+	}
+}
+
+func TestProbeDeterministic(t *testing.T) {
+	net := testNet(t, 15)
+	p := PlaceEverywhere(net)
+	costs := net.Costs()
+	truth := func(r int) float64 { return 30 + float64(r) }
+	cfg := ProbeConfig{NoiseSD: 0.05, Seed: 9}
+	a, _, err := p.Probe([]int{1, 5, 9}, costs, truth, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := p.Probe([]int{1, 5, 9}, costs, truth, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range a {
+		if a[r] != b[r] {
+			t.Fatalf("probe non-deterministic on road %d", r)
+		}
+	}
+}

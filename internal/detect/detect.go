@@ -1,0 +1,95 @@
+// Package detect flags likely traffic incidents from realtime estimates —
+// the accident-detection application of the paper's introduction. An
+// incident announces itself as a confident, large, statistically unusual
+// drop of the estimated speed below the road's periodic expectation:
+//
+//   - drop:       (μ − v̂)/μ ≥ MinDrop      (practically significant)
+//   - z-score:    (μ − v̂)/σ ≥ MinZ         (statistically unusual)
+//   - confidence: SD(v̂) ≤ MaxSDFrac·σ      (the estimate is actually
+//     informed by nearby probes, not just the prior)
+//
+// The confidence gate is what crowdsourcing buys: without probes near a
+// road, its estimate rests at μ and can never raise an alert — no probes,
+// no false alarms.
+package detect
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gsp"
+	"repro/internal/rtf"
+)
+
+// Config tunes the detector.
+type Config struct {
+	// MinDrop is the minimum fractional speed drop below μ (e.g. 0.3).
+	MinDrop float64
+	// MinZ is the minimum drop in units of the road's prior σ.
+	MinZ float64
+	// MaxSDFrac caps the estimate's posterior SD relative to the prior σ;
+	// 1 disables the gate, smaller values require real probe support.
+	MaxSDFrac float64
+}
+
+// DefaultConfig is a conservative detector: a 30% drop, at least 2σ,
+// with the posterior SD at most 80% of the prior.
+func DefaultConfig() Config {
+	return Config{MinDrop: 0.3, MinZ: 2, MaxSDFrac: 0.8}
+}
+
+// Alert is one suspected incident.
+type Alert struct {
+	Road     int
+	Estimate float64 // v̂
+	Expected float64 // μ
+	Drop     float64 // (μ − v̂)/μ
+	Z        float64 // (μ − v̂)/σ
+}
+
+// Scan inspects a propagation result against the slot's RTF view and
+// returns the alerts sorted by descending z-score.
+func Scan(view rtf.View, res gsp.Result, cfg Config) ([]Alert, error) {
+	if cfg.MinDrop <= 0 || cfg.MinDrop >= 1 {
+		return nil, fmt.Errorf("detect: MinDrop %v outside (0,1)", cfg.MinDrop)
+	}
+	if cfg.MinZ <= 0 {
+		return nil, fmt.Errorf("detect: MinZ must be positive, got %v", cfg.MinZ)
+	}
+	if cfg.MaxSDFrac <= 0 || cfg.MaxSDFrac > 1 {
+		return nil, fmt.Errorf("detect: MaxSDFrac %v outside (0,1]", cfg.MaxSDFrac)
+	}
+	if len(res.Speeds) != len(view.Mu) {
+		return nil, fmt.Errorf("detect: result covers %d roads, view %d", len(res.Speeds), len(view.Mu))
+	}
+	if res.SD != nil && len(res.SD) != len(res.Speeds) {
+		return nil, fmt.Errorf("detect: SD covers %d roads, speeds %d", len(res.SD), len(res.Speeds))
+	}
+	var alerts []Alert
+	for r, est := range res.Speeds {
+		mu := view.Mu[r]
+		if mu <= 0 {
+			continue
+		}
+		drop := (mu - est) / mu
+		if drop < cfg.MinDrop {
+			continue
+		}
+		sigma := view.Sigma[r]
+		z := (mu - est) / sigma
+		if z < cfg.MinZ {
+			continue
+		}
+		if res.SD != nil && res.SD[r] > cfg.MaxSDFrac*sigma {
+			continue // not confident enough: the drop is hearsay
+		}
+		alerts = append(alerts, Alert{Road: r, Estimate: est, Expected: mu, Drop: drop, Z: z})
+	}
+	sort.Slice(alerts, func(i, j int) bool {
+		if alerts[i].Z != alerts[j].Z {
+			return alerts[i].Z > alerts[j].Z
+		}
+		return alerts[i].Road < alerts[j].Road
+	})
+	return alerts, nil
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/corr"
+	"repro/internal/crowd"
+	"repro/internal/metrics"
+	"repro/internal/ocs"
+)
+
+// AblateRow compares the path-correlation transforms on one budget: the OCS
+// objective value reached and the downstream GSP quality.
+type AblateRow struct {
+	Transform string
+	Budget    int
+	VO        float64
+	MAPE      float64
+	FER       float64
+}
+
+// AblateTransforms runs the DESIGN.md ablation: the paper's Eq. 9 reciprocal
+// transform vs the exact −log transform for max-product path correlations,
+// measured end to end (Hybrid selection → probe → GSP on the queried roads).
+func AblateTransforms(env *Env, budgets []int) ([]AblateRow, error) {
+	pool := everywherePool(env)
+	view := env.Sys.Model().At(env.Slot)
+	gspEst := env.Sys.NewGSPEstimator(env.Slot)
+	var rows []AblateRow
+	for _, tf := range []corr.Transform{corr.NegLog, corr.Reciprocal} {
+		oracle := corr.NewOracle(env.Net.Graph(), view, tf)
+		for _, k := range budgets {
+			p := &ocs.Problem{
+				Query:   env.Query,
+				Workers: pool.Roads(),
+				Costs:   env.Net.Costs(),
+				Budget:  k,
+				Theta:   0.92,
+				Sigma:   view.Sigma,
+				Oracle:  oracle,
+			}
+			sol, err := ocs.HybridGreedy(p)
+			if err != nil {
+				return nil, err
+			}
+			var mape, fer float64
+			for _, day := range env.EvalDays {
+				ledger := crowd.Ledger{Budget: k}
+				probed, _, err := pool.Probe(sol.Roads, env.Net.Costs(), env.Truth(day),
+					crowd.ProbeConfig{NoiseSD: 0.02, Seed: int64(day)}, &ledger)
+				if err != nil {
+					return nil, err
+				}
+				speeds, err := gspEst.Estimate(probed)
+				if err != nil {
+					return nil, err
+				}
+				ev, tv := env.queryTruth(day, speeds)
+				mape += metrics.MAPE(ev, tv)
+				fer += metrics.FER(ev, tv, metrics.DefaultPhi)
+			}
+			nd := float64(len(env.EvalDays))
+			rows = append(rows, AblateRow{
+				Transform: tf.String(), Budget: k,
+				VO: sol.Value, MAPE: mape / nd, FER: fer / nd,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderAblateTransforms writes the ablation as text.
+func RenderAblateTransforms(w io.Writer, rows []AblateRow) {
+	fmt.Fprintf(w, "Ablation: path-correlation transform (exact -log vs paper's Eq. 9 reciprocal)\n")
+	fmt.Fprintf(w, "%-12s %6s %10s %8s %8s\n", "transform", "K", "VO", "MAPE", "FER")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %6d %10.3f %8.4f %8.4f\n", r.Transform, r.Budget, r.VO, r.MAPE, r.FER)
+	}
+}

@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// smallEnv is shared across tests: building and training it dominates the
+// package's test time, so do it once.
+var smallEnvCache *Env
+
+func smallEnv(tb testing.TB) *Env {
+	tb.Helper()
+	if smallEnvCache != nil {
+		return smallEnvCache
+	}
+	env, err := NewEnv(Small())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	smallEnvCache = env
+	return env
+}
+
+func TestNewEnv(t *testing.T) {
+	env := smallEnv(t)
+	if env.Net.N() != Small().Roads {
+		t.Fatalf("roads = %d", env.Net.N())
+	}
+	if len(env.Query) != Small().QuerySize {
+		t.Fatalf("query = %d", len(env.Query))
+	}
+	if len(env.EvalDays) == 0 {
+		t.Fatal("no eval days")
+	}
+	truth := env.Truth(env.EvalDays[0])
+	if v := truth(0); v <= 0 {
+		t.Errorf("truth(0) = %v", v)
+	}
+}
+
+func TestTableII(t *testing.T) {
+	rows, err := TableII(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Dataset != "Semi-syn" || rows[1].Dataset != "gMission" {
+		t.Errorf("datasets: %+v", rows)
+	}
+	if rows[0].Rw != Small().Roads {
+		t.Errorf("semi-syn R^w = %d (workers must cover all roads)", rows[0].Rw)
+	}
+	var buf bytes.Buffer
+	RenderTableII(&buf, rows)
+	if !strings.Contains(buf.String(), "gMission") {
+		t.Error("render missing dataset")
+	}
+}
+
+func TestFigure2Shapes(t *testing.T) {
+	budgets := []int{10, 20, 30}
+	rows, err := Figure2(Small(), budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(budgets) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Paper shapes: VO monotone in budget per cost range; Hybrid ≥ both.
+	for i, r := range rows {
+		if r.VOHybrid+1e-9 < r.VORatio || r.VOHybrid+1e-9 < r.VOObj {
+			t.Errorf("row %d: Hybrid %v below Ratio %v or OBJ %v", i, r.VOHybrid, r.VORatio, r.VOObj)
+		}
+		if r.RatioOverHybrid > 1+1e-9 || r.ObjOverHybrid > 1+1e-9 {
+			t.Errorf("row %d: ratio curves above 1: %+v", i, r)
+		}
+		if i > 0 && rows[i-1].CostRange == r.CostRange && r.VOHybrid+1e-9 < rows[i-1].VOHybrid {
+			t.Errorf("VO not monotone in budget at row %d", i)
+		}
+	}
+	var buf bytes.Buffer
+	RenderFigure2(&buf, rows)
+	if !strings.Contains(buf.String(), "C2") {
+		t.Error("render missing cost range")
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	env := smallEnv(t)
+	rows, err := Figure3(env, []core.Selector{core.Hybrid, core.RandomSel}, []int{15, 30}, 0.92)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*2*4 { // selectors × budgets × estimators
+		t.Fatalf("rows = %d", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Estimator] = true
+		// Incidents can push a road's true speed near zero, so individual
+		// APEs (and thus MAPE) can legitimately exceed 1 by a lot.
+		if r.MAPE < 0 || r.MAPE > 20 || r.FER < 0 || r.FER > 1 {
+			t.Errorf("implausible metrics: %+v", r)
+		}
+	}
+	for _, want := range []string{"GSP", "LASSO", "GRMC", "Per"} {
+		if !names[want] {
+			t.Errorf("estimator %s missing", want)
+		}
+	}
+	// Headline shape: with Hybrid selection at the larger budget, GSP MAPE
+	// must beat Per (periodicity-only).
+	var gspM, perM float64
+	for _, r := range rows {
+		if r.Selector == "Hybrid" && r.Budget == 30 {
+			switch r.Estimator {
+			case "GSP":
+				gspM = r.MAPE
+			case "Per":
+				perM = r.MAPE
+			}
+		}
+	}
+	if gspM >= perM {
+		t.Errorf("GSP MAPE %.4f not below Per %.4f at K=30/Hybrid", gspM, perM)
+	}
+	var buf bytes.Buffer
+	RenderFigure3(&buf, rows)
+	if !strings.Contains(buf.String(), "GSP") {
+		t.Error("render missing estimator")
+	}
+}
+
+func TestFigure3DAPE(t *testing.T) {
+	env := smallEnv(t)
+	rows, err := Figure3DAPE(env, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Hist.Total != len(env.Query)*len(env.EvalDays) {
+			t.Errorf("%s histogram total = %d", r.Estimator, r.Hist.Total)
+		}
+	}
+	var buf bytes.Buffer
+	RenderFigure3DAPE(&buf, rows)
+	if !strings.Contains(buf.String(), "inf") {
+		t.Error("render missing overflow bucket")
+	}
+}
+
+func TestFigure3Theta(t *testing.T) {
+	env := smallEnv(t)
+	rows, err := Figure3Theta(env, []int{15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.MAPETuned <= 0 || r.MAPEOne <= 0 {
+		t.Errorf("theta rows empty: %+v", r)
+	}
+	var buf bytes.Buffer
+	RenderFigure3Theta(&buf, rows)
+	if !strings.Contains(buf.String(), "0.92") {
+		t.Error("render missing theta")
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	env := smallEnv(t)
+	budgets := []int{10, 25}
+	rows, err := TableIII(env, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*len(budgets) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.OneHop > r.TwoHop {
+			t.Errorf("1-hop coverage exceeds 2-hop: %+v", r)
+		}
+		if r.TwoHop > len(env.Query) {
+			t.Errorf("coverage exceeds query size: %+v", r)
+		}
+	}
+	// Shape: Hybrid coverage ≥ Random coverage at each budget (Table III).
+	cov := map[string]map[int]int{}
+	for _, r := range rows {
+		if cov[r.Selector] == nil {
+			cov[r.Selector] = map[int]int{}
+		}
+		cov[r.Selector][r.Budget] = r.TwoHop
+	}
+	for _, k := range budgets {
+		if cov["Hybrid"][k] < cov["Rand"][k] {
+			t.Errorf("K=%d: Hybrid 2-hop %d below Random %d", k, cov["Hybrid"][k], cov["Rand"][k])
+		}
+	}
+	var buf bytes.Buffer
+	RenderTableIII(&buf, rows, budgets)
+	if !strings.Contains(buf.String(), "Hybrid") {
+		t.Error("render missing selector")
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	env := smallEnv(t)
+	a, err := Figure4a(env, []int{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 2 {
+		t.Fatalf("fig4a rows = %d", len(a))
+	}
+	for _, r := range a {
+		if r.Hybrid <= 0 || r.Ratio <= 0 || r.Obj <= 0 {
+			t.Errorf("non-positive timing: %+v", r)
+		}
+	}
+	b, err := Figure4b(env, []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 1 || b[0].GSP <= 0 || b[0].LASSO <= 0 || b[0].GRMC <= 0 {
+		t.Fatalf("fig4b rows: %+v", b)
+	}
+	var buf bytes.Buffer
+	RenderFigure4(&buf, a, b)
+	if !strings.Contains(buf.String(), "LASSO") {
+		t.Error("render missing method")
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	rows, err := Figure5(Small(), []int{20, 40}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Converged {
+			t.Errorf("size %d did not converge in the iteration cap", r.Roads)
+		}
+		if r.Iterations <= 0 {
+			t.Errorf("size %d iterations = %d", r.Roads, r.Iterations)
+		}
+	}
+	var buf bytes.Buffer
+	RenderFigure5(&buf, rows)
+	if !strings.Contains(buf.String(), "iterations") {
+		t.Error("render missing header")
+	}
+}
+
+func TestAblateTransforms(t *testing.T) {
+	env := smallEnv(t)
+	rows, err := AblateTransforms(env, []int{15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var neglog, recip AblateRow
+	for _, r := range rows {
+		switch r.Transform {
+		case "neglog":
+			neglog = r
+		case "reciprocal":
+			recip = r
+		}
+	}
+	if neglog.VO <= 0 || recip.VO <= 0 {
+		t.Fatalf("missing transforms: %+v", rows)
+	}
+	// The exact transform's objective can never trail the heuristic's by
+	// much; both feed valid selections.
+	if neglog.VO < recip.VO*0.9 {
+		t.Errorf("neglog VO %v far below reciprocal %v", neglog.VO, recip.VO)
+	}
+	var buf bytes.Buffer
+	RenderAblateTransforms(&buf, rows)
+	if !strings.Contains(buf.String(), "reciprocal") {
+		t.Error("render missing transform")
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	rows, err := Figure6(Small(), []int{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MAPE <= 0 || r.MAPE > 2 {
+			t.Errorf("implausible MAPE: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	RenderFigure6(&buf, rows)
+	if !strings.Contains(buf.String(), "gMission") {
+		t.Error("render missing title")
+	}
+}

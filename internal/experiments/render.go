@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Fig3ThetaRow compares GSP quality under θ = 0.92 vs θ = 1 (Fig. 3 e1–e3).
+type Fig3ThetaRow struct {
+	Budget    int
+	MAPETuned float64 // θ = 0.92 ("Theta(*)")
+	MAPEOne   float64 // θ = 1    ("Theta(1)")
+	FERTuned  float64
+	FEROne    float64
+}
+
+// Figure3Theta measures the redundancy-threshold effect on GSP with Hybrid
+// selection.
+func Figure3Theta(env *Env, budgets []int) ([]Fig3ThetaRow, error) {
+	pool := everywherePool(env)
+	gspEst := env.Sys.NewGSPEstimator(env.Slot)
+	var rows []Fig3ThetaRow
+	for _, k := range budgets {
+		row := Fig3ThetaRow{Budget: k}
+		for _, theta := range []float64{0.92, 1} {
+			var mape, fer float64
+			for _, day := range env.EvalDays {
+				probed, err := selectAndProbe(env, pool, core.Hybrid, k, theta, day)
+				if err != nil {
+					return nil, err
+				}
+				speeds, err := gspEst.Estimate(probed)
+				if err != nil {
+					return nil, err
+				}
+				ev, tv := env.queryTruth(day, speeds)
+				mape += metrics.MAPE(ev, tv)
+				fer += metrics.FER(ev, tv, metrics.DefaultPhi)
+			}
+			nd := float64(len(env.EvalDays))
+			if theta == 1 {
+				row.MAPEOne, row.FEROne = mape/nd, fer/nd
+			} else {
+				row.MAPETuned, row.FERTuned = mape/nd, fer/nd
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTableII writes Table II in the paper's layout.
+func RenderTableII(w io.Writer, rows []TableIIRow) {
+	fmt.Fprintf(w, "Table II: Datasets' Statistics\n")
+	fmt.Fprintf(w, "%-10s %6s %8s %12s %8s %10s\n", "dataset", "|R^w|", "|R^q|", "road cost", "K", "theta")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %6d %8s %12s %8s %10s\n", r.Dataset, r.Rw, r.Rq, r.CostRange, r.KRange, r.Theta)
+	}
+}
+
+// RenderFigure2 writes the Fig. 2 series as text.
+func RenderFigure2(w io.Writer, rows []Fig2Row) {
+	fmt.Fprintf(w, "Figure 2: OCS objective value (VO) vs budget (theta=0.92)\n")
+	fmt.Fprintf(w, "%-5s %6s %10s %10s %10s %14s %14s\n",
+		"cost", "K", "Hybrid", "Ratio", "OBJ", "Ratio/Hybrid", "OBJ/Hybrid")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-5s %6d %10.3f %10.3f %10.3f %14.4f %14.4f\n",
+			r.CostRange, r.Budget, r.VOHybrid, r.VORatio, r.VOObj, r.RatioOverHybrid, r.ObjOverHybrid)
+	}
+}
+
+// RenderFigure3 writes the Fig. 3 MAPE/FER grids as text.
+func RenderFigure3(w io.Writer, rows []Fig3Row) {
+	fmt.Fprintf(w, "Figure 3: estimation quality (phi=0.2)\n")
+	fmt.Fprintf(w, "%-8s %6s %-6s %8s %8s\n", "select", "K", "method", "MAPE", "FER")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %6d %-6s %8.4f %8.4f\n", r.Selector, r.Budget, r.Estimator, r.MAPE, r.FER)
+	}
+}
+
+// RenderFigure3DAPE writes the APE histograms as text.
+func RenderFigure3DAPE(w io.Writer, rows []Fig3DAPERow) {
+	fmt.Fprintf(w, "Figure 3 (row 3): DAPE at K=%d, Hybrid selection\n", rows[0].Budget)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s", r.Estimator)
+		for b := range r.Hist.Counts {
+			lo := r.Hist.Edges[b]
+			if b == len(r.Hist.Counts)-1 {
+				fmt.Fprintf(w, "  [%.1f,inf)=%.3f", lo, r.Hist.Share(b))
+			} else {
+				fmt.Fprintf(w, "  [%.1f,%.1f)=%.3f", lo, r.Hist.Edges[b+1], r.Hist.Share(b))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderFigure3Theta writes the θ comparison as text.
+func RenderFigure3Theta(w io.Writer, rows []Fig3ThetaRow) {
+	fmt.Fprintf(w, "Figure 3 (e): redundancy threshold effect on GSP (Hybrid selection)\n")
+	fmt.Fprintf(w, "%6s %12s %12s %12s %12s\n", "K", "MAPE(0.92)", "MAPE(1)", "FER(0.92)", "FER(1)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %12.4f %12.4f %12.4f %12.4f\n", r.Budget, r.MAPETuned, r.MAPEOne, r.FERTuned, r.FEROne)
+	}
+}
+
+// RenderTableIII writes Table III in the paper's layout.
+func RenderTableIII(w io.Writer, rows []TableIIIRow, budgets []int) {
+	fmt.Fprintf(w, "Table III: 1-hop / 2-hop coverages of the queried roads\n")
+	fmt.Fprintf(w, "%-8s", "")
+	for _, k := range budgets {
+		fmt.Fprintf(w, " %9d", k)
+	}
+	fmt.Fprintln(w)
+	bySel := map[string][]TableIIIRow{}
+	order := []string{"OBJ", "Rand", "Hybrid"}
+	for _, r := range rows {
+		bySel[r.Selector] = append(bySel[r.Selector], r)
+	}
+	for _, sel := range order {
+		fmt.Fprintf(w, "%-8s", sel)
+		for _, r := range bySel[sel] {
+			fmt.Fprintf(w, " %4d/%-4d", r.OneHop, r.TwoHop)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderFigure4 writes both running-time series as text.
+func RenderFigure4(w io.Writer, a []Fig4aRow, b []Fig4bRow) {
+	fmt.Fprintf(w, "Figure 4 (a): OCS running time\n")
+	fmt.Fprintf(w, "%6s %12s %12s %12s\n", "K", "Hybrid", "Ratio", "OBJ")
+	for _, r := range a {
+		fmt.Fprintf(w, "%6d %12s %12s %12s\n", r.Budget, fmtDur(r.Hybrid), fmtDur(r.Ratio), fmtDur(r.Obj))
+	}
+	fmt.Fprintf(w, "Figure 4 (b): estimation running time\n")
+	fmt.Fprintf(w, "%6s %12s %12s %12s\n", "K", "GSP", "LASSO", "GRMC")
+	for _, r := range b {
+		fmt.Fprintf(w, "%6d %12s %12s %12s\n", r.Budget, fmtDur(r.GSP), fmtDur(r.LASSO), fmtDur(r.GRMC))
+	}
+}
+
+// RenderFigure5 writes the training-convergence series as text.
+func RenderFigure5(w io.Writer, rows []Fig5Row) {
+	fmt.Fprintf(w, "Figure 5: RTF training convergence vs network size (mu-only GD, lambda=0.1)\n")
+	fmt.Fprintf(w, "%8s %12s %10s\n", "roads", "iterations", "converged")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %12d %10v\n", r.Roads, r.Iterations, r.Converged)
+	}
+}
+
+// RenderFigure6 writes the gMission results as text.
+func RenderFigure6(w io.Writer, rows []Fig6Row) {
+	fmt.Fprintf(w, "Figure 6: gMission scenario (Hybrid selection)\n")
+	fmt.Fprintf(w, "%6s %-6s %8s %8s\n", "K", "method", "MAPE", "FER")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %-6s %8.4f %8.4f\n", r.Budget, r.Estimator, r.MAPE, r.FER)
+	}
+}
+
+func fmtDur(d time.Duration) string { return d.Round(time.Microsecond).String() }

@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// WeightFunc returns the non-negative weight of the undirected edge {u, v}.
+// It is only called for edges present in the graph.
+type WeightFunc func(u, v int) float64
+
+// pqItem is a priority-queue entry for Dijkstra's algorithm.
+type pqItem struct {
+	node int32
+	dist float64
+}
+
+// distHeap is a binary min-heap over pqItem (lazy-deletion variant).
+type distHeap []pqItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(pqItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Dijkstra computes single-source shortest path distances from src under the
+// given edge weights. Unreachable nodes get +Inf. Negative weights panic.
+//
+// The correlation oracle (Eq. 9–10) runs Dijkstra on transformed edge
+// weights (−log ρ by default) to find the maximum-product correlation path
+// between non-adjacent roads.
+func (g *Graph) Dijkstra(src int, w WeightFunc) []float64 {
+	dist, _ := g.DijkstraTree(src, w)
+	return dist
+}
+
+// DijkstraTree is Dijkstra with parent pointers: parent[v] is the predecessor
+// of v on a shortest path from src (-1 for src itself and unreachable nodes).
+func (g *Graph) DijkstraTree(src int, w WeightFunc) (dist []float64, parent []int32) {
+	n := len(g.adj)
+	dist = make([]float64, n)
+	parent = make([]int32, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	if src < 0 || src >= n {
+		return dist, parent
+	}
+	dist[src] = 0
+	done := make([]bool, n)
+	h := &distHeap{{int32(src), 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		du := dist[u]
+		for _, v := range g.adj[u] {
+			if done[v] {
+				continue
+			}
+			wt := w(int(u), int(v))
+			if wt < 0 {
+				panic("graph: negative edge weight in Dijkstra")
+			}
+			if nd := du + wt; nd < dist[v] {
+				dist[v] = nd
+				parent[v] = u
+				heap.Push(h, pqItem{v, nd})
+			}
+		}
+	}
+	return dist, parent
+}
+
+// DijkstraTo computes the shortest-path distance from src to dst only,
+// stopping as soon as dst is settled. It returns +Inf if dst is unreachable.
+func (g *Graph) DijkstraTo(src, dst int, w WeightFunc) float64 {
+	n := len(g.adj)
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return math.Inf(1)
+	}
+	if src == dst {
+		return 0
+	}
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	done := make([]bool, n)
+	h := &distHeap{{int32(src), 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		if int(u) == dst {
+			return dist[u]
+		}
+		done[u] = true
+		du := dist[u]
+		for _, v := range g.adj[u] {
+			if done[v] {
+				continue
+			}
+			wt := w(int(u), int(v))
+			if wt < 0 {
+				panic("graph: negative edge weight in Dijkstra")
+			}
+			if nd := du + wt; nd < dist[v] {
+				dist[v] = nd
+				heap.Push(h, pqItem{v, nd})
+			}
+		}
+	}
+	return dist[dst]
+}
+
+// PathTo reconstructs the node sequence src..dst from parent pointers
+// produced by DijkstraTree. It returns nil if dst is unreachable.
+func PathTo(parent []int32, src, dst int) []int {
+	if dst < 0 || dst >= len(parent) {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != src; {
+		rev = append(rev, v)
+		p := parent[v]
+		if p < 0 {
+			return nil
+		}
+		v = int(p)
+	}
+	rev = append(rev, src)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,176 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Grid returns a rows×cols lattice graph. Node (r, c) has id r*cols + c and
+// is adjacent to its horizontal and vertical neighbors. Grids are the
+// simplest road-network stand-in: sparse, connected, and planar.
+func Grid(rows, cols int) *Graph {
+	if rows <= 0 || cols <= 0 {
+		panic("graph: Grid dimensions must be positive")
+	}
+	g := New(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			u := r*cols + c
+			if c+1 < cols {
+				mustAdd(g, u, u+1)
+			}
+			if r+1 < rows {
+				mustAdd(g, u, u+cols)
+			}
+		}
+	}
+	return g
+}
+
+// Ring returns a cycle over n nodes (n ≥ 3).
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic("graph: Ring needs at least 3 nodes")
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		mustAdd(g, i, (i+1)%n)
+	}
+	return g
+}
+
+// Path returns a path graph over n nodes (n ≥ 1).
+func Path(n int) *Graph {
+	if n < 1 {
+		panic("graph: Path needs at least 1 node")
+	}
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		mustAdd(g, i, i+1)
+	}
+	return g
+}
+
+// Star returns a star with node 0 as hub and n-1 leaves.
+func Star(n int) *Graph {
+	if n < 2 {
+		panic("graph: Star needs at least 2 nodes")
+	}
+	g := New(n)
+	for i := 1; i < n; i++ {
+		mustAdd(g, 0, i)
+	}
+	return g
+}
+
+// RoadNetwork synthesizes a connected, sparse, road-like topology over n
+// nodes using the given RNG: nodes are scattered in the unit square, joined
+// by a random spanning tree over near neighbors, then densified with extra
+// short-range edges up to the target average degree. Real road graphs are
+// near-planar with average degree ≈ 2.5–3.5, which this construction matches;
+// the layout coordinates are returned so callers can derive road lengths.
+func RoadNetwork(n int, avgDegree float64, rng *rand.Rand) (*Graph, [][2]float64) {
+	if n <= 0 {
+		panic("graph: RoadNetwork needs positive n")
+	}
+	if avgDegree < 2 {
+		avgDegree = 2
+	}
+	pos := make([][2]float64, n)
+	for i := range pos {
+		pos[i] = [2]float64{rng.Float64(), rng.Float64()}
+	}
+	g := New(n)
+	if n == 1 {
+		return g, pos
+	}
+
+	// Spanning tree: connect each node (in random order) to its nearest
+	// already-connected node. This yields a geometric tree resembling a
+	// sparse arterial skeleton.
+	order := rng.Perm(n)
+	inTree := []int{order[0]}
+	for _, u := range order[1:] {
+		best, bd := -1, math.Inf(1)
+		for _, v := range inTree {
+			if d := dist2(pos[u], pos[v]); d < bd {
+				best, bd = v, d
+			}
+		}
+		mustAdd(g, u, best)
+		inTree = append(inTree, u)
+	}
+
+	// Densify: add short-range edges until the average degree target is met.
+	wantEdges := int(avgDegree * float64(n) / 2)
+	// Candidate pool: each node's k nearest neighbors.
+	const k = 6
+	type cand struct {
+		u, v int
+		d    float64
+	}
+	var cands []cand
+	for u := 0; u < n; u++ {
+		nearest := kNearest(pos, u, k)
+		for _, v := range nearest {
+			if u < v && !g.HasEdge(u, v) {
+				cands = append(cands, cand{u, v, dist2(pos[u], pos[v])})
+			}
+		}
+	}
+	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	for _, c := range cands {
+		if g.M() >= wantEdges {
+			break
+		}
+		if !g.HasEdge(c.u, c.v) {
+			mustAdd(g, c.u, c.v)
+		}
+	}
+	return g, pos
+}
+
+func dist2(a, b [2]float64) float64 {
+	dx, dy := a[0]-b[0], a[1]-b[1]
+	return dx*dx + dy*dy
+}
+
+// kNearest returns the ids of the k nodes nearest to u (excluding u),
+// by brute force — fine for the network sizes we simulate (≤ a few thousand).
+func kNearest(pos [][2]float64, u, k int) []int {
+	type nd struct {
+		v int
+		d float64
+	}
+	best := make([]nd, 0, k+1)
+	for v := range pos {
+		if v == u {
+			continue
+		}
+		d := dist2(pos[u], pos[v])
+		i := len(best)
+		for i > 0 && best[i-1].d > d {
+			i--
+		}
+		if i < k {
+			best = append(best, nd{})
+			copy(best[i+1:], best[i:])
+			best[i] = nd{v, d}
+			if len(best) > k {
+				best = best[:k]
+			}
+		}
+	}
+	out := make([]int, len(best))
+	for i, b := range best {
+		out[i] = b.v
+	}
+	return out
+}
+
+func mustAdd(g *Graph, u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(fmt.Sprintf("graph: internal generator error: %v", err))
+	}
+}

@@ -1,0 +1,202 @@
+// Package graph implements the undirected-graph substrate of CrowdRTSE.
+//
+// The traffic network N(R, E) of the paper (§III-A) is an undirected graph
+// whose vertices are atomic road segments and whose edges are adjacency
+// relations between roads. This package provides the structural operations
+// the rest of the system builds on: adjacency queries, breadth-first layer
+// decomposition (used by GSP's update scheduling, Alg. 5), shortest paths
+// under positive edge weights (used by the correlation oracle, Eq. 8–10),
+// connected components, and synthetic topology generators used to simulate
+// the Hong Kong road network.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected simple graph over nodes 0..N-1.
+//
+// The zero value is an empty graph; use New to pre-size the adjacency lists.
+// Self-loops and duplicate edges are rejected by AddEdge.
+type Graph struct {
+	adj   [][]int32 // adjacency lists, each kept sorted ascending
+	edges int
+}
+
+// New returns a graph with n isolated nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Graph{adj: make([][]int32, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of (undirected) edges.
+func (g *Graph) M() int { return g.edges }
+
+// AddNode appends a new isolated node and returns its id.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+		return false
+	}
+	list := g.adj[u]
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= int32(v) })
+	return i < len(list) && list[i] == int32(v)
+}
+
+// AddEdge inserts the undirected edge {u, v}. It returns an error if either
+// endpoint is out of range, u == v, or the edge already exists.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return fmt.Errorf("graph: edge (%d,%d) endpoint out of range [0,%d)", u, v, len(g.adj))
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop on node %d", u)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	g.insert(u, v)
+	g.insert(v, u)
+	g.edges++
+	return nil
+}
+
+func (g *Graph) insert(u, v int) {
+	list := g.adj[u]
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= int32(v) })
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = int32(v)
+	g.adj[u] = list
+}
+
+// Neighbors returns the adjacency list of u in ascending order. The returned
+// slice is owned by the graph and must not be modified.
+func (g *Graph) Neighbors(u int) []int32 { return g.adj[u] }
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Edges calls fn once per undirected edge with u < v. Iteration stops early
+// if fn returns false.
+func (g *Graph) Edges(fn func(u, v int) bool) {
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if int(v) > u {
+				if !fn(u, int(v)) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// EdgeList returns all undirected edges as [2]int pairs with u < v, in
+// ascending lexicographic order.
+func (g *Graph) EdgeList() [][2]int {
+	out := make([][2]int, 0, g.edges)
+	g.Edges(func(u, v int) bool {
+		out = append(out, [2]int{u, v})
+		return true
+	})
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make([][]int32, len(g.adj)), edges: g.edges}
+	for i, l := range g.adj {
+		c.adj[i] = append([]int32(nil), l...)
+	}
+	return c
+}
+
+// Subgraph returns the induced subgraph on the given nodes together with the
+// mapping from new node ids to original ids. Nodes are renumbered 0..len-1 in
+// the order given; duplicate entries are an error.
+func (g *Graph) Subgraph(nodes []int) (*Graph, []int, error) {
+	idx := make(map[int]int, len(nodes))
+	orig := make([]int, len(nodes))
+	for i, u := range nodes {
+		if u < 0 || u >= len(g.adj) {
+			return nil, nil, fmt.Errorf("graph: subgraph node %d out of range", u)
+		}
+		if _, dup := idx[u]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate subgraph node %d", u)
+		}
+		idx[u] = i
+		orig[i] = u
+	}
+	sub := New(len(nodes))
+	for i, u := range orig {
+		for _, v := range g.adj[u] {
+			if j, ok := idx[int(v)]; ok && j > i {
+				if err := sub.AddEdge(i, j); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	return sub, orig, nil
+}
+
+// Components returns the connected components of g, each a sorted slice of
+// node ids, ordered by their smallest member.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, len(g.adj))
+	var comps [][]int
+	queue := make([]int32, 0, len(g.adj))
+	for s := range g.adj {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue = append(queue[:0], int32(s))
+		comp := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					comp = append(comp, int(v))
+					queue = append(queue, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// LargestComponent returns the nodes of the largest connected component
+// (ties broken by smallest member), sorted ascending. Empty graph → nil.
+func (g *Graph) LargestComponent() []int {
+	var best []int
+	for _, c := range g.Components() {
+		if len(c) > len(best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// Connected reports whether the graph is non-empty and connected.
+func (g *Graph) Connected() bool {
+	if len(g.adj) == 0 {
+		return false
+	}
+	return len(g.LargestComponent()) == len(g.adj)
+}

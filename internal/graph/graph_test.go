@@ -1,0 +1,361 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mustGraph(t *testing.T, n int, edges ...[2]int) *Graph {
+	t.Helper()
+	g := New(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatalf("AddEdge(%d,%d): %v", e[0], e[1], err)
+		}
+	}
+	return g
+}
+
+func TestNewEmpty(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 || g.M() != 0 {
+		t.Fatalf("New(5): N=%d M=%d", g.N(), g.M())
+	}
+	for u := 0; u < 5; u++ {
+		if g.Degree(u) != 0 {
+			t.Errorf("Degree(%d) = %d, want 0", u, g.Degree(u))
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddEdge(t *testing.T) {
+	g := mustGraph(t, 4, [2]int{0, 1}, [2]int{1, 2})
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge (0,1) missing or asymmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("phantom edge (0,2)")
+	}
+	if g.HasEdge(0, 99) || g.HasEdge(-1, 0) {
+		t.Error("HasEdge out of range should be false")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := mustGraph(t, 3, [2]int{0, 1})
+	if err := g.AddEdge(0, 1); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Error("duplicate reversed edge accepted")
+	}
+	if err := g.AddEdge(1, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if err := g.AddEdge(-1, 0); err == nil {
+		t.Error("negative endpoint accepted")
+	}
+	if g.M() != 1 {
+		t.Errorf("failed AddEdge mutated graph: M=%d", g.M())
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	g := New(2)
+	id := g.AddNode()
+	if id != 2 || g.N() != 3 {
+		t.Fatalf("AddNode: id=%d N=%d", id, g.N())
+	}
+	if err := g.AddEdge(0, id); err != nil {
+		t.Fatalf("edge to new node: %v", err)
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := mustGraph(t, 5, [2]int{2, 4}, [2]int{2, 0}, [2]int{2, 3}, [2]int{2, 1})
+	nb := g.Neighbors(2)
+	want := []int32{0, 1, 3, 4}
+	if len(nb) != len(want) {
+		t.Fatalf("Neighbors(2) = %v", nb)
+	}
+	for i := range want {
+		if nb[i] != want[i] {
+			t.Fatalf("Neighbors(2) = %v, want %v", nb, want)
+		}
+	}
+}
+
+func TestEdgesIteration(t *testing.T) {
+	g := mustGraph(t, 4, [2]int{0, 1}, [2]int{2, 3}, [2]int{1, 2})
+	got := g.EdgeList()
+	want := [][2]int{{0, 1}, {1, 2}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("EdgeList = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EdgeList = %v, want %v", got, want)
+		}
+	}
+	// early stop
+	count := 0
+	g.Edges(func(u, v int) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("Edges early stop visited %d edges", count)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := mustGraph(t, 3, [2]int{0, 1})
+	c := g.Clone()
+	if err := c.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(1, 2) {
+		t.Error("Clone shares adjacency storage with original")
+	}
+	if c.M() != 2 || g.M() != 1 {
+		t.Errorf("M after clone mutation: c=%d g=%d", c.M(), g.M())
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := mustGraph(t, 5, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3}, [2]int{3, 4}, [2]int{0, 4})
+	sub, orig, err := g.Subgraph([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 3 || sub.M() != 2 {
+		t.Fatalf("Subgraph N=%d M=%d, want 3, 2", sub.N(), sub.M())
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) || sub.HasEdge(0, 2) {
+		t.Error("Subgraph edge structure wrong")
+	}
+	if orig[0] != 1 || orig[1] != 2 || orig[2] != 3 {
+		t.Errorf("orig mapping = %v", orig)
+	}
+}
+
+func TestSubgraphErrors(t *testing.T) {
+	g := mustGraph(t, 3, [2]int{0, 1})
+	if _, _, err := g.Subgraph([]int{0, 0}); err == nil {
+		t.Error("duplicate subgraph node accepted")
+	}
+	if _, _, err := g.Subgraph([]int{0, 7}); err == nil {
+		t.Error("out-of-range subgraph node accepted")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := mustGraph(t, 6, [2]int{0, 1}, [2]int{1, 2}, [2]int{4, 5})
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("Components = %v", comps)
+	}
+	want := [][]int{{0, 1, 2}, {3}, {4, 5}}
+	for i := range want {
+		if len(comps[i]) != len(want[i]) {
+			t.Fatalf("Components = %v, want %v", comps, want)
+		}
+		for j := range want[i] {
+			if comps[i][j] != want[i][j] {
+				t.Fatalf("Components = %v, want %v", comps, want)
+			}
+		}
+	}
+	lc := g.LargestComponent()
+	if len(lc) != 3 || lc[0] != 0 {
+		t.Errorf("LargestComponent = %v", lc)
+	}
+	if g.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	if New(0).Connected() {
+		t.Error("empty graph reported connected")
+	}
+	if !Path(4).Connected() {
+		t.Error("path graph reported disconnected")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Errorf("Grid N=%d", g.N())
+	}
+	if g.M() != 3*3+2*4 {
+		t.Errorf("Grid(3,4) M=%d, want 17", g.M())
+	}
+	if !g.Connected() {
+		t.Error("Grid disconnected")
+	}
+
+	r := Ring(5)
+	if r.N() != 5 || r.M() != 5 || !r.Connected() {
+		t.Errorf("Ring(5): N=%d M=%d", r.N(), r.M())
+	}
+	for u := 0; u < 5; u++ {
+		if r.Degree(u) != 2 {
+			t.Errorf("Ring degree(%d)=%d", u, r.Degree(u))
+		}
+	}
+
+	p := Path(6)
+	if p.M() != 5 || !p.Connected() {
+		t.Errorf("Path(6): M=%d", p.M())
+	}
+
+	s := Star(7)
+	if s.Degree(0) != 6 || s.M() != 6 {
+		t.Errorf("Star(7): deg0=%d M=%d", s.Degree(0), s.M())
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Grid": func() { Grid(0, 3) },
+		"Ring": func() { Ring(2) },
+		"Path": func() { Path(0) },
+		"Star": func() { Star(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with invalid size did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRoadNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g, pos := RoadNetwork(200, 3.0, rng)
+	if g.N() != 200 || len(pos) != 200 {
+		t.Fatalf("RoadNetwork: N=%d len(pos)=%d", g.N(), len(pos))
+	}
+	if !g.Connected() {
+		t.Fatal("RoadNetwork disconnected (spanning tree broken)")
+	}
+	avg := 2 * float64(g.M()) / float64(g.N())
+	if avg < 2.0 || avg > 4.0 {
+		t.Errorf("average degree %.2f outside road-like range [2,4]", avg)
+	}
+	for _, p := range pos {
+		if p[0] < 0 || p[0] > 1 || p[1] < 0 || p[1] > 1 {
+			t.Fatalf("position %v outside unit square", p)
+		}
+	}
+}
+
+func TestRoadNetworkDeterministic(t *testing.T) {
+	a, _ := RoadNetwork(100, 3, rand.New(rand.NewSource(7)))
+	b, _ := RoadNetwork(100, 3, rand.New(rand.NewSource(7)))
+	ea, eb := a.EdgeList(), b.EdgeList()
+	if len(ea) != len(eb) {
+		t.Fatalf("same seed, different edge counts: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("same seed, different edges at %d: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestRoadNetworkSingleNode(t *testing.T) {
+	g, pos := RoadNetwork(1, 3, rand.New(rand.NewSource(1)))
+	if g.N() != 1 || g.M() != 0 || len(pos) != 1 {
+		t.Errorf("RoadNetwork(1): N=%d M=%d", g.N(), g.M())
+	}
+}
+
+// Property: after any sequence of successful AddEdge calls, every adjacency
+// list is sorted, loop-free, duplicate-free and symmetric.
+func TestAdjacencyInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%30 + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := New(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			_ = g.AddEdge(u, v) // errors expected for dups/loops
+		}
+		for u := 0; u < n; u++ {
+			nb := g.Neighbors(u)
+			if !sort.SliceIsSorted(nb, func(i, j int) bool { return nb[i] < nb[j] }) {
+				return false
+			}
+			for i, v := range nb {
+				if int(v) == u {
+					return false // self loop
+				}
+				if i > 0 && nb[i-1] == v {
+					return false // duplicate
+				}
+				if !g.HasEdge(int(v), u) {
+					return false // asymmetric
+				}
+			}
+		}
+		// handshake lemma
+		sum := 0
+		for u := 0; u < n; u++ {
+			sum += g.Degree(u)
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: components partition the node set.
+func TestComponentsPartitionProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%40 + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := New(n)
+		for i := 0; i < n; i++ {
+			_ = g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		seen := make(map[int]bool)
+		total := 0
+		for _, c := range g.Components() {
+			for _, u := range c {
+				if seen[u] {
+					return false
+				}
+				seen[u] = true
+				total++
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

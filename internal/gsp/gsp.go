@@ -1,0 +1,322 @@
+// Package gsp implements Graph-based Speed Propagation (§VI, Alg. 5): given
+// realtime speeds probed on the crowdsourced roads R^c, infer the most
+// likely speeds for the whole network under the RTF model.
+//
+// Initialization sets v_i = v̂_i on probed roads and v_j = μ_j^t elsewhere.
+// The update sequence is scheduled by hop-count toward R^c (breadth-first
+// layers), so information spreads outward one ring per sweep. Each update is
+// the exact coordinate maximizer of the slot likelihood (Eq. 18):
+//
+//	v_i* = (μ_i/σ_i² + Σ_{j∈n(i)} (v_j + μ_ij)/σ_ij²) /
+//	       (1/σ_i²  + Σ_{j∈n(i)} 1/σ_ij²)
+//
+// Roads with no probed road in their component keep μ (a fixed point of
+// Eq. 18). Convergence: the largest value change in a sweep falls below ε.
+//
+// The parallel engine exploits the observation of §VI ("Time Efficiency of
+// GSP"): two variables may be updated simultaneously iff they are in the
+// same BFS layer and non-adjacent. Each layer is greedily colored once; the
+// color classes are independent sets processed with a goroutine pool.
+package gsp
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/network"
+	"repro/internal/rtf"
+)
+
+// Options configures Propagate.
+type Options struct {
+	Epsilon  float64 // ε, convergence threshold on the max value change
+	MaxIters int     // sweep cap
+	Parallel bool    // use the layer-parallel engine
+	Workers  int     // goroutines for the parallel engine; 0 ⇒ GOMAXPROCS
+
+	// WarmStart, when non-nil, initializes the non-probed roads from a
+	// previous speed field instead of the periodic means — monitoring loops
+	// re-estimating every few minutes converge in fewer sweeps because
+	// consecutive slots' fields are close. The converged result is the same
+	// either way (the objective has a unique maximizer); only the sweep
+	// count changes. Must have one entry per road.
+	WarmStart []float64
+}
+
+// DefaultOptions mirrors the experimental setup.
+func DefaultOptions() Options {
+	return Options{Epsilon: 1e-3, MaxIters: 200}
+}
+
+// Result is the inferred speed field plus convergence diagnostics.
+type Result struct {
+	Speeds     []float64 // v_i^t for every road
+	Iterations int       // sweeps executed
+	Converged  bool
+	MaxDelta   float64 // last sweep's largest value change
+
+	// SD is a per-road uncertainty proxy: the standard deviation implied by
+	// the conditional precision of Eq. (18), 1/σ_i² + Σ_j 1/σ_ij², with a
+	// neighbor's term discounted by that neighbor's own relative certainty
+	// (an observed neighbor contributes full precision; a neighbor resting
+	// at its prior contributes none beyond the prior). Probed roads get the
+	// probe noise floor ≈ 0. Smaller is more trustworthy; the adaptive
+	// budgeting in package core stops spending when the queried roads'
+	// SDs are low enough.
+	SD []float64
+}
+
+// Propagate runs GSP for one slot. observed maps road id → probed speed
+// (the aggregated crowdsourced answers for R^c).
+func Propagate(net *network.Network, view rtf.View, observed map[int]float64, opt Options) (Result, error) {
+	n := net.N()
+	if len(view.Mu) != n {
+		return Result{}, fmt.Errorf("gsp: view covers %d roads, network has %d", len(view.Mu), n)
+	}
+	if opt.Epsilon <= 0 {
+		return Result{}, fmt.Errorf("gsp: ε must be positive, got %v", opt.Epsilon)
+	}
+	if opt.MaxIters <= 0 {
+		return Result{}, fmt.Errorf("gsp: MaxIters must be positive, got %d", opt.MaxIters)
+	}
+	sources := make([]int, 0, len(observed))
+	for r, v := range observed {
+		if r < 0 || r >= n {
+			return Result{}, fmt.Errorf("gsp: observed road %d out of range", r)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return Result{}, fmt.Errorf("gsp: observed speed %v on road %d invalid", v, r)
+		}
+		sources = append(sources, r)
+	}
+	// A fixed source order fixes the BFS layer composition and hence the
+	// sweep order, making propagation bit-for-bit deterministic regardless
+	// of map iteration order.
+	sort.Ints(sources)
+
+	// Initialization (Alg. 5 line 2), optionally from a previous field.
+	speeds := make([]float64, n)
+	if opt.WarmStart != nil {
+		if len(opt.WarmStart) != n {
+			return Result{}, fmt.Errorf("gsp: warm start covers %d roads, network has %d", len(opt.WarmStart), n)
+		}
+		copy(speeds, opt.WarmStart)
+	} else {
+		copy(speeds, view.Mu)
+	}
+	for r, v := range observed {
+		speeds[r] = v
+	}
+
+	// BFT scheduling (Alg. 5 line 3).
+	layers, _ := net.Graph().Layers(sources)
+	res := Result{Speeds: speeds}
+	if len(layers) == 0 {
+		// No propagation targets: everything is either probed or unreachable.
+		res.Converged = true
+		res.SD = computeSD(net, view, observed, nil)
+		return res, nil
+	}
+
+	eng := engine{net: net, view: view, speeds: speeds}
+	if opt.Parallel {
+		eng.prepareParallel(layers, opt.Workers)
+	}
+
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		var maxDelta float64
+		if opt.Parallel {
+			maxDelta = eng.sweepParallel()
+		} else {
+			maxDelta = eng.sweepSequential(layers)
+		}
+		res.Iterations = iter + 1
+		res.MaxDelta = maxDelta
+		if maxDelta < opt.Epsilon {
+			res.Converged = true
+			break
+		}
+	}
+	res.SD = computeSD(net, view, observed, layers)
+	return res, nil
+}
+
+// computeSD propagates a certainty field outward from the observations and
+// converts it to per-road standard deviations (see Result.SD). certainty is
+// 1 for probed roads and, elsewhere, the fraction of conditional precision
+// in excess of the prior: c_i = 1 − prior-variance-ratio.
+func computeSD(net *network.Network, view rtf.View, observed map[int]float64, layers [][]int) []float64 {
+	n := net.N()
+	certainty := make([]float64, n)
+	sd := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sd[i] = view.Sigma[i]
+	}
+	for r := range observed {
+		certainty[r] = 1
+		sd[r] = 0
+	}
+	const (
+		sweeps = 20
+		tol    = 1e-4
+	)
+	for s := 0; s < sweeps; s++ {
+		var maxDelta float64
+		for _, layer := range layers {
+			for _, i := range layer {
+				si := view.Sigma[i]
+				precision := 1 / (si * si)
+				for _, nb := range net.Neighbors(i) {
+					j := int(nb)
+					_, q := view.EdgeParams(i, j)
+					precision += certainty[j] / q
+				}
+				variance := 1 / precision
+				c := 1 - variance/(si*si)
+				if c < 0 {
+					c = 0
+				}
+				if d := math.Abs(c - certainty[i]); d > maxDelta {
+					maxDelta = d
+				}
+				certainty[i] = c
+				sd[i] = math.Sqrt(variance)
+			}
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+	return sd
+}
+
+// engine holds the propagation state shared by both sweep strategies.
+type engine struct {
+	net    *network.Network
+	view   rtf.View
+	speeds []float64
+
+	// Parallel-mode structures: per layer, the independent color classes,
+	// plus the worker count.
+	classes [][][]int
+	workers int
+}
+
+// update applies Eq. (18) to road i and returns |Δv|.
+func (e *engine) update(i int) float64 {
+	si := e.view.Sigma[i]
+	num := e.view.Mu[i] / (si * si)
+	den := 1 / (si * si)
+	for _, nb := range e.net.Neighbors(i) {
+		j := int(nb)
+		muIJ, q := e.view.EdgeParams(i, j)
+		num += (e.speeds[j] + muIJ) / q
+		den += 1 / q
+	}
+	v := num / den
+	if v < 0 {
+		v = 0 // speeds are physical; Eq. (3) integrates over v ≥ 0
+	}
+	d := math.Abs(v - e.speeds[i])
+	e.speeds[i] = v
+	return d
+}
+
+func (e *engine) sweepSequential(layers [][]int) float64 {
+	var maxDelta float64
+	for _, layer := range layers {
+		for _, i := range layer {
+			if d := e.update(i); d > maxDelta {
+				maxDelta = d
+			}
+		}
+	}
+	return maxDelta
+}
+
+// prepareParallel greedily colors each layer's induced subgraph so that each
+// color class is an independent set, the safety condition of §VI for
+// simultaneous updates.
+func (e *engine) prepareParallel(layers [][]int, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e.workers = workers
+	e.classes = make([][][]int, len(layers))
+	for li, layer := range layers {
+		inLayer := make(map[int]int, len(layer)) // node → color, -1 = uncolored
+		for _, u := range layer {
+			inLayer[u] = -1
+		}
+		var classes [][]int
+		for _, u := range layer {
+			used := map[int]bool{}
+			for _, v := range e.net.Neighbors(u) {
+				if c, ok := inLayer[int(v)]; ok && c >= 0 {
+					used[c] = true
+				}
+			}
+			c := 0
+			for used[c] {
+				c++
+			}
+			inLayer[u] = c
+			for len(classes) <= c {
+				classes = append(classes, nil)
+			}
+			classes[c] = append(classes[c], u)
+		}
+		e.classes[li] = classes
+	}
+}
+
+func (e *engine) sweepParallel() float64 {
+	var maxDelta float64
+	for _, classes := range e.classes {
+		for _, class := range classes {
+			if len(class) < 2*e.workers {
+				// Goroutine overhead dominates tiny classes.
+				for _, i := range class {
+					if d := e.update(i); d > maxDelta {
+						maxDelta = d
+					}
+				}
+				continue
+			}
+			deltas := make([]float64, e.workers)
+			var wg sync.WaitGroup
+			chunk := (len(class) + e.workers - 1) / e.workers
+			for w := 0; w < e.workers; w++ {
+				lo := w * chunk
+				if lo >= len(class) {
+					break
+				}
+				hi := lo + chunk
+				if hi > len(class) {
+					hi = len(class)
+				}
+				wg.Add(1)
+				go func(w int, part []int) {
+					defer wg.Done()
+					var local float64
+					for _, i := range part {
+						if d := e.update(i); d > local {
+							local = d
+						}
+					}
+					deltas[w] = local
+				}(w, class[lo:hi])
+			}
+			wg.Wait()
+			for _, d := range deltas {
+				if d > maxDelta {
+					maxDelta = d
+				}
+			}
+		}
+	}
+	return maxDelta
+}

@@ -1,0 +1,275 @@
+// Package linalg provides the small dense linear-algebra kernels the
+// baseline estimators (LASSO, GRMC) are built on: dense matrices, products,
+// and Cholesky solves for symmetric positive-definite systems. Everything is
+// stdlib-only and sized for the problem dimensions of this system (hundreds
+// of roads, latent dimensions ≤ 20).
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense returns a zeroed r×c matrix.
+func NewDense(r, c int) *Dense {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %d×%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices (all the same length).
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("linalg: FromRows needs non-empty data")
+	}
+	m := NewDense(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic(fmt.Sprintf("linalg: ragged row %d (%d vs %d)", i, len(r), m.cols))
+		}
+		copy(m.data[i*m.cols:], r)
+	}
+	return m
+}
+
+// Dims returns (rows, cols).
+func (m *Dense) Dims() (int, int) { return m.rows, m.cols }
+
+// At returns m[i,j].
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns m[i,j] = v.
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Add adds v to m[i,j].
+func (m *Dense) Add(i, j int, v float64) { m.data[i*m.cols+j] += v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Col copies column j into dst (allocated if nil) and returns it.
+func (m *Dense) Col(j int, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, m.rows)
+	}
+	for i := 0; i < m.rows; i++ {
+		dst[i] = m.data[i*m.cols+j]
+	}
+	return dst
+}
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// MulVec computes y = m·x.
+func (m *Dense) MulVec(x []float64) []float64 {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("linalg: MulVec dim mismatch %d vs %d", len(x), m.cols))
+	}
+	y := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Mul computes m·b.
+func (m *Dense) Mul(b *Dense) *Dense {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("linalg: Mul dim mismatch %d vs %d", m.cols, b.rows))
+	}
+	out := NewDense(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		arow := m.Row(i)
+		orow := out.Row(i)
+		for k, a := range arow {
+			if a == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out
+}
+
+// T returns the transpose.
+func (m *Dense) T() *Dense {
+	out := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*out.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot dim mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// Axpy computes y += a·x in place.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: Axpy dim mismatch %d vs %d", len(x), len(y)))
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// Cholesky holds the lower-triangular factor L with A = L·Lᵀ.
+type Cholesky struct {
+	n int
+	l []float64 // row-major lower triangle (full storage for simplicity)
+}
+
+// NewCholesky factors the symmetric positive-definite matrix a. It returns
+// an error if a is not square or not (numerically) positive definite.
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("linalg: Cholesky of non-square %d×%d", a.rows, a.cols)
+	}
+	n := a.rows
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if s <= 0 || math.IsNaN(s) {
+					return nil, fmt.Errorf("linalg: matrix not positive definite at pivot %d (s=%v)", i, s)
+				}
+				l[i*n+i] = math.Sqrt(s)
+			} else {
+				l[i*n+j] = s / l[j*n+j]
+			}
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// Solve returns x with A·x = b.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("linalg: Cholesky solve dim mismatch %d vs %d", len(b), c.n))
+	}
+	n := c.n
+	// Forward: L·y = b
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.l[i*n+k] * y[k]
+		}
+		y[i] = s / c.l[i*n+i]
+	}
+	// Backward: Lᵀ·x = y
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l[k*n+i] * x[k]
+		}
+		x[i] = s / c.l[i*n+i]
+	}
+	return x
+}
+
+// SolveLower solves L·y = b (forward substitution) against the factor.
+func (c *Cholesky) SolveLower(b []float64) []float64 {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("linalg: SolveLower dim mismatch %d vs %d", len(b), c.n))
+	}
+	n := c.n
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.l[i*n+k] * y[k]
+		}
+		y[i] = s / c.l[i*n+i]
+	}
+	return y
+}
+
+// SolveUpper solves Lᵀ·x = b (backward substitution) against the factor.
+// For A = L·Lᵀ, x = L⁻ᵀ·b has covariance A⁻¹ when b is standard normal —
+// the standard way to draw exact Gaussian Markov random field samples.
+func (c *Cholesky) SolveUpper(b []float64) []float64 {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("linalg: SolveUpper dim mismatch %d vs %d", len(b), c.n))
+	}
+	n := c.n
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l[k*n+i] * x[k]
+		}
+		x[i] = s / c.l[i*n+i]
+	}
+	return x
+}
+
+// SolveSPD is a convenience one-shot: factor a and solve a·x = b.
+func SolveSPD(a *Dense, b []float64) ([]float64, error) {
+	ch, err := NewCholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return ch.Solve(b), nil
+}
+
+// AddDiag adds v to every diagonal entry of a square matrix in place.
+func (m *Dense) AddDiag(v float64) {
+	if m.rows != m.cols {
+		panic("linalg: AddDiag on non-square matrix")
+	}
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+i] += v
+	}
+}
+
+// SoftThreshold is the LASSO proximal operator: sign(z)·max(|z|−g, 0).
+func SoftThreshold(z, g float64) float64 {
+	switch {
+	case z > g:
+		return z - g
+	case z < -g:
+		return z + g
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,324 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewDensePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewDense(0,1) did not panic")
+		}
+	}()
+	NewDense(0, 1)
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	r, c := m.Dims()
+	if r != 3 || c != 2 {
+		t.Fatalf("dims %d×%d", r, c)
+	}
+	if m.At(2, 1) != 6 {
+		t.Errorf("At(2,1) = %v", m.At(2, 1))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1}, {2, 3}})
+}
+
+func TestSetAddRowCol(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(1, 2, 7)
+	m.Add(1, 2, 3)
+	if m.At(1, 2) != 10 {
+		t.Errorf("Set/Add: %v", m.At(1, 2))
+	}
+	row := m.Row(1)
+	row[0] = 99 // aliases storage
+	if m.At(1, 0) != 99 {
+		t.Error("Row does not alias")
+	}
+	col := m.Col(0, nil)
+	if len(col) != 2 || col[1] != 99 {
+		t.Errorf("Col = %v", col)
+	}
+	buf := make([]float64, 2)
+	if &m.Col(0, buf)[0] != &buf[0] {
+		t.Error("Col ignored dst")
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 100)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	y := m.MulVec([]float64{1, 1})
+	if y[0] != 3 || y[1] != 7 {
+		t.Errorf("MulVec = %v", y)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MulVec dim mismatch did not panic")
+		}
+	}()
+	m.MulVec([]float64{1})
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Mul dim mismatch did not panic")
+		}
+	}()
+	a.Mul(NewDense(3, 2))
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	r, c := tr.Dims()
+	if r != 3 || c != 2 {
+		t.Fatalf("T dims %d×%d", r, c)
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Error("T values wrong")
+	}
+}
+
+func TestDotNormAxpy(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if Dot(a, b) != 32 {
+		t.Errorf("Dot = %v", Dot(a, b))
+	}
+	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-12) {
+		t.Error("Norm2")
+	}
+	y := []float64{1, 1, 1}
+	Axpy(2, a, y)
+	if y[2] != 7 {
+		t.Errorf("Axpy = %v", y)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot mismatch did not panic")
+		}
+	}()
+	Dot(a, []float64{1})
+}
+
+func TestAxpyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Axpy mismatch did not panic")
+		}
+	}()
+	Axpy(1, []float64{1}, []float64{1, 2})
+}
+
+func TestCholeskySolveKnown(t *testing.T) {
+	// A = [[4,2],[2,3]], b = [8, 7] → x = [1, 5/3... ] solve manually:
+	// 4x+2y=8; 2x+3y=7 → x=(8-2y)/4; 2(8-2y)/4+3y=7 → 4-y+3y=7 → y=1.5, x=1.25
+	a := FromRows([][]float64{{4, 2}, {2, 3}})
+	x, err := SolveSPD(a, []float64{8, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 1.25, 1e-12) || !almostEq(x[1], 1.5, 1e-12) {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestCholeskyErrors(t *testing.T) {
+	if _, err := NewCholesky(NewDense(2, 3)); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, err := NewCholesky(FromRows([][]float64{{1, 2}, {2, 1}})); err == nil {
+		t.Error("indefinite matrix accepted")
+	}
+	ch, err := NewCholesky(FromRows([][]float64{{2, 0}, {0, 2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("solve dim mismatch did not panic")
+		}
+	}()
+	ch.Solve([]float64{1})
+}
+
+func TestTriangularSolves(t *testing.T) {
+	// A = L·Lᵀ for A = [[4,2],[2,3]]: L = [[2,0],[1,√2]].
+	a := FromRows([][]float64{{4, 2}, {2, 3}})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L·y = b with b = (2, 1+√2): y = (1, 1).
+	y := ch.SolveLower([]float64{2, 1 + math.Sqrt2})
+	if !almostEq(y[0], 1, 1e-12) || !almostEq(y[1], 1, 1e-12) {
+		t.Errorf("SolveLower = %v", y)
+	}
+	// Lᵀ·x = c with c = (3, √2): x = (1, 1).
+	x := ch.SolveUpper([]float64{3, math.Sqrt2})
+	if !almostEq(x[0], 1, 1e-12) || !almostEq(x[1], 1, 1e-12) {
+		t.Errorf("SolveUpper = %v", x)
+	}
+	// Composition: L⁻ᵀ(L⁻¹b) solves A·x = b, matching Solve.
+	b := []float64{8, 7}
+	composed := ch.SolveUpper(ch.SolveLower(b))
+	direct := ch.Solve(b)
+	for i := range b {
+		if !almostEq(composed[i], direct[i], 1e-12) {
+			t.Errorf("composed solve %v != direct %v", composed, direct)
+		}
+	}
+	for name, fn := range map[string]func(){
+		"lower": func() { ch.SolveLower([]float64{1}) },
+		"upper": func() { ch.SolveUpper([]float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s dim mismatch did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSolveSPDRejectsIndefinite(t *testing.T) {
+	if _, err := SolveSPD(FromRows([][]float64{{0, 1}, {1, 0}}), []float64{1, 2}); err == nil {
+		t.Error("indefinite SolveSPD accepted")
+	}
+}
+
+func TestAddDiag(t *testing.T) {
+	m := NewDense(2, 2)
+	m.AddDiag(3)
+	if m.At(0, 0) != 3 || m.At(1, 1) != 3 || m.At(0, 1) != 0 {
+		t.Error("AddDiag wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AddDiag non-square did not panic")
+		}
+	}()
+	NewDense(2, 3).AddDiag(1)
+}
+
+func TestSoftThreshold(t *testing.T) {
+	cases := []struct{ z, g, want float64 }{
+		{5, 2, 3},
+		{-5, 2, -3},
+		{1, 2, 0},
+		{-1, 2, 0},
+		{2, 2, 0},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := SoftThreshold(c.z, c.g); got != c.want {
+			t.Errorf("SoftThreshold(%v,%v) = %v, want %v", c.z, c.g, got, c.want)
+		}
+	}
+}
+
+// Property: for random SPD systems A = BᵀB + I, Cholesky solve satisfies
+// ‖A·x − b‖ ≈ 0.
+func TestCholeskySolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		b := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b.Set(i, j, rng.NormFloat64())
+			}
+		}
+		a := b.T().Mul(b)
+		a.AddDiag(1)
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		x, err := SolveSPD(a, rhs)
+		if err != nil {
+			return false
+		}
+		res := a.MulVec(x)
+		Axpy(-1, rhs, res)
+		return Norm2(res) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: (Aᵀ)ᵀ = A and (A·B)ᵀ = Bᵀ·Aᵀ on random matrices.
+func TestTransposeAlgebra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, k, c := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a, b := NewDense(r, k), NewDense(k, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < k; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		for i := 0; i < k; i++ {
+			for j := 0; j < c; j++ {
+				b.Set(i, j, rng.NormFloat64())
+			}
+		}
+		att := a.T().T()
+		for i := 0; i < r; i++ {
+			for j := 0; j < k; j++ {
+				if att.At(i, j) != a.At(i, j) {
+					return false
+				}
+			}
+		}
+		lhs := a.Mul(b).T()
+		rhs := b.T().Mul(a.T())
+		for i := 0; i < c; i++ {
+			for j := 0; j < r; j++ {
+				if !almostEq(lhs.At(i, j), rhs.At(i, j), 1e-12) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,17 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+func ExampleMAPE() {
+	est := []float64{55, 40, 50}
+	truth := []float64{50, 50, 50}
+	fmt.Printf("MAPE = %.3f\n", metrics.MAPE(est, truth))
+	fmt.Printf("FER  = %.3f (phi = %.1f)\n", metrics.FER(est, truth, metrics.DefaultPhi), metrics.DefaultPhi)
+	// Output:
+	// MAPE = 0.100
+	// FER  = 0.000 (phi = 0.2)
+}

@@ -1,0 +1,140 @@
+// Package metrics implements the evaluation metrics of §VII: absolute
+// percentage error (APE), its mean over test cases (MAPE), the false
+// estimation rate (FER — the share of cases whose APE exceeds a threshold
+// φ, 0.2 in the paper), the distribution of APE (DAPE), and the 1-hop/2-hop
+// coverage of the queried roads by the crowdsourced selection (Table III).
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// DefaultPhi is the paper's false-estimation threshold φ.
+const DefaultPhi = 0.2
+
+// APE returns |est − truth| / truth. Truth must be positive.
+func APE(est, truth float64) float64 {
+	if truth <= 0 || math.IsNaN(truth) {
+		panic(fmt.Sprintf("metrics: APE with non-positive truth %v", truth))
+	}
+	return math.Abs(est-truth) / truth
+}
+
+// APEs computes the per-case APE over paired slices.
+func APEs(est, truth []float64) []float64 {
+	if len(est) != len(truth) {
+		panic(fmt.Sprintf("metrics: APEs length mismatch %d vs %d", len(est), len(truth)))
+	}
+	out := make([]float64, len(est))
+	for i := range est {
+		out[i] = APE(est[i], truth[i])
+	}
+	return out
+}
+
+// MAPE is the mean APE over all test cases. It panics on empty input.
+func MAPE(est, truth []float64) float64 {
+	apes := APEs(est, truth)
+	if len(apes) == 0 {
+		panic("metrics: MAPE of zero cases")
+	}
+	var sum float64
+	for _, a := range apes {
+		sum += a
+	}
+	return sum / float64(len(apes))
+}
+
+// FER is the fraction of test cases whose APE exceeds phi.
+func FER(est, truth []float64, phi float64) float64 {
+	apes := APEs(est, truth)
+	if len(apes) == 0 {
+		panic("metrics: FER of zero cases")
+	}
+	bad := 0
+	for _, a := range apes {
+		if a > phi {
+			bad++
+		}
+	}
+	return float64(bad) / float64(len(apes))
+}
+
+// DAPE is a histogram of APE values over fixed-width buckets; the last
+// bucket is open-ended ("≥ hi").
+type DAPE struct {
+	Edges  []float64 // bucket boundaries: [e0,e1), [e1,e2), ..., [en,∞)
+	Counts []int
+	Total  int
+}
+
+// NewDAPE builds the histogram over buckets of the given width, covering
+// [0, hi) plus an overflow bucket. The paper plots DAPE at budget 30.
+func NewDAPE(est, truth []float64, width, hi float64) *DAPE {
+	if width <= 0 || hi <= 0 {
+		panic(fmt.Sprintf("metrics: invalid DAPE buckets width=%v hi=%v", width, hi))
+	}
+	nb := int(math.Ceil(hi / width))
+	d := &DAPE{Edges: make([]float64, nb+1), Counts: make([]int, nb+1)}
+	for i := 0; i <= nb; i++ {
+		d.Edges[i] = float64(i) * width
+	}
+	for _, a := range APEs(est, truth) {
+		b := int(a / width)
+		if b > nb {
+			b = nb
+		}
+		d.Counts[b]++
+		d.Total++
+	}
+	return d
+}
+
+// Share returns the fraction of cases in bucket b.
+func (d *DAPE) Share(b int) float64 {
+	if d.Total == 0 {
+		return 0
+	}
+	return float64(d.Counts[b]) / float64(d.Total)
+}
+
+// CumulativeBelow returns the fraction of cases with APE below x.
+func (d *DAPE) CumulativeBelow(x float64) float64 {
+	if d.Total == 0 {
+		return 0
+	}
+	c := 0
+	for b, e := range d.Edges {
+		if e+1e-12 >= x {
+			break
+		}
+		// bucket b spans [Edges[b], Edges[b+1]) — count it only if it lies
+		// entirely below x.
+		if b+1 < len(d.Edges) && d.Edges[b+1] <= x+1e-12 {
+			c += d.Counts[b]
+		}
+	}
+	return float64(c) / float64(d.Total)
+}
+
+// HopCoverage reports how many queried roads lie within 1 and 2 hops of the
+// selected crowdsourced roads (selected roads themselves count as covered) —
+// the Table III statistic.
+func HopCoverage(g *graph.Graph, query, selected []int) (oneHop, twoHop int) {
+	dist := g.HopDistances(selected)
+	for _, q := range query {
+		if q < 0 || q >= len(dist) {
+			panic(fmt.Sprintf("metrics: query road %d out of range", q))
+		}
+		if dist[q] >= 0 && dist[q] <= 1 {
+			oneHop++
+		}
+		if dist[q] >= 0 && dist[q] <= 2 {
+			twoHop++
+		}
+	}
+	return oneHop, twoHop
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestAPE(t *testing.T) {
+	if got := APE(55, 50); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("APE = %v", got)
+	}
+	if got := APE(45, 50); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("APE symmetric = %v", got)
+	}
+	if got := APE(50, 50); got != 0 {
+		t.Errorf("APE exact = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("APE zero truth did not panic")
+		}
+	}()
+	APE(1, 0)
+}
+
+func TestMAPE(t *testing.T) {
+	est := []float64{55, 40, 50}
+	truth := []float64{50, 50, 50}
+	want := (0.1 + 0.2 + 0) / 3
+	if got := MAPE(est, truth); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MAPE = %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	MAPE([]float64{1}, []float64{1, 2})
+}
+
+func TestMAPEEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty MAPE did not panic")
+		}
+	}()
+	MAPE(nil, nil)
+}
+
+func TestFER(t *testing.T) {
+	est := []float64{55, 40, 50, 80}
+	truth := []float64{50, 50, 50, 50}
+	// APEs: 0.1, 0.2, 0, 0.6 → above φ=0.2: only 0.6 (0.2 is not > 0.2)
+	if got := FER(est, truth, DefaultPhi); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("FER = %v, want 0.25", got)
+	}
+	if got := FER(est, truth, 0.05); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("FER tight = %v, want 0.75", got)
+	}
+}
+
+func TestDAPE(t *testing.T) {
+	est := []float64{50, 55, 65, 100, 200}
+	truth := []float64{50, 50, 50, 50, 50}
+	// APEs: 0, 0.1, 0.3, 1.0, 3.0; buckets of 0.2 up to 1.0 + overflow
+	d := NewDAPE(est, truth, 0.2, 1.0)
+	if d.Total != 5 {
+		t.Fatalf("Total = %d", d.Total)
+	}
+	if d.Counts[0] != 2 { // [0,0.2): 0, 0.1
+		t.Errorf("bucket 0 = %d", d.Counts[0])
+	}
+	if d.Counts[1] != 1 { // [0.2,0.4): 0.3
+		t.Errorf("bucket 1 = %d", d.Counts[1])
+	}
+	if d.Counts[5] != 2 { // overflow: 1.0, 3.0
+		t.Errorf("overflow = %d", d.Counts[5])
+	}
+	if got := d.Share(0); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("Share(0) = %v", got)
+	}
+	if got := d.CumulativeBelow(0.4); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("CumulativeBelow(0.4) = %v", got)
+	}
+	if got := d.CumulativeBelow(0.2); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("CumulativeBelow(0.2) = %v", got)
+	}
+}
+
+func TestDAPEValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad bucket width did not panic")
+		}
+	}()
+	NewDAPE(nil, nil, 0, 1)
+}
+
+func TestDAPEEmpty(t *testing.T) {
+	d := NewDAPE(nil, nil, 0.2, 1)
+	if d.Share(0) != 0 || d.CumulativeBelow(1) != 0 {
+		t.Error("empty DAPE shares should be 0")
+	}
+}
+
+func TestHopCoverage(t *testing.T) {
+	// path 0-1-2-3-4-5
+	g := graph.Path(6)
+	query := []int{0, 1, 2, 3, 4, 5}
+	one, two := HopCoverage(g, query, []int{0})
+	if one != 2 { // 0 (selected) and 1
+		t.Errorf("1-hop = %d, want 2", one)
+	}
+	if two != 3 { // 0, 1, 2
+		t.Errorf("2-hop = %d, want 3", two)
+	}
+	one, two = HopCoverage(g, query, []int{2, 5})
+	if one != 5 { // 1,2,3 around 2 and 4,5 around 5
+		t.Errorf("1-hop = %d, want 5", one)
+	}
+	if two != 6 {
+		t.Errorf("2-hop = %d, want 6", two)
+	}
+	one, two = HopCoverage(g, []int{5}, nil)
+	if one != 0 || two != 0 {
+		t.Errorf("no selection coverage = %d/%d", one, two)
+	}
+}
+
+func TestHopCoveragePanics(t *testing.T) {
+	g := graph.Path(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("bad query road did not panic")
+		}
+	}()
+	HopCoverage(g, []int{99}, []int{0})
+}

@@ -1,0 +1,75 @@
+package network
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// fileFormat is the JSON wire form of a Network.
+type fileFormat struct {
+	Roads []roadJSON `json:"roads"`
+	Edges [][2]int   `json:"edges"`
+}
+
+type roadJSON struct {
+	ID     int     `json:"id"`
+	Name   string  `json:"name"`
+	Class  string  `json:"class"`
+	Length float64 `json:"length_km"`
+	Cost   int     `json:"cost"`
+}
+
+var classNames = map[string]Class{
+	"highway":   Highway,
+	"arterial":  Arterial,
+	"secondary": Secondary,
+	"local":     Local,
+}
+
+// WriteJSON serializes the network to w as a single JSON document.
+func (n *Network) WriteJSON(w io.Writer) error {
+	ff := fileFormat{
+		Roads: make([]roadJSON, n.N()),
+		Edges: n.g.EdgeList(),
+	}
+	for i, r := range n.roads {
+		ff.Roads[i] = roadJSON{
+			ID:     r.ID,
+			Name:   r.Name,
+			Class:  r.Class.String(),
+			Length: r.LengthKM,
+			Cost:   r.Cost,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ff)
+}
+
+// ReadJSON parses a network previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Network, error) {
+	var ff fileFormat
+	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("network: decode: %w", err)
+	}
+	g := graph.New(len(ff.Roads))
+	for _, e := range ff.Edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("network: decode: %w", err)
+		}
+	}
+	roads := make([]Road, len(ff.Roads))
+	for i, rj := range ff.Roads {
+		if rj.ID != i {
+			return nil, fmt.Errorf("network: decode: road %d has id %d (ids must be dense)", i, rj.ID)
+		}
+		cls, ok := classNames[rj.Class]
+		if !ok {
+			return nil, fmt.Errorf("network: decode: road %d has unknown class %q", i, rj.Class)
+		}
+		roads[i] = Road{ID: i, Name: rj.Name, Class: cls, LengthKM: rj.Length, Cost: rj.Cost}
+	}
+	return New(g, roads)
+}

@@ -1,0 +1,43 @@
+package network
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON asserts the decoder never panics on arbitrary input and that
+// anything it accepts re-encodes and re-decodes to the same network.
+func FuzzReadJSON(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Synthetic(SyntheticOptions{Roads: 8, Seed: 1}).WriteJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{}`)
+	f.Add(`{"roads":[],"edges":[]}`)
+	f.Add(`{"roads":[{"id":0,"name":"a","class":"local"}],"edges":[[0,0]]}`)
+	f.Add(`{"roads":[{"id":0,"name":"a","class":"local","cost":1}],"edges":[]}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		n, err := ReadJSON(strings.NewReader(doc))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := n.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted network failed to encode: %v", err)
+		}
+		n2, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if n2.N() != n.N() || n2.M() != n.M() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d", n2.N(), n2.M(), n.N(), n.M())
+		}
+		for i := 0; i < n.N(); i++ {
+			if n2.Road(i) != n.Road(i) {
+				t.Fatalf("round trip changed road %d", i)
+			}
+		}
+	})
+}

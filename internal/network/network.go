@@ -1,0 +1,287 @@
+// Package network models the traffic network N(R, E) of CrowdRTSE (§III-A):
+// a set of atomic road segments R with an undirected adjacency relationship
+// E, plus per-road metadata (functional class, length, crowdsourcing cost)
+// that the rest of the system consumes.
+//
+// The paper evaluates on the Hong Kong road network published by the Public
+// Sector Information Portal (607 monitored roads, speeds every 5 minutes).
+// That feed is not available offline, so Synthetic builds a structurally
+// comparable network: sparse, connected, near-planar, with a realistic mix
+// of functional classes. See DESIGN.md "Substitutions".
+package network
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Class is the functional class of a road, which drives its base speed and
+// periodicity strength in the data generator: highways are fast and stable
+// (strong periodicity), local roads slow and volatile (weak periodicity).
+type Class uint8
+
+const (
+	Highway Class = iota
+	Arterial
+	Secondary
+	Local
+	numClasses
+)
+
+// String returns the human-readable class name.
+func (c Class) String() string {
+	switch c {
+	case Highway:
+		return "highway"
+	case Arterial:
+		return "arterial"
+	case Secondary:
+		return "secondary"
+	case Local:
+		return "local"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Valid reports whether c is a defined class.
+func (c Class) Valid() bool { return c < numClasses }
+
+// Road is one atomic road segment — "a unique isolated interval of path
+// jointing two adjacent crossings" (§III-A).
+type Road struct {
+	ID       int     // index in the network, 0-based
+	Name     string  // display name
+	Class    Class   // functional class
+	LengthKM float64 // segment length in kilometres
+	// Cost is the crowdsourcing cost of the road: the minimum number of
+	// answers that must be collected (and paid for) to probe it (§V-A,
+	// "Feasibility"). The experiments draw it uniformly from [1,5] or
+	// [1,10].
+	Cost int
+}
+
+// Network is an immutable road network: the graph topology plus road
+// metadata. Construct with New or Synthetic.
+type Network struct {
+	g     *graph.Graph
+	roads []Road
+}
+
+// New builds a network from a topology and matching metadata. The roads
+// slice is copied; roads[i].ID is overwritten with i.
+func New(g *graph.Graph, roads []Road) (*Network, error) {
+	if g == nil {
+		return nil, fmt.Errorf("network: nil graph")
+	}
+	if g.N() != len(roads) {
+		return nil, fmt.Errorf("network: %d graph nodes but %d roads", g.N(), len(roads))
+	}
+	rs := make([]Road, len(roads))
+	copy(rs, roads)
+	for i := range rs {
+		rs[i].ID = i
+		if !rs[i].Class.Valid() {
+			return nil, fmt.Errorf("network: road %d has invalid class %d", i, rs[i].Class)
+		}
+		if rs[i].Cost < 0 {
+			return nil, fmt.Errorf("network: road %d has negative cost %d", i, rs[i].Cost)
+		}
+		if rs[i].LengthKM < 0 || math.IsNaN(rs[i].LengthKM) {
+			return nil, fmt.Errorf("network: road %d has invalid length %v", i, rs[i].LengthKM)
+		}
+	}
+	return &Network{g: g.Clone(), roads: rs}, nil
+}
+
+// N returns the number of roads |R|.
+func (n *Network) N() int { return n.g.N() }
+
+// M returns the number of adjacency relations |E|.
+func (n *Network) M() int { return n.g.M() }
+
+// Graph returns the underlying topology. The returned graph is shared with
+// the network and must not be mutated; clone it first if needed.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// Road returns the metadata of road i.
+func (n *Network) Road(i int) Road { return n.roads[i] }
+
+// Roads returns a copy of all road metadata.
+func (n *Network) Roads() []Road {
+	out := make([]Road, len(n.roads))
+	copy(out, n.roads)
+	return out
+}
+
+// Costs returns the per-road crowdsourcing cost vector c.
+func (n *Network) Costs() []int {
+	out := make([]int, len(n.roads))
+	for i, r := range n.roads {
+		out[i] = r.Cost
+	}
+	return out
+}
+
+// Adjacent reports whether roads i and j are adjacent (share a crossing).
+func (n *Network) Adjacent(i, j int) bool { return n.g.HasEdge(i, j) }
+
+// Neighbors returns the adjacent roads n(r_i). The slice is shared and must
+// not be modified.
+func (n *Network) Neighbors(i int) []int32 { return n.g.Neighbors(i) }
+
+// SyntheticOptions controls Synthetic.
+type SyntheticOptions struct {
+	Roads     int     // number of roads; default 607 (the paper's HK network)
+	AvgDegree float64 // target average degree; default 3.0
+	Seed      int64   // RNG seed
+	CostMax   int     // road costs drawn uniformly from [1, CostMax]; default 5
+}
+
+// DefaultHK are the options matching the paper's evaluation network:
+// 607 roads, costs in [1,5] (the C1 setting).
+func DefaultHK(seed int64) SyntheticOptions {
+	return SyntheticOptions{Roads: 607, AvgDegree: 3.0, Seed: seed, CostMax: 5}
+}
+
+// Synthetic generates a road network resembling the Hong Kong evaluation
+// network. Functional classes are assigned by degree (high-degree segments
+// become arterials/highways, mirroring how trunk roads concentrate
+// junctions), lengths from class-dependent lognormal-ish draws, and costs
+// uniformly from [1, CostMax] exactly as §VII-A does ("roads' costs are
+// generated synthetically ... with uniform distributions").
+func Synthetic(opt SyntheticOptions) *Network {
+	if opt.Roads <= 0 {
+		opt.Roads = 607
+	}
+	if opt.AvgDegree <= 0 {
+		opt.AvgDegree = 3.0
+	}
+	if opt.CostMax <= 0 {
+		opt.CostMax = 5
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	g, pos := graph.RoadNetwork(opt.Roads, opt.AvgDegree, rng)
+
+	roads := make([]Road, opt.Roads)
+	for i := range roads {
+		roads[i] = Road{
+			ID:    i,
+			Name:  fmt.Sprintf("R%04d", i),
+			Class: classFor(g.Degree(i), rng),
+			Cost:  1 + rng.Intn(opt.CostMax),
+		}
+		roads[i].LengthKM = lengthFor(roads[i].Class, pos, g, i, rng)
+	}
+	nw, err := New(g, roads)
+	if err != nil {
+		panic(fmt.Sprintf("network: synthetic generation failed: %v", err)) // unreachable by construction
+	}
+	return nw
+}
+
+// classFor assigns a functional class biased by degree with some noise, so
+// the class mix is roughly 10% highway / 25% arterial / 35% secondary /
+// 30% local on a degree-3 network.
+func classFor(degree int, rng *rand.Rand) Class {
+	score := float64(degree) + rng.NormFloat64()
+	switch {
+	case score >= 4.6:
+		return Highway
+	case score >= 3.5:
+		return Arterial
+	case score >= 2.3:
+		return Secondary
+	default:
+		return Local
+	}
+}
+
+// lengthFor derives a plausible segment length: the embedded Euclidean edge
+// scale times a class factor (highways are longer segments), floored at 50m.
+func lengthFor(c Class, pos [][2]float64, g *graph.Graph, i int, rng *rand.Rand) float64 {
+	// Mean distance to neighbors in the unit-square embedding, scaled to a
+	// ~12km-wide city.
+	const cityKM = 12.0
+	nb := g.Neighbors(i)
+	var mean float64
+	if len(nb) > 0 {
+		for _, v := range nb {
+			dx := pos[i][0] - pos[v][0]
+			dy := pos[i][1] - pos[v][1]
+			mean += math.Hypot(dx, dy)
+		}
+		mean /= float64(len(nb))
+	} else {
+		mean = 0.02
+	}
+	factor := 1.0
+	switch c {
+	case Highway:
+		factor = 2.0
+	case Arterial:
+		factor = 1.4
+	case Secondary:
+		factor = 1.0
+	case Local:
+		factor = 0.7
+	}
+	l := cityKM * mean * factor * math.Exp(0.25*rng.NormFloat64())
+	if l < 0.05 {
+		l = 0.05
+	}
+	return l
+}
+
+// RandomizeCosts returns a copy of the network with costs redrawn uniformly
+// from [1, costMax]. The experiments evaluate two cost ranges, C1 = [1,5]
+// and C2 = [1,10] (Table II); this lets one network be reused across both.
+func (n *Network) RandomizeCosts(costMax int, seed int64) *Network {
+	if costMax < 1 {
+		costMax = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	roads := n.Roads()
+	for i := range roads {
+		roads[i].Cost = 1 + rng.Intn(costMax)
+	}
+	nw, err := New(n.g, roads)
+	if err != nil {
+		panic(fmt.Sprintf("network: RandomizeCosts: %v", err)) // unreachable
+	}
+	return nw
+}
+
+// Subnetwork returns the induced subnetwork on the given roads, renumbered
+// 0..len-1, along with the original ids. Used by the scalability experiment
+// (Fig. 5), which trains RTF on subcomponents of 150–600 roads.
+func (n *Network) Subnetwork(roadIDs []int) (*Network, []int, error) {
+	sub, orig, err := n.g.Subgraph(roadIDs)
+	if err != nil {
+		return nil, nil, err
+	}
+	roads := make([]Road, len(orig))
+	for i, id := range orig {
+		roads[i] = n.roads[id]
+		roads[i].ID = i
+	}
+	nw, err := New(sub, roads)
+	if err != nil {
+		return nil, nil, err
+	}
+	return nw, orig, nil
+}
+
+// ConnectedSubnetwork grows a connected subnetwork of the given size by BFS
+// from start (as in Fig. 5 and the gMission setup). It returns an error if
+// start's component is too small.
+func (n *Network) ConnectedSubnetwork(start, size int) (*Network, []int, error) {
+	ids := n.g.ConnectedSubset(start, size)
+	if ids == nil {
+		return nil, nil, fmt.Errorf("network: component of road %d smaller than %d", start, size)
+	}
+	return n.Subnetwork(ids)
+}

@@ -1,0 +1,257 @@
+package network
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		Highway:   "highway",
+		Arterial:  "arterial",
+		Secondary: "secondary",
+		Local:     "local",
+		Class(9):  "Class(9)",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", c, got, want)
+		}
+	}
+	if Class(9).Valid() {
+		t.Error("Class(9).Valid() = true")
+	}
+	if !Local.Valid() {
+		t.Error("Local.Valid() = false")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	g := graph.Path(3)
+	ok := []Road{{Name: "a"}, {Name: "b"}, {Name: "c"}}
+	if _, err := New(nil, nil); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := New(g, ok[:2]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	bad := append([]Road(nil), ok...)
+	bad[1].Class = Class(99)
+	if _, err := New(g, bad); err == nil {
+		t.Error("invalid class accepted")
+	}
+	bad = append([]Road(nil), ok...)
+	bad[2].Cost = -1
+	if _, err := New(g, bad); err == nil {
+		t.Error("negative cost accepted")
+	}
+	bad = append([]Road(nil), ok...)
+	bad[0].LengthKM = -3
+	if _, err := New(g, bad); err == nil {
+		t.Error("negative length accepted")
+	}
+	n, err := New(g, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.N() != 3 || n.M() != 2 {
+		t.Errorf("N=%d M=%d", n.N(), n.M())
+	}
+	for i := 0; i < 3; i++ {
+		if n.Road(i).ID != i {
+			t.Errorf("road %d has ID %d", i, n.Road(i).ID)
+		}
+	}
+}
+
+func TestNewCopiesInputs(t *testing.T) {
+	g := graph.Path(2)
+	roads := []Road{{Name: "x"}, {Name: "y"}}
+	n, err := New(g, roads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roads[0].Name = "mutated"
+	if n.Road(0).Name != "x" {
+		t.Error("Network shares roads slice with caller")
+	}
+	if err := g.AddNode(); err != 2 {
+		t.Fatalf("AddNode returned %d", err)
+	}
+	if n.N() != 2 {
+		t.Error("Network shares graph with caller")
+	}
+}
+
+func TestSynthetic(t *testing.T) {
+	n := Synthetic(DefaultHK(1))
+	if n.N() != 607 {
+		t.Fatalf("N = %d, want 607 (paper network size)", n.N())
+	}
+	if !n.Graph().Connected() {
+		t.Fatal("synthetic network disconnected")
+	}
+	classCount := map[Class]int{}
+	for _, r := range n.Roads() {
+		classCount[r.Class]++
+		if r.Cost < 1 || r.Cost > 5 {
+			t.Fatalf("road %d cost %d outside [1,5]", r.ID, r.Cost)
+		}
+		if r.LengthKM <= 0 {
+			t.Fatalf("road %d non-positive length", r.ID)
+		}
+		if r.Name == "" {
+			t.Fatalf("road %d missing name", r.ID)
+		}
+	}
+	for c := Highway; c <= Local; c++ {
+		if classCount[c] == 0 {
+			t.Errorf("no roads of class %v generated", c)
+		}
+	}
+	avg := 2 * float64(n.M()) / float64(n.N())
+	if avg < 2 || avg > 4 {
+		t.Errorf("average degree %.2f not road-like", avg)
+	}
+}
+
+func TestSyntheticDefaults(t *testing.T) {
+	n := Synthetic(SyntheticOptions{Seed: 3})
+	if n.N() != 607 {
+		t.Errorf("default Roads = %d", n.N())
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	a := Synthetic(DefaultHK(42))
+	b := Synthetic(DefaultHK(42))
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatal("same seed produced different networks")
+	}
+	for i := 0; i < a.N(); i++ {
+		if a.Road(i) != b.Road(i) {
+			t.Fatalf("road %d differs between runs", i)
+		}
+	}
+}
+
+func TestRandomizeCosts(t *testing.T) {
+	n := Synthetic(DefaultHK(7))
+	n2 := n.RandomizeCosts(10, 99)
+	if n2.N() != n.N() || n2.M() != n.M() {
+		t.Fatal("RandomizeCosts changed topology")
+	}
+	seen10 := false
+	for _, r := range n2.Roads() {
+		if r.Cost < 1 || r.Cost > 10 {
+			t.Fatalf("cost %d outside [1,10]", r.Cost)
+		}
+		if r.Cost > 5 {
+			seen10 = true
+		}
+	}
+	if !seen10 {
+		t.Error("no costs above 5 after widening range to [1,10]")
+	}
+	// costMax < 1 is clamped
+	n3 := n.RandomizeCosts(0, 1)
+	for _, r := range n3.Roads() {
+		if r.Cost != 1 {
+			t.Fatalf("clamped costMax produced cost %d", r.Cost)
+		}
+	}
+}
+
+func TestAdjacencyAccessors(t *testing.T) {
+	g := graph.Path(3)
+	n, err := New(g, []Road{{}, {}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Adjacent(0, 1) || n.Adjacent(0, 2) {
+		t.Error("Adjacent wrong")
+	}
+	if len(n.Neighbors(1)) != 2 {
+		t.Errorf("Neighbors(1) = %v", n.Neighbors(1))
+	}
+	costs := n.Costs()
+	if len(costs) != 3 {
+		t.Errorf("Costs = %v", costs)
+	}
+}
+
+func TestSubnetwork(t *testing.T) {
+	n := Synthetic(SyntheticOptions{Roads: 50, Seed: 5})
+	sub, orig, err := n.Subnetwork([]int{3, 7, 9, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 4 || len(orig) != 4 {
+		t.Fatalf("sub N=%d orig=%v", sub.N(), orig)
+	}
+	for i, id := range orig {
+		want := n.Road(id)
+		got := sub.Road(i)
+		if got.Name != want.Name || got.Class != want.Class || got.Cost != want.Cost {
+			t.Errorf("road metadata not preserved for %d→%d", id, i)
+		}
+	}
+	if _, _, err := n.Subnetwork([]int{1, 1}); err == nil {
+		t.Error("duplicate subnetwork road accepted")
+	}
+}
+
+func TestConnectedSubnetwork(t *testing.T) {
+	n := Synthetic(SyntheticOptions{Roads: 100, Seed: 6})
+	sub, orig, err := n.ConnectedSubnetwork(0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 30 || !sub.Graph().Connected() {
+		t.Fatalf("ConnectedSubnetwork: N=%d connected=%v", sub.N(), sub.Graph().Connected())
+	}
+	if len(orig) != 30 {
+		t.Fatalf("orig = %d ids", len(orig))
+	}
+	if _, _, err := n.ConnectedSubnetwork(0, 101); err == nil {
+		t.Error("oversize ConnectedSubnetwork accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	n := Synthetic(SyntheticOptions{Roads: 40, Seed: 11})
+	var buf bytes.Buffer
+	if err := n.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != n.N() || got.M() != n.M() {
+		t.Fatalf("round trip: N=%d M=%d, want %d %d", got.N(), got.M(), n.N(), n.M())
+	}
+	for i := 0; i < n.N(); i++ {
+		if got.Road(i) != n.Road(i) {
+			t.Fatalf("road %d: got %+v want %+v", i, got.Road(i), n.Road(i))
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      `{`,
+		"bad edge":      `{"roads":[{"id":0,"name":"a","class":"local"}],"edges":[[0,5]]}`,
+		"bad class":     `{"roads":[{"id":0,"name":"a","class":"cosmic"}],"edges":[]}`,
+		"sparse ids":    `{"roads":[{"id":3,"name":"a","class":"local"}],"edges":[]}`,
+		"negative cost": `{"roads":[{"id":0,"name":"a","class":"local","cost":-2}],"edges":[]}`,
+	}
+	for name, doc := range cases {
+		if _, err := ReadJSON(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package ocs_test
+
+import (
+	"fmt"
+
+	"repro/internal/corr"
+	"repro/internal/graph"
+	"repro/internal/network"
+	"repro/internal/ocs"
+	"repro/internal/rtf"
+)
+
+// The paper's Example 1: Ratio-Greedy falls into the cheap-road trap,
+// Hybrid-Greedy escapes it by also running Objective-Greedy.
+func ExampleHybridGreedy() {
+	// Path r1(0) — r3(1) — r2(2); the middle road is queried.
+	g := graph.Path(3)
+	net, _ := network.New(g, make([]network.Road, 3))
+	m := rtf.New(net)
+	m.SetRho(0, 0, 1, 0.2) // weak correlation to the cheap road
+	m.SetRho(0, 1, 2, 0.9) // strong correlation to the expensive road
+	p := &ocs.Problem{
+		Query:   []int{1},
+		Workers: []int{0, 2},
+		Costs:   []int{1, 0, 10}, // r1 costs 1, r2 costs the whole budget
+		Budget:  10,
+		Theta:   1,
+		Sigma:   []float64{1, 1, 1},
+		Oracle:  corr.NewOracle(g, m.At(0), corr.NegLog),
+	}
+	p.Costs[1] = 1 // the queried road itself is not a worker road
+
+	ratio, _ := ocs.RatioGreedy(p)
+	hybrid, _ := ocs.HybridGreedy(p)
+	fmt.Printf("ratio-greedy:  roads %v, objective %.1f\n", ratio.Roads, ratio.Value)
+	fmt.Printf("hybrid-greedy: roads %v, objective %.1f\n", hybrid.Roads, hybrid.Value)
+	// Output:
+	// ratio-greedy:  roads [0], objective 0.2
+	// hybrid-greedy: roads [2], objective 0.9
+}

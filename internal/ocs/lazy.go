@@ -1,0 +1,115 @@
+package ocs
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Lazy evaluation exploits the diminishing-returns structure of the OCS
+// objective: a road's marginal gain Σ_q σ_q·max(0, corr(q,r) − best_q) can
+// only shrink as the selection grows, so a stale heap entry whose refreshed
+// gain still tops the heap is guaranteed optimal without recomputing the
+// rest. This is the standard accelerated greedy for submodular maximization;
+// it returns exactly the same selection as the eager greedy (ties broken by
+// road id in both).
+
+// gainEntry is a heap entry with a possibly-stale score.
+type gainEntry struct {
+	road  int
+	score float64
+	round int // selection round the score was computed in
+}
+
+type gainHeap []gainEntry
+
+func (h gainHeap) Len() int { return len(h) }
+func (h gainHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score > h[j].score
+	}
+	return h[i].road < h[j].road
+}
+func (h gainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x interface{}) { *h = append(*h, x.(gainEntry)) }
+func (h *gainHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// runLazyGreedy mirrors runGreedy with lazy gain evaluation.
+func runLazyGreedy(p *Problem, byRatio bool) Solution {
+	s := newGreedyState(p)
+	score := func(r int) float64 {
+		g := s.gain(r)
+		if byRatio {
+			g /= float64(p.Costs[r])
+		}
+		return g
+	}
+	h := make(gainHeap, 0, len(p.Workers))
+	for _, r := range p.Workers {
+		h = append(h, gainEntry{road: r, score: score(r), round: 0})
+	}
+	heap.Init(&h)
+	round := 0
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(gainEntry)
+		if p.Costs[e.road] > p.Budget-s.cost {
+			// Unaffordable, and the remaining budget only shrinks: drop it
+			// permanently.
+			continue
+		}
+		if s.redundant(e.road) {
+			continue // redundancy never relaxes; drop permanently
+		}
+		if e.round < round {
+			e.score = score(e.road)
+			e.round = round
+			heap.Push(&h, e)
+			continue
+		}
+		// Fresh top entry: gains are non-increasing across rounds, so it is
+		// the true argmax. Select it.
+		s.add(e.road)
+		round++
+	}
+	sort.Ints(s.selected)
+	return Solution{Roads: s.selected, Value: p.Objective(s.selected), Cost: s.cost}
+}
+
+// LazyObjectiveGreedy is Objective-Greedy (Alg. 3) with lazy gain
+// evaluation. It produces the same solution as ObjectiveGreedy.
+func LazyObjectiveGreedy(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	return runLazyGreedy(p, false), nil
+}
+
+// LazyRatioGreedy is Ratio-Greedy (Alg. 2) with lazy gain evaluation. It
+// produces the same solution as RatioGreedy.
+func LazyRatioGreedy(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	return runLazyGreedy(p, true), nil
+}
+
+// LazyHybridGreedy is Hybrid-Greedy (Alg. 4) built on the lazy variants.
+func LazyHybridGreedy(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if sol, ok := trivialCase(p); ok {
+		return sol, nil
+	}
+	ratio := runLazyGreedy(p, true)
+	obj := runLazyGreedy(p, false)
+	if ratio.Value >= obj.Value {
+		return ratio, nil
+	}
+	return obj, nil
+}

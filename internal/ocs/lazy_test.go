@@ -1,0 +1,99 @@
+package ocs
+
+import (
+	"testing"
+)
+
+func TestLazyRejectsInvalid(t *testing.T) {
+	p, _ := pathProblem(t, []float64{0.5})
+	p.Query = []int{0}
+	p.Budget = 0
+	if _, err := LazyObjectiveGreedy(p); err == nil {
+		t.Error("LazyObjectiveGreedy accepted invalid problem")
+	}
+	if _, err := LazyRatioGreedy(p); err == nil {
+		t.Error("LazyRatioGreedy accepted invalid problem")
+	}
+	if _, err := LazyHybridGreedy(p); err == nil {
+		t.Error("LazyHybridGreedy accepted invalid problem")
+	}
+}
+
+func TestLazyMatchesEagerWorstCase(t *testing.T) {
+	p, _ := pathProblem(t, []float64{0.2, 0.9})
+	p.Query = []int{1}
+	p.Workers = []int{0, 2}
+	p.Costs[0] = 1
+	p.Costs[2] = 10
+	p.Budget = 10
+	eager, err := HybridGreedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := LazyHybridGreedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eager.Value != lazy.Value || len(eager.Roads) != len(lazy.Roads) {
+		t.Errorf("lazy %+v != eager %+v", lazy, eager)
+	}
+}
+
+// Property: lazy and eager greedy produce identical selections on random
+// instances — the lazy evaluation is purely an optimization.
+func TestLazyMatchesEagerRandomInstances(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		p := randomInstance(seed, 18)
+		for name, pair := range map[string][2]func(*Problem) (Solution, error){
+			"objective": {ObjectiveGreedy, LazyObjectiveGreedy},
+			"ratio":     {RatioGreedy, LazyRatioGreedy},
+			"hybrid":    {HybridGreedy, LazyHybridGreedy},
+		} {
+			eager, err := pair[0](p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lazy, err := pair[1](p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(eager.Roads) != len(lazy.Roads) {
+				t.Fatalf("seed %d %s: road counts differ: %v vs %v", seed, name, eager.Roads, lazy.Roads)
+			}
+			for i := range eager.Roads {
+				if eager.Roads[i] != lazy.Roads[i] {
+					t.Fatalf("seed %d %s: selections differ: %v vs %v", seed, name, eager.Roads, lazy.Roads)
+				}
+			}
+			if eager.Value != lazy.Value || eager.Cost != lazy.Cost {
+				t.Fatalf("seed %d %s: value/cost differ: %+v vs %+v", seed, name, eager, lazy)
+			}
+		}
+	}
+}
+
+// The objective's marginal gains are non-increasing as the selection grows —
+// the property lazy evaluation relies on.
+func TestGainsNonIncreasing(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		p := randomInstance(seed, 15)
+		s := newGreedyState(p)
+		// Record initial gains, grow the selection greedily, re-check.
+		initial := make(map[int]float64, len(p.Workers))
+		for _, r := range p.Workers {
+			initial[r] = s.gain(r)
+		}
+		sol, err := ObjectiveGreedy(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range sol.Roads {
+			s.add(r)
+		}
+		for _, r := range p.Workers {
+			if s.gain(r) > initial[r]+1e-9 {
+				t.Fatalf("seed %d: gain of road %d increased after selection", seed, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,358 @@
+// Package ocs solves the Optimal Crowdsourced-roads Selection problem of
+// CrowdRTSE (§V): pick R^c ⊆ R^w maximizing the periodicity-weighted
+// correlation with the queried roads (Eq. 13),
+//
+//	max  Σ_{i∈R^q} σ_i^t · corr^t(r_i, R^c)
+//	s.t. Σ_{r∈R^c} c_r ≤ K                (budget feasibility)
+//	     corr^t(r_i, r_j) ≤ θ ∀ r_i,r_j∈R^c (redundancy)
+//
+// The problem is NP-hard (Theorem 1, reduction from Maximum k-Coverage).
+// Solvers provided: Ratio-Greedy (Alg. 2, linear time, unbounded worst
+// case), Objective-Greedy (Alg. 3), Hybrid-Greedy (Alg. 4, approximation
+// ratio (1−1/e)/2, Theorem 2), a Random baseline used by the paper's Fig. 3
+// column (c), and an exact exhaustive solver for small instances, used to
+// validate the approximation ratio empirically.
+package ocs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/corr"
+)
+
+// Problem is one OCS instance. Sigma is indexed by road id (the RTF view's
+// Sigma slice); Costs likewise. Oracle supplies corr^t.
+type Problem struct {
+	Query   []int   // R^q, the queried roads
+	Workers []int   // R^w, roads currently holding workers
+	Costs   []int   // c_i per road id
+	Budget  int     // K, total payment budget
+	Theta   float64 // θ ∈ (0, 1], redundancy threshold
+	Sigma   []float64
+	Oracle  *corr.Oracle
+}
+
+// Validate checks the instance for structural errors.
+func (p *Problem) Validate() error {
+	if p.Oracle == nil {
+		return fmt.Errorf("ocs: nil oracle")
+	}
+	if p.Budget <= 0 {
+		return fmt.Errorf("ocs: budget %d must be positive", p.Budget)
+	}
+	if p.Theta <= 0 || p.Theta > 1 {
+		return fmt.Errorf("ocs: θ = %v outside (0,1]", p.Theta)
+	}
+	if len(p.Query) == 0 {
+		return fmt.Errorf("ocs: empty query")
+	}
+	n := len(p.Sigma)
+	if len(p.Costs) != n {
+		return fmt.Errorf("ocs: %d costs for %d sigmas", len(p.Costs), n)
+	}
+	for _, q := range p.Query {
+		if q < 0 || q >= n {
+			return fmt.Errorf("ocs: query road %d out of range", q)
+		}
+	}
+	seen := make(map[int]bool, len(p.Workers))
+	for _, w := range p.Workers {
+		if w < 0 || w >= n {
+			return fmt.Errorf("ocs: worker road %d out of range", w)
+		}
+		if p.Costs[w] <= 0 {
+			return fmt.Errorf("ocs: worker road %d has non-positive cost %d", w, p.Costs[w])
+		}
+		if seen[w] {
+			return fmt.Errorf("ocs: duplicate worker road %d", w)
+		}
+		seen[w] = true
+	}
+	return nil
+}
+
+// Solution is a selected crowdsourced-road set with its objective value
+// (Eq. 13) and total cost.
+type Solution struct {
+	Roads []int
+	Value float64
+	Cost  int
+}
+
+// Objective evaluates Eq. (13) for an arbitrary candidate set.
+func (p *Problem) Objective(set []int) float64 {
+	return p.Oracle.WeightedCorr(p.Query, p.Sigma, set)
+}
+
+// Feasible reports whether the set satisfies the budget and pairwise
+// redundancy constraints (and is drawn from R^w).
+func (p *Problem) Feasible(set []int) bool {
+	allowed := make(map[int]bool, len(p.Workers))
+	for _, w := range p.Workers {
+		allowed[w] = true
+	}
+	cost := 0
+	for _, r := range set {
+		if !allowed[r] {
+			return false
+		}
+		cost += p.Costs[r]
+	}
+	if cost > p.Budget {
+		return false
+	}
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if p.Oracle.Corr(set[i], set[j]) > p.Theta {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// greedyState tracks the incremental objective during a greedy run:
+// best[qi] = corr(query[qi], R^c) so far, so a candidate's marginal gain is
+// Σ σ_qi · max(0, corr(qi, r) − best[qi]) in O(|R^q|).
+type greedyState struct {
+	p        *Problem
+	tab      *corr.Table
+	best     []float64
+	selected []int
+	cost     int
+	value    float64
+}
+
+func newGreedyState(p *Problem) *greedyState {
+	return &greedyState{
+		p:    p,
+		tab:  p.Oracle.BuildTable(p.Query),
+		best: make([]float64, len(p.Query)),
+	}
+}
+
+// gain returns the objective increment of adding road r.
+func (s *greedyState) gain(r int) float64 {
+	var g float64
+	for qi := range s.p.Query {
+		if c := s.tab.Corr(qi, r); c > s.best[qi] {
+			g += s.p.Sigma[s.p.Query[qi]] * (c - s.best[qi])
+		}
+	}
+	return g
+}
+
+// redundant reports whether r violates the θ constraint against the current
+// selection (corr(r, R^c) > θ).
+func (s *greedyState) redundant(r int) bool {
+	for _, sel := range s.selected {
+		if s.p.Oracle.Corr(sel, r) > s.p.Theta {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *greedyState) add(r int) {
+	s.selected = append(s.selected, r)
+	s.cost += s.p.Costs[r]
+	s.value += s.gain(r)
+	for qi := range s.p.Query {
+		if c := s.tab.Corr(qi, r); c > s.best[qi] {
+			s.best[qi] = c
+		}
+	}
+}
+
+// value recomputation note: add() accumulates gains before updating best, so
+// s.value always equals Objective(selected) up to float rounding.
+
+// runGreedy executes the shared loop of Alg. 2/3. score ranks candidates:
+// objective increment for Objective-Greedy, increment/cost for Ratio-Greedy.
+func runGreedy(p *Problem, byRatio bool) Solution {
+	s := newGreedyState(p)
+	remaining := append([]int(nil), p.Workers...)
+	for {
+		bestIdx, bestScore := -1, math.Inf(-1)
+		budget := p.Budget - s.cost
+		for idx, r := range remaining {
+			if r < 0 || p.Costs[r] > budget {
+				continue
+			}
+			if s.redundant(r) {
+				// Permanently infeasible: redundancy never relaxes as the
+				// selection grows, so drop the candidate (mirrors the
+				// feasible_set recomputation in Alg. 2 line 5).
+				remaining[idx] = -1
+				continue
+			}
+			score := s.gain(r)
+			if byRatio {
+				score /= float64(p.Costs[r])
+			}
+			// Ties break toward the smaller road id, matching the lazy
+			// variant so both produce identical selections.
+			if score > bestScore || (score == bestScore && bestIdx >= 0 && r < remaining[bestIdx]) {
+				bestIdx, bestScore = idx, score
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		s.add(remaining[bestIdx])
+		remaining[bestIdx] = -1
+	}
+	sort.Ints(s.selected)
+	return Solution{Roads: s.selected, Value: p.Objective(s.selected), Cost: s.cost}
+}
+
+// RatioGreedy is Alg. 2: each iteration picks the feasible candidate with
+// the highest objective-increment-to-cost ratio. O(K·|R^w|·|R^q|) time,
+// O(|R^w|) extra space; the approximation can be arbitrarily bad alone
+// (Example 1).
+func RatioGreedy(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	return runGreedy(p, true), nil
+}
+
+// ObjectiveGreedy is Alg. 3: each iteration picks the feasible candidate
+// with the highest raw objective increment.
+func ObjectiveGreedy(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	return runGreedy(p, false), nil
+}
+
+// HybridGreedy is Alg. 4: run Ratio-Greedy and Objective-Greedy and keep the
+// better solution. Theorem 2 proves the approximation ratio (1−1/e)/2.
+func HybridGreedy(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if sol, ok := trivialCase(p); ok {
+		return sol, nil
+	}
+	ratio := runGreedy(p, true)
+	obj := runGreedy(p, false)
+	if ratio.Value >= obj.Value {
+		return ratio, nil
+	}
+	return obj, nil
+}
+
+// trivialCase implements Remark 2: with θ = 1 and unit costs, OCS is trivial
+// when the budget covers all workers (take everything) or when |R^q| < K
+// (take each query road's best-correlated worker road).
+func trivialCase(p *Problem) (Solution, bool) {
+	if p.Theta != 1 {
+		return Solution{}, false
+	}
+	for _, w := range p.Workers {
+		if p.Costs[w] != 1 {
+			return Solution{}, false
+		}
+	}
+	if len(p.Workers) <= p.Budget {
+		roads := append([]int(nil), p.Workers...)
+		sort.Ints(roads)
+		return Solution{Roads: roads, Value: p.Objective(roads), Cost: len(roads)}, true
+	}
+	if len(p.Query) < p.Budget {
+		pick := make(map[int]bool, len(p.Query))
+		for _, q := range p.Query {
+			bestR, bestC := -1, math.Inf(-1)
+			row := p.Oracle.CorrRow(q)
+			for _, w := range p.Workers {
+				if row[w] > bestC {
+					bestR, bestC = w, row[w]
+				}
+			}
+			if bestR >= 0 {
+				pick[bestR] = true
+			}
+		}
+		roads := make([]int, 0, len(pick))
+		for r := range pick {
+			roads = append(roads, r)
+		}
+		sort.Ints(roads)
+		return Solution{Roads: roads, Value: p.Objective(roads), Cost: len(roads)}, true
+	}
+	return Solution{}, false
+}
+
+// Random selects feasible roads uniformly at random until the budget is
+// exhausted — the paper's "Randomization" baseline (Fig. 3 column c,
+// Table III).
+func Random(p *Problem, rng *rand.Rand) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	s := newGreedyState(p)
+	perm := rng.Perm(len(p.Workers))
+	for _, idx := range perm {
+		r := p.Workers[idx]
+		if p.Costs[r] > p.Budget-s.cost {
+			continue
+		}
+		if s.redundant(r) {
+			continue
+		}
+		s.add(r)
+	}
+	sort.Ints(s.selected)
+	return Solution{Roads: s.selected, Value: p.Objective(s.selected), Cost: s.cost}, nil
+}
+
+// Exhaustive finds the exact optimum by depth-first enumeration with budget
+// pruning. Exponential in |R^w|; intended for validating the greedy
+// solutions on small instances (tests cap |R^w| ≈ 20).
+func Exhaustive(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if len(p.Workers) > 25 {
+		return Solution{}, fmt.Errorf("ocs: exhaustive solver limited to 25 workers, got %d", len(p.Workers))
+	}
+	workers := append([]int(nil), p.Workers...)
+	sort.Ints(workers)
+	var best Solution
+	best.Value = math.Inf(-1)
+	cur := make([]int, 0, len(workers))
+	var dfs func(idx, cost int)
+	dfs = func(idx, cost int) {
+		if v := p.Objective(cur); v > best.Value {
+			best = Solution{Roads: append([]int(nil), cur...), Value: v, Cost: cost}
+		}
+		for i := idx; i < len(workers); i++ {
+			r := workers[i]
+			if cost+p.Costs[r] > p.Budget {
+				continue
+			}
+			ok := true
+			for _, sel := range cur {
+				if p.Oracle.Corr(sel, r) > p.Theta {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			cur = append(cur, r)
+			dfs(i+1, cost+p.Costs[r])
+			cur = cur[:len(cur)-1]
+		}
+	}
+	dfs(0, 0)
+	return best, nil
+}
+
+// ApproxRatioBound is the Hybrid-Greedy guarantee of Theorem 2.
+const ApproxRatioBound = (1 - 1/math.E) / 2

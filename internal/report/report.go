@@ -1,0 +1,166 @@
+// Package report renders human-readable inspections of a trained CrowdRTSE
+// model: per-road daily profiles as terminal sparklines, and network-wide
+// parameter summaries. The rtsereport command is a thin wrapper around it.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/network"
+	"repro/internal/rtf"
+	"repro/internal/tslot"
+)
+
+// sparkGlyphs are the eight block heights of a terminal sparkline.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a fixed-width sparkline: the series is
+// averaged into width buckets and scaled to the series' own min/max. A flat
+// series renders as mid-height blocks; width ≤ 0 or an empty series yields
+// an empty string.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 || width <= 0 {
+		return ""
+	}
+	if width > len(values) {
+		width = len(values)
+	}
+	buckets := make([]float64, width)
+	counts := make([]int, width)
+	for i, v := range values {
+		b := i * width / len(values)
+		buckets[b] += v
+		counts[b]++
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for b := range buckets {
+		buckets[b] /= float64(counts[b])
+		if buckets[b] < lo {
+			lo = buckets[b]
+		}
+		if buckets[b] > hi {
+			hi = buckets[b]
+		}
+	}
+	var sb strings.Builder
+	for _, v := range buckets {
+		idx := len(sparkGlyphs) / 2
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkGlyphs)-1))
+		}
+		sb.WriteRune(sparkGlyphs[idx])
+	}
+	return sb.String()
+}
+
+// RoadProfile writes one road's fitted daily structure: metadata, the μ
+// profile over the day, the σ profile, and the strongest-correlated
+// neighbors at the given slot.
+func RoadProfile(w io.Writer, net *network.Network, m *rtf.Model, road int, slot tslot.Slot) error {
+	if road < 0 || road >= net.N() {
+		return fmt.Errorf("report: road %d out of range [0,%d)", road, net.N())
+	}
+	if !slot.Valid() {
+		return fmt.Errorf("report: invalid slot %d", slot)
+	}
+	r := net.Road(road)
+	mu := make([]float64, tslot.PerDay)
+	sigma := make([]float64, tslot.PerDay)
+	for t := tslot.Slot(0); t < tslot.PerDay; t++ {
+		mu[t] = m.Mu(t, road)
+		sigma[t] = m.Sigma(t, road)
+	}
+	muLo, muHi := minMax(mu)
+	sigLo, sigHi := minMax(sigma)
+	fmt.Fprintf(w, "road %d %q — %s, %.2f km, cost %d\n", road, r.Name, r.Class, r.LengthKM, r.Cost)
+	fmt.Fprintf(w, "  mu    %s  [%.1f–%.1f km/h]\n", Sparkline(mu, 48), muLo, muHi)
+	fmt.Fprintf(w, "  sigma %s  [%.1f–%.1f km/h]\n", Sparkline(sigma, 48), sigLo, sigHi)
+
+	type nb struct {
+		road int
+		rho  float64
+	}
+	var nbs []nb
+	for _, j := range net.Neighbors(road) {
+		nbs = append(nbs, nb{int(j), m.Rho(slot, road, int(j))})
+	}
+	sort.Slice(nbs, func(i, j int) bool { return nbs[i].rho > nbs[j].rho })
+	fmt.Fprintf(w, "  neighbors at %s:", slot)
+	for _, n := range nbs {
+		fmt.Fprintf(w, "  %d (rho %.2f)", n.road, n.rho)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Summary writes network-wide statistics of the fitted model at one slot:
+// the class mix, the σ distribution (periodicity strength) and the ρ
+// distribution (correlation strength).
+func Summary(w io.Writer, net *network.Network, m *rtf.Model, slot tslot.Slot) error {
+	if !slot.Valid() {
+		return fmt.Errorf("report: invalid slot %d", slot)
+	}
+	classes := map[network.Class]int{}
+	for _, r := range net.Roads() {
+		classes[r.Class]++
+	}
+	fmt.Fprintf(w, "network: %d roads, %d adjacencies\n", net.N(), net.M())
+	fmt.Fprintf(w, "classes:")
+	for c := network.Highway; c <= network.Local; c++ {
+		fmt.Fprintf(w, "  %s %d", c, classes[c])
+	}
+	fmt.Fprintln(w)
+
+	view := m.At(slot)
+	fmt.Fprintf(w, "slot %s (%d):\n", slot, slot)
+	fmt.Fprintf(w, "  sigma %s\n", histogram(view.Sigma, []float64{1, 2, 4, 8, 16}, "km/h"))
+	fmt.Fprintf(w, "  rho   %s\n", histogram(view.Rho, []float64{0.2, 0.4, 0.6, 0.8, 0.92}, ""))
+	return nil
+}
+
+// histogram formats a one-line bucketed distribution.
+func histogram(values []float64, edges []float64, unit string) string {
+	counts := make([]int, len(edges)+1)
+	for _, v := range values {
+		b := sort.SearchFloat64s(edges, v)
+		counts[b]++
+	}
+	var parts []string
+	for b, c := range counts {
+		var label string
+		switch {
+		case b == 0:
+			label = fmt.Sprintf("<%g", edges[0])
+		case b == len(edges):
+			label = fmt.Sprintf(">=%g", edges[len(edges)-1])
+		default:
+			label = fmt.Sprintf("%g-%g", edges[b-1], edges[b])
+		}
+		parts = append(parts, fmt.Sprintf("%s%s:%d", label, unitSuffix(unit), c))
+	}
+	return strings.Join(parts, "  ")
+}
+
+func unitSuffix(unit string) string {
+	if unit == "" {
+		return ""
+	}
+	return " " + unit
+}
+
+func minMax(v []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,97 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"repro/internal/network"
+	"repro/internal/rtf"
+	"repro/internal/speedgen"
+)
+
+func fixture(tb testing.TB) (*network.Network, *rtf.Model) {
+	tb.Helper()
+	net := network.Synthetic(network.SyntheticOptions{Roads: 40, Seed: 90})
+	hist, err := speedgen.Generate(net, speedgen.Default(5, 91))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m := rtf.New(net)
+	if err := rtf.FitMoments(m, hist, 1); err != nil {
+		tb.Fatal(err)
+	}
+	return net, m
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Error("empty series")
+	}
+	if Sparkline([]float64{1, 2}, 0) != "" {
+		t.Error("zero width")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("width = %d", utf8.RuneCountInString(s))
+	}
+	if []rune(s)[0] != '▁' || []rune(s)[7] != '█' {
+		t.Errorf("monotone series rendered %q", s)
+	}
+	// flat series: mid blocks, no panic on zero range
+	flat := Sparkline([]float64{5, 5, 5, 5}, 4)
+	if utf8.RuneCountInString(flat) != 4 {
+		t.Errorf("flat = %q", flat)
+	}
+	// width larger than series clamps
+	if got := Sparkline([]float64{1, 2}, 10); utf8.RuneCountInString(got) != 2 {
+		t.Errorf("clamped = %q", got)
+	}
+}
+
+func TestRoadProfile(t *testing.T) {
+	net, m := fixture(t)
+	var buf bytes.Buffer
+	if err := RoadProfile(&buf, net, m, 3, 102); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"road 3", "mu", "sigma", "neighbors", "rho"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile missing %q:\n%s", want, out)
+		}
+	}
+	if err := RoadProfile(&buf, net, m, 999, 102); err == nil {
+		t.Error("out-of-range road accepted")
+	}
+	if err := RoadProfile(&buf, net, m, 0, 999); err == nil {
+		t.Error("bad slot accepted")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	net, m := fixture(t)
+	var buf bytes.Buffer
+	if err := Summary(&buf, net, m, 102); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"network: 40 roads", "classes:", "sigma", "rho"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if err := Summary(&buf, net, m, -1); err == nil {
+		t.Error("bad slot accepted")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	got := histogram([]float64{0.5, 1.5, 3, 20}, []float64{1, 2, 4}, "")
+	for _, want := range []string{"<1:1", "1-2:1", "2-4:1", ">=4:1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("histogram %q missing %q", got, want)
+		}
+	}
+}

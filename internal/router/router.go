@@ -1,0 +1,177 @@
+// Package router plans routes over the traffic network using estimated
+// speed fields — the route-planning application the paper lists among RTSE
+// consumers (§I). Two planners are provided:
+//
+//   - Static: shortest travel time under one fixed speed field (e.g. the
+//     GSP estimate for the current slot).
+//   - TimeDependent: shortest travel time when speeds change as the trip
+//     progresses — each road is traversed at the speed of the slot the
+//     vehicle *enters* it. Traversal times are positive, so arrival times
+//     are FIFO-consistent and Dijkstra over arrival time is exact.
+package router
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/network"
+	"repro/internal/tslot"
+)
+
+// Field supplies the (estimated) speed of a road at a slot.
+type Field func(t tslot.Slot, road int) float64
+
+// Route is a planned journey.
+type Route struct {
+	Roads   []int   // traversal order, src first
+	Minutes float64 // total travel time
+}
+
+// minSpeed floors speeds so travel times stay finite.
+const minSpeed = 1.0
+
+// travelMinutes returns the time to traverse road at the given speed.
+func travelMinutes(net *network.Network, road int, speed float64) float64 {
+	if speed < minSpeed {
+		speed = minSpeed
+	}
+	return 60 * net.Road(road).LengthKM / speed
+}
+
+// Static plans the fastest route from src to dst under a fixed speed field
+// (speeds indexed by road id). The traversal cost of the first road is not
+// counted (the vehicle is already on it), matching common routing
+// conventions; dst's traversal is counted.
+func Static(net *network.Network, speeds []float64, src, dst int) (Route, error) {
+	if len(speeds) != net.N() {
+		return Route{}, fmt.Errorf("router: %d speeds for %d roads", len(speeds), net.N())
+	}
+	if err := checkEndpoints(net, src, dst); err != nil {
+		return Route{}, err
+	}
+	w := func(u, v int) float64 { return travelMinutes(net, v, speeds[v]) }
+	dist, parent := net.Graph().DijkstraTree(src, w)
+	if math.IsInf(dist[dst], 1) {
+		return Route{}, fmt.Errorf("router: no route from %d to %d", src, dst)
+	}
+	return Route{Roads: rebuild(parent, src, dst), Minutes: dist[dst]}, nil
+}
+
+// TimeDependent plans the fastest route departing at departMinute under a
+// time-varying field. Each road's traversal time is evaluated at the slot
+// of its entry time.
+func TimeDependent(net *network.Network, field Field, departMinute float64, src, dst int) (Route, error) {
+	if field == nil {
+		return Route{}, fmt.Errorf("router: nil field")
+	}
+	if departMinute < 0 || departMinute >= 24*60 {
+		return Route{}, fmt.Errorf("router: departure minute %v outside the day", departMinute)
+	}
+	if err := checkEndpoints(net, src, dst); err != nil {
+		return Route{}, err
+	}
+	g := net.Graph()
+	n := g.N()
+	arrive := make([]float64, n)
+	parent := make([]int32, n)
+	done := make([]bool, n)
+	for i := range arrive {
+		arrive[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	arrive[src] = departMinute
+	h := &timeHeap{{node: int32(src), at: departMinute}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(timeItem)
+		u := int(it.node)
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == dst {
+			break
+		}
+		now := arrive[u]
+		// Entering neighbor v at time `now` (wrapping past midnight for
+		// overnight trips), traversal at the entry slot's speed.
+		slot := tslot.OfMinute(int(now) % (24 * 60))
+		for _, nb := range g.Neighbors(u) {
+			v := int(nb)
+			if done[v] {
+				continue
+			}
+			at := now + travelMinutes(net, v, field(slot, v))
+			if at < arrive[v] {
+				arrive[v] = at
+				parent[v] = int32(u)
+				heap.Push(h, timeItem{node: nb, at: at})
+			}
+		}
+	}
+	if math.IsInf(arrive[dst], 1) {
+		return Route{}, fmt.Errorf("router: no route from %d to %d", src, dst)
+	}
+	return Route{Roads: rebuild(parent, src, dst), Minutes: arrive[dst] - departMinute}, nil
+}
+
+// Evaluate replays a route under a (possibly different) field, returning the
+// actual travel time — how a plan made on estimates performs against ground
+// truth.
+func Evaluate(net *network.Network, field Field, departMinute float64, route Route) (float64, error) {
+	if field == nil {
+		return 0, fmt.Errorf("router: nil field")
+	}
+	if len(route.Roads) == 0 {
+		return 0, fmt.Errorf("router: empty route")
+	}
+	now := departMinute
+	for i := 1; i < len(route.Roads); i++ {
+		prev, cur := route.Roads[i-1], route.Roads[i]
+		if !net.Adjacent(prev, cur) {
+			return 0, fmt.Errorf("router: route hop %d→%d not adjacent", prev, cur)
+		}
+		slot := tslot.OfMinute(int(now) % (24 * 60))
+		now += travelMinutes(net, cur, field(slot, cur))
+	}
+	return now - departMinute, nil
+}
+
+func checkEndpoints(net *network.Network, src, dst int) error {
+	if src < 0 || src >= net.N() || dst < 0 || dst >= net.N() {
+		return fmt.Errorf("router: endpoints (%d,%d) out of range [0,%d)", src, dst, net.N())
+	}
+	return nil
+}
+
+func rebuild(parent []int32, src, dst int) []int {
+	var rev []int
+	for v := dst; v != src; {
+		rev = append(rev, v)
+		v = int(parent[v])
+	}
+	rev = append(rev, src)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+type timeItem struct {
+	node int32
+	at   float64
+}
+
+type timeHeap []timeItem
+
+func (h timeHeap) Len() int            { return len(h) }
+func (h timeHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h timeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timeHeap) Push(x interface{}) { *h = append(*h, x.(timeItem)) }
+func (h *timeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

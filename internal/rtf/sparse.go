@@ -1,0 +1,169 @@
+package rtf
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tslot"
+)
+
+// SparseSample is one observed (day, slot, road) speed — the shape of
+// trajectory-derived records, which cover only the cells some vehicle
+// happened to traverse (unlike the dense feed the paper crawled).
+type SparseSample struct {
+	Day   int
+	Slot  tslot.Slot
+	Road  int
+	Speed float64
+}
+
+// SparseFitReport summarizes what a sparse fit could and could not estimate.
+type SparseFitReport struct {
+	// MuCells is the number of (slot, road) cells whose μ/σ were fitted;
+	// the remainder kept their previous values.
+	MuCells int
+	// RhoCells is the number of (slot, edge) cells whose ρ was fitted.
+	RhoCells int
+	// TotalMuCells and TotalRhoCells are the corresponding cell counts.
+	TotalMuCells, TotalRhoCells int
+}
+
+// MuCoverage returns the fitted fraction of node cells.
+func (r SparseFitReport) MuCoverage() float64 {
+	if r.TotalMuCells == 0 {
+		return 0
+	}
+	return float64(r.MuCells) / float64(r.TotalMuCells)
+}
+
+// FitMomentsSparse fits μ, σ and ρ from sparse samples, pooling ±window
+// neighboring slots per cell as FitMoments does. A node cell needs at least
+// minSamples pooled observations for μ/σ; an edge cell needs minSamples
+// same-(day, slot) observation pairs of its endpoints for ρ. Cells below
+// the threshold keep their current parameters (call this on a moment-fitted
+// or default model), so sparse trajectory data refines rather than replaces.
+func FitMomentsSparse(m *Model, samples []SparseSample, window, minSamples int) (SparseFitReport, error) {
+	if window < 0 {
+		return SparseFitReport{}, fmt.Errorf("rtf: negative pooling window %d", window)
+	}
+	if minSamples < 2 {
+		return SparseFitReport{}, fmt.Errorf("rtf: minSamples must be ≥ 2, got %d", minSamples)
+	}
+	maxDay := -1
+	for _, s := range samples {
+		if s.Road < 0 || s.Road >= m.n {
+			return SparseFitReport{}, fmt.Errorf("rtf: sample road %d out of range", s.Road)
+		}
+		if !s.Slot.Valid() {
+			return SparseFitReport{}, fmt.Errorf("rtf: sample slot %d invalid", s.Slot)
+		}
+		if s.Day < 0 {
+			return SparseFitReport{}, fmt.Errorf("rtf: sample day %d negative", s.Day)
+		}
+		if s.Speed < 0 || math.IsNaN(s.Speed) || math.IsInf(s.Speed, 0) {
+			return SparseFitReport{}, fmt.Errorf("rtf: sample speed %v invalid", s.Speed)
+		}
+		if s.Day > maxDay {
+			maxDay = s.Day
+		}
+	}
+	report := SparseFitReport{
+		TotalMuCells:  tslot.PerDay * m.n,
+		TotalRhoCells: tslot.PerDay * len(m.edges),
+	}
+	if len(samples) == 0 {
+		return report, nil
+	}
+
+	// Index samples per (slot, road): value per day (last write wins — the
+	// extractor already aggregated within cells).
+	type cell = map[int]float64 // day → speed
+	bySlotRoad := make([]map[int]cell, tslot.PerDay)
+	for t := range bySlotRoad {
+		bySlotRoad[t] = make(map[int]cell)
+	}
+	for _, s := range samples {
+		c := bySlotRoad[s.Slot][s.Road]
+		if c == nil {
+			c = make(cell)
+			bySlotRoad[s.Slot][s.Road] = c
+		}
+		c[s.Day] = s.Speed
+	}
+
+	// pooled returns the (day-tagged) pooled observations for (t, road).
+	pooled := func(t tslot.Slot, road int) map[int]float64 {
+		out := make(map[int]float64)
+		for w := -window; w <= window; w++ {
+			s := t.Add(w)
+			for day, v := range bySlotRoad[s][road] {
+				// Tag by (day, offset) so same-day pooled slots both count.
+				out[day*(2*window+1)+w+window] = v
+			}
+		}
+		return out
+	}
+
+	for t := tslot.Slot(0); t < tslot.PerDay; t++ {
+		// Node cells: only roads that have any sample near this slot.
+		touched := make(map[int]bool)
+		for w := -window; w <= window; w++ {
+			for road := range bySlotRoad[t.Add(w)] {
+				touched[road] = true
+			}
+		}
+		for road := range touched {
+			obs := pooled(t, road)
+			if len(obs) < minSamples {
+				continue
+			}
+			var sum, sum2 float64
+			for _, v := range obs {
+				sum += v
+				sum2 += v * v
+			}
+			n := float64(len(obs))
+			mean := sum / n
+			varr := sum2/n - mean*mean
+			if varr < 0 {
+				varr = 0
+			}
+			m.mu[t][road] = mean
+			m.sigma[t][road] = clamp(math.Sqrt(varr), SigmaMin, SigmaMax)
+			report.MuCells++
+		}
+		// Edge cells: need same-tag pairs.
+		for e, ed := range m.edges {
+			if !touched[ed[0]] || !touched[ed[1]] {
+				continue
+			}
+			a := pooled(t, ed[0])
+			b := pooled(t, ed[1])
+			var n, sa, sb, saa, sbb, sab float64
+			for tag, va := range a {
+				vb, ok := b[tag]
+				if !ok {
+					continue
+				}
+				n++
+				sa += va
+				sb += vb
+				saa += va * va
+				sbb += vb * vb
+				sab += va * vb
+			}
+			if int(n) < minSamples {
+				continue
+			}
+			cov := sab/n - (sa/n)*(sb/n)
+			varA := saa/n - (sa/n)*(sa/n)
+			varB := sbb/n - (sb/n)*(sb/n)
+			if varA <= 0 || varB <= 0 {
+				continue
+			}
+			m.rho[t][e] = clamp(cov/math.Sqrt(varA*varB), RhoMin, RhoMax)
+			report.RhoCells++
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,167 @@
+package rtf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tslot"
+)
+
+func TestFitMomentsSparseValidation(t *testing.T) {
+	net, _ := testSetup(t, 10, 2, 30)
+	m := New(net)
+	good := []SparseSample{{Day: 0, Slot: 5, Road: 1, Speed: 40}}
+	if _, err := FitMomentsSparse(m, good, -1, 3); err == nil {
+		t.Error("negative window accepted")
+	}
+	if _, err := FitMomentsSparse(m, good, 0, 1); err == nil {
+		t.Error("minSamples < 2 accepted")
+	}
+	cases := []SparseSample{
+		{Day: 0, Slot: 5, Road: 99, Speed: 40},
+		{Day: 0, Slot: 999, Road: 1, Speed: 40},
+		{Day: -1, Slot: 5, Road: 1, Speed: 40},
+		{Day: 0, Slot: 5, Road: 1, Speed: math.NaN()},
+		{Day: 0, Slot: 5, Road: 1, Speed: -4},
+	}
+	for i, c := range cases {
+		if _, err := FitMomentsSparse(m, []SparseSample{c}, 0, 2); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestFitMomentsSparseEmpty(t *testing.T) {
+	net, _ := testSetup(t, 10, 2, 31)
+	m := New(net)
+	rep, err := FitMomentsSparse(m, nil, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MuCells != 0 || rep.MuCoverage() != 0 {
+		t.Errorf("empty fit report: %+v", rep)
+	}
+	if rep.TotalMuCells != 10*tslot.PerDay {
+		t.Errorf("TotalMuCells = %d", rep.TotalMuCells)
+	}
+}
+
+func TestFitMomentsSparseMatchesDenseWhereCovered(t *testing.T) {
+	net, h := testSetup(t, 30, 10, 32)
+	slot := tslot.Slot(120)
+
+	// Dense reference fit.
+	dense := New(net)
+	if err := FitMoments(dense, h, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sparse fit with full coverage of one slot.
+	sparse := New(net)
+	var samples []SparseSample
+	for d := 0; d < h.Days; d++ {
+		for r := 0; r < net.N(); r++ {
+			samples = append(samples, SparseSample{Day: d, Slot: slot, Road: r, Speed: h.At(d, slot, r)})
+		}
+	}
+	rep, err := FitMomentsSparse(sparse, samples, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MuCells != net.N() {
+		t.Fatalf("fitted %d node cells, want %d", rep.MuCells, net.N())
+	}
+	for r := 0; r < net.N(); r++ {
+		if math.Abs(sparse.Mu(slot, r)-dense.Mu(slot, r)) > 1e-9 {
+			t.Fatalf("sparse μ differs from dense at road %d", r)
+		}
+		if math.Abs(sparse.Sigma(slot, r)-dense.Sigma(slot, r)) > 1e-9 {
+			t.Fatalf("sparse σ differs from dense at road %d", r)
+		}
+	}
+	for _, e := range sparse.Edges() {
+		ds := dense.Rho(slot, e[0], e[1])
+		sp := sparse.Rho(slot, e[0], e[1])
+		if math.Abs(ds-sp) > 1e-9 {
+			t.Fatalf("sparse ρ differs from dense at edge %v: %v vs %v", e, sp, ds)
+		}
+	}
+	// Other slots untouched.
+	if sparse.Mu(0, 0) != 0 {
+		t.Error("sparse fit leaked into uncovered slot")
+	}
+}
+
+func TestFitMomentsSparseRespectsMinSamples(t *testing.T) {
+	net, _ := testSetup(t, 10, 2, 33)
+	m := New(net)
+	m.SetMu(50, 3, 77) // pre-existing value must survive a thin fit
+	samples := []SparseSample{
+		{Day: 0, Slot: 50, Road: 3, Speed: 40},
+		{Day: 1, Slot: 50, Road: 3, Speed: 42},
+	}
+	rep, err := FitMomentsSparse(m, samples, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MuCells != 0 {
+		t.Errorf("thin cell fitted: %+v", rep)
+	}
+	if m.Mu(50, 3) != 77 {
+		t.Errorf("thin cell overwritten: μ = %v", m.Mu(50, 3))
+	}
+	// With minSamples = 2 it fits.
+	rep, err = FitMomentsSparse(m, samples, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MuCells != 1 || m.Mu(50, 3) != 41 {
+		t.Errorf("fit with 2 samples: rep=%+v μ=%v", rep, m.Mu(50, 3))
+	}
+}
+
+func TestFitMomentsSparseRandomSubset(t *testing.T) {
+	// A random 40% subsample still yields μ close to the dense fit on the
+	// cells it covers.
+	net, h := testSetup(t, 40, 12, 34)
+	slot := tslot.Slot(96)
+	rng := rand.New(rand.NewSource(35))
+	var samples []SparseSample
+	for d := 0; d < h.Days; d++ {
+		for r := 0; r < net.N(); r++ {
+			if rng.Float64() < 0.4 {
+				samples = append(samples, SparseSample{Day: d, Slot: slot, Road: r, Speed: h.At(d, slot, r)})
+			}
+		}
+	}
+	m := New(net)
+	rep, err := FitMomentsSparse(m, samples, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MuCells == 0 {
+		t.Fatal("nothing fitted from 40% subsample")
+	}
+	dense := New(net)
+	if err := FitMoments(dense, h, 0); err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for r := 0; r < net.N(); r++ {
+		if m.Mu(slot, r) == 0 {
+			continue // not fitted
+		}
+		// ~5 of 12 days per cell: the subsample mean of a weak-periodicity
+		// road (volatility up to 0.45) can deviate noticeably; bound the
+		// relative error loosely.
+		rel := math.Abs(m.Mu(slot, r)-dense.Mu(slot, r)) / dense.Mu(slot, r)
+		if rel > 0.4 {
+			t.Errorf("road %d sparse μ off by %.1f%%", r, 100*rel)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Error("no fitted cells to check")
+	}
+}

@@ -1,0 +1,320 @@
+// Package server exposes a trained CrowdRTSE system over HTTP — the service
+// surface a deployment would run: workers push their positions and speed
+// reports; clients ask for crowdsourced-road selections, realtime estimates
+// and incident alerts.
+//
+//	GET  /v1/network                 network statistics
+//	POST /v1/workers                 replace the worker pool            {"workers":[{"road":3}, ...]}
+//	POST /v1/report                  submit a speed answer              {"road":3,"slot":102,"speed":47.5}
+//	POST /v1/select                  run OCS                            {"slot":102,"roads":[1,2],"budget":30,"theta":0.92,"selector":"Hybrid"}
+//	GET  /v1/estimate?slot=102&roads=1,2,3   run GSP over current reports
+//	GET  /v1/alerts?slot=102         scan the slot's estimates for incidents
+//
+// Reports are kept per slot; an estimate uses the aggregated reports of its
+// slot as the GSP observations. All handlers are safe for concurrent use.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/detect"
+	"repro/internal/stream"
+	"repro/internal/tslot"
+)
+
+// Server is the HTTP facade over a trained system. Speed reports flow
+// through a stream.Collector, which rejects implausible values and
+// MAD-filters outliers before aggregation.
+type Server struct {
+	sys       *core.System
+	collector *stream.Collector
+
+	mu   sync.RWMutex
+	pool *crowd.Pool
+}
+
+// New wraps a trained system. The worker pool starts empty.
+func New(sys *core.System) *Server {
+	return &Server{
+		sys:       sys,
+		collector: stream.NewCollector(sys.Network().N()),
+		pool:      crowd.NewPool(nil),
+	}
+}
+
+// Handler returns the HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/network", s.handleNetwork)
+	mux.HandleFunc("/v1/workers", s.handleWorkers)
+	mux.HandleFunc("/v1/report", s.handleReport)
+	mux.HandleFunc("/v1/select", s.handleSelect)
+	mux.HandleFunc("/v1/estimate", s.handleEstimate)
+	mux.HandleFunc("/v1/alerts", s.handleAlerts)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+type networkInfo struct {
+	Roads int `json:"roads"`
+	Edges int `json:"edges"`
+}
+
+func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	net := s.sys.Network()
+	writeJSON(w, http.StatusOK, networkInfo{Roads: net.N(), Edges: net.M()})
+}
+
+type workersRequest struct {
+	Workers []struct {
+		Road int `json:"road"`
+	} `json:"workers"`
+}
+
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req workersRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	n := s.sys.Network().N()
+	ws := make([]crowd.Worker, len(req.Workers))
+	for i, rw := range req.Workers {
+		if rw.Road < 0 || rw.Road >= n {
+			writeErr(w, http.StatusBadRequest, "worker %d on road %d: out of range", i, rw.Road)
+			return
+		}
+		ws[i] = crowd.Worker{Road: rw.Road}
+	}
+	s.mu.Lock()
+	s.pool = crowd.NewPool(ws)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]int{"workers": len(ws)})
+}
+
+type reportRequest struct {
+	Road  int     `json:"road"`
+	Slot  int     `json:"slot"`
+	Speed float64 `json:"speed"`
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req reportRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	slot := tslot.Slot(req.Slot)
+	if err := s.collector.Add(stream.Report{Road: req.Road, Slot: slot, Speed: req.Speed}); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"answers": s.collector.Count(slot, req.Road)})
+}
+
+type selectRequest struct {
+	Slot     int     `json:"slot"`
+	Roads    []int   `json:"roads"`
+	Budget   int     `json:"budget"`
+	Theta    float64 `json:"theta"`
+	Selector string  `json:"selector"` // "Hybrid" (default), "Ratio", "OBJ", "Rand"
+	Seed     int64   `json:"seed"`
+}
+
+type selectResponse struct {
+	Roads []int   `json:"roads"`
+	Value float64 `json:"value"`
+	Cost  int     `json:"cost"`
+}
+
+func parseSelector(name string) (core.Selector, error) {
+	switch name {
+	case "", "Hybrid":
+		return core.Hybrid, nil
+	case "Ratio":
+		return core.Ratio, nil
+	case "OBJ", "Objective":
+		return core.Objective, nil
+	case "Rand", "Random":
+		return core.RandomSel, nil
+	default:
+		return 0, fmt.Errorf("unknown selector %q", name)
+	}
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req selectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	sel, err := parseSelector(req.Selector)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	slot := tslot.Slot(req.Slot)
+	if !slot.Valid() {
+		writeErr(w, http.StatusBadRequest, "slot %d out of range", req.Slot)
+		return
+	}
+	s.mu.RLock()
+	workerRoads := s.pool.Roads()
+	s.mu.RUnlock()
+	if len(workerRoads) == 0 {
+		writeErr(w, http.StatusConflict, "no workers registered")
+		return
+	}
+	sol, err := s.sys.SelectRoads(slot, req.Roads, workerRoads, req.Budget, req.Theta, sel, req.Seed)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, selectResponse{Roads: sol.Roads, Value: sol.Value, Cost: sol.Cost})
+}
+
+type estimateResponse struct {
+	Slot      int                `json:"slot"`
+	Observed  int                `json:"observed_roads"`
+	Estimates map[string]float64 `json:"estimates"` // road id (string for JSON) → speed
+	Converged bool               `json:"converged"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	slotN, err := strconv.Atoi(q.Get("slot"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "slot: %v", err)
+		return
+	}
+	slot := tslot.Slot(slotN)
+	if !slot.Valid() {
+		writeErr(w, http.StatusBadRequest, "slot %d out of range", slotN)
+		return
+	}
+	var roads []int
+	if raw := q.Get("roads"); raw != "" {
+		for _, part := range strings.Split(raw, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "roads: %v", err)
+				return
+			}
+			if id < 0 || id >= s.sys.Network().N() {
+				writeErr(w, http.StatusBadRequest, "road %d out of range", id)
+				return
+			}
+			roads = append(roads, id)
+		}
+	} else {
+		for i := 0; i < s.sys.Network().N(); i++ {
+			roads = append(roads, i)
+		}
+	}
+
+	// Robust per-road aggregates of this slot's reports.
+	observed := s.collector.Observations(slot)
+
+	res, err := s.sys.Estimate(slot, observed)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	out := estimateResponse{
+		Slot:      slotN,
+		Observed:  len(observed),
+		Estimates: make(map[string]float64, len(roads)),
+		Converged: res.Converged,
+	}
+	for _, id := range roads {
+		out.Estimates[strconv.Itoa(id)] = res.Speeds[id]
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type alertJSON struct {
+	Road     int     `json:"road"`
+	Estimate float64 `json:"estimate"`
+	Expected float64 `json:"expected"`
+	Drop     float64 `json:"drop"`
+	Z        float64 `json:"z"`
+}
+
+type alertsResponse struct {
+	Slot     int         `json:"slot"`
+	Observed int         `json:"observed_roads"`
+	Alerts   []alertJSON `json:"alerts"`
+}
+
+// handleAlerts runs GSP over the slot's reports and scans the estimates for
+// incident-like drops (package detect).
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	slotN, err := strconv.Atoi(r.URL.Query().Get("slot"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "slot: %v", err)
+		return
+	}
+	slot := tslot.Slot(slotN)
+	if !slot.Valid() {
+		writeErr(w, http.StatusBadRequest, "slot %d out of range", slotN)
+		return
+	}
+	observed := s.collector.Observations(slot)
+	res, err := s.sys.Estimate(slot, observed)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	alerts, err := detect.Scan(s.sys.Model().At(slot), res, detect.DefaultConfig())
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	out := alertsResponse{Slot: slotN, Observed: len(observed), Alerts: []alertJSON{}}
+	for _, a := range alerts {
+		out.Alerts = append(out.Alerts, alertJSON{
+			Road: a.Road, Estimate: a.Estimate, Expected: a.Expected, Drop: a.Drop, Z: a.Z,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,92 @@
+package speedgen
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/tslot"
+)
+
+// WriteCSV streams the history as CSV records "day,slot,road,speed", one row
+// per (day, slot, road) — the same shape as the crawled feed the paper used.
+func (h *History) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	if err := cw.Write([]string{"day", "slot", "road", "speed_kmh"}); err != nil {
+		return err
+	}
+	rec := make([]string, 4)
+	for d := 0; d < h.Days; d++ {
+		for t := tslot.Slot(0); t < tslot.PerDay; t++ {
+			row := h.Slice(d, t)
+			for r := 0; r < h.NRoads; r++ {
+				rec[0] = strconv.Itoa(d)
+				rec[1] = strconv.Itoa(int(t))
+				rec[2] = strconv.Itoa(r)
+				rec[3] = strconv.FormatFloat(row[r], 'f', 3, 64)
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a history written by WriteCSV. nRoads and days must match
+// the file contents; every (day, slot, road) cell must appear exactly once.
+func ReadCSV(r io.Reader, nRoads, days int) (*History, error) {
+	if nRoads <= 0 || days <= 0 {
+		return nil, fmt.Errorf("speedgen: ReadCSV needs positive dimensions")
+	}
+	h := &History{
+		NRoads: nRoads,
+		Days:   days,
+		data:   make([]float64, nRoads*days*tslot.PerDay),
+	}
+	seen := make([]bool, len(h.data))
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	// header
+	if _, err := cr.Read(); err != nil {
+		return nil, fmt.Errorf("speedgen: ReadCSV header: %w", err)
+	}
+	count := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("speedgen: ReadCSV: %w", err)
+		}
+		d, err1 := strconv.Atoi(rec[0])
+		t, err2 := strconv.Atoi(rec[1])
+		road, err3 := strconv.Atoi(rec[2])
+		v, err4 := strconv.ParseFloat(rec[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("speedgen: ReadCSV: malformed record %v", rec)
+		}
+		if d < 0 || d >= days || t < 0 || t >= tslot.PerDay || road < 0 || road >= nRoads {
+			return nil, fmt.Errorf("speedgen: ReadCSV: record %v out of range", rec)
+		}
+		i := (d*tslot.PerDay+t)*nRoads + road
+		if seen[i] {
+			return nil, fmt.Errorf("speedgen: ReadCSV: duplicate record day=%d slot=%d road=%d", d, t, road)
+		}
+		seen[i] = true
+		h.data[i] = v
+		count++
+	}
+	if count != len(h.data) {
+		return nil, fmt.Errorf("speedgen: ReadCSV: %d records, want %d", count, len(h.data))
+	}
+	return h, nil
+}

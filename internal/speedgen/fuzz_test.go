@@ -1,0 +1,31 @@
+package speedgen
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the CSV reader never panics and only accepts complete,
+// well-formed histories.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("day,slot,road,speed_kmh\n0,0,0,50.0\n", 1, 1)
+	f.Add("day,slot,road,speed_kmh\n", 1, 1)
+	f.Add("garbage", 2, 2)
+	f.Add("day,slot,road,speed_kmh\n0,0,0,50.0\n0,0,0,51.0\n", 1, 1)
+	f.Fuzz(func(t *testing.T, doc string, nRoads, days int) {
+		if nRoads < -1 || nRoads > 4 || days < -1 || days > 3 {
+			return // keep allocations bounded
+		}
+		h, err := ReadCSV(strings.NewReader(doc), nRoads, days)
+		if err != nil {
+			return
+		}
+		// Accepted histories must be fully populated and self-consistent.
+		if h.NRoads != nRoads || h.Days != days {
+			t.Fatalf("accepted history has wrong shape: %d/%d", h.NRoads, h.Days)
+		}
+		if h.Records() != nRoads*days*288 {
+			t.Fatalf("records = %d", h.Records())
+		}
+	})
+}

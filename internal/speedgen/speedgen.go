@@ -1,0 +1,576 @@
+// Package speedgen simulates the historical traffic-speed record that
+// CrowdRTSE trains on. The paper crawled the Hong Kong realtime feed for 3
+// months (607 roads × 288 slots/day, 5,244,480 records); that feed is not
+// available offline, so this package generates a ground-truth speed field
+// with exactly the statistical structure the paper exploits:
+//
+//   - Periodicity: each road has a daily profile (free-flow speed with
+//     morning/evening rush-hour dips) plus per-road volatility. Strong-
+//     periodicity roads repeat their profile almost exactly; weak-
+//     periodicity roads deviate a lot, day to day.
+//   - Correlation: day-to-day deviations are spatially correlated — a
+//     road's deviation is blended with its neighbors' through a latent
+//     congestion field, so adjacent roads move together.
+//   - Accidental variance: random incidents depress speeds on a road and,
+//     with decay, its neighborhood for a stretch of slots. These are the
+//     events periodic predictors cannot see (§I).
+//
+// The generated History doubles as ground truth for evaluation (MAPE/FER)
+// and as the crowd's answer source.
+package speedgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/network"
+	"repro/internal/tslot"
+)
+
+// Config controls the generator. The zero value is not useful; start from
+// Default.
+type Config struct {
+	Days int   // number of simulated days
+	Seed int64 // RNG seed
+
+	// WeakFrac is the fraction of roads forced to have weak periodicity
+	// (large day-to-day deviations), regardless of class. The paper's OCS
+	// motivation rests on such roads existing.
+	WeakFrac float64
+
+	// CorrStrength is the neighbor weight γ of the shared congestion
+	// field's moving-average construction x = normalize((I + γ·Adj)^R · w)
+	// for white noise w. Larger γ (and more rounds R) means stronger
+	// correlation between adjacent roads; correlation is exactly zero
+	// beyond 2R hops — the "sparse connection" property the paper's
+	// analysis of regression baselines rests on (§II-A).
+	CorrStrength float64
+
+	// CorrRounds is R above: the number of moving-average rounds, bounding
+	// the correlation range at 2R hops. 0 disables spatial correlation.
+	CorrRounds int
+
+	// TemporalAR in [0,1) is the slot-to-slot AR(1) coefficient of the
+	// latent field, making deviations persist across adjacent slots.
+	TemporalAR float64
+
+	// SharedShare in [0,1] is the weight of the shared (spatially
+	// correlated) latent field in each road's deviation; the remainder is
+	// road-idiosyncratic AR(1) noise that no other road can predict. The
+	// idiosyncratic part is what separates GSP (which falls back to the
+	// periodic mean for unobservable variation) from regression baselines
+	// (which fit spurious coefficients to it).
+	SharedShare float64
+
+	// CorridorFrac is the fraction of roads grouped into "corridors":
+	// chains of consecutive segments along one arterial whose deviations
+	// are nearly identical between neighbors (correlation ≈ 0.97, decaying
+	// along the chain). Corridors are what makes the redundancy constraint
+	// of OCS bite: probing two nearby segments of the same corridor wastes
+	// budget, and θ < 1 forbids it (§V-A, Fig. 3e).
+	CorridorFrac float64
+
+	// IncidentsPerDay is the expected number of incidents per day.
+	IncidentsPerDay float64
+
+	// MeasurementSD is the i.i.d. observation noise added on top of the
+	// structural signal, as a fraction of the profile speed.
+	MeasurementSD float64
+}
+
+// Default returns the configuration used by the experiment harness.
+func Default(days int, seed int64) Config {
+	return Config{
+		Days:            days,
+		Seed:            seed,
+		WeakFrac:        0.25,
+		CorrStrength:    0.7,
+		CorrRounds:      2,
+		TemporalAR:      0.8,
+		SharedShare:     0.8,
+		CorridorFrac:    0.3,
+		IncidentsPerDay: 3,
+		MeasurementSD:   0.02,
+	}
+}
+
+// Profile is the daily periodic structure of one road.
+type Profile struct {
+	Base       float64 // free-flow speed, km/h
+	MorningDip float64 // fractional speed drop at the AM peak (0..1)
+	EveningDip float64 // fractional speed drop at the PM peak (0..1)
+	AMPeak     int     // AM peak slot
+	PMPeak     int     // PM peak slot
+	PeakWidth  float64 // Gaussian width of the peaks, in slots
+	Volatility float64 // relative SD of day-to-day deviations (periodicity weakness)
+}
+
+// Speed returns the profile (periodic) speed at slot t.
+func (p Profile) Speed(t tslot.Slot) float64 {
+	x := float64(t)
+	dip := p.MorningDip*gauss(x, float64(p.AMPeak), p.PeakWidth) +
+		p.EveningDip*gauss(x, float64(p.PMPeak), p.PeakWidth)
+	if dip > 0.95 {
+		dip = 0.95
+	}
+	return p.Base * (1 - dip)
+}
+
+func gauss(x, mu, sd float64) float64 {
+	d := (x - mu) / sd
+	return math.Exp(-0.5 * d * d)
+}
+
+// History is a generated multi-day speed record over a network: the complete
+// ground-truth field, indexed by (day, slot, road).
+type History struct {
+	NRoads    int
+	Days      int
+	Profiles  []Profile // per-road daily profile (the generator's own truth)
+	Corridors [][]int   // road chains with near-identical deviations
+
+	data []float64 // ((day*288)+slot)*NRoads + road
+}
+
+// At returns the ground-truth speed of road r at (day, slot).
+func (h *History) At(day int, t tslot.Slot, r int) float64 {
+	return h.data[h.idx(day, t, r)]
+}
+
+func (h *History) idx(day int, t tslot.Slot, r int) int {
+	if day < 0 || day >= h.Days || !t.Valid() || r < 0 || r >= h.NRoads {
+		panic(fmt.Sprintf("speedgen: index out of range (day=%d slot=%d road=%d)", day, t, r))
+	}
+	return (day*tslot.PerDay+int(t))*h.NRoads + r
+}
+
+// Slice returns the speeds of all roads at (day, slot). The returned slice
+// aliases the history's storage and must not be modified.
+func (h *History) Slice(day int, t tslot.Slot) []float64 {
+	base := h.idx(day, t, 0)
+	return h.data[base : base+h.NRoads]
+}
+
+// NumDays returns the number of recorded days. Together with Speed it
+// satisfies the rtf.History interface.
+func (h *History) NumDays() int { return h.Days }
+
+// Speed returns the recorded speed of road r at (day, slot); it is an alias
+// of At satisfying the rtf.History interface.
+func (h *History) Speed(day int, t tslot.Slot, r int) float64 { return h.At(day, t, r) }
+
+// DayRange returns a view of the history restricted to days [from, to),
+// satisfying the rtf.History interface. Experiments train on a prefix and
+// hold out the last days as realtime ground truth — estimators must never
+// see the evaluation days (regression baselines would otherwise memorize
+// them in-sample).
+func (h *History) DayRange(from, to int) *DayRangeView {
+	if from < 0 || to > h.Days || from >= to {
+		panic(fmt.Sprintf("speedgen: invalid day range [%d,%d) of %d days", from, to, h.Days))
+	}
+	return &DayRangeView{h: h, from: from, days: to - from}
+}
+
+// DayRangeView is a day-restricted view of a History.
+type DayRangeView struct {
+	h    *History
+	from int
+	days int
+}
+
+// NumDays returns the number of days in the view.
+func (v *DayRangeView) NumDays() int { return v.days }
+
+// Speed returns the recorded speed with day indices relative to the view.
+func (v *DayRangeView) Speed(day int, t tslot.Slot, r int) float64 {
+	if day < 0 || day >= v.days {
+		panic(fmt.Sprintf("speedgen: view day %d out of range [0,%d)", day, v.days))
+	}
+	return v.h.At(v.from+day, t, r)
+}
+
+// Records returns the total number of (road, slot, day) records, matching
+// the paper's "pieces of speed records" accounting.
+func (h *History) Records() int { return h.NRoads * h.Days * tslot.PerDay }
+
+// Samples collects the cross-day samples of road r at slot t, optionally
+// pooling ±window neighboring slots (wrapping) for more data per estimate.
+func (h *History) Samples(r int, t tslot.Slot, window int) []float64 {
+	out := make([]float64, 0, h.Days*(2*window+1))
+	for w := -window; w <= window; w++ {
+		s := t.Add(w)
+		for d := 0; d < h.Days; d++ {
+			out = append(out, h.At(d, s, r))
+		}
+	}
+	return out
+}
+
+// Generate builds a history over net according to cfg.
+func Generate(net *network.Network, cfg Config) (*History, error) {
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("speedgen: Days must be positive, got %d", cfg.Days)
+	}
+	if cfg.CorrStrength < 0 {
+		return nil, fmt.Errorf("speedgen: CorrStrength %v must be non-negative", cfg.CorrStrength)
+	}
+	if cfg.CorrRounds < 0 {
+		return nil, fmt.Errorf("speedgen: CorrRounds %d must be non-negative", cfg.CorrRounds)
+	}
+	if cfg.TemporalAR < 0 || cfg.TemporalAR >= 1 {
+		return nil, fmt.Errorf("speedgen: TemporalAR %v outside [0,1)", cfg.TemporalAR)
+	}
+	if cfg.SharedShare < 0 || cfg.SharedShare > 1 {
+		return nil, fmt.Errorf("speedgen: SharedShare %v outside [0,1]", cfg.SharedShare)
+	}
+	if cfg.CorridorFrac < 0 || cfg.CorridorFrac > 1 {
+		return nil, fmt.Errorf("speedgen: CorridorFrac %v outside [0,1]", cfg.CorridorFrac)
+	}
+	n := net.N()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	profiles := makeProfiles(net, cfg, rng)
+	h := &History{
+		NRoads:   n,
+		Days:     cfg.Days,
+		Profiles: profiles,
+		data:     make([]float64, n*cfg.Days*tslot.PerDay),
+	}
+
+	g := net.Graph()
+	sampler := newMASampler(g, cfg.CorrStrength, cfg.CorrRounds)
+	h.Corridors = pickCorridors(g, cfg.CorridorFrac, rng)
+	const chainRho = 0.97
+	chainRes := math.Sqrt(1 - chainRho*chainRho)
+
+	white := make([]float64, n)  // AR(1) per-road driving noise
+	shared := make([]float64, n) // MA(1) spatial transform of white
+	idio := make([]float64, n)   // AR(1) road-idiosyncratic noise
+	field := make([]float64, n)  // combined unit-variance deviation field
+	wShared := math.Sqrt(cfg.SharedShare)
+	wIdio := math.Sqrt(1 - cfg.SharedShare)
+	arSD := math.Sqrt(1 - cfg.TemporalAR*cfg.TemporalAR)
+	for day := 0; day < cfg.Days; day++ {
+		// Reset the fields each day with fresh draws so days are (mostly)
+		// exchangeable, which the per-slot moment estimates rely on.
+		for i := range white {
+			white[i] = rng.NormFloat64()
+			idio[i] = rng.NormFloat64()
+		}
+		incidents := drawIncidents(n, cfg, rng)
+		for t := tslot.Slot(0); t < tslot.PerDay; t++ {
+			// The white field evolves AR(1) per road; the shared field is
+			// its 1-hop moving average, so spatial correlation is strong
+			// between adjacent roads and exactly zero beyond two hops at
+			// every slot.
+			for i := range white {
+				white[i] = cfg.TemporalAR*white[i] + arSD*rng.NormFloat64()
+				idio[i] = cfg.TemporalAR*idio[i] + arSD*rng.NormFloat64()
+			}
+			sampler.apply(white, shared)
+			for r := 0; r < n; r++ {
+				field[r] = wShared*shared[r] + wIdio*idio[r]
+			}
+			// Corridor segments move almost in lockstep with their
+			// predecessor along the chain (heads keep their own field).
+			for _, chain := range h.Corridors {
+				for k := 1; k < len(chain); k++ {
+					field[chain[k]] = chainRho*field[chain[k-1]] + chainRes*idio[chain[k]]
+				}
+			}
+			row := h.data[(day*tslot.PerDay+int(t))*n : (day*tslot.PerDay+int(t)+1)*n]
+			for r := 0; r < n; r++ {
+				p := profiles[r]
+				base := p.Speed(t)
+				dev := p.Volatility * field[r]
+				v := base * (1 + dev)
+				v *= incidentFactor(incidents, g, r, t)
+				v *= 1 + cfg.MeasurementSD*rng.NormFloat64()
+				if v < 1 {
+					v = 1 // speeds are bounded away from zero (stopped ≠ negative)
+				}
+				row[r] = v
+			}
+		}
+	}
+	return h, nil
+}
+
+// pickCorridors grows disjoint chains of adjacent roads (random walks of
+// 3–5 segments over unused nodes) until roughly frac of all roads belong to
+// a corridor. Each chain's later segments are slaved to their predecessor.
+func pickCorridors(g *graph.Graph, frac float64, rng *rand.Rand) [][]int {
+	if frac <= 0 {
+		return nil
+	}
+	n := g.N()
+	target := int(frac * float64(n))
+	used := make([]bool, n)
+	starts := rng.Perm(n)
+	var corridors [][]int
+	covered := 0
+	for _, start := range starts {
+		if covered >= target {
+			break
+		}
+		if used[start] {
+			continue
+		}
+		chain := []int{start}
+		used[start] = true
+		cur := start
+		wantLen := 3 + rng.Intn(3)
+		for len(chain) < wantLen {
+			nbs := g.Neighbors(cur)
+			next := -1
+			for _, off := range rng.Perm(len(nbs)) {
+				if !used[nbs[off]] {
+					next = int(nbs[off])
+					break
+				}
+			}
+			if next < 0 {
+				break
+			}
+			used[next] = true
+			chain = append(chain, next)
+			cur = next
+		}
+		if len(chain) < 2 {
+			used[start] = false
+			continue
+		}
+		covered += len(chain)
+		corridors = append(corridors, chain)
+	}
+	return corridors
+}
+
+// makeProfiles draws a per-road daily profile. Class controls base speed and
+// baseline volatility; a WeakFrac share of roads gets its volatility boosted
+// into the weak-periodicity regime.
+func makeProfiles(net *network.Network, cfg Config, rng *rand.Rand) []Profile {
+	n := net.N()
+	profiles := make([]Profile, n)
+	for r := 0; r < n; r++ {
+		var base, vol float64
+		switch net.Road(r).Class {
+		case network.Highway:
+			base, vol = 85, 0.04
+		case network.Arterial:
+			base, vol = 60, 0.07
+		case network.Secondary:
+			base, vol = 45, 0.10
+		default: // Local
+			base, vol = 30, 0.13
+		}
+		base *= 1 + 0.1*rng.NormFloat64()
+		if base < 10 {
+			base = 10
+		}
+		profiles[r] = Profile{
+			Base:       base,
+			MorningDip: 0.15 + 0.35*rng.Float64(),
+			EveningDip: 0.15 + 0.35*rng.Float64(),
+			AMPeak:     96 + rng.Intn(13) - 6,  // ≈ 08:00 ± 30min
+			PMPeak:     216 + rng.Intn(13) - 6, // ≈ 18:00 ± 30min
+			PeakWidth:  10 + 6*rng.Float64(),   // 50–80 minutes
+			Volatility: vol * (0.8 + 0.4*rng.Float64()),
+		}
+	}
+	// Promote a fraction of roads to weak periodicity, in connected patches
+	// — volatility clusters in districts (markets, ports, event venues),
+	// not on isolated segments. Clustered weak roads are also what makes
+	// the redundancy threshold θ meaningful: they attract multiple probes,
+	// which θ < 1 forces to spread out (§V-A).
+	target := int(cfg.WeakFrac * float64(n))
+	weak := 0
+	g := net.Graph()
+	for _, seed := range rng.Perm(n) {
+		if weak >= target {
+			break
+		}
+		if profiles[seed].Volatility >= 0.25 {
+			continue
+		}
+		size := 4 + rng.Intn(5)
+		patch := g.ConnectedSubset(seed, size)
+		if patch == nil {
+			patch = []int{seed}
+		}
+		for _, r := range patch {
+			if weak >= target {
+				break
+			}
+			if profiles[r].Volatility < 0.25 {
+				profiles[r].Volatility = 0.25 + 0.20*rng.Float64()
+				weak++
+			}
+		}
+	}
+	return profiles
+}
+
+// maSampler applies the R-round moving-average transform
+// x = N·(I + γ·Adj)^R·w with N normalizing each row to unit L2 norm, so the
+// field has exactly unit marginal variance and zero correlation beyond 2R
+// hops. The transform rows are precomputed sparsely (each touches only the
+// R-hop neighborhood).
+type maSampler struct {
+	rowIdx [][]int32
+	rowVal [][]float64
+}
+
+func newMASampler(g *graph.Graph, gamma float64, rounds int) *maSampler {
+	n := g.N()
+	// rows[i] maps column → coefficient, starting from the identity.
+	rows := make([]map[int32]float64, n)
+	for i := range rows {
+		rows[i] = map[int32]float64{int32(i): 1}
+	}
+	next := make([]map[int32]float64, n)
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < n; i++ {
+			acc := make(map[int32]float64, len(rows[i])*2)
+			for c, v := range rows[i] {
+				acc[c] += v
+			}
+			for _, j := range g.Neighbors(i) {
+				for c, v := range rows[j] {
+					acc[c] += gamma * v
+				}
+			}
+			next[i] = acc
+		}
+		rows, next = next, rows
+	}
+	s := &maSampler{rowIdx: make([][]int32, n), rowVal: make([][]float64, n)}
+	for i, row := range rows {
+		// Fixed (sorted) column order keeps float accumulation — and hence
+		// the generated data — bit-for-bit deterministic across runs.
+		idx := make([]int32, 0, len(row))
+		for c := range row {
+			idx = append(idx, c)
+		}
+		sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+		val := make([]float64, len(idx))
+		var norm float64
+		for k, c := range idx {
+			val[k] = row[c]
+			norm += val[k] * val[k]
+		}
+		norm = math.Sqrt(norm)
+		for k := range val {
+			val[k] /= norm
+		}
+		s.rowIdx[i] = idx
+		s.rowVal[i] = val
+	}
+	return s
+}
+
+// apply writes the transform of white into dst.
+func (s *maSampler) apply(white, dst []float64) {
+	for i := range dst {
+		var v float64
+		idx := s.rowIdx[i]
+		val := s.rowVal[i]
+		for k, c := range idx {
+			v += val[k] * white[c]
+		}
+		dst[i] = v
+	}
+}
+
+// incident is a localized speed drop.
+type incident struct {
+	road     int
+	from, to tslot.Slot // inclusive slot range (no wrap)
+	severity float64    // multiplicative speed factor at the epicentre (0..1)
+}
+
+func drawIncidents(n int, cfg Config, rng *rand.Rand) []incident {
+	// Poisson(IncidentsPerDay) via thinning of a geometric-ish loop.
+	count := poisson(cfg.IncidentsPerDay, rng)
+	out := make([]incident, 0, count)
+	for i := 0; i < count; i++ {
+		start := tslot.Slot(rng.Intn(tslot.PerDay - 12))
+		dur := 6 + rng.Intn(18) // 30–120 minutes
+		end := start + tslot.Slot(dur)
+		if end >= tslot.PerDay {
+			end = tslot.PerDay - 1
+		}
+		out = append(out, incident{
+			road:     rng.Intn(n),
+			from:     start,
+			to:       end,
+			severity: 0.3 + 0.3*rng.Float64(),
+		})
+	}
+	return out
+}
+
+func poisson(lambda float64, rng *rand.Rand) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k // lambda misuse guard
+		}
+	}
+}
+
+// incidentFactor returns the multiplicative slowdown affecting road r at
+// slot t: the epicentre takes the full severity, 1-hop neighbors half the
+// drop, 2-hop neighbors a quarter.
+func incidentFactor(incs []incident, g interface {
+	HasEdge(int, int) bool
+	Neighbors(int) []int32
+}, r int, t tslot.Slot) float64 {
+	f := 1.0
+	for _, inc := range incs {
+		if t < inc.from || t > inc.to {
+			continue
+		}
+		drop := 1 - inc.severity
+		switch hopsUpTo2(g, inc.road, r) {
+		case 0:
+			f *= inc.severity
+		case 1:
+			f *= 1 - drop/2
+		case 2:
+			f *= 1 - drop/4
+		}
+	}
+	return f
+}
+
+// hopsUpTo2 returns 0, 1 or 2 if r is within two hops of src, else -1.
+func hopsUpTo2(g interface {
+	HasEdge(int, int) bool
+	Neighbors(int) []int32
+}, src, r int) int {
+	if src == r {
+		return 0
+	}
+	if g.HasEdge(src, r) {
+		return 1
+	}
+	for _, v := range g.Neighbors(src) {
+		if g.HasEdge(int(v), r) {
+			return 2
+		}
+	}
+	return -1
+}

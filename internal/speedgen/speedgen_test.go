@@ -1,0 +1,404 @@
+package speedgen
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/tslot"
+)
+
+func testNet(tb testing.TB, roads int, seed int64) *network.Network {
+	tb.Helper()
+	return network.Synthetic(network.SyntheticOptions{Roads: roads, Seed: seed})
+}
+
+func smallHistory(tb testing.TB) (*network.Network, *History) {
+	tb.Helper()
+	net := testNet(tb, 60, 1)
+	h, err := Generate(net, Default(6, 2))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return net, h
+}
+
+func TestGenerateValidation(t *testing.T) {
+	net := testNet(t, 10, 1)
+	if _, err := Generate(net, Config{Days: 0}); err == nil {
+		t.Error("Days=0 accepted")
+	}
+	bad := Default(1, 1)
+	bad.CorrStrength = -1
+	if _, err := Generate(net, bad); err == nil {
+		t.Error("negative CorrStrength accepted")
+	}
+	bad = Default(1, 1)
+	bad.TemporalAR = 1.0
+	if _, err := Generate(net, bad); err == nil {
+		t.Error("TemporalAR=1 accepted")
+	}
+	bad = Default(1, 1)
+	bad.SharedShare = 1.5
+	if _, err := Generate(net, bad); err == nil {
+		t.Error("SharedShare>1 accepted")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	net, h := smallHistory(t)
+	if h.NRoads != net.N() || h.Days != 6 {
+		t.Fatalf("shape: NRoads=%d Days=%d", h.NRoads, h.Days)
+	}
+	if h.Records() != net.N()*6*tslot.PerDay {
+		t.Fatalf("Records = %d", h.Records())
+	}
+	if len(h.Profiles) != net.N() {
+		t.Fatalf("Profiles = %d", len(h.Profiles))
+	}
+	for d := 0; d < h.Days; d++ {
+		for _, tt := range []tslot.Slot{0, 100, 287} {
+			for r := 0; r < h.NRoads; r++ {
+				v := h.At(d, tt, r)
+				if v < 1 || v > 200 || math.IsNaN(v) {
+					t.Fatalf("speed %v out of sane range at (%d,%d,%d)", v, d, tt, r)
+				}
+			}
+		}
+	}
+}
+
+func TestPaperScaleRecordCount(t *testing.T) {
+	// The paper reports 5,244,480 records for 607 roads over its crawl:
+	// 607 × 288 × 30 = 5,244,480. Verify the accounting identity without
+	// generating that much data.
+	if 607*288*30 != 5244480 {
+		t.Fatal("paper record-count identity broken")
+	}
+	h := &History{NRoads: 607, Days: 30}
+	if h.Records() != 5244480 {
+		t.Fatalf("Records() = %d, want 5244480", h.Records())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	net := testNet(t, 30, 3)
+	a, err := Generate(net, Default(2, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(net, Default(2, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 2; d++ {
+		for tt := tslot.Slot(0); tt < tslot.PerDay; tt += 37 {
+			for r := 0; r < net.N(); r++ {
+				if a.At(d, tt, r) != b.At(d, tt, r) {
+					t.Fatalf("same seed differs at (%d,%d,%d)", d, tt, r)
+				}
+			}
+		}
+	}
+}
+
+func TestProfileSpeedShape(t *testing.T) {
+	p := Profile{Base: 60, MorningDip: 0.4, EveningDip: 0.3, AMPeak: 96, PMPeak: 216, PeakWidth: 10}
+	free := p.Speed(0) // midnight
+	am := p.Speed(96)  // AM peak
+	pm := p.Speed(216) // PM peak
+	if free <= am || free <= pm {
+		t.Errorf("free-flow %v should exceed peaks am=%v pm=%v", free, am, pm)
+	}
+	if math.Abs(am-60*(1-0.4)) > 1e-6 {
+		t.Errorf("AM peak speed = %v", am)
+	}
+	// dip capped at 0.95
+	p2 := Profile{Base: 50, MorningDip: 0.9, EveningDip: 0.9, AMPeak: 96, PMPeak: 96, PeakWidth: 10}
+	if v := p2.Speed(96); v < 50*0.049 {
+		t.Errorf("dip cap failed: %v", v)
+	}
+}
+
+func TestPeriodicityStructure(t *testing.T) {
+	// Rush-hour slots must be slower than free flow on average.
+	_, h := smallHistory(t)
+	var freeSum, peakSum float64
+	n := h.NRoads
+	for d := 0; d < h.Days; d++ {
+		for r := 0; r < n; r++ {
+			freeSum += h.At(d, 24, r) // 02:00
+			peakSum += h.At(d, 96, r) // 08:00
+		}
+	}
+	if peakSum >= freeSum {
+		t.Errorf("rush hour (%v) not slower than free flow (%v)", peakSum, freeSum)
+	}
+}
+
+func TestWeakRoadsExist(t *testing.T) {
+	_, h := smallHistory(t)
+	weak := 0
+	for _, p := range h.Profiles {
+		if p.Volatility >= 0.25 {
+			weak++
+		}
+	}
+	if weak == 0 {
+		t.Error("no weak-periodicity roads generated; OCS has nothing to prioritize")
+	}
+	if weak == len(h.Profiles) {
+		t.Error("all roads weak; periodicity signal missing")
+	}
+}
+
+func TestSpatialCorrelation(t *testing.T) {
+	// Deviations from per-road daily means must correlate more for adjacent
+	// road pairs than for random far pairs.
+	net := testNet(t, 80, 5)
+	cfg := Default(8, 9)
+	cfg.IncidentsPerDay = 0 // isolate the latent-field correlation
+	h, err := Generate(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slotT := tslot.Slot(140)
+	dev := func(r int) []float64 {
+		xs := make([]float64, h.Days)
+		var mean float64
+		for d := 0; d < h.Days; d++ {
+			xs[d] = h.At(d, slotT, r)
+			mean += xs[d]
+		}
+		mean /= float64(h.Days)
+		for d := range xs {
+			xs[d] -= mean
+		}
+		return xs
+	}
+	corr := func(a, b []float64) float64 {
+		var sab, saa, sbb float64
+		for i := range a {
+			sab += a[i] * b[i]
+			saa += a[i] * a[i]
+			sbb += b[i] * b[i]
+		}
+		if saa == 0 || sbb == 0 {
+			return 0
+		}
+		return sab / math.Sqrt(saa*sbb)
+	}
+	var adjSum float64
+	var adjN int
+	net.Graph().Edges(func(u, v int) bool {
+		adjSum += corr(dev(u), dev(v))
+		adjN++
+		return adjN < 60
+	})
+	dist := net.Graph().HopDistances([]int{0})
+	var farSum float64
+	var farN int
+	for r := 1; r < net.N() && farN < 30; r++ {
+		if dist[r] >= 6 {
+			farSum += corr(dev(0), dev(r))
+			farN++
+		}
+	}
+	if adjN == 0 || farN == 0 {
+		t.Skip("not enough pairs for the correlation check")
+	}
+	adjMean, farMean := adjSum/float64(adjN), farSum/float64(farN)
+	if adjMean <= farMean {
+		t.Errorf("adjacent correlation %v not above far correlation %v", adjMean, farMean)
+	}
+	if adjMean < 0.2 {
+		t.Errorf("adjacent correlation %v too weak for the model to exploit", adjMean)
+	}
+}
+
+func TestCorridors(t *testing.T) {
+	net := testNet(t, 100, 21)
+	cfg := Default(10, 22)
+	cfg.IncidentsPerDay = 0
+	h, err := Generate(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Corridors) == 0 {
+		t.Fatal("no corridors generated with CorridorFrac > 0")
+	}
+	seen := map[int]bool{}
+	for _, chain := range h.Corridors {
+		if len(chain) < 2 {
+			t.Fatalf("corridor %v too short", chain)
+		}
+		for k, r := range chain {
+			if seen[r] {
+				t.Fatalf("road %d reused across corridors", r)
+			}
+			seen[r] = true
+			if k > 0 && !net.Adjacent(chain[k-1], r) {
+				t.Fatalf("corridor %v breaks adjacency at %d", chain, k)
+			}
+		}
+	}
+	// Consecutive corridor segments must correlate near-perfectly.
+	slot := tslot.Slot(130)
+	corr := func(a, b int) float64 {
+		var ma, mb float64
+		for d := 0; d < h.Days; d++ {
+			ma += h.At(d, slot, a)
+			mb += h.At(d, slot, b)
+		}
+		ma /= float64(h.Days)
+		mb /= float64(h.Days)
+		var sab, saa, sbb float64
+		for d := 0; d < h.Days; d++ {
+			da, db := h.At(d, slot, a)-ma, h.At(d, slot, b)-mb
+			sab += da * db
+			saa += da * da
+			sbb += db * db
+		}
+		return sab / math.Sqrt(saa*sbb)
+	}
+	var sum float64
+	var n int
+	for _, chain := range h.Corridors {
+		for k := 1; k < len(chain); k++ {
+			sum += corr(chain[k-1], chain[k])
+			n++
+		}
+	}
+	if mean := sum / float64(n); mean < 0.85 {
+		t.Errorf("mean consecutive corridor correlation %.3f below 0.85", mean)
+	}
+	// CorridorFrac = 0 disables corridors.
+	cfg0 := Default(2, 1)
+	cfg0.CorridorFrac = 0
+	h0, err := Generate(net, cfg0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h0.Corridors) != 0 {
+		t.Error("corridors generated with CorridorFrac = 0")
+	}
+	bad := Default(2, 1)
+	bad.CorridorFrac = 1.5
+	if _, err := Generate(net, bad); err == nil {
+		t.Error("CorridorFrac > 1 accepted")
+	}
+}
+
+func TestSamplesPooling(t *testing.T) {
+	_, h := smallHistory(t)
+	s0 := h.Samples(3, 100, 0)
+	if len(s0) != h.Days {
+		t.Fatalf("Samples window=0: %d, want %d", len(s0), h.Days)
+	}
+	s2 := h.Samples(3, 100, 2)
+	if len(s2) != h.Days*5 {
+		t.Fatalf("Samples window=2: %d, want %d", len(s2), h.Days*5)
+	}
+	// wrap-around slot
+	sw := h.Samples(3, 0, 1)
+	if len(sw) != h.Days*3 {
+		t.Fatalf("Samples wrap: %d", len(sw))
+	}
+}
+
+func TestAtPanics(t *testing.T) {
+	_, h := smallHistory(t)
+	for name, fn := range map[string]func(){
+		"bad day":  func() { h.At(99, 0, 0) },
+		"bad slot": func() { h.At(0, 999, 0) },
+		"bad road": func() { h.At(0, 0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestIncidentsDepressSpeeds(t *testing.T) {
+	net := testNet(t, 40, 11)
+	base := Default(10, 13)
+	base.IncidentsPerDay = 0
+	quiet, err := Generate(net, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := base
+	busy.IncidentsPerDay = 20
+	noisy, err := Generate(net, busy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var quietSum, noisySum float64
+	for d := 0; d < 10; d++ {
+		for tt := tslot.Slot(0); tt < tslot.PerDay; tt += 7 {
+			for r := 0; r < net.N(); r++ {
+				quietSum += quiet.At(d, tt, r)
+				noisySum += noisy.At(d, tt, r)
+			}
+		}
+	}
+	if noisySum >= quietSum {
+		t.Errorf("incidents did not depress mean speed: %v vs %v", noisySum, quietSum)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	net := testNet(t, 8, 17)
+	h, err := Generate(net, Default(1, 19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := h.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := tslot.Slot(0); tt < tslot.PerDay; tt++ {
+		for r := 0; r < 8; r++ {
+			a, b := h.At(0, tt, r), got.At(0, tt, r)
+			if math.Abs(a-b) > 1e-3 {
+				t.Fatalf("round trip differs at (%d,%d): %v vs %v", tt, r, a, b)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	header := "day,slot,road,speed_kmh\n"
+	cases := map[string]string{
+		"empty":        "",
+		"short":        header + "0,0,0,50.0\n",
+		"bad number":   header + "0,0,x,50.0\n",
+		"out of range": header + "0,999,0,50.0\n",
+		"duplicate":    header + "0,0,0,50.0\n0,0,0,51.0\n",
+	}
+	for name, doc := range cases {
+		if _, err := ReadCSV(strings.NewReader(doc), 1, 1); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := ReadCSV(strings.NewReader(header), 0, 1); err == nil {
+		t.Error("zero dimensions accepted")
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	if poisson(0, nil) != 0 {
+		t.Error("poisson(0) != 0")
+	}
+}

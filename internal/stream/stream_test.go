@@ -1,0 +1,251 @@
+package stream
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/rtf"
+	"repro/internal/speedgen"
+	"repro/internal/tslot"
+)
+
+func TestCollectorAddValidation(t *testing.T) {
+	c := NewCollector(10)
+	cases := []Report{
+		{Road: -1, Slot: 0, Speed: 50},
+		{Road: 10, Slot: 0, Speed: 50},
+		{Road: 0, Slot: 999, Speed: 50},
+		{Road: 0, Slot: 0, Speed: -1},
+		{Road: 0, Slot: 0, Speed: 500},
+		{Road: 0, Slot: 0, Speed: math.NaN()},
+	}
+	for i, r := range cases {
+		if err := c.Add(r); err == nil {
+			t.Errorf("case %d accepted: %+v", i, r)
+		}
+	}
+	if err := c.Add(Report{Road: 0, Slot: 0, Speed: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Count(0, 0) != 1 {
+		t.Errorf("Count = %d", c.Count(0, 0))
+	}
+}
+
+func TestCollectorAggregates(t *testing.T) {
+	c := NewCollector(5)
+	for _, v := range []float64{50, 52, 48} {
+		if err := c.Add(Report{Road: 1, Slot: 10, Speed: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	obs := c.Observations(10)
+	if len(obs) != 1 || math.Abs(obs[1]-50) > 1e-9 {
+		t.Errorf("Observations = %v", obs)
+	}
+	// other slots are empty
+	if len(c.Observations(11)) != 0 {
+		t.Error("phantom observations")
+	}
+	c.Reset(10)
+	if len(c.Observations(10)) != 0 || c.Count(10, 1) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestCollectorOutlierRejection(t *testing.T) {
+	c := NewCollector(5)
+	for _, v := range []float64{50, 51, 49, 50.5, 150} { // 150 is a glitch
+		if err := c.Add(Report{Road: 2, Slot: 7, Speed: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	obs := c.Observations(7)
+	if obs[2] > 55 {
+		t.Errorf("outlier not rejected: aggregate %v", obs[2])
+	}
+	// With only 3 reports, no rejection happens (too little data).
+	for _, v := range []float64{50, 51, 150} {
+		if err := c.Add(Report{Road: 3, Slot: 7, Speed: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Observations(7)[3]; math.Abs(got-251.0/3) > 1e-9 {
+		t.Errorf("small-sample aggregate = %v", got)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector(50)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = c.Add(Report{Road: (g*7 + i) % 50, Slot: tslot.Slot(i % 288), Speed: 40})
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for s := tslot.Slot(0); s < 288; s++ {
+		for _, v := range c.Observations(s) {
+			if v != 40 {
+				t.Fatalf("corrupted aggregate %v", v)
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		t.Error("no aggregates after concurrent ingestion")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median")
+	}
+	if median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Error("even median")
+	}
+}
+
+func TestRobustMeanEmpty(t *testing.T) {
+	if _, ok := robustMean(nil, 4); ok {
+		t.Error("empty robustMean ok")
+	}
+}
+
+func TestNewOnlineRTFValidation(t *testing.T) {
+	net := network.Synthetic(network.SyntheticOptions{Roads: 10, Seed: 1})
+	m := rtf.New(net)
+	if _, err := NewOnlineRTF(nil, 0.1); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewOnlineRTF(m, 0); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := NewOnlineRTF(m, 1); err == nil {
+		t.Error("alpha=1 accepted")
+	}
+	o, err := NewOnlineRTF(m, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Model() != m {
+		t.Error("model not retained")
+	}
+	if err := o.Fold(999, nil); err == nil {
+		t.Error("invalid slot accepted")
+	}
+	if err := o.Fold(0, map[int]float64{99: 1}); err == nil {
+		t.Error("out-of-range road accepted")
+	}
+	if err := o.Fold(0, map[int]float64{0: math.NaN()}); err == nil {
+		t.Error("NaN speed accepted")
+	}
+}
+
+func TestOnlineRTFTracksShift(t *testing.T) {
+	// Train offline, then feed many days whose speeds sit 15 km/h lower on
+	// road 0; the online μ must migrate toward the new level while an
+	// untouched road keeps its parameters.
+	net := network.Synthetic(network.SyntheticOptions{Roads: 20, Seed: 2})
+	hist, err := speedgen.Generate(net, speedgen.Default(8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rtf.New(net)
+	if err := rtf.FitMoments(m, hist, 1); err != nil {
+		t.Fatal(err)
+	}
+	slot := tslot.Slot(100)
+	before0 := m.Mu(slot, 0)
+	before5 := m.Mu(slot, 5)
+
+	o, err := NewOnlineRTF(m, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := before0 - 15
+	for day := 0; day < 30; day++ {
+		if err := o.Fold(slot, map[int]float64{0: target}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Mu(slot, 0); math.Abs(got-target) > 1 {
+		t.Errorf("online μ = %v, want ≈ %v", got, target)
+	}
+	if m.Mu(slot, 5) != before5 {
+		t.Error("unobserved road's μ changed")
+	}
+	// σ should have shrunk toward 0 (deterministic feed) but stay clamped.
+	if m.Sigma(slot, 0) < rtf.SigmaMin {
+		t.Errorf("σ below clamp: %v", m.Sigma(slot, 0))
+	}
+}
+
+func TestOnlineRTFRhoUpdates(t *testing.T) {
+	net := network.Synthetic(network.SyntheticOptions{Roads: 20, Seed: 4})
+	hist, err := speedgen.Generate(net, speedgen.Default(8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rtf.New(net)
+	if err := rtf.FitMoments(m, hist, 1); err != nil {
+		t.Fatal(err)
+	}
+	slot := tslot.Slot(60)
+	e := m.Edges()[0]
+	i, j := e[0], e[1]
+	before := m.Rho(slot, i, j)
+
+	o, err := NewOnlineRTF(m, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed perfectly co-moving deviations (alternating sign so μ stays put
+	// while the cross-deviation product stays +1): ρ must rise.
+	for day := 0; day < 20; day++ {
+		sign := 1.0
+		if day%2 == 1 {
+			sign = -1
+		}
+		obs := map[int]float64{
+			i: m.Mu(slot, i) + sign*m.Sigma(slot, i),
+			j: m.Mu(slot, j) + sign*m.Sigma(slot, j),
+		}
+		if err := o.Fold(slot, obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := m.Rho(slot, i, j)
+	if after <= before {
+		t.Errorf("co-moving feed did not raise ρ: %v -> %v", before, after)
+	}
+	if after > rtf.RhoMax {
+		t.Errorf("ρ exceeded clamp: %v", after)
+	}
+}
+
+func TestEndToEndCollectorToGSPObservations(t *testing.T) {
+	// The Collector's Observations output plugs straight into the core
+	// estimate path: simulate reports, aggregate, and check shape.
+	net := network.Synthetic(network.SyntheticOptions{Roads: 30, Seed: 6})
+	c := NewCollector(net.N())
+	for k := 0; k < 5; k++ {
+		if err := c.Add(Report{Road: 3, Slot: 50, Speed: 40 + float64(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	obs := c.Observations(50)
+	if len(obs) != 1 {
+		t.Fatalf("obs = %v", obs)
+	}
+	if obs[3] < 40 || obs[3] > 45 {
+		t.Errorf("aggregate %v outside report range", obs[3])
+	}
+}

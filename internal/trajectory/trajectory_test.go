@@ -1,0 +1,188 @@
+package trajectory
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/speedgen"
+	"repro/internal/tslot"
+)
+
+func fixture(tb testing.TB) (*network.Network, SpeedField) {
+	tb.Helper()
+	net := network.Synthetic(network.SyntheticOptions{Roads: 60, Seed: 1})
+	hist, err := speedgen.Generate(net, speedgen.Default(2, 2))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	field := func(t tslot.Slot, road int) float64 { return hist.At(0, t, road) }
+	return net, field
+}
+
+func TestSimulateValidation(t *testing.T) {
+	net, field := fixture(t)
+	if _, _, err := Simulate(net, nil, DefaultConfig(1, 1)); err == nil {
+		t.Error("nil field accepted")
+	}
+	bad := DefaultConfig(0, 1)
+	if _, _, err := Simulate(net, field, bad); err == nil {
+		t.Error("zero trips accepted")
+	}
+	bad = DefaultConfig(1, 1)
+	bad.StartMinute = 900
+	bad.EndMinute = 800
+	if _, _, err := Simulate(net, field, bad); err == nil {
+		t.Error("inverted window accepted")
+	}
+	bad = DefaultConfig(1, 1)
+	bad.GPSIntervalSec = 0
+	if _, _, err := Simulate(net, field, bad); err == nil {
+		t.Error("zero GPS interval accepted")
+	}
+	bad = DefaultConfig(1, 1)
+	bad.SpeedNoiseSD = -1
+	if _, _, err := Simulate(net, field, bad); err == nil {
+		t.Error("negative noise accepted")
+	}
+}
+
+func TestSimulateTrips(t *testing.T) {
+	net, field := fixture(t)
+	trips, fixes, err := Simulate(net, field, DefaultConfig(40, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trips) == 0 || len(fixes) == 0 {
+		t.Fatalf("trips=%d fixes=%d", len(trips), len(fixes))
+	}
+	g := net.Graph()
+	for ti, trip := range trips {
+		if trip.Duration() < 0 {
+			t.Fatalf("trip %d negative duration", ti)
+		}
+		for i, road := range trip.Roads {
+			if road < 0 || road >= net.N() {
+				t.Fatalf("trip %d road %d out of range", ti, road)
+			}
+			if i > 0 {
+				if !g.HasEdge(trip.Roads[i-1], road) {
+					t.Fatalf("trip %d uses non-adjacent hop %d→%d", ti, trip.Roads[i-1], road)
+				}
+				if trip.Entry[i] < trip.Entry[i-1] {
+					t.Fatalf("trip %d entry times not monotone", ti)
+				}
+			}
+		}
+		if trip.End < trip.Entry[len(trip.Entry)-1] {
+			t.Fatalf("trip %d ends before last entry", ti)
+		}
+	}
+	for _, f := range fixes {
+		if f.Minute < 0 || f.Minute >= 24*60 {
+			t.Fatalf("fix outside the day: %+v", f)
+		}
+		if f.Speed < 0 || math.IsNaN(f.Speed) {
+			t.Fatalf("bad fix speed: %+v", f)
+		}
+	}
+}
+
+func TestFixesMatchOccupiedRoad(t *testing.T) {
+	net, field := fixture(t)
+	trips, fixes, err := Simulate(net, field, DefaultConfig(10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = trips
+	// Every fix's measured speed should be near the field speed of its road
+	// at its slot (3% noise).
+	for _, f := range fixes {
+		truth := field(tslot.OfMinute(int(f.Minute)), f.Road)
+		if truth > 1 && math.Abs(f.Speed-truth)/truth > 0.25 {
+			t.Fatalf("fix far from field: %+v vs %v", f, truth)
+		}
+	}
+}
+
+func TestExtractRecords(t *testing.T) {
+	fixes := []Fix{
+		{Road: 1, Minute: 10, Speed: 50},
+		{Road: 1, Minute: 11, Speed: 54}, // same slot (10–15 min = slot 2)
+		{Road: 1, Minute: 20, Speed: 60}, // slot 4
+		{Road: 2, Minute: 10, Speed: 30},
+	}
+	recs := ExtractRecords(fixes)
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	found := map[[2]int]Record{}
+	for _, r := range recs {
+		found[[2]int{r.Road, int(r.Slot)}] = r
+	}
+	r12 := found[[2]int{1, 2}]
+	if r12.Fixes != 2 || math.Abs(r12.Speed-52) > 1e-9 {
+		t.Errorf("slot-2 aggregate: %+v", r12)
+	}
+	if found[[2]int{1, 4}].Speed != 60 {
+		t.Errorf("slot-4 aggregate: %+v", found[[2]int{1, 4}])
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	recs := []Record{{Road: 0, Slot: 0}, {Road: 0, Slot: 1}, {Road: 1, Slot: 0}}
+	got := Coverage(recs, 2)
+	want := 3.0 / float64(2*tslot.PerDay)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Coverage = %v, want %v", got, want)
+	}
+	if Coverage(nil, 0) != 0 {
+		t.Error("zero roads coverage")
+	}
+	// duplicates don't double count
+	dup := append(recs, Record{Road: 0, Slot: 0})
+	if Coverage(dup, 2) != got {
+		t.Error("duplicate records inflated coverage")
+	}
+}
+
+func TestTripsTruncateAtMidnight(t *testing.T) {
+	net, field := fixture(t)
+	cfg := DefaultConfig(30, 7)
+	cfg.StartMinute = 23 * 60
+	cfg.EndMinute = 24*60 - 1
+	trips, fixes, err := Simulate(net, field, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trips) == 0 {
+		t.Fatal("no late-night trips")
+	}
+	for ti, trip := range trips {
+		if trip.End > 24*60-1+1e-9 {
+			t.Fatalf("trip %d runs past midnight: end %v", ti, trip.End)
+		}
+	}
+	for _, f := range fixes {
+		if f.Minute >= 24*60 {
+			t.Fatalf("fix past midnight: %+v", f)
+		}
+	}
+}
+
+func TestRoadAtBounds(t *testing.T) {
+	trip := Trip{Roads: []int{4, 5}, Entry: []float64{10, 12}, End: 15}
+	if roadAt(&trip, 9) != -1 || roadAt(&trip, 15) != -1 {
+		t.Error("roadAt outside the trip should be -1")
+	}
+	if roadAt(&trip, 10.5) != 4 || roadAt(&trip, 13) != 5 {
+		t.Error("roadAt inside the trip wrong")
+	}
+}
+
+func TestDurationEmptyTrip(t *testing.T) {
+	var tr Trip
+	if tr.Duration() != 0 {
+		t.Error("empty trip duration")
+	}
+}

@@ -1,0 +1,16 @@
+package tslot_test
+
+import (
+	"fmt"
+
+	"repro/internal/tslot"
+)
+
+func ExampleOfMinute() {
+	s := tslot.OfMinute(8*60 + 33) // 08:33 falls in the 08:30 slot
+	fmt.Println(s, int(s))
+	fmt.Println(s.Next(), s.Prev())
+	// Output:
+	// 08:30 102
+	// 08:35 08:25
+}

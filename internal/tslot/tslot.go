@@ -1,0 +1,78 @@
+// Package tslot provides arithmetic for the fixed 5-minute time slots used
+// throughout CrowdRTSE. Following the paper (§IV-A), each day is divided into
+// 288 fine-grained slots so that each 5-minute interval becomes a unique slot.
+package tslot
+
+import (
+	"fmt"
+	"time"
+)
+
+const (
+	// PerDay is the number of slots in one day (288 five-minute slots).
+	PerDay = 288
+	// Minutes is the width of one slot in minutes.
+	Minutes = 5
+	// Duration is the width of one slot.
+	Duration = Minutes * time.Minute
+)
+
+// Slot identifies one 5-minute interval of the day, in [0, PerDay).
+type Slot int
+
+// Valid reports whether s lies in [0, PerDay).
+func (s Slot) Valid() bool { return s >= 0 && s < PerDay }
+
+// Of returns the slot containing the wall-clock time t (local time of t).
+func Of(t time.Time) Slot {
+	return Slot((t.Hour()*60 + t.Minute()) / Minutes)
+}
+
+// OfMinute returns the slot containing the given minute-of-day.
+// It panics if m is outside [0, 1440).
+func OfMinute(m int) Slot {
+	if m < 0 || m >= 24*60 {
+		panic(fmt.Sprintf("tslot: minute-of-day %d out of range", m))
+	}
+	return Slot(m / Minutes)
+}
+
+// StartMinute returns the minute-of-day at which slot s begins.
+func (s Slot) StartMinute() int { return int(s) * Minutes }
+
+// Next returns the slot after s, wrapping past midnight.
+func (s Slot) Next() Slot { return (s + 1) % PerDay }
+
+// Prev returns the slot before s, wrapping past midnight.
+func (s Slot) Prev() Slot { return (s + PerDay - 1) % PerDay }
+
+// Add returns the slot k steps after s (k may be negative), wrapping.
+func (s Slot) Add(k int) Slot {
+	r := (int(s) + k) % PerDay
+	if r < 0 {
+		r += PerDay
+	}
+	return Slot(r)
+}
+
+// Dist returns the minimum cyclic distance between two slots, in slots.
+func Dist(a, b Slot) int {
+	d := int(a) - int(b)
+	if d < 0 {
+		d = -d
+	}
+	if d > PerDay/2 {
+		d = PerDay - d
+	}
+	return d
+}
+
+// String formats the slot as "HH:MM" of its start time.
+func (s Slot) String() string {
+	m := s.StartMinute()
+	return fmt.Sprintf("%02d:%02d", m/60, m%60)
+}
+
+// Index returns a flat index for (day, slot) pairs, useful when laying out
+// multi-day historical records contiguously.
+func Index(day int, s Slot) int { return day*PerDay + int(s) }

@@ -1,0 +1,174 @@
+package tslot
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestConstants(t *testing.T) {
+	if PerDay != 288 {
+		t.Fatalf("PerDay = %d, want 288 (paper §IV-A)", PerDay)
+	}
+	if PerDay*Minutes != 24*60 {
+		t.Fatalf("slots do not tile the day: %d*%d != 1440", PerDay, Minutes)
+	}
+}
+
+func TestOf(t *testing.T) {
+	cases := []struct {
+		h, m int
+		want Slot
+	}{
+		{0, 0, 0},
+		{0, 4, 0},
+		{0, 5, 1},
+		{12, 0, 144},
+		{23, 55, 287},
+		{23, 59, 287},
+	}
+	for _, c := range cases {
+		tm := time.Date(2026, 7, 4, c.h, c.m, 30, 0, time.UTC)
+		if got := Of(tm); got != c.want {
+			t.Errorf("Of(%02d:%02d) = %d, want %d", c.h, c.m, got, c.want)
+		}
+	}
+}
+
+func TestOfMinute(t *testing.T) {
+	if got := OfMinute(0); got != 0 {
+		t.Errorf("OfMinute(0) = %d", got)
+	}
+	if got := OfMinute(1439); got != 287 {
+		t.Errorf("OfMinute(1439) = %d, want 287", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("OfMinute(1440) did not panic")
+		}
+	}()
+	OfMinute(1440)
+}
+
+func TestOfMinuteNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("OfMinute(-1) did not panic")
+		}
+	}()
+	OfMinute(-1)
+}
+
+func TestNextPrevWrap(t *testing.T) {
+	if got := Slot(287).Next(); got != 0 {
+		t.Errorf("287.Next() = %d, want 0", got)
+	}
+	if got := Slot(0).Prev(); got != 287 {
+		t.Errorf("0.Prev() = %d, want 287", got)
+	}
+	if got := Slot(10).Next(); got != 11 {
+		t.Errorf("10.Next() = %d, want 11", got)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	cases := []struct {
+		s    Slot
+		k    int
+		want Slot
+	}{
+		{0, 0, 0},
+		{0, 288, 0},
+		{0, -1, 287},
+		{287, 1, 0},
+		{100, -388, 0},
+		{5, 600, Slot((5 + 600) % 288)},
+	}
+	for _, c := range cases {
+		if got := c.s.Add(c.k); got != c.want {
+			t.Errorf("%d.Add(%d) = %d, want %d", c.s, c.k, got, c.want)
+		}
+	}
+}
+
+func TestDist(t *testing.T) {
+	cases := []struct {
+		a, b Slot
+		want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 287, 1},
+		{0, 144, 144},
+		{10, 200, 98},
+	}
+	for _, c := range cases {
+		if got := Dist(c.a, c.b); got != c.want {
+			t.Errorf("Dist(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Dist(c.b, c.a); got != c.want {
+			t.Errorf("Dist(%d,%d) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Slot(0).String(); got != "00:00" {
+		t.Errorf("Slot(0) = %q", got)
+	}
+	if got := Slot(287).String(); got != "23:55" {
+		t.Errorf("Slot(287) = %q", got)
+	}
+	if got := Slot(144).String(); got != "12:00" {
+		t.Errorf("Slot(144) = %q", got)
+	}
+}
+
+func TestIndex(t *testing.T) {
+	if got := Index(0, 0); got != 0 {
+		t.Errorf("Index(0,0) = %d", got)
+	}
+	if got := Index(2, 5); got != 2*288+5 {
+		t.Errorf("Index(2,5) = %d", got)
+	}
+}
+
+// Property: Add(k) then Add(-k) is the identity for all valid slots.
+func TestAddInverseProperty(t *testing.T) {
+	f := func(s uint16, k int16) bool {
+		sl := Slot(int(s) % PerDay)
+		return sl.Add(int(k)).Add(-int(k)) == sl
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dist is a metric on the cycle — bounded by PerDay/2 and
+// satisfies identity of indiscernibles.
+func TestDistBoundsProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		sa, sb := Slot(int(a)%PerDay), Slot(int(b)%PerDay)
+		d := Dist(sa, sb)
+		if d < 0 || d > PerDay/2 {
+			return false
+		}
+		return (d == 0) == (sa == sb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Of and StartMinute are consistent.
+func TestOfStartMinuteRoundTrip(t *testing.T) {
+	for m := 0; m < 24*60; m++ {
+		s := OfMinute(m)
+		if !s.Valid() {
+			t.Fatalf("OfMinute(%d) invalid slot %d", m, s)
+		}
+		if m < s.StartMinute() || m >= s.StartMinute()+Minutes {
+			t.Fatalf("minute %d not inside slot %d [%d,%d)", m, s, s.StartMinute(), s.StartMinute()+Minutes)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package workerqual estimates crowd-worker reliability and per-road
+// crowdsourcing costs from historical answers.
+//
+// The paper defines a road's cost as "the minimum number of its required
+// answers" and notes that "many existing approaches (e.g. [28], [29]) can be
+// adopted to determine the cost of each road, which estimate the exact value
+// from the historical answers of crowd". This package implements that
+// machinery with the additive model of those references:
+//
+//	answer(w, r) = truth(r) + bias_w + ε,  ε ~ N(0, σ_w²)
+//
+// TruthInference runs the EM-style alternation of truth estimates and worker
+// parameters (debiasing); CalibrateCosts turns per-road answer dispersion
+// into the number of answers needed to hit a target standard error — the
+// cost vector OCS consumes.
+package workerqual
+
+import (
+	"fmt"
+	"math"
+)
+
+// Answer is one historical crowd answer.
+type Answer struct {
+	Worker int     // dense worker id
+	Item   int     // dense item id (a road probe task)
+	Value  float64 // reported speed
+}
+
+// Reliability is a worker's estimated answer model.
+type Reliability struct {
+	Bias    float64 // systematic offset added to the truth
+	SD      float64 // residual standard deviation after debiasing
+	Answers int     // number of answers the estimate is based on
+}
+
+// Options configures TruthInference.
+type Options struct {
+	MaxIters int     // EM iteration cap
+	Tol      float64 // convergence threshold on max truth change
+	MinSD    float64 // floor for worker SDs (avoids zero-variance collapse)
+}
+
+// DefaultOptions returns sane inference settings.
+func DefaultOptions() Options { return Options{MaxIters: 100, Tol: 1e-6, MinSD: 0.5} }
+
+// Result is the output of TruthInference.
+type Result struct {
+	Truth      []float64     // per-item inferred truth
+	Workers    []Reliability // per-worker model
+	Iterations int
+	Converged  bool
+}
+
+// TruthInference jointly estimates item truths and worker reliabilities from
+// answers by alternating:
+//
+//  1. truth_r ← precision-weighted mean of debiased answers, and
+//  2. bias_w ← mean residual, σ_w ← residual SD (floored at MinSD).
+//
+// nWorkers and nItems give the dense id spaces; every item must have at
+// least one answer and every worker at least two (otherwise bias and noise
+// are not separable for it).
+func TruthInference(answers []Answer, nWorkers, nItems int, opt Options) (*Result, error) {
+	if opt.MaxIters <= 0 || opt.Tol <= 0 || opt.MinSD <= 0 {
+		return nil, fmt.Errorf("workerqual: invalid options %+v", opt)
+	}
+	if nWorkers <= 0 || nItems <= 0 {
+		return nil, fmt.Errorf("workerqual: empty worker or item space")
+	}
+	perWorker := make([]int, nWorkers)
+	perItem := make([]int, nItems)
+	for _, a := range answers {
+		if a.Worker < 0 || a.Worker >= nWorkers {
+			return nil, fmt.Errorf("workerqual: worker %d out of range", a.Worker)
+		}
+		if a.Item < 0 || a.Item >= nItems {
+			return nil, fmt.Errorf("workerqual: item %d out of range", a.Item)
+		}
+		if math.IsNaN(a.Value) || math.IsInf(a.Value, 0) {
+			return nil, fmt.Errorf("workerqual: invalid answer value %v", a.Value)
+		}
+		perWorker[a.Worker]++
+		perItem[a.Item]++
+	}
+	for i, c := range perItem {
+		if c == 0 {
+			return nil, fmt.Errorf("workerqual: item %d has no answers", i)
+		}
+	}
+	for w, c := range perWorker {
+		if c < 2 {
+			return nil, fmt.Errorf("workerqual: worker %d has %d answers; need ≥2", w, c)
+		}
+	}
+
+	res := &Result{
+		Truth:   make([]float64, nItems),
+		Workers: make([]Reliability, nWorkers),
+	}
+	for w := range res.Workers {
+		res.Workers[w] = Reliability{SD: opt.MinSD, Answers: perWorker[w]}
+	}
+	// Init truths with plain per-item means.
+	sum := make([]float64, nItems)
+	for _, a := range answers {
+		sum[a.Item] += a.Value
+	}
+	for i := range res.Truth {
+		res.Truth[i] = sum[i] / float64(perItem[i])
+	}
+
+	num := make([]float64, nItems)
+	den := make([]float64, nItems)
+	bSum := make([]float64, nWorkers)
+	vSum := make([]float64, nWorkers)
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		// Worker step: residuals against current truths.
+		for w := range bSum {
+			bSum[w], vSum[w] = 0, 0
+		}
+		for _, a := range answers {
+			bSum[a.Worker] += a.Value - res.Truth[a.Item]
+		}
+		for w := range res.Workers {
+			res.Workers[w].Bias = bSum[w] / float64(perWorker[w])
+		}
+		for _, a := range answers {
+			d := a.Value - res.Truth[a.Item] - res.Workers[a.Worker].Bias
+			vSum[a.Worker] += d * d
+		}
+		for w := range res.Workers {
+			sd := math.Sqrt(vSum[w] / float64(perWorker[w]))
+			if sd < opt.MinSD {
+				sd = opt.MinSD
+			}
+			res.Workers[w].SD = sd
+		}
+		// Truth step: precision-weighted debiased means.
+		for i := range num {
+			num[i], den[i] = 0, 0
+		}
+		for _, a := range answers {
+			rw := res.Workers[a.Worker]
+			wgt := 1 / (rw.SD * rw.SD)
+			num[a.Item] += wgt * (a.Value - rw.Bias)
+			den[a.Item] += wgt
+		}
+		var maxDelta float64
+		for i := range res.Truth {
+			t := num[i] / den[i]
+			if d := math.Abs(t - res.Truth[i]); d > maxDelta {
+				maxDelta = d
+			}
+			res.Truth[i] = t
+		}
+		res.Iterations = iter + 1
+		if maxDelta < opt.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// CostModel turns answer dispersion into per-road costs.
+type CostModel struct {
+	// TargetSE is the acceptable standard error of a road's aggregated
+	// probe. The cost is the answer count bringing the SE of the mean down
+	// to it: c = ⌈(sd/TargetSE)²⌉.
+	TargetSE float64
+	// MinCost and MaxCost clamp the result (the experiments use [1,5] or
+	// [1,10]).
+	MinCost, MaxCost int
+}
+
+// DefaultCostModel mirrors the experiments' C2 = [1,5] cost range.
+func DefaultCostModel() CostModel { return CostModel{TargetSE: 1.5, MinCost: 1, MaxCost: 5} }
+
+// Cost converts one road's answer standard deviation into its cost.
+func (m CostModel) Cost(answerSD float64) (int, error) {
+	if m.TargetSE <= 0 || m.MinCost < 1 || m.MaxCost < m.MinCost {
+		return 0, fmt.Errorf("workerqual: invalid cost model %+v", m)
+	}
+	if answerSD < 0 || math.IsNaN(answerSD) {
+		return 0, fmt.Errorf("workerqual: invalid answer SD %v", answerSD)
+	}
+	c := int(math.Ceil((answerSD / m.TargetSE) * (answerSD / m.TargetSE)))
+	if c < m.MinCost {
+		c = m.MinCost
+	}
+	if c > m.MaxCost {
+		c = m.MaxCost
+	}
+	return c, nil
+}
+
+// CalibrateCosts estimates per-road costs from historical answers: the
+// answers are grouped by road (Answer.Item = road id), debiased with
+// TruthInference over the probe tasks, and each road's residual dispersion
+// is mapped through the cost model.
+//
+// Roads without usable history get MaxCost (pessimistic: unknown roads need
+// the most answers — highways with stable speeds earn small costs only once
+// observed, matching §V-A's example). Workers with a single answer cannot be
+// debiased, so their answers are ignored.
+func CalibrateCosts(answers []Answer, nWorkers, nRoads int, m CostModel, opt Options) ([]int, error) {
+	if m.TargetSE <= 0 || m.MinCost < 1 || m.MaxCost < m.MinCost {
+		return nil, fmt.Errorf("workerqual: invalid cost model %+v", m)
+	}
+	costs := make([]int, nRoads)
+	for i := range costs {
+		costs[i] = m.MaxCost
+	}
+	for _, a := range answers {
+		if a.Worker < 0 || a.Worker >= nWorkers {
+			return nil, fmt.Errorf("workerqual: worker %d out of range", a.Worker)
+		}
+		if a.Item < 0 || a.Item >= nRoads {
+			return nil, fmt.Errorf("workerqual: road %d out of range", a.Item)
+		}
+	}
+	// Drop single-answer workers, then compact worker and road id spaces so
+	// TruthInference sees a dense, fully-populated problem.
+	perWorker := make([]int, nWorkers)
+	for _, a := range answers {
+		perWorker[a.Worker]++
+	}
+	workerIdx := make([]int, nWorkers)
+	denseWorkers := 0
+	for w, c := range perWorker {
+		if c >= 2 {
+			workerIdx[w] = denseWorkers
+			denseWorkers++
+		} else {
+			workerIdx[w] = -1
+		}
+	}
+	roadIdx := make([]int, nRoads)
+	for i := range roadIdx {
+		roadIdx[i] = -1
+	}
+	var denseRoads []int // dense id → road id
+	var kept []Answer
+	for _, a := range answers {
+		if workerIdx[a.Worker] < 0 {
+			continue
+		}
+		if roadIdx[a.Item] < 0 {
+			roadIdx[a.Item] = len(denseRoads)
+			denseRoads = append(denseRoads, a.Item)
+		}
+		kept = append(kept, Answer{Worker: workerIdx[a.Worker], Item: roadIdx[a.Item], Value: a.Value})
+	}
+	if len(kept) == 0 {
+		return costs, nil
+	}
+	inf, err := TruthInference(kept, denseWorkers, len(denseRoads), opt)
+	if err != nil {
+		return nil, err
+	}
+	// Residual dispersion per road after debiasing.
+	vSum := make([]float64, len(denseRoads))
+	count := make([]int, len(denseRoads))
+	for _, a := range kept {
+		d := a.Value - inf.Truth[a.Item] - inf.Workers[a.Worker].Bias
+		vSum[a.Item] += d * d
+		count[a.Item]++
+	}
+	for di, road := range denseRoads {
+		sd := math.Sqrt(vSum[di] / float64(count[di]))
+		c, err := m.Cost(sd)
+		if err != nil {
+			return nil, err
+		}
+		costs[road] = c
+	}
+	return costs, nil
+}

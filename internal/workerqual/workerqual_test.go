@@ -1,0 +1,232 @@
+package workerqual
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synthAnswers generates answers from the additive model with known worker
+// biases and noise levels.
+func synthAnswers(rng *rand.Rand, truths []float64, biases, sds []float64, answersPerItem int) []Answer {
+	var out []Answer
+	for item, tr := range truths {
+		for k := 0; k < answersPerItem; k++ {
+			w := rng.Intn(len(biases))
+			out = append(out, Answer{
+				Worker: w,
+				Item:   item,
+				Value:  tr + biases[w] + sds[w]*rng.NormFloat64(),
+			})
+		}
+	}
+	return out
+}
+
+func TestTruthInferenceRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	truths := make([]float64, 40)
+	for i := range truths {
+		truths[i] = 30 + 40*rng.Float64()
+	}
+	biases := []float64{-4, 0, 3, 8, -1}
+	sds := []float64{1, 0.8, 2, 4, 1.5}
+	answers := synthAnswers(rng, truths, biases, sds, 12)
+
+	res, err := TruthInference(answers, len(biases), len(truths), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("did not converge in %d iterations", res.Iterations)
+	}
+	// Inferred truths must beat the naive per-item means.
+	naive := make([]float64, len(truths))
+	counts := make([]int, len(truths))
+	for _, a := range answers {
+		naive[a.Item] += a.Value
+		counts[a.Item]++
+	}
+	var errEM, errNaive float64
+	for i := range truths {
+		naive[i] /= float64(counts[i])
+		errEM += math.Abs(res.Truth[i] - truths[i])
+		errNaive += math.Abs(naive[i] - truths[i])
+	}
+	if errEM >= errNaive {
+		t.Errorf("EM truth error %.3f not below naive %.3f", errEM, errNaive)
+	}
+	// Bias estimates must correlate with the generating biases: recovered
+	// within ±1.5 for every worker (biases are identifiable only up to a
+	// global shift; the shift is absorbed into truths, so compare deltas).
+	shift := res.Workers[1].Bias - biases[1]
+	for w := range biases {
+		if got := res.Workers[w].Bias - shift; math.Abs(got-biases[w]) > 1.5 {
+			t.Errorf("worker %d bias %.2f (shifted), want ≈ %.2f", w, got, biases[w])
+		}
+	}
+	// The noisy worker (index 3) must have the largest inferred SD.
+	worst := 0
+	for w := range res.Workers {
+		if res.Workers[w].SD > res.Workers[worst].SD {
+			worst = w
+		}
+	}
+	if worst != 3 {
+		t.Errorf("noisiest worker inferred as %d, want 3 (SDs: %+v)", worst, res.Workers)
+	}
+}
+
+func TestTruthInferenceValidation(t *testing.T) {
+	good := []Answer{{0, 0, 1}, {0, 1, 2}, {1, 0, 1}, {1, 1, 2}}
+	if _, err := TruthInference(good, 2, 2, Options{}); err == nil {
+		t.Error("zero options accepted")
+	}
+	if _, err := TruthInference(good, 0, 2, DefaultOptions()); err == nil {
+		t.Error("empty worker space accepted")
+	}
+	if _, err := TruthInference([]Answer{{5, 0, 1}}, 2, 1, DefaultOptions()); err == nil {
+		t.Error("out-of-range worker accepted")
+	}
+	if _, err := TruthInference([]Answer{{0, 5, 1}, {0, 0, 1}}, 1, 2, DefaultOptions()); err == nil {
+		t.Error("out-of-range item accepted")
+	}
+	if _, err := TruthInference([]Answer{{0, 0, math.NaN()}, {0, 1, 1}}, 1, 2, DefaultOptions()); err == nil {
+		t.Error("NaN answer accepted")
+	}
+	// item with no answers
+	if _, err := TruthInference([]Answer{{0, 0, 1}, {0, 0, 2}}, 1, 2, DefaultOptions()); err == nil {
+		t.Error("empty item accepted")
+	}
+	// worker with one answer
+	if _, err := TruthInference([]Answer{{0, 0, 1}, {1, 1, 2}, {0, 1, 3}}, 2, 2, DefaultOptions()); err == nil {
+		t.Error("single-answer worker accepted")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := DefaultCostModel()
+	cases := []struct {
+		sd   float64
+		want int
+	}{
+		{0, 1},   // perfectly stable road → min cost
+		{1.5, 1}, // sd == target SE → one answer
+		{3, 4},   // (3/1.5)² = 4
+		{100, 5}, // clamped to max
+	}
+	for _, c := range cases {
+		got, err := m.Cost(c.sd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Cost(%v) = %d, want %d", c.sd, got, c.want)
+		}
+	}
+	if _, err := m.Cost(-1); err == nil {
+		t.Error("negative SD accepted")
+	}
+	bad := CostModel{TargetSE: 0, MinCost: 1, MaxCost: 5}
+	if _, err := bad.Cost(1); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestCalibrateCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Roads 0..9: stable (sd ~0.5); roads 10..19: volatile (sd ~5);
+	// roads 20..24: never observed.
+	nRoads := 25
+	biases := []float64{0, 1, -2, 0.5}
+	var answers []Answer
+	for r := 0; r < 20; r++ {
+		sd := 0.5
+		if r >= 10 {
+			sd = 5
+		}
+		truth := 40.0
+		for k := 0; k < 15; k++ {
+			w := rng.Intn(len(biases))
+			answers = append(answers, Answer{
+				Worker: w, Item: r,
+				Value: truth + biases[w] + sd*rng.NormFloat64(),
+			})
+		}
+	}
+	costs, err := CalibrateCosts(answers, len(biases), nRoads, DefaultCostModel(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 10; r++ {
+		if costs[r] > 2 {
+			t.Errorf("stable road %d cost %d, want ≤ 2", r, costs[r])
+		}
+	}
+	for r := 10; r < 20; r++ {
+		if costs[r] < 4 {
+			t.Errorf("volatile road %d cost %d, want ≥ 4", r, costs[r])
+		}
+	}
+	for r := 20; r < 25; r++ {
+		if costs[r] != 5 {
+			t.Errorf("unobserved road %d cost %d, want MaxCost 5", r, costs[r])
+		}
+	}
+}
+
+func TestCalibrateCostsEdgeCases(t *testing.T) {
+	costs, err := CalibrateCosts(nil, 3, 4, DefaultCostModel(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range costs {
+		if c != 5 {
+			t.Errorf("no-history cost %d, want MaxCost", c)
+		}
+	}
+	// All answers from single-answer workers are dropped → MaxCost.
+	one := []Answer{{0, 0, 40}, {1, 1, 41}}
+	costs, err = CalibrateCosts(one, 2, 2, DefaultCostModel(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costs[0] != 5 || costs[1] != 5 {
+		t.Errorf("single-answer-worker calibration = %v", costs)
+	}
+	if _, err := CalibrateCosts([]Answer{{9, 0, 1}}, 2, 1, DefaultCostModel(), DefaultOptions()); err == nil {
+		t.Error("out-of-range worker accepted")
+	}
+	if _, err := CalibrateCosts([]Answer{{0, 9, 1}}, 1, 1, DefaultCostModel(), DefaultOptions()); err == nil {
+		t.Error("out-of-range road accepted")
+	}
+	bad := CostModel{TargetSE: -1, MinCost: 1, MaxCost: 5}
+	if _, err := CalibrateCosts(nil, 1, 1, bad, DefaultOptions()); err == nil {
+		t.Error("invalid cost model accepted")
+	}
+}
+
+// Property: costs are always within [MinCost, MaxCost] and monotone in the
+// dispersion (more dispersion never lowers the cost).
+func TestCostMonotoneProperty(t *testing.T) {
+	m := CostModel{TargetSE: 2, MinCost: 1, MaxCost: 10}
+	f := func(a, b float64) bool {
+		sa, sb := math.Abs(a), math.Abs(b)
+		if math.IsNaN(sa) || math.IsNaN(sb) || math.IsInf(sa, 0) || math.IsInf(sb, 0) {
+			return true
+		}
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		ca, err1 := m.Cost(sa)
+		cb, err2 := m.Cost(sb)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ca >= 1 && cb <= 10 && ca <= cb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
