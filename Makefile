@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race fault-determinism check bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The fault injector and the resilient pipeline promise bit-for-bit replay
+# under a fixed seed. Running every fault-related test twice in one process
+# catches hidden shared state (package-level RNGs, leaked counters).
+fault-determinism:
+	$(GO) test -run Fault -count=2 ./...
+
+check: vet build race fault-determinism
+
+bench:
+	$(GO) test -bench=. -benchmem

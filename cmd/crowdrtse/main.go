@@ -7,13 +7,19 @@
 //	    fit the RTF model offline and save it
 //	crowdrtse query -data DIR -model model.gob -slot T -roads 1,2,3
 //	    [-budget K] [-theta θ] [-selector Hybrid] [-days D]
+//	    [-resilient] [-deadline 2s] [-rounds 3]
+//	    [-dropout 0.3] [-blackouts 5,9] [-late 0.1] [-stale 0.05] [-garbage 0.02]
 //	    run the online pipeline (OCS → probe → GSP) against the last
-//	    recorded day as ground truth and print the estimates
+//	    recorded day as ground truth and print the estimates; with
+//	    -resilient (implied by any fault flag) the fault-tolerant pipeline
+//	    runs under the injected faults and reports its degradation
+//	    diagnostics
 //	crowdrtse serve -data DIR -model model.gob [-addr :8080] [-days D]
-//	    serve the HTTP estimation API
+//	    [-timeout 5s] serve the HTTP estimation API
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -22,9 +28,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/crowd"
+	"repro/internal/faults"
 	"repro/internal/network"
 	"repro/internal/rtf"
 	"repro/internal/server"
@@ -204,6 +212,14 @@ func cmdQuery(args []string) error {
 	theta := fs.Float64("theta", 0.92, "redundancy threshold")
 	selName := fs.String("selector", "Hybrid", "Hybrid | Ratio | OBJ | Rand")
 	seed := fs.Int64("seed", 1, "probe/selector seed")
+	resilient := fs.Bool("resilient", false, "use the fault-tolerant pipeline (QueryResilient)")
+	deadline := fs.Duration("deadline", 0, "per-query deadline (0 = none)")
+	rounds := fs.Int("rounds", 3, "max OCS re-selection rounds (resilient mode)")
+	dropout := fs.Float64("dropout", 0, "inject: worker dropout probability")
+	blackoutsRaw := fs.String("blackouts", "", "inject: comma-separated blackout road ids")
+	late := fs.Float64("late", 0, "inject: probability an answer misses the round deadline")
+	staleP := fs.Float64("stale", 0, "inject: probability an answer reports the previous slot")
+	garbage := fs.Float64("garbage", 0, "inject: probability of an adversarial garbage answer")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -224,28 +240,93 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	day := hist.Days - 1
-	res, err := sys.Query(core.QueryRequest{
-		Slot: slot, Roads: query, Budget: *budget, Theta: *theta,
-		Workers:  crowd.PlaceEverywhere(sys.Network()),
-		Selector: sel, Seed: *seed,
-		Probe: crowd.ProbeConfig{NoiseSD: 0.02, Seed: *seed},
-		Truth: func(r int) float64 { return hist.At(day, slot, r) },
+	pool := crowd.PlaceEverywhere(sys.Network())
+	truth := func(r int) float64 { return hist.At(day, slot, r) }
+
+	anyFault := *dropout > 0 || *blackoutsRaw != "" || *late > 0 || *staleP > 0 || *garbage > 0
+	if !*resilient && !anyFault && *deadline == 0 {
+		res, err := sys.Query(core.QueryRequest{
+			Slot: slot, Roads: query, Budget: *budget, Theta: *theta,
+			Workers:  pool,
+			Selector: sel, Seed: *seed,
+			Probe: crowd.ProbeConfig{NoiseSD: 0.02, Seed: *seed},
+			Truth: truth,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("slot %s (%d), budget %d, theta %.2f, selector %s\n",
+			slot, slot, *budget, *theta, sel)
+		fmt.Printf("crowdsourced roads (cost %d/%d): %v\n", res.Ledger.Spent, *budget, res.Selected.Roads)
+		printEstimates(query, res.QuerySpeeds, truth)
+		return nil
+	}
+
+	// Resilient mode, optionally under injected faults.
+	var blackouts []int
+	if *blackoutsRaw != "" {
+		if blackouts, err = parseRoads(*blackoutsRaw, sys.Network().N()); err != nil {
+			return fmt.Errorf("blackouts: %w", err)
+		}
+	}
+	inj, err := faults.New(faults.Config{
+		Seed:        *seed,
+		DropoutProb: *dropout,
+		Blackouts:   blackouts,
+		LatencyProb: *late,
+		StaleProb:   *staleP,
+		StaleLag:    1,
+		History: func(r, lag int) float64 {
+			return hist.At(day, slot.Add(-lag), r)
+		},
+		GarbageProb: *garbage,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("slot %s (%d), budget %d, theta %.2f, selector %s\n",
+	campCfg := inj.WrapCampaign(crowd.DefaultCampaign(*seed))
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+	res, err := sys.QueryResilient(ctx, core.QueryRequest{
+		Slot: slot, Roads: query, Budget: *budget, Theta: *theta,
+		Workers:  inj.FilterPool(pool),
+		Selector: sel, Seed: *seed,
+		Campaign: &campCfg,
+		Truth:    inj.WrapTruth(truth),
+	}, core.ResilientOptions{MaxRounds: *rounds})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("slot %s (%d), budget %d, theta %.2f, selector %s [resilient]\n",
 		slot, slot, *budget, *theta, sel)
-	fmt.Printf("crowdsourced roads (cost %d/%d): %v\n", res.Ledger.Spent, *budget, res.Selected.Roads)
+	fmt.Printf("rounds %d, spent %d/%d (recycled %d), tasks %d ok / %d partial / %d failed / %d late answers\n",
+		res.Rounds, res.Ledger.Spent, *budget, res.BudgetRecycled,
+		res.Campaign.Fulfilled, res.Campaign.Partial, res.Campaign.Failed, res.Campaign.Late)
+	if len(res.AbandonedRoads) > 0 {
+		fmt.Printf("abandoned roads: %v\n", res.AbandonedRoads)
+	}
+	if res.DeadlineHit {
+		fmt.Println("deadline hit: estimates are best-so-far")
+	}
+	if res.Degraded {
+		fmt.Println("DEGRADED: zero probes succeeded — estimates are the periodicity prior")
+	}
+	printEstimates(query, res.QuerySpeeds, truth)
+	return nil
+}
+
+func printEstimates(query []int, est map[int]float64, truth func(int) float64) {
 	fmt.Printf("%-6s %10s %10s %8s\n", "road", "estimate", "truth", "APE")
 	ids := append([]int(nil), query...)
 	sort.Ints(ids)
 	for _, r := range ids {
-		truth := hist.At(day, slot, r)
-		est := res.QuerySpeeds[r]
-		fmt.Printf("%-6d %10.2f %10.2f %7.1f%%\n", r, est, truth, 100*absf(est-truth)/truth)
+		tv := truth(r)
+		fmt.Printf("%-6d %10.2f %10.2f %7.1f%%\n", r, est[r], tv, 100*absf(est[r]-tv)/tv)
 	}
-	return nil
 }
 
 func parseSelectorName(name string) (core.Selector, error) {
@@ -276,6 +357,7 @@ func cmdServe(args []string) error {
 	modelPath := fs.String("model", "model.gob", "trained model path")
 	days := fs.Int("days", 30, "days recorded in history.csv")
 	addr := fs.String("addr", ":8080", "listen address")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request deadline (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -286,6 +368,9 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving CrowdRTSE API on %s (%d roads)\n", *addr, sys.Network().N())
-	return http.ListenAndServe(*addr, server.New(sys).Handler())
+	srv := server.New(sys)
+	srv.Timeout = *timeout
+	fmt.Printf("serving CrowdRTSE API on %s (%d roads, %s request deadline)\n",
+		*addr, sys.Network().N(), *timeout)
+	return http.ListenAndServe(*addr, srv.Handler())
 }

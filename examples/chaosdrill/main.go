@@ -1,0 +1,93 @@
+// Chaosdrill: exercise the fault-tolerant online pipeline under compound
+// failures — worker dropout, road blackouts, stale and adversarial answers,
+// and late deliveries — and watch it recycle the budget of failed tasks
+// into fresh OCS rounds, then degrade gracefully to the periodicity prior
+// when the crowd vanishes entirely.
+//
+//	go run ./examples/chaosdrill
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/speedgen"
+	"repro/internal/tslot"
+)
+
+func main() {
+	net := network.Synthetic(network.SyntheticOptions{Roads: 200, Seed: 7, CostMax: 5})
+	hist, err := speedgen.Generate(net, speedgen.Default(14, 8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainDays := hist.Days - 1
+	evalDay := hist.Days - 1
+	sys, err := core.Train(net, hist.DayRange(0, trainDays), core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	slot := tslot.OfMinute(8*60 + 30)
+	query := []int{3, 17, 42, 55, 81, 102, 133, 150, 177, 198}
+	truth := func(r int) float64 { return hist.At(evalDay, slot, r) }
+	pool := crowd.PlaceEverywhere(net)
+
+	run := func(label string, cfg faults.Config) {
+		inj, err := faults.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		camp := inj.WrapCampaign(crowd.DefaultCampaign(1))
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		res, err := sys.QueryResilient(ctx, core.QueryRequest{
+			Slot: slot, Roads: query, Budget: 40, Theta: 0.92,
+			Workers: inj.FilterPool(pool), Seed: 1,
+			Campaign: &camp,
+			Truth:    inj.WrapTruth(truth),
+		}, core.ResilientOptions{MaxRounds: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var est, tru []float64
+		for _, r := range query {
+			est = append(est, res.QuerySpeeds[r])
+			tru = append(tru, truth(r))
+		}
+		mape := metrics.MAPE(est, tru)
+		fmt.Printf("\n== %s ==\n", label)
+		fmt.Printf("rounds %d, spent %d/40, recycled %d, tasks %d ok / %d partial / %d failed / %d late\n",
+			res.Rounds, res.Ledger.Spent, res.BudgetRecycled,
+			res.Campaign.Fulfilled, res.Campaign.Partial, res.Campaign.Failed, res.Campaign.Late)
+		if len(res.AbandonedRoads) > 0 {
+			fmt.Printf("abandoned roads: %v\n", res.AbandonedRoads)
+		}
+		fmt.Printf("degraded=%v fallbackPrior=%v deadlineHit=%v  query MAPE %.1f%%\n",
+			res.Degraded, res.FallbackPrior, res.DeadlineHit, 100*mape)
+	}
+
+	history := func(r, lag int) float64 { return hist.At(evalDay, slot.Add(-lag), r) }
+
+	run("calm seas (no faults)", faults.Config{Seed: 42})
+
+	run("storm: 30% dropout + blackouts on roads 17,42 + stale/garbage/late answers",
+		faults.Config{
+			Seed:        42,
+			DropoutProb: 0.30,
+			Blackouts:   []int{17, 42},
+			StaleProb:   0.10, StaleLag: 1, History: history,
+			GarbageProb: 0.05,
+			LatencyProb: 0.10,
+		})
+
+	run("total blackout: 100% dropout (fallback to the periodicity prior)",
+		faults.Config{Seed: 42, DropoutProb: 1})
+}

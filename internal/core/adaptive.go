@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/crowd"
@@ -26,7 +27,19 @@ type AdaptiveResult struct {
 // Observations accumulate across stages; each stage re-runs OCS with the
 // enlarged budget and probes only roads not yet probed, paying from one
 // shared ledger so the total spend never exceeds req.Budget.
+//
+// When req.Campaign is set, each stage runs the full task lifecycle
+// (worker willingness, rounds, partial tasks) instead of direct probes;
+// only fulfilled tasks join the observation set, and stage k derives its
+// campaign seed from the base seed so the stages draw independent but
+// reproducible willingness sequences.
 func (s *System) QueryAdaptive(req QueryRequest, targetSD float64, stages int) (*AdaptiveResult, error) {
+	return s.QueryAdaptiveCtx(context.Background(), req, targetSD, stages)
+}
+
+// QueryAdaptiveCtx is QueryAdaptive under a deadline: an expired context
+// stops opening new stages and lets GSP return its best-so-far field.
+func (s *System) QueryAdaptiveCtx(ctx context.Context, req QueryRequest, targetSD float64, stages int) (*AdaptiveResult, error) {
 	if stages <= 0 {
 		return nil, fmt.Errorf("core: stages must be positive, got %d", stages)
 	}
@@ -39,18 +52,37 @@ func (s *System) QueryAdaptive(req QueryRequest, targetSD float64, stages int) (
 	if !req.Slot.Valid() {
 		return nil, fmt.Errorf("core: invalid slot %d", req.Slot)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	probeCfg := req.Probe
 	if probeCfg.Seed == 0 {
 		probeCfg.Seed = req.Seed
 	}
+	var campBase *crowd.CampaignConfig
+	if req.Campaign != nil {
+		c := *req.Campaign
+		if c.Seed == 0 {
+			c.Seed = req.Seed
+		}
+		campBase = &c
+	}
 	ledger := crowd.Ledger{Budget: req.Budget}
 	observed := make(map[int]float64)
 	var answers []crowd.Answer
+	var campaign *crowd.CampaignReport
+	if campBase != nil {
+		campaign = &crowd.CampaignReport{}
+	}
 	out := &AdaptiveResult{}
 
 	costs := s.net.Costs()
 	workerRoads := req.Workers.Roads()
+	ranStage := false
 	for stage := 1; stage <= stages; stage++ {
+		if ranStage && ctx.Err() != nil {
+			break // deadline: keep what earlier stages bought
+		}
 		stageBudget := req.Budget * stage / stages
 		if stageBudget <= 0 {
 			continue
@@ -60,24 +92,54 @@ func (s *System) QueryAdaptive(req QueryRequest, targetSD float64, stages int) (
 			return nil, fmt.Errorf("core: OCS stage %d: %w", stage, err)
 		}
 		out.Selected = sol
-		for _, r := range sol.Roads {
-			if _, done := observed[r]; done {
-				continue
+		if campBase != nil {
+			// Campaign path: run the task lifecycle over this stage's new,
+			// still-affordable roads against the shared ledger (RunCampaign
+			// itself never overspends it).
+			var toProbe []int
+			for _, r := range sol.Roads {
+				if _, done := observed[r]; done {
+					continue
+				}
+				if costs[r] > ledger.Remaining() {
+					continue
+				}
+				toProbe = append(toProbe, r)
 			}
-			if costs[r] > ledger.Remaining() {
-				continue // cannot afford this road anymore
+			if len(toProbe) > 0 {
+				cfg := *campBase
+				cfg.Seed = campBase.Seed + 1009*int64(stage-1)
+				probed, rep, err := req.Workers.RunCampaign(toProbe, costs, req.Truth, cfg, &ledger)
+				if err != nil {
+					return nil, fmt.Errorf("core: campaign stage %d: %w", stage, err)
+				}
+				campaign.Merge(rep)
+				answers = append(answers, rep.Answers...)
+				for r, v := range probed {
+					observed[r] = v
+				}
 			}
-			probed, ans, err := req.Workers.Probe([]int{r}, costs, req.Truth, probeCfg, &ledger)
-			if err != nil {
-				return nil, fmt.Errorf("core: probing stage %d: %w", stage, err)
+		} else {
+			for _, r := range sol.Roads {
+				if _, done := observed[r]; done {
+					continue
+				}
+				if costs[r] > ledger.Remaining() {
+					continue // cannot afford this road anymore
+				}
+				probed, ans, err := req.Workers.Probe([]int{r}, costs, req.Truth, probeCfg, &ledger)
+				if err != nil {
+					return nil, fmt.Errorf("core: probing stage %d: %w", stage, err)
+				}
+				observed[r] = probed[r]
+				answers = append(answers, ans...)
 			}
-			observed[r] = probed[r]
-			answers = append(answers, ans...)
 		}
-		prop, err := s.Estimate(req.Slot, observed)
+		prop, err := s.EstimateCtx(ctx, req.Slot, observed)
 		if err != nil {
 			return nil, fmt.Errorf("core: GSP stage %d: %w", stage, err)
 		}
+		ranStage = true
 		out.Propagation = prop
 		out.Speeds = prop.Speeds
 		out.StagesUsed = stage
@@ -95,11 +157,25 @@ func (s *System) QueryAdaptive(req QueryRequest, targetSD float64, stages int) (
 			break
 		}
 	}
+	if !ranStage {
+		// Degenerate inputs (e.g. every stage budget rounded to zero):
+		// return the prior field rather than a nil-speeds result.
+		prop, err := s.EstimateCtx(ctx, req.Slot, observed)
+		if err != nil {
+			return nil, fmt.Errorf("core: GSP: %w", err)
+		}
+		out.Propagation = prop
+		out.Speeds = prop.Speeds
+	}
 	out.Probed = observed
 	out.Answers = answers
 	out.Ledger = ledger
+	out.Campaign = campaign
 	out.QuerySpeeds = make(map[int]float64, len(req.Roads))
 	for _, r := range req.Roads {
+		if r < 0 || r >= len(out.Speeds) {
+			return nil, fmt.Errorf("core: queried road %d out of range", r)
+		}
 		out.QuerySpeeds[r] = out.Speeds[r]
 	}
 	return out, nil

@@ -107,3 +107,91 @@ func TestQueryAdaptiveObservationsAccumulate(t *testing.T) {
 		t.Errorf("spent %d, probed costs sum %d", res.Ledger.Spent, want)
 	}
 }
+
+// Budget smaller than the cheapest worker road's cost: no stage can afford
+// anything, yet the query must return a well-formed prior-only result
+// instead of failing or returning nil speeds.
+func TestQueryAdaptiveBudgetBelowCheapestCost(t *testing.T) {
+	f := newFixture(t, 30, 5, 45)
+	day := f.hist.Days - 1
+	minCost := f.net.Costs()[0]
+	for _, c := range f.net.Costs() {
+		if c < minCost {
+			minCost = c
+		}
+	}
+	req := QueryRequest{
+		Slot: 100, Roads: []int{1, 2}, Budget: minCost - 1, Theta: 0.92,
+		Workers: crowd.PlaceEverywhere(f.net), Truth: f.truth(day, 100), Seed: 46,
+	}
+	if req.Budget <= 0 {
+		t.Skip("synthetic network has a cost-1 road; nothing cheaper to test")
+	}
+	res, err := f.sys.QueryAdaptive(req, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ledger.Spent != 0 {
+		t.Errorf("spent %d with budget below every cost", res.Ledger.Spent)
+	}
+	if len(res.Probed) != 0 {
+		t.Errorf("probed %d roads", len(res.Probed))
+	}
+	if len(res.Speeds) != f.net.N() || len(res.QuerySpeeds) != 2 {
+		t.Errorf("degenerate budget returned malformed field: %d speeds", len(res.Speeds))
+	}
+}
+
+// Campaign-mode adaptive queries run the full task lifecycle per stage and
+// never overspend the shared ledger (satellite fix: req.Campaign used to be
+// silently ignored).
+func TestQueryAdaptiveWithCampaign(t *testing.T) {
+	f := newFixture(t, 60, 6, 47)
+	slot := tslot.Slot(120)
+	day := f.hist.Days - 1
+	camp := crowd.DefaultCampaign(0) // Seed 0 → defaults from req.Seed
+	camp.AcceptProb = 1
+	camp.MaxRounds = 10
+	var ws []crowd.Worker
+	for r := 0; r < f.net.N(); r++ {
+		for k := 0; k < 3; k++ {
+			ws = append(ws, crowd.Worker{Road: r})
+		}
+	}
+	req := QueryRequest{
+		Slot: slot, Roads: []int{2, 8, 15, 23}, Budget: 30, Theta: 0.92,
+		Workers: crowd.NewPool(ws), Truth: f.truth(day, slot), Seed: 48,
+		Campaign: &camp,
+	}
+	res, err := f.sys.QueryAdaptive(req, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Campaign == nil {
+		t.Fatal("campaign report missing (campaign silently ignored)")
+	}
+	if res.Campaign.Fulfilled == 0 {
+		t.Error("no fulfilled tasks with fully willing workers")
+	}
+	if res.Campaign.Fulfilled != len(res.Probed) {
+		t.Errorf("fulfilled %d but %d observations", res.Campaign.Fulfilled, len(res.Probed))
+	}
+	if res.Ledger.Spent > req.Budget {
+		t.Errorf("overspent: %d/%d", res.Ledger.Spent, req.Budget)
+	}
+	if len(res.Answers) == 0 || len(res.QuerySpeeds) != 4 {
+		t.Errorf("answers=%d query speeds=%d", len(res.Answers), len(res.QuerySpeeds))
+	}
+	// Reluctant crowd: partial/failed tasks must not leak observations.
+	lazy := crowd.DefaultCampaign(0)
+	lazy.AcceptProb = 0
+	reqLazy := req
+	reqLazy.Campaign = &lazy
+	res2, err := f.sys.QueryAdaptive(reqLazy, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Probed) != 0 || res2.Ledger.Spent != 0 {
+		t.Errorf("unwilling crowd: probed=%d spent=%d", len(res2.Probed), res2.Ledger.Spent)
+	}
+}

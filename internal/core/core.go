@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -177,7 +178,13 @@ func (s *System) SelectRoads(t tslot.Slot, query, workerRoads []int, budget int,
 // returning the full-network speed field. Use Query for the complete
 // select-probe-propagate pipeline.
 func (s *System) Estimate(t tslot.Slot, observed map[int]float64) (gsp.Result, error) {
-	return gsp.Propagate(s.net, s.model.At(t), observed, s.cfg.GSP)
+	return s.EstimateCtx(context.Background(), t, observed)
+}
+
+// EstimateCtx is Estimate under a deadline: when ctx expires, GSP stops
+// sweeping and returns the best-so-far field with Result.Aborted set.
+func (s *System) EstimateCtx(ctx context.Context, t tslot.Slot, observed map[int]float64) (gsp.Result, error) {
+	return gsp.PropagateCtx(ctx, s.net, s.model.At(t), observed, s.cfg.GSP)
 }
 
 // QueryRequest is one online realtime-speed query.
@@ -218,6 +225,14 @@ type QueryResult struct {
 
 // Query executes the online pipeline: OCS → crowd probing → GSP.
 func (s *System) Query(req QueryRequest) (*QueryResult, error) {
+	return s.QueryCtx(context.Background(), req)
+}
+
+// QueryCtx is Query under a deadline: an expired context aborts the GSP
+// sweeps early (best-so-far field, Propagation.Aborted set) rather than
+// failing the query. For retry rounds and degraded-mode fallbacks use
+// QueryResilient.
+func (s *System) QueryCtx(ctx context.Context, req QueryRequest) (*QueryResult, error) {
 	if req.Workers == nil {
 		return nil, fmt.Errorf("core: query without a worker pool")
 	}
@@ -241,7 +256,13 @@ func (s *System) Query(req QueryRequest) (*QueryResult, error) {
 	var answers []crowd.Answer
 	var campaignReport *crowd.CampaignReport
 	if req.Campaign != nil {
-		probed, campaignReport, err = req.Workers.RunCampaign(sol.Roads, s.net.Costs(), req.Truth, *req.Campaign, &ledger)
+		campCfg := *req.Campaign
+		if campCfg.Seed == 0 {
+			// Mirror the Probe path: the request seed drives the campaign
+			// unless the campaign pins its own.
+			campCfg.Seed = req.Seed
+		}
+		probed, campaignReport, err = req.Workers.RunCampaign(sol.Roads, s.net.Costs(), req.Truth, campCfg, &ledger)
 		if err != nil {
 			return nil, fmt.Errorf("core: campaign: %w", err)
 		}
@@ -252,7 +273,7 @@ func (s *System) Query(req QueryRequest) (*QueryResult, error) {
 			return nil, fmt.Errorf("core: probing: %w", err)
 		}
 	}
-	prop, err := s.Estimate(req.Slot, probed)
+	prop, err := s.EstimateCtx(ctx, req.Slot, probed)
 	if err != nil {
 		return nil, fmt.Errorf("core: GSP: %w", err)
 	}

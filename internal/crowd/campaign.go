@@ -40,7 +40,10 @@ type Task struct {
 	Road      int
 	Needed    int // the road's cost c_i
 	Collected int
-	Status    TaskStatus
+	// Late counts accepted answers that missed the round deadline; they are
+	// neither paid nor counted toward Collected.
+	Late   int
+	Status TaskStatus
 }
 
 // CampaignConfig controls RunCampaign.
@@ -49,6 +52,15 @@ type CampaignConfig struct {
 	// in a given round — the "workers' willingness" the paper warns about
 	// (§I): tasks requiring physical travel would have much lower values.
 	AcceptProb float64
+	// AcceptProbFor, when non-nil, overrides AcceptProb per road. Fault
+	// injectors use it to model road blackouts (probability 0: workers are
+	// localized there but answers never arrive) and per-road willingness.
+	// Returned values are clamped to [0,1].
+	AcceptProbFor func(road int) float64
+	// LateProb is the probability that an accepted answer arrives after the
+	// round deadline: the platform does not pay for it and it does not count
+	// toward the task quota, but it is recorded in the task's Late counter.
+	LateProb float64
 	// MaxRounds bounds how many times each road's workers are re-asked.
 	MaxRounds int
 	// NoiseSD and Agg follow ProbeConfig semantics.
@@ -68,6 +80,22 @@ type CampaignReport struct {
 	Answers []Answer
 	// Fulfilled/Partial/Failed count tasks by final status.
 	Fulfilled, Partial, Failed int
+	// Late is the total number of answers that missed the round deadline.
+	Late int
+}
+
+// Merge folds another report into r (task lists and counters concatenate) —
+// used by retry pipelines that run several campaign rounds per query.
+func (r *CampaignReport) Merge(other *CampaignReport) {
+	if other == nil {
+		return
+	}
+	r.Tasks = append(r.Tasks, other.Tasks...)
+	r.Answers = append(r.Answers, other.Answers...)
+	r.Fulfilled += other.Fulfilled
+	r.Partial += other.Partial
+	r.Failed += other.Failed
+	r.Late += other.Late
 }
 
 // RunCampaign executes the probing step with a worker-willingness model:
@@ -85,6 +113,9 @@ func (p *Pool) RunCampaign(roads []int, costs []int, truth TruthFunc, cfg Campai
 	}
 	if cfg.AcceptProb < 0 || cfg.AcceptProb > 1 {
 		return nil, nil, fmt.Errorf("crowd: AcceptProb %v outside [0,1]", cfg.AcceptProb)
+	}
+	if cfg.LateProb < 0 || cfg.LateProb > 1 {
+		return nil, nil, fmt.Errorf("crowd: LateProb %v outside [0,1]", cfg.LateProb)
 	}
 	if cfg.MaxRounds <= 0 {
 		return nil, nil, fmt.Errorf("crowd: MaxRounds must be positive, got %d", cfg.MaxRounds)
@@ -107,6 +138,15 @@ func (p *Pool) RunCampaign(roads []int, costs []int, truth TruthFunc, cfg Campai
 		}
 		task := Task{Road: road, Needed: need}
 		onRoad := p.byRoad[road]
+		accept := cfg.AcceptProb
+		if cfg.AcceptProbFor != nil {
+			accept = cfg.AcceptProbFor(road)
+			if accept < 0 {
+				accept = 0
+			} else if accept > 1 {
+				accept = 1
+			}
+		}
 		var speeds []float64
 		base := truth(road)
 	rounds:
@@ -115,8 +155,15 @@ func (p *Pool) RunCampaign(roads []int, costs []int, truth TruthFunc, cfg Campai
 				if task.Collected >= need {
 					break
 				}
-				if rng.Float64() >= cfg.AcceptProb {
+				if rng.Float64() >= accept {
 					continue // worker declined this round
+				}
+				if cfg.LateProb > 0 && rng.Float64() < cfg.LateProb {
+					// The answer missed the round deadline: it is not paid
+					// and does not count toward the quota.
+					task.Late++
+					report.Late++
+					continue
 				}
 				if ledger != nil {
 					if err := ledger.Pay(1); err != nil {
@@ -134,9 +181,13 @@ func (p *Pool) RunCampaign(roads []int, costs []int, truth TruthFunc, cfg Campai
 		}
 		switch {
 		case task.Collected >= need:
+			agg, err := cfg.Agg.Aggregate(speeds)
+			if err != nil {
+				return nil, nil, fmt.Errorf("crowd: road %d: %w", road, err)
+			}
 			task.Status = TaskFulfilled
 			report.Fulfilled++
-			observed[road] = cfg.Agg.Aggregate(speeds)
+			observed[road] = agg
 		case task.Collected > 0:
 			task.Status = TaskPartial
 			report.Partial++

@@ -162,3 +162,121 @@ func TestRunCampaignWillingnessAffectsYield(t *testing.T) {
 		t.Errorf("fulfilled: low-willingness %d ≥ high-willingness %d", low, high)
 	}
 }
+
+func TestRunCampaignLateAnswersUnpaid(t *testing.T) {
+	// LateProb = 1: every accepted answer misses the deadline — nothing is
+	// paid, nothing collected, everything recorded as late.
+	net := network.Synthetic(network.SyntheticOptions{Roads: 10, Seed: 16})
+	p := PlaceEverywhere(net)
+	cfg := DefaultCampaign(17)
+	cfg.AcceptProb = 1
+	cfg.LateProb = 1
+	cfg.MaxRounds = 2
+	ledger := &Ledger{Budget: 50}
+	obs, rep, err := p.RunCampaign([]int{1, 2}, net.Costs(), func(int) float64 { return 40 }, cfg, ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 0 || rep.Failed != 2 || ledger.Spent != 0 {
+		t.Errorf("obs=%v rep=%+v spent=%d", obs, rep, ledger.Spent)
+	}
+	if rep.Late != 2*2 { // 1 worker/road × 2 rounds × 2 roads
+		t.Errorf("late answers = %d, want 4", rep.Late)
+	}
+	for _, task := range rep.Tasks {
+		if task.Late == 0 || task.Collected != 0 {
+			t.Errorf("task %+v: late accounting wrong", task)
+		}
+	}
+
+	// Invalid LateProb rejected.
+	bad := DefaultCampaign(1)
+	bad.LateProb = -0.5
+	if _, _, err := p.RunCampaign([]int{0}, net.Costs(), func(int) float64 { return 1 }, bad, nil); err == nil {
+		t.Error("negative LateProb accepted")
+	}
+}
+
+func TestRunCampaignAcceptProbFor(t *testing.T) {
+	// Per-road willingness override: road 3 never answers, road 5 always
+	// does; out-of-range returns are clamped.
+	net := network.Synthetic(network.SyntheticOptions{Roads: 10, Seed: 18})
+	p := PlaceEverywhere(net)
+	cfg := DefaultCampaign(19)
+	cfg.AcceptProb = 0 // base would fail everything; the hook overrides it
+	cfg.MaxRounds = 10
+	cfg.AcceptProbFor = func(road int) float64 {
+		if road == 3 {
+			return -7 // clamps to 0
+		}
+		return 9 // clamps to 1
+	}
+	obs, rep, err := p.RunCampaign([]int{3, 5}, net.Costs(), func(int) float64 { return 40 }, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := obs[3]; ok {
+		t.Error("zero-willingness road answered")
+	}
+	if _, ok := obs[5]; !ok {
+		t.Error("full-willingness road failed")
+	}
+	if rep.Failed != 1 || rep.Fulfilled != 1 {
+		t.Errorf("report %+v", rep)
+	}
+}
+
+func TestRunCampaignMidTaskBudgetBreak(t *testing.T) {
+	// The ledger runs dry in the middle of the FIRST task: the task must end
+	// Partial, the ledger must stay exactly at its cap, and the remaining
+	// tasks must still be processed (failed, not silently dropped).
+	var ws []Worker
+	for k := 0; k < 6; k++ {
+		ws = append(ws, Worker{Road: 2})
+	}
+	ws = append(ws, Worker{Road: 7})
+	p := NewPool(ws)
+	costs := make([]int, 10)
+	for i := range costs {
+		costs[i] = 6
+	}
+	cfg := DefaultCampaign(21)
+	cfg.AcceptProb = 1
+	cfg.MaxRounds = 3
+	ledger := &Ledger{Budget: 4} // dies after 4 of road 2's 6 answers
+	obs, rep, err := p.RunCampaign([]int{2, 7}, costs, func(int) float64 { return 40 }, cfg, ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 0 {
+		t.Errorf("observations from partial tasks: %v", obs)
+	}
+	if ledger.Spent != 4 || ledger.Remaining() != 0 {
+		t.Errorf("ledger inconsistent: spent=%d remaining=%d", ledger.Spent, ledger.Remaining())
+	}
+	if len(rep.Tasks) != 2 {
+		t.Fatalf("tasks = %d, want 2", len(rep.Tasks))
+	}
+	if rep.Tasks[0].Status != TaskPartial || rep.Tasks[0].Collected != 4 {
+		t.Errorf("first task %+v, want partial with 4 collected", rep.Tasks[0])
+	}
+	if rep.Tasks[1].Status != TaskFailed {
+		t.Errorf("second task %+v, want failed (no budget left)", rep.Tasks[1])
+	}
+	if len(rep.Answers) != 4 {
+		t.Errorf("answers %d != paid %d", len(rep.Answers), ledger.Spent)
+	}
+}
+
+func TestCampaignReportMerge(t *testing.T) {
+	a := &CampaignReport{Tasks: []Task{{Road: 1}}, Fulfilled: 1, Late: 2,
+		Answers: []Answer{{Road: 1}}}
+	b := &CampaignReport{Tasks: []Task{{Road: 2}}, Failed: 1, Partial: 1, Late: 1,
+		Answers: []Answer{{Road: 2}, {Road: 2}}}
+	a.Merge(b)
+	a.Merge(nil)
+	if len(a.Tasks) != 2 || len(a.Answers) != 3 || a.Fulfilled != 1 ||
+		a.Failed != 1 || a.Partial != 1 || a.Late != 3 {
+		t.Errorf("merged report wrong: %+v", a)
+	}
+}

@@ -143,10 +143,13 @@ const (
 	Median
 )
 
-// Aggregate combines the answer speeds. It panics on an empty slice.
-func (a Aggregation) Aggregate(speeds []float64) float64 {
+// Aggregate combines the answer speeds. An empty slice is a malformed
+// campaign, not a programming invariant the caller can always guarantee
+// (worker dropout can empty a road's answer set), so it returns an error
+// instead of panicking: a degraded crowd must never crash the service.
+func (a Aggregation) Aggregate(speeds []float64) (float64, error) {
 	if len(speeds) == 0 {
-		panic("crowd: aggregate of zero answers")
+		return 0, fmt.Errorf("crowd: aggregate of zero answers")
 	}
 	switch a {
 	case Median:
@@ -154,15 +157,15 @@ func (a Aggregation) Aggregate(speeds []float64) float64 {
 		sort.Float64s(s)
 		mid := len(s) / 2
 		if len(s)%2 == 1 {
-			return s[mid]
+			return s[mid], nil
 		}
-		return (s[mid-1] + s[mid]) / 2
+		return (s[mid-1] + s[mid]) / 2, nil
 	default:
 		var sum float64
 		for _, v := range speeds {
 			sum += v
 		}
-		return sum / float64(len(speeds))
+		return sum / float64(len(speeds)), nil
 	}
 }
 
@@ -246,7 +249,11 @@ func (p *Pool) Probe(roads []int, costs []int, truth TruthFunc, cfg ProbeConfig,
 			speeds[k] = v
 			answers = append(answers, Answer{Worker: w, Road: r, Speed: v})
 		}
-		out[r] = cfg.Agg.Aggregate(speeds)
+		agg, err := cfg.Agg.Aggregate(speeds)
+		if err != nil {
+			return nil, nil, fmt.Errorf("crowd: road %d: %w", r, err)
+		}
+		out[r] = agg
 	}
 	return out, answers, nil
 }

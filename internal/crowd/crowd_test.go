@@ -124,30 +124,32 @@ func TestStep(t *testing.T) {
 }
 
 func TestAggregate(t *testing.T) {
-	if got := Mean.Aggregate([]float64{1, 2, 3}); got != 2 {
-		t.Errorf("mean = %v", got)
+	if got, err := Mean.Aggregate([]float64{1, 2, 3}); err != nil || got != 2 {
+		t.Errorf("mean = %v, %v", got, err)
 	}
-	if got := Median.Aggregate([]float64{5, 1, 9}); got != 5 {
-		t.Errorf("odd median = %v", got)
+	if got, err := Median.Aggregate([]float64{5, 1, 9}); err != nil || got != 5 {
+		t.Errorf("odd median = %v, %v", got, err)
 	}
-	if got := Median.Aggregate([]float64{1, 3, 5, 100}); got != 4 {
-		t.Errorf("even median = %v", got)
+	if got, err := Median.Aggregate([]float64{1, 3, 5, 100}); err != nil || got != 4 {
+		t.Errorf("even median = %v, %v", got, err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("empty aggregate did not panic")
-		}
-	}()
-	Mean.Aggregate(nil)
+	// Empty input is an error, not a panic: a malformed campaign must never
+	// crash the service.
+	if _, err := Mean.Aggregate(nil); err == nil {
+		t.Error("empty mean aggregate did not error")
+	}
+	if _, err := Median.Aggregate([]float64{}); err == nil {
+		t.Error("empty median aggregate did not error")
+	}
 }
 
 func TestMedianRobustToOutlier(t *testing.T) {
 	answers := []float64{50, 51, 49, 500}
-	if m := Median.Aggregate(answers); m > 60 {
-		t.Errorf("median not robust: %v", m)
+	if m, err := Median.Aggregate(answers); err != nil || m > 60 {
+		t.Errorf("median not robust: %v, %v", m, err)
 	}
-	if m := Mean.Aggregate(answers); m < 60 {
-		t.Errorf("mean unexpectedly robust: %v", m)
+	if m, err := Mean.Aggregate(answers); err != nil || m < 60 {
+		t.Errorf("mean unexpectedly robust: %v, %v", m, err)
 	}
 }
 

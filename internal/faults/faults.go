@@ -1,0 +1,246 @@
+// Package faults is a deterministic, seedable fault injector for the
+// crowdsourcing pipeline. The paper's premise is that crowdsourced probes
+// are sparse and unreliable — workers decline tasks (§I "workers'
+// willingness"), move between slots (§II-A), and report noisy speeds — and a
+// deployed CrowdRTSE must keep answering queries while all of that goes
+// wrong at once. This package makes every failure mode reproducible so the
+// retry/fallback machinery in package core can be tested and benchmarked
+// bit-for-bit:
+//
+//   - worker dropout — each worker independently vanishes from the platform
+//     (global probability plus per-road overrides); applied by FilterPool.
+//   - road blackouts — roads whose workers are localized (so OCS may still
+//     select them) but whose answers never arrive (dead cell coverage);
+//     applied by WrapCampaign via crowd.CampaignConfig.AcceptProbFor = 0.
+//   - stale answers — a worker reports the speed of slot t−k instead of t
+//     (her measurement is minutes old); applied by WrapTruth.
+//   - adversarial/garbage speeds — a worker reports a uniform random speed
+//     unrelated to the road; applied by WrapTruth.
+//   - latency — accepted answers that miss the round deadline (not paid, not
+//     counted); applied by WrapCampaign via crowd.CampaignConfig.LateProb.
+//
+// Determinism: every random decision is a pure function of (Seed, site,
+// counter) through a splitmix64 hash — no shared rand.Rand stream — so the
+// injected faults do not depend on goroutine scheduling or map iteration
+// order, and two injectors with the same seed replay the same faults. The
+// injector is safe for concurrent use.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/crowd"
+)
+
+// Config selects the failure modes and their rates. The zero value injects
+// nothing.
+type Config struct {
+	// Seed drives every fault decision. Two injectors with equal configs
+	// replay identical fault sequences.
+	Seed int64
+
+	// DropoutProb is the probability that any given worker has dropped off
+	// the platform (FilterPool removes her).
+	DropoutProb float64
+	// RoadDropout overrides DropoutProb for specific roads.
+	RoadDropout map[int]float64
+
+	// Blackouts lists roads whose tasks never receive answers: workers stay
+	// localized there (the road remains in R^w and OCS may pay to select
+	// it), but WrapCampaign forces their accept probability to zero.
+	Blackouts []int
+
+	// StaleProb is the probability that a truth lookup returns the speed of
+	// slot t−StaleLag instead of t. Requires History; lag defaults to 1.
+	StaleProb float64
+	StaleLag  int
+	// History supplies the lagged ground truth: History(road, lag) is the
+	// road's speed lag slots ago. nil disables staleness.
+	History func(road, lag int) float64
+
+	// GarbageProb is the probability that a truth lookup returns an
+	// adversarial uniform speed in [0, GarbageMax] (default 160 km/h)
+	// instead of anything related to the road.
+	GarbageProb float64
+	GarbageMax  float64
+
+	// LatencyProb is the probability that an accepted answer misses the
+	// round deadline (crowd.CampaignConfig.LateProb).
+	LatencyProb float64
+}
+
+// Injector applies a Config deterministically. Safe for concurrent use.
+type Injector struct {
+	cfg      Config
+	blackout map[int]bool
+
+	mu    sync.Mutex
+	calls map[int]uint64 // per-road truth-lookup counter
+}
+
+// New validates the config and builds an injector.
+func New(cfg Config) (*Injector, error) {
+	for name, p := range map[string]float64{
+		"DropoutProb": cfg.DropoutProb,
+		"StaleProb":   cfg.StaleProb,
+		"GarbageProb": cfg.GarbageProb,
+		"LatencyProb": cfg.LatencyProb,
+	} {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("faults: %s %v outside [0,1]", name, p)
+		}
+	}
+	for r, p := range cfg.RoadDropout {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("faults: RoadDropout[%d] %v outside [0,1]", r, p)
+		}
+	}
+	if cfg.StaleLag < 0 {
+		return nil, fmt.Errorf("faults: negative StaleLag %d", cfg.StaleLag)
+	}
+	if cfg.StaleProb > 0 && cfg.History == nil {
+		return nil, fmt.Errorf("faults: StaleProb %v needs a History function", cfg.StaleProb)
+	}
+	if cfg.GarbageMax < 0 {
+		return nil, fmt.Errorf("faults: negative GarbageMax %v", cfg.GarbageMax)
+	}
+	bl := make(map[int]bool, len(cfg.Blackouts))
+	for _, r := range cfg.Blackouts {
+		if r < 0 {
+			return nil, fmt.Errorf("faults: negative blackout road %d", r)
+		}
+		bl[r] = true
+	}
+	return &Injector{cfg: cfg, blackout: bl, calls: make(map[int]uint64)}, nil
+}
+
+// Salts separate the hash streams of independent decisions.
+const (
+	saltDropout = iota + 1
+	saltGarbage
+	saltGarbageVal
+	saltStale
+)
+
+// splitmix64 is the finalizer of Steele et al.'s SplitMix generator — a
+// cheap, well-mixed 64-bit hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// u01 hashes (seed, parts...) to a uniform value in [0,1).
+func (inj *Injector) u01(parts ...uint64) float64 {
+	x := splitmix64(uint64(inj.cfg.Seed))
+	for _, p := range parts {
+		x = splitmix64(x ^ p)
+	}
+	return float64(x>>11) / (1 << 53)
+}
+
+// BlackedOut reports whether road r is configured as a blackout road.
+func (inj *Injector) BlackedOut(r int) bool { return inj.blackout[r] }
+
+// Blackouts returns the sorted blackout road ids.
+func (inj *Injector) Blackouts() []int {
+	out := make([]int, 0, len(inj.blackout))
+	for r := range inj.blackout {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Reset clears the per-road truth-lookup counters so a fresh replay produces
+// the same fault sequence as the first run.
+func (inj *Injector) Reset() {
+	inj.mu.Lock()
+	inj.calls = make(map[int]uint64)
+	inj.mu.Unlock()
+}
+
+// FilterPool applies worker dropout: each worker survives independently with
+// probability 1−p where p is RoadDropout[road] when set, DropoutProb
+// otherwise. Blackout-road workers are kept — they are localized, their
+// answers just never arrive. The decision for worker i is a pure function of
+// (Seed, road, i), so the same pool filters identically every time.
+func (inj *Injector) FilterPool(p *crowd.Pool) *crowd.Pool {
+	ws := p.Workers()
+	kept := make([]crowd.Worker, 0, len(ws))
+	for i, w := range ws {
+		prob := inj.cfg.DropoutProb
+		if rp, ok := inj.cfg.RoadDropout[w.Road]; ok {
+			prob = rp
+		}
+		if prob > 0 && inj.u01(saltDropout, uint64(w.Road), uint64(i)) < prob {
+			continue
+		}
+		kept = append(kept, w)
+	}
+	return crowd.NewPool(kept)
+}
+
+// WrapTruth composes the stale and garbage failure modes over a ground-truth
+// source. The k-th lookup of road r draws its faults from (Seed, r, k), so a
+// retry pipeline that re-probes a road sees an independent (but replayable)
+// draw, and the sequence does not depend on the order roads are probed in.
+func (inj *Injector) WrapTruth(base crowd.TruthFunc) crowd.TruthFunc {
+	return func(road int) float64 {
+		inj.mu.Lock()
+		call := inj.calls[road]
+		inj.calls[road] = call + 1
+		inj.mu.Unlock()
+		r, k := uint64(road), call
+		if inj.cfg.GarbageProb > 0 && inj.u01(saltGarbage, r, k) < inj.cfg.GarbageProb {
+			max := inj.cfg.GarbageMax
+			if max <= 0 {
+				max = 160
+			}
+			return max * inj.u01(saltGarbageVal, r, k)
+		}
+		if inj.cfg.StaleProb > 0 && inj.cfg.History != nil &&
+			inj.u01(saltStale, r, k) < inj.cfg.StaleProb {
+			lag := inj.cfg.StaleLag
+			if lag <= 0 {
+				lag = 1
+			}
+			return inj.cfg.History(road, lag)
+		}
+		return base(road)
+	}
+}
+
+// WrapCampaign composes the blackout and latency failure modes over a
+// campaign configuration: blackout roads get accept probability 0 (tasks
+// there fail, stranding nothing once the pipeline recycles their budget),
+// and LateProb is raised to at least LatencyProb.
+func (inj *Injector) WrapCampaign(cfg crowd.CampaignConfig) crowd.CampaignConfig {
+	if len(inj.blackout) > 0 {
+		base := cfg.AcceptProb
+		inner := cfg.AcceptProbFor
+		bl := inj.blackout
+		cfg.AcceptProbFor = func(road int) float64 {
+			if bl[road] {
+				return 0
+			}
+			if inner != nil {
+				return inner(road)
+			}
+			return base
+		}
+	}
+	if inj.cfg.LatencyProb > cfg.LateProb {
+		cfg.LateProb = inj.cfg.LatencyProb
+	}
+	return cfg
+}
+
+// Apply is the one-call composition for a whole query: it filters the worker
+// pool, wraps the truth source, and wraps the campaign configuration.
+func (inj *Injector) Apply(pool *crowd.Pool, truth crowd.TruthFunc, cfg crowd.CampaignConfig) (*crowd.Pool, crowd.TruthFunc, crowd.CampaignConfig) {
+	return inj.FilterPool(pool), inj.WrapTruth(truth), inj.WrapCampaign(cfg)
+}

@@ -1,0 +1,280 @@
+package faults
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/crowd"
+	"repro/internal/network"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{DropoutProb: -0.1},
+		{DropoutProb: 1.1},
+		{StaleProb: 2},
+		{GarbageProb: -1},
+		{LatencyProb: 1.5},
+		{StaleLag: -1},
+		{StaleProb: 0.5}, // StaleProb without History
+		{GarbageMax: -5},
+		{Blackouts: []int{-3}},
+		{RoadDropout: map[int]float64{2: 1.5}},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config %+v accepted", i, cfg)
+		}
+	}
+	if _, err := New(Config{}); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+}
+
+// Two injectors with the same seed must replay identical fault sequences —
+// the reproducibility contract every chaos test depends on.
+func TestFaultDeterministicReplay(t *testing.T) {
+	mk := func() *Injector {
+		inj, err := New(Config{
+			Seed:        99,
+			DropoutProb: 0.3,
+			StaleProb:   0.2, StaleLag: 2,
+			History:     func(r, lag int) float64 { return float64(100*r + lag) },
+			GarbageProb: 0.15,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj
+	}
+	base := func(r int) float64 { return float64(r) + 0.5 }
+
+	a, b := mk().WrapTruth(base), mk().WrapTruth(base)
+	for call := 0; call < 50; call++ {
+		for road := 0; road < 20; road++ {
+			if va, vb := a(road), b(road); va != vb {
+				t.Fatalf("call %d road %d: %v != %v", call, road, va, vb)
+			}
+		}
+	}
+
+	net := network.Synthetic(network.SyntheticOptions{Roads: 50, Seed: 3})
+	pool := crowd.PlaceEverywhere(net)
+	pa, pb := mk().FilterPool(pool), mk().FilterPool(pool)
+	if pa.Size() != pb.Size() {
+		t.Fatalf("filtered pool sizes differ: %d vs %d", pa.Size(), pb.Size())
+	}
+	wa, wb := pa.Workers(), pb.Workers()
+	for i := range wa {
+		if wa[i].Road != wb[i].Road {
+			t.Fatalf("worker %d on different roads: %d vs %d", i, wa[i].Road, wb[i].Road)
+		}
+	}
+}
+
+// The fault draw for road r's k-th lookup must not depend on the order
+// other roads are probed in.
+func TestFaultTruthOrderIndependence(t *testing.T) {
+	mk := func() crowd.TruthFunc {
+		inj, err := New(Config{Seed: 7, GarbageProb: 0.5, GarbageMax: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj.WrapTruth(func(r int) float64 { return 50 })
+	}
+	fwd, rev := mk(), mk()
+	want := make(map[int]float64)
+	for r := 0; r < 10; r++ {
+		want[r] = fwd(r)
+	}
+	for r := 9; r >= 0; r-- {
+		if got := rev(r); got != want[r] {
+			t.Fatalf("road %d: order-dependent fault draw %v != %v", r, got, want[r])
+		}
+	}
+}
+
+func TestFaultResetReplays(t *testing.T) {
+	inj, err := New(Config{Seed: 5, GarbageProb: 0.5, GarbageMax: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := inj.WrapTruth(func(int) float64 { return 42 })
+	first := []float64{truth(3), truth(3), truth(3)}
+	inj.Reset()
+	for i, want := range first {
+		if got := truth(3); got != want {
+			t.Fatalf("replay %d: %v != %v", i, got, want)
+		}
+	}
+}
+
+func TestDropoutRates(t *testing.T) {
+	net := network.Synthetic(network.SyntheticOptions{Roads: 400, Seed: 11})
+	pool := crowd.PlaceEverywhere(net)
+
+	inj0, _ := New(Config{Seed: 1})
+	if inj0.FilterPool(pool).Size() != pool.Size() {
+		t.Error("zero dropout removed workers")
+	}
+	inj1, _ := New(Config{Seed: 1, DropoutProb: 1})
+	if n := inj1.FilterPool(pool).Size(); n != 0 {
+		t.Errorf("full dropout left %d workers", n)
+	}
+	injHalf, _ := New(Config{Seed: 1, DropoutProb: 0.5})
+	n := injHalf.FilterPool(pool).Size()
+	if n < 120 || n > 280 {
+		t.Errorf("50%% dropout of 400 left %d workers", n)
+	}
+
+	// Per-road override: road 7 always drops, others never.
+	injRoad, _ := New(Config{Seed: 1, RoadDropout: map[int]float64{7: 1}})
+	fp := injRoad.FilterPool(pool)
+	if len(fp.WorkersOn(7)) != 0 {
+		t.Error("road-dropout road still has workers")
+	}
+	if fp.Size() != pool.Size()-1 {
+		t.Errorf("road dropout removed %d workers, want 1", pool.Size()-fp.Size())
+	}
+}
+
+// Blackout roads keep their (localized) workers but never deliver answers:
+// the campaign must record failed tasks and pay nothing for them.
+func TestBlackoutFailsTasksWithoutPay(t *testing.T) {
+	net := network.Synthetic(network.SyntheticOptions{Roads: 20, Seed: 13})
+	pool := crowd.PlaceEverywhere(net)
+	inj, err := New(Config{Seed: 2, Blackouts: []int{4, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp := inj.FilterPool(pool); fp.Size() != pool.Size() {
+		t.Fatal("blackout removed workers from the pool")
+	}
+	if !inj.BlackedOut(4) || inj.BlackedOut(5) {
+		t.Fatal("BlackedOut wrong")
+	}
+	if got := inj.Blackouts(); len(got) != 2 || got[0] != 4 || got[1] != 9 {
+		t.Fatalf("Blackouts() = %v", got)
+	}
+	cfg := inj.WrapCampaign(crowd.CampaignConfig{AcceptProb: 1, MaxRounds: 10, Seed: 3})
+	ledger := &crowd.Ledger{Budget: 100}
+	obs, rep, err := pool.RunCampaign([]int{4, 5, 9}, net.Costs(), func(int) float64 { return 50 }, cfg, ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 2 || rep.Fulfilled != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if _, ok := obs[4]; ok {
+		t.Error("blackout road produced an observation")
+	}
+	if ledger.Spent != net.Costs()[5] {
+		t.Errorf("spent %d, want only road 5's cost %d", ledger.Spent, net.Costs()[5])
+	}
+}
+
+func TestStaleAndGarbageTruth(t *testing.T) {
+	histVal := -123.0
+	inj, err := New(Config{
+		Seed:      17,
+		StaleProb: 1, StaleLag: 3,
+		History: func(r, lag int) float64 {
+			if lag != 3 {
+				t.Errorf("lag = %d, want 3", lag)
+			}
+			return histVal
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := inj.WrapTruth(func(int) float64 { return 50 })
+	if v := truth(0); v != histVal {
+		t.Errorf("StaleProb=1 returned %v, want history value", v)
+	}
+
+	injG, err := New(Config{Seed: 17, GarbageProb: 1, GarbageMax: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := injG.WrapTruth(func(int) float64 { return 999 })
+	for i := 0; i < 100; i++ {
+		v := g(i % 5)
+		if v < 0 || v >= 30 || v == 999 {
+			t.Fatalf("garbage value %v outside [0,30)", v)
+		}
+	}
+
+	// Garbage wins over stale when both fire.
+	injBoth, err := New(Config{
+		Seed: 17, GarbageProb: 1, GarbageMax: 30,
+		StaleProb: 1, History: func(int, int) float64 { return 500 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := injBoth.WrapTruth(func(int) float64 { return 999 })(2); v >= 30 {
+		t.Errorf("garbage did not take precedence: %v", v)
+	}
+}
+
+func TestWrapCampaignLatency(t *testing.T) {
+	inj, err := New(Config{Seed: 1, LatencyProb: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := inj.WrapCampaign(crowd.CampaignConfig{AcceptProb: 1, MaxRounds: 3})
+	if cfg.LateProb != 0.4 {
+		t.Errorf("LateProb = %v", cfg.LateProb)
+	}
+	// A stricter pre-existing LateProb is kept.
+	cfg2 := inj.WrapCampaign(crowd.CampaignConfig{AcceptProb: 1, MaxRounds: 3, LateProb: 0.9})
+	if cfg2.LateProb != 0.9 {
+		t.Errorf("LateProb overridden down to %v", cfg2.LateProb)
+	}
+}
+
+// Concurrent truth lookups must be race-free (run under -race) and every
+// returned value must be finite.
+func TestConcurrentTruthLookups(t *testing.T) {
+	inj, err := New(Config{Seed: 21, GarbageProb: 0.3, GarbageMax: 50,
+		StaleProb: 0.3, History: func(r, lag int) float64 { return 10 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := inj.WrapTruth(func(r int) float64 { return float64(r) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if v := truth(g*100 + i); math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("non-finite truth %v", v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestApplyComposes(t *testing.T) {
+	net := network.Synthetic(network.SyntheticOptions{Roads: 30, Seed: 19})
+	pool := crowd.PlaceEverywhere(net)
+	inj, err := New(Config{Seed: 4, DropoutProb: 0.5, Blackouts: []int{1}, LatencyProb: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, truth, cfg := inj.Apply(pool, func(int) float64 { return 33 }, crowd.DefaultCampaign(1))
+	if p.Size() >= pool.Size() {
+		t.Error("Apply did not filter the pool")
+	}
+	if truth(0) != 33 {
+		t.Error("Apply corrupted a fault-free truth lookup")
+	}
+	if cfg.LateProb != 0.2 || cfg.AcceptProbFor == nil || cfg.AcceptProbFor(1) != 0 {
+		t.Errorf("Apply campaign wrap wrong: %+v", cfg)
+	}
+}

@@ -20,6 +20,7 @@
 package gsp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -58,6 +59,12 @@ type Result struct {
 	Converged  bool
 	MaxDelta   float64 // last sweep's largest value change
 
+	// Aborted is set when a context deadline/cancellation stopped the sweeps
+	// early; Speeds then holds the best-so-far field (every completed sweep
+	// only improves the slot likelihood, so a partial result is still the
+	// best estimate available at the deadline).
+	Aborted bool
+
 	// SD is a per-road uncertainty proxy: the standard deviation implied by
 	// the conditional precision of Eq. (18), 1/σ_i² + Σ_j 1/σ_ij², with a
 	// neighbor's term discounted by that neighbor's own relative certainty
@@ -72,6 +79,17 @@ type Result struct {
 // Propagate runs GSP for one slot. observed maps road id → probed speed
 // (the aggregated crowdsourced answers for R^c).
 func Propagate(net *network.Network, view rtf.View, observed map[int]float64, opt Options) (Result, error) {
+	return PropagateCtx(context.Background(), net, view, observed, opt)
+}
+
+// PropagateCtx is Propagate under a context: when ctx is cancelled or its
+// deadline passes, the sweep loop stops after the current sweep and the
+// best-so-far field is returned with Result.Aborted set — a deadline is a
+// degraded answer, not an error.
+func PropagateCtx(ctx context.Context, net *network.Network, view rtf.View, observed map[int]float64, opt Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := net.N()
 	if len(view.Mu) != n {
 		return Result{}, fmt.Errorf("gsp: view covers %d roads, network has %d", len(view.Mu), n)
@@ -127,6 +145,14 @@ func Propagate(net *network.Network, view rtf.View, observed map[int]float64, op
 	}
 
 	for iter := 0; iter < opt.MaxIters; iter++ {
+		select {
+		case <-ctx.Done():
+			res.Aborted = true
+		default:
+		}
+		if res.Aborted {
+			break
+		}
 		var maxDelta float64
 		if opt.Parallel {
 			maxDelta = eng.sweepParallel()

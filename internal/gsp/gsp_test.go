@@ -1,6 +1,7 @@
 package gsp
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -320,5 +321,53 @@ func TestMaxItersRespected(t *testing.T) {
 	}
 	if res.Converged {
 		t.Error("converged with ε=1e-300 in 3 sweeps (implausible)")
+	}
+}
+
+func TestPropagateCtxAborts(t *testing.T) {
+	net, m, _ := fitted(t, 30, 4, 77)
+	view := m.At(100)
+	observed := map[int]float64{0: 10}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: no sweep may run
+	res, err := PropagateCtx(ctx, net, view, observed, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aborted {
+		t.Fatal("expired context did not abort")
+	}
+	if res.Iterations != 0 {
+		t.Errorf("ran %d sweeps after expiry", res.Iterations)
+	}
+	// Best-so-far: the initialization field (observations pinned, μ
+	// elsewhere) with per-road SDs still attached.
+	if len(res.Speeds) != net.N() || len(res.SD) != net.N() {
+		t.Fatal("aborted result missing field or SD")
+	}
+	if res.Speeds[0] != 10 {
+		t.Errorf("observation not pinned: %v", res.Speeds[0])
+	}
+
+	// A live context converges identically to plain Propagate.
+	live, err := PropagateCtx(context.Background(), net, view, observed, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Propagate(net, view, observed, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Aborted || !live.Converged {
+		t.Error("live context aborted or failed to converge")
+	}
+	for i := range live.Speeds {
+		if live.Speeds[i] != plain.Speeds[i] {
+			t.Fatalf("ctx and plain fields differ at %d", i)
+		}
+	}
+	// nil context is tolerated.
+	if _, err := PropagateCtx(nil, net, view, observed, DefaultOptions()); err != nil { //nolint:staticcheck
+		t.Errorf("nil context rejected: %v", err)
 	}
 }

@@ -9,18 +9,29 @@
 //	POST /v1/select                  run OCS                            {"slot":102,"roads":[1,2],"budget":30,"theta":0.92,"selector":"Hybrid"}
 //	GET  /v1/estimate?slot=102&roads=1,2,3   run GSP over current reports
 //	GET  /v1/alerts?slot=102         scan the slot's estimates for incidents
+//	GET  /v1/healthz                 liveness + degraded-state report
 //
 // Reports are kept per slot; an estimate uses the aggregated reports of its
 // slot as the GSP observations. All handlers are safe for concurrent use.
+//
+// Hardening: every request runs under panic recovery (a malformed campaign
+// or model edge case returns 500 JSON instead of killing the process), a
+// per-request timeout (GSP aborts early and the response is flagged
+// degraded), and a bounded request body. Estimates computed from zero
+// observations carry "degraded": true — they are the periodicity prior, not
+// realtime signal.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/crowd"
@@ -36,6 +47,18 @@ type Server struct {
 	sys       *core.System
 	collector *stream.Collector
 
+	// Timeout bounds each request; the estimate/alerts handlers plumb it
+	// through context so GSP early-aborts with a best-so-far field.
+	// Zero disables the per-request deadline.
+	Timeout time.Duration
+	// MaxBodyBytes bounds POST bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// StaleAfter is how old the newest report may be before /v1/healthz
+	// declares the collector stale (default 10 min).
+	StaleAfter time.Duration
+
+	started time.Time
+
 	mu   sync.RWMutex
 	pool *crowd.Pool
 }
@@ -43,13 +66,18 @@ type Server struct {
 // New wraps a trained system. The worker pool starts empty.
 func New(sys *core.System) *Server {
 	return &Server{
-		sys:       sys,
-		collector: stream.NewCollector(sys.Network().N()),
-		pool:      crowd.NewPool(nil),
+		sys:          sys,
+		collector:    stream.NewCollector(sys.Network().N()),
+		pool:         crowd.NewPool(nil),
+		Timeout:      5 * time.Second,
+		MaxBodyBytes: 1 << 20,
+		StaleAfter:   10 * time.Minute,
+		started:      time.Now(),
 	}
 }
 
-// Handler returns the HTTP routing table.
+// Handler returns the HTTP routing table wrapped in the hardening
+// middleware (panic recovery → body limit → request timeout).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/network", s.handleNetwork)
@@ -58,7 +86,47 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/select", s.handleSelect)
 	mux.HandleFunc("/v1/estimate", s.handleEstimate)
 	mux.HandleFunc("/v1/alerts", s.handleAlerts)
-	return mux
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	return s.withRecovery(s.withBodyLimit(s.withTimeout(mux)))
+}
+
+// withRecovery converts a handler panic into a 500 JSON error. A degraded
+// crowd (or a bug) must never take the estimation service down with it.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				debug.PrintStack()
+				writeErr(w, http.StatusInternalServerError, "internal panic: %v", rec)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withBodyLimit bounds request bodies so a misbehaving client cannot make
+// the decoder buffer arbitrary amounts of memory.
+func (s *Server) withBodyLimit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil && s.MaxBodyBytes > 0 {
+			r.Body = http.MaxBytesReader(w, r.Body, s.MaxBodyBytes)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withTimeout attaches a deadline to the request context. Handlers that do
+// real work (estimate, alerts) pass it down to GSP, which returns its
+// best-so-far field when the deadline passes.
+func (s *Server) withTimeout(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.Timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.Timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -205,11 +273,63 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, selectResponse{Roads: sol.Roads, Value: sol.Value, Cost: sol.Cost})
 }
 
+// healthResponse is the /v1/healthz body. Status is "ok" or "degraded";
+// degraded means estimates are currently running on prior-only or stale
+// signal (no workers registered, or the collector has gone stale).
+type healthResponse struct {
+	Status           string  `json:"status"`
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	Roads            int     `json:"roads"`
+	Workers          int     `json:"workers"`
+	ReportSlots      int     `json:"report_slots"`
+	TotalReports     int     `json:"total_reports"`
+	LastReportAgeSec float64 `json:"last_report_age_seconds"` // -1 if none
+	CollectorStale   bool    `json:"collector_stale"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.RLock()
+	workers := s.pool.Size()
+	s.mu.RUnlock()
+	out := healthResponse{
+		Status:           "ok",
+		UptimeSeconds:    time.Since(s.started).Seconds(),
+		Roads:            s.sys.Network().N(),
+		Workers:          workers,
+		ReportSlots:      s.collector.SlotCount(),
+		TotalReports:     s.collector.TotalReports(),
+		LastReportAgeSec: -1,
+	}
+	if last, ok := s.collector.LastReport(); ok {
+		age := time.Since(last)
+		out.LastReportAgeSec = age.Seconds()
+		out.CollectorStale = s.StaleAfter > 0 && age > s.StaleAfter
+	} else {
+		out.CollectorStale = true // never heard from the crowd
+	}
+	if workers == 0 || out.CollectorStale {
+		out.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 type estimateResponse struct {
 	Slot      int                `json:"slot"`
 	Observed  int                `json:"observed_roads"`
 	Estimates map[string]float64 `json:"estimates"` // road id (string for JSON) → speed
 	Converged bool               `json:"converged"`
+	// Degraded: the slot had zero usable observations, so the estimates are
+	// the periodicity prior μ — structurally valid but carrying no realtime
+	// signal. FallbackPrior mirrors it for API clarity.
+	Degraded      bool `json:"degraded"`
+	FallbackPrior bool `json:"fallback_prior"`
+	// Aborted: the request deadline cut GSP short; estimates are the
+	// best-so-far field.
+	Aborted bool `json:"aborted,omitempty"`
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -251,16 +371,19 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	// Robust per-road aggregates of this slot's reports.
 	observed := s.collector.Observations(slot)
 
-	res, err := s.sys.Estimate(slot, observed)
+	res, err := s.sys.EstimateCtx(r.Context(), slot, observed)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	out := estimateResponse{
-		Slot:      slotN,
-		Observed:  len(observed),
-		Estimates: make(map[string]float64, len(roads)),
-		Converged: res.Converged,
+		Slot:          slotN,
+		Observed:      len(observed),
+		Estimates:     make(map[string]float64, len(roads)),
+		Converged:     res.Converged,
+		Degraded:      len(observed) == 0,
+		FallbackPrior: len(observed) == 0,
+		Aborted:       res.Aborted,
 	}
 	for _, id := range roads {
 		out.Estimates[strconv.Itoa(id)] = res.Speeds[id]
@@ -280,6 +403,9 @@ type alertsResponse struct {
 	Slot     int         `json:"slot"`
 	Observed int         `json:"observed_roads"`
 	Alerts   []alertJSON `json:"alerts"`
+	// Degraded: no observations backed this scan — alerts on a pure-prior
+	// field are vacuous and the empty list must not be read as "all clear".
+	Degraded bool `json:"degraded"`
 }
 
 // handleAlerts runs GSP over the slot's reports and scans the estimates for
@@ -300,7 +426,7 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	observed := s.collector.Observations(slot)
-	res, err := s.sys.Estimate(slot, observed)
+	res, err := s.sys.EstimateCtx(r.Context(), slot, observed)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -310,7 +436,8 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	out := alertsResponse{Slot: slotN, Observed: len(observed), Alerts: []alertJSON{}}
+	out := alertsResponse{Slot: slotN, Observed: len(observed), Alerts: []alertJSON{},
+		Degraded: len(observed) == 0}
 	for _, a := range alerts {
 		out.Alerts = append(out.Alerts, alertJSON{
 			Road: a.Road, Estimate: a.Estimate, Expected: a.Expected, Drop: a.Drop, Z: a.Z,

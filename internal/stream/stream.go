@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/rtf"
 	"repro/internal/tslot"
@@ -35,6 +36,9 @@ type Collector struct {
 
 	mu      sync.RWMutex
 	buckets map[tslot.Slot]map[int][]float64
+	lastAdd time.Time // wall time of the last accepted report
+	total   int       // accepted reports since construction
+	now     func() time.Time
 }
 
 // NewCollector builds a collector for a network of nRoads roads.
@@ -44,6 +48,7 @@ func NewCollector(nRoads int) *Collector {
 		MaxSpeed: 160,
 		OutlierK: 4,
 		buckets:  make(map[tslot.Slot]map[int][]float64),
+		now:      time.Now,
 	}
 }
 
@@ -67,7 +72,33 @@ func (c *Collector) Add(r Report) error {
 		c.buckets[r.Slot] = byRoad
 	}
 	byRoad[r.Road] = append(byRoad[r.Road], r.Speed)
+	c.lastAdd = c.now()
+	c.total++
 	return nil
+}
+
+// LastReport returns the wall time of the last accepted report; ok is false
+// when no report was ever accepted. Health endpoints use it to expose
+// collector staleness.
+func (c *Collector) LastReport() (t time.Time, ok bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.lastAdd, c.total > 0
+}
+
+// TotalReports returns the number of reports accepted since construction
+// (Reset does not decrease it).
+func (c *Collector) TotalReports() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.total
+}
+
+// SlotCount returns the number of slots currently holding reports.
+func (c *Collector) SlotCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.buckets)
 }
 
 // Count returns the number of reports held for (slot, road).
