@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fault-determinism check bench
+.PHONY: all build vet test race fault-determinism race-hotpath check bench bench-concurrent bench-all qps
 
 all: build
 
@@ -22,7 +22,31 @@ race:
 fault-determinism:
 	$(GO) test -run Fault -count=2 ./...
 
-check: vet build race fault-determinism
+# Concurrency regression suite for the online hot path: the CorrRow
+# singleflight (one Dijkstra under 32 hammering goroutines), the parallel
+# greedy equivalence corpus, mixed-slot System.Query under LRU eviction, and
+# the legacy/sharded determinism check — all under the race detector.
+race-hotpath:
+	$(GO) test -race -run 'Singleflight|ConcurrentMixedRows|ParallelEquivalence|ParallelSharedOracle|ConcurrentQueryMixedSlots|DeterministicAcrossOracleEngines' \
+		./internal/corr/ ./internal/ocs/ ./internal/core/
 
-bench:
+check: vet build race fault-determinism race-hotpath
+
+# The perf-trajectory suite of PR 2: legacy (pre-PR mutex oracle, sequential
+# OCS) vs sharded singleflight engine at 1/4/16 concurrent clients, plus the
+# wall-clock sweep that records both numbers in BENCH_PR2.json. Save `go
+# test -bench` output per commit and compare with benchstat (see
+# EXPERIMENTS.md "Perf trajectory").
+bench: bench-concurrent qps
+
+bench-concurrent:
+	$(GO) test -run '^$$' -bench 'Concurrent|OracleRowThroughput' -benchmem -benchtime 2s .
+
+# Every benchmark in the repo (paper figures + ablations + perf suite).
+bench-all:
 	$(GO) test -bench=. -benchmem
+
+qps:
+	$(GO) run ./cmd/rtsebench -qps -out BENCH_PR2.json
+
+BENCH_PR2.json: qps

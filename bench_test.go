@@ -9,8 +9,10 @@ package repro
 //	go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/baselines"
@@ -353,6 +355,170 @@ func benchCCDSlots(b *testing.B, parallel bool) {
 	for i := 0; i < b.N; i++ {
 		if _, err := rtf.RefineCCD(m, e.Net, e.TrainHist, slots, opt); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- PR 2 perf trajectory: concurrent query throughput ------------------------
+//
+// BenchmarkConcurrentQueries is the before/after proof of the sharded
+// singleflight oracle: 1/4/16 parallel clients issue OCS selection queries
+// against ONE System while the active slot advances every slotGroup queries
+// (the live-traffic pattern: every client asks about "now", and "now" moves).
+// The LRU is kept small so slot churn keeps producing cold rows. The legacy
+// engine is the pre-PR-2 global-mutex oracle (corr.MutexOracle) behind the
+// identical solver code; both engines return identical selections
+// (TestQueryDeterministicAcrossOracleEngines), so queries/s is comparable.
+//
+// `make bench` runs this suite; `rtsebench -qps` writes the wall-clock
+// numbers to BENCH_PR2.json.
+
+const (
+	benchSlotGroup = 64 // queries served before the active slot advances
+	benchSlotCount = 48 // distinct slots the workload cycles through
+)
+
+func concurrentQueryBench(b *testing.B, sys *core.System, query, workerRoads []int, clients int) {
+	b.Helper()
+	var next atomic.Int64
+	var failed atomic.Bool
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(b.N) || failed.Load() {
+					return
+				}
+				slot := tslot.Slot(int(i/benchSlotGroup) % benchSlotCount * 6)
+				if _, err := sys.SelectRoads(slot, query, workerRoads, 20, 0.92, core.Hybrid, i); err != nil {
+					failed.Store(true)
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+func BenchmarkConcurrentQueries(b *testing.B) {
+	e := env(b)
+	pool := crowd.PlaceEverywhere(e.Net)
+	workerRoads := pool.Roads()
+	for _, engine := range []string{"legacy", "sharded"} {
+		for _, clients := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("oracle=%s/clients=%d", engine, clients), func(b *testing.B) {
+				// Default LRU covers a full day (288 slots), so the 48-slot
+				// cycle stays resident — matching the pre-PR oracle map,
+				// which was unbounded and never evicted. The comparison then
+				// isolates the per-lookup hot path; LRU churn is stressed
+				// separately in TestConcurrentQueryMixedSlots.
+				cfg := core.DefaultConfig()
+				if engine == "legacy" {
+					cfg.LegacyOracle = true
+					cfg.ParallelOCS = false // pre-PR-2 solver was sequential
+				} else {
+					cfg.PrewarmWorkers = true
+				}
+				sys, err := core.NewFromModel(e.Net, e.Sys.Model(), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				concurrentQueryBench(b, sys, e.Query, workerRoads, clients)
+			})
+		}
+	}
+}
+
+// BenchmarkConcurrentPipeline runs the full online pipeline (OCS → probe →
+// GSP) under concurrency, for the end-to-end view of the same trajectory.
+func BenchmarkConcurrentPipeline(b *testing.B) {
+	e := env(b)
+	pool := crowd.PlaceEverywhere(e.Net)
+	day := e.EvalDays[0]
+	for _, clients := range []int{1, 16} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.PrewarmWorkers = true
+			sys, err := core.NewFromModel(e.Net, e.Sys.Model(), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var next atomic.Int64
+			var failed atomic.Bool
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := next.Add(1) - 1
+						if i >= int64(b.N) || failed.Load() {
+							return
+						}
+						slot := tslot.Slot(int(i/benchSlotGroup)%benchSlotCount + 60)
+						_, err := sys.Query(core.QueryRequest{
+							Slot: slot, Roads: e.Query, Budget: 20, Theta: 0.92,
+							Workers: pool, Seed: i + 1,
+							Truth: func(r int) float64 { return e.Hist.At(day, slot, r) },
+						})
+						if err != nil {
+							failed.Store(true)
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
+// BenchmarkOracleRowThroughput isolates the row-serving hot path: all
+// clients read correlations from one slot oracle (hot cache), legacy mutex
+// vs sharded lock-free.
+func BenchmarkOracleRowThroughput(b *testing.B) {
+	e := env(b)
+	view := e.Sys.Model().At(e.Slot)
+	for _, engine := range []string{"legacy", "sharded"} {
+		for _, clients := range []int{1, 16} {
+			b.Run(fmt.Sprintf("oracle=%s/clients=%d", engine, clients), func(b *testing.B) {
+				var o corr.Source
+				if engine == "legacy" {
+					o = corr.NewMutexOracle(e.Net.Graph(), view, corr.NegLog)
+				} else {
+					o = corr.NewOracle(e.Net.Graph(), view, corr.NegLog)
+				}
+				n := e.Net.N()
+				var next atomic.Int64
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						for {
+							i := next.Add(1) - 1
+							if i >= int64(b.N) {
+								return
+							}
+							src := int(i) % n
+							row := o.CorrRow(src)
+							_ = row[(src+c)%n]
+						}
+					}(c)
+				}
+				wg.Wait()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+			})
 		}
 	}
 }

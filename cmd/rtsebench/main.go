@@ -4,12 +4,19 @@
 // 607-road / 30-day setup.
 //
 //	rtsebench [-paper] [-rq N] [-only tableII,fig2,fig3,fig3dape,fig3theta,tableIII,fig4,fig5,fig6,ablate]
+//
+// The -qps flag switches to the concurrent-throughput harness instead: it
+// sweeps client counts over the legacy (pre-PR-2) and sharded oracle engines
+// and writes the perf-trajectory JSON (default BENCH_PR2.json):
+//
+//	rtsebench -qps [-qps-duration 2s] [-qps-clients 1,4,16] [-out BENCH_PR2.json]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -21,11 +28,42 @@ func main() {
 	paper := flag.Bool("paper", false, "run the full paper-scale configuration (607 roads, 30 days)")
 	only := flag.String("only", "", "comma-separated subset of experiments to run")
 	rq := flag.Int("rq", 0, "override the query size |R^q| (the paper uses 33 and 51)")
+	qps := flag.Bool("qps", false, "run the concurrent-throughput sweep instead of the experiment suite")
+	qpsDuration := flag.Duration("qps-duration", 2*time.Second, "wall-clock length of each (engine, clients) run")
+	qpsClients := flag.String("qps-clients", "1,4,16", "comma-separated concurrent client counts")
+	out := flag.String("out", "BENCH_PR2.json", "output path for the -qps JSON report")
 	flag.Parse()
+	if *qps {
+		clients, err := parseClients(*qpsClients)
+		if err == nil {
+			err = runQPS(*paper, *qpsDuration, clients, *out)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtsebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*paper, *only, *rq); err != nil {
 		fmt.Fprintln(os.Stderr, "rtsebench:", err)
 		os.Exit(1)
 	}
+}
+
+// parseClients parses a comma-separated list of positive client counts.
+func parseClients(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -qps-clients entry %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-qps-clients is empty")
+	}
+	return out, nil
 }
 
 func run(paper bool, only string, querySize int) error {

@@ -1,0 +1,185 @@
+// QPS mode: the perf-trajectory harness of PR 2. It drives concurrent
+// clients against one core.System — the same slot-cycling workload as
+// BenchmarkConcurrentQueries — once with the pre-PR oracle configuration
+// (global-mutex row cache, sequential OCS, per-pair θ lookups) and once with
+// the sharded singleflight engine, then writes both throughput curves and
+// the clients=16 speedup to a JSON file (BENCH_PR2.json) so later PRs can
+// extend the trajectory with benchstat-comparable numbers.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/experiments"
+	"repro/internal/tslot"
+)
+
+const (
+	qpsSlotGroup = 64 // queries served before the active slot advances
+	qpsSlotCount = 48 // distinct slots the workload cycles through
+	qpsBudget    = 20
+	qpsTheta     = 0.92
+)
+
+// qpsClientRun is one (engine, clients) measurement.
+type qpsClientRun struct {
+	Clients   int     `json:"clients"`
+	Queries   int64   `json:"queries"`
+	Seconds   float64 `json:"seconds"`
+	QueriesPS float64 `json:"queries_per_s"`
+}
+
+// qpsEngineRun groups the client sweep for one oracle engine.
+type qpsEngineRun struct {
+	Oracle      string           `json:"oracle"` // "legacy" (pre-PR) or "sharded"
+	ParallelOCS bool             `json:"parallel_ocs"`
+	Runs        []qpsClientRun   `json:"runs"`
+	OracleCache core.CacheReport `json:"oracle_cache"`
+}
+
+// qpsReport is the BENCH_PR2.json schema.
+type qpsReport struct {
+	Generated      string         `json:"generated"`
+	GoVersion      string         `json:"go_version"`
+	GOMAXPROCS     int            `json:"gomaxprocs"`
+	Roads          int            `json:"roads"`
+	Days           int            `json:"days"`
+	QuerySize      int            `json:"query_size"`
+	Budget         int            `json:"budget"`
+	Theta          float64        `json:"theta"`
+	SlotGroup      int            `json:"slot_group"`
+	SlotCount      int            `json:"slot_count"`
+	DurationS      float64        `json:"duration_per_run_s"`
+	Engines        []qpsEngineRun `json:"engines"`
+	SpeedupC16     float64        `json:"speedup_clients16"`
+	SpeedupTarget  float64        `json:"speedup_target"`
+	TargetAchieved bool           `json:"target_achieved"`
+}
+
+// runQPS executes the throughput sweep and writes the JSON report.
+func runQPS(paper bool, duration time.Duration, clientCounts []int, outPath string) error {
+	opt := experiments.Small()
+	if paper {
+		opt = experiments.Paper()
+	}
+	env, err := experiments.NewEnv(opt)
+	if err != nil {
+		return err
+	}
+	pool := crowd.PlaceEverywhere(env.Net)
+	workerRoads := pool.Roads()
+
+	rep := qpsReport{
+		Generated:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Roads:         opt.Roads,
+		Days:          opt.Days,
+		QuerySize:     opt.QuerySize,
+		Budget:        qpsBudget,
+		Theta:         qpsTheta,
+		SlotGroup:     qpsSlotGroup,
+		SlotCount:     qpsSlotCount,
+		DurationS:     duration.Seconds(),
+		SpeedupTarget: 3.0,
+	}
+
+	qpsAt := map[string]map[int]float64{}
+	for _, engine := range []string{"legacy", "sharded"} {
+		cfg := core.DefaultConfig()
+		if engine == "legacy" {
+			cfg.LegacyOracle = true
+			cfg.ParallelOCS = false // the pre-PR solver was sequential
+		} else {
+			cfg.PrewarmWorkers = true
+		}
+		er := qpsEngineRun{Oracle: engine, ParallelOCS: cfg.ParallelOCS}
+		qpsAt[engine] = map[int]float64{}
+		for _, clients := range clientCounts {
+			// A fresh System per run so each measurement starts from a cold
+			// oracle cache and LRU — no cross-run warm-row leakage.
+			sys, err := core.NewFromModel(env.Net, env.Sys.Model(), cfg)
+			if err != nil {
+				return err
+			}
+			run, err := qpsDrive(sys, env.Query, workerRoads, clients, duration)
+			if err != nil {
+				return err
+			}
+			er.Runs = append(er.Runs, run)
+			er.OracleCache = sys.OracleCacheReport()
+			qpsAt[engine][clients] = run.QueriesPS
+			fmt.Printf("qps: oracle=%-8s clients=%-3d %10.0f queries/s (%d queries in %.1fs)\n",
+				engine, clients, run.QueriesPS, run.Queries, run.Seconds)
+		}
+		rep.Engines = append(rep.Engines, er)
+	}
+
+	if legacy := qpsAt["legacy"][16]; legacy > 0 {
+		rep.SpeedupC16 = qpsAt["sharded"][16] / legacy
+		rep.TargetAchieved = rep.SpeedupC16 >= rep.SpeedupTarget
+		fmt.Printf("qps: clients=16 speedup sharded/legacy = %.2f× (target ≥ %.1f×)\n",
+			rep.SpeedupC16, rep.SpeedupTarget)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("qps: wrote %s\n", outPath)
+	return nil
+}
+
+// qpsDrive hammers sys.SelectRoads from `clients` goroutines for roughly
+// `duration`, advancing the slot every qpsSlotGroup queries across
+// qpsSlotCount distinct slots — the live-traffic pattern where every client
+// asks about "now" and now keeps moving.
+func qpsDrive(sys *core.System, query, workerRoads []int, clients int, duration time.Duration) (qpsClientRun, error) {
+	var next atomic.Int64
+	var stop atomic.Bool
+	errs := make(chan error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := next.Add(1) - 1
+				slot := tslot.Slot(int(i/qpsSlotGroup) % qpsSlotCount * 6)
+				if _, err := sys.SelectRoads(slot, query, workerRoads, qpsBudget, qpsTheta, core.Hybrid, i); err != nil {
+					errs <- err
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	timer := time.AfterFunc(duration, func() { stop.Store(true) })
+	wg.Wait()
+	timer.Stop()
+	elapsed := time.Since(start).Seconds()
+	close(errs)
+	for err := range errs {
+		return qpsClientRun{}, err
+	}
+	done := next.Load()
+	return qpsClientRun{
+		Clients:   clients,
+		Queries:   done,
+		Seconds:   elapsed,
+		QueriesPS: float64(done) / elapsed,
+	}, nil
+}

@@ -18,7 +18,6 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"repro/internal/corr"
 	"repro/internal/crowd"
@@ -43,26 +42,52 @@ type Config struct {
 	Transform corr.Transform
 	// GSP configures the propagation engine.
 	GSP gsp.Options
+	// OracleCacheSlots bounds how many per-slot correlation oracles stay
+	// resident (LRU, most recent first). ≤0 selects DefaultOracleCacheSlots
+	// (288 — a full day of slots).
+	OracleCacheSlots int
+	// OracleCacheBytes optionally bounds the total resident correlation-row
+	// bytes across cached oracles; 0 disables the byte budget. The budget is
+	// re-enforced on every oracle access because rows accrete lazily.
+	OracleCacheBytes int64
+	// ParallelOCS evaluates greedy marginal gains across a goroutine pool
+	// and runs Hybrid-Greedy's two passes concurrently; results are
+	// bit-identical to the sequential solver (see ocs.Problem.Parallel).
+	// Small instances fall back to the sequential loop automatically.
+	ParallelOCS bool
+	// PrewarmWorkers additionally precomputes the worker roads' correlation
+	// rows before each OCS solve (query rows are always pre-warmed). Worth
+	// it when many concurrent queries share a slot; wasteful for one-shot
+	// queries over large worker pools.
+	PrewarmWorkers bool
+	// LegacyOracle selects the pre-PR-2 global-mutex correlation oracle.
+	// Retained exclusively as the perf-trajectory baseline for
+	// BenchmarkConcurrentQueries and `rtsebench -qps`; leave false in
+	// production paths.
+	LegacyOracle bool
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
 func DefaultConfig() Config {
 	return Config{
-		Window:    1,
-		CCD:       rtf.DefaultCCD(),
-		Transform: corr.NegLog,
-		GSP:       gsp.DefaultOptions(),
+		Window:           1,
+		CCD:              rtf.DefaultCCD(),
+		Transform:        corr.NegLog,
+		GSP:              gsp.DefaultOptions(),
+		OracleCacheSlots: DefaultOracleCacheSlots,
+		ParallelOCS:      true,
 	}
 }
 
-// System is a trained CrowdRTSE instance, safe for concurrent queries.
+// System is a trained CrowdRTSE instance, safe for concurrent queries. The
+// per-slot correlation oracles live in a bounded LRU (see oracleCache); the
+// hot row-lookup path inside each oracle is lock-free.
 type System struct {
 	net   *network.Network
 	model *rtf.Model
 	cfg   Config
 
-	mu      sync.Mutex
-	oracles map[tslot.Slot]*corr.Oracle
+	oracles *oracleCache
 }
 
 // Train runs the offline stage: fit RTF on the history and prepare the
@@ -84,7 +109,7 @@ func Train(net *network.Network, h rtf.History, cfg Config) (*System, error) {
 		net:     net,
 		model:   model,
 		cfg:     cfg,
-		oracles: make(map[tslot.Slot]*corr.Oracle),
+		oracles: newOracleCache(cfg.OracleCacheSlots, cfg.OracleCacheBytes),
 	}, nil
 }
 
@@ -97,7 +122,8 @@ func NewFromModel(net *network.Network, model *rtf.Model, cfg Config) (*System, 
 	if model.N() != net.N() {
 		return nil, fmt.Errorf("core: model covers %d roads, network has %d", model.N(), net.N())
 	}
-	return &System{net: net, model: model, cfg: cfg, oracles: make(map[tslot.Slot]*corr.Oracle)}, nil
+	return &System{net: net, model: model, cfg: cfg,
+		oracles: newOracleCache(cfg.OracleCacheSlots, cfg.OracleCacheBytes)}, nil
 }
 
 // Network returns the system's road network.
@@ -106,17 +132,24 @@ func (s *System) Network() *network.Network { return s.net }
 // Model returns the fitted RTF model.
 func (s *System) Model() *rtf.Model { return s.model }
 
-// Oracle returns the (cached) correlation oracle for slot t.
-func (s *System) Oracle(t tslot.Slot) *corr.Oracle {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if o, ok := s.oracles[t]; ok {
-		return o
-	}
-	o := corr.NewOracle(s.net.Graph(), s.model.At(t), s.cfg.Transform)
-	s.oracles[t] = o
-	return o
+// Oracle returns the (cached) correlation oracle for slot t, admitting it
+// into the LRU. The engine is the sharded singleflight oracle unless the
+// configuration pins the legacy baseline.
+func (s *System) Oracle(t tslot.Slot) corr.Source {
+	return s.oracles.get(t, func() corr.Source {
+		view := s.model.At(t)
+		if s.cfg.LegacyOracle {
+			return corr.NewMutexOracle(s.net.Graph(), view, s.cfg.Transform)
+		}
+		return corr.NewOracle(s.net.Graph(), view, s.cfg.Transform)
+	})
 }
+
+// OracleCacheReport returns the aggregated correlation-cache counters:
+// hit/miss/inflight totals (including retired counters of evicted oracles),
+// resident rows and bytes, and eviction count. The server exports it through
+// /v1/healthz.
+func (s *System) OracleCacheReport() CacheReport { return s.oracles.report() }
 
 // Selector chooses the crowdsourced-road selection algorithm.
 type Selector int
@@ -148,17 +181,32 @@ func (s Selector) String() string {
 	}
 }
 
-// SelectRoads solves OCS for the given query at slot t.
+// SelectRoads solves OCS for the given query at slot t. Before the solve it
+// pre-warms the slot oracle's query rows (the greedy correlation table)
+// through the parallel warm pool — and the worker rows too when
+// Config.PrewarmWorkers is set — so concurrent queries sharing a slot find
+// the rows resident instead of recomputing them.
 func (s *System) SelectRoads(t tslot.Slot, query, workerRoads []int, budget int, theta float64, sel Selector, seed int64) (ocs.Solution, error) {
 	view := s.model.At(t)
+	oracle := s.Oracle(t)
+	warm := query
+	if s.cfg.PrewarmWorkers {
+		warm = make([]int, 0, len(query)+len(workerRoads))
+		warm = append(append(warm, query...), workerRoads...)
+	}
+	oracle.Warm(warm)
 	p := &ocs.Problem{
-		Query:   query,
-		Workers: workerRoads,
-		Costs:   s.net.Costs(),
-		Budget:  budget,
-		Theta:   theta,
-		Sigma:   view.Sigma,
-		Oracle:  s.Oracle(t),
+		Query:    query,
+		Workers:  workerRoads,
+		Costs:    s.net.Costs(),
+		Budget:   budget,
+		Theta:    theta,
+		Sigma:    view.Sigma,
+		Oracle:   oracle,
+		Parallel: s.cfg.ParallelOCS,
+		// The legacy engine reproduces the pre-PR-2 access pattern end to
+		// end: per-pair mutex lookups in the θ check, no row caching.
+		DirectCorr: s.cfg.LegacyOracle,
 	}
 	switch sel {
 	case Hybrid:

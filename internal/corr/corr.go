@@ -13,12 +13,23 @@
 // not hold in general (the correct transform is −log ρ). Both transforms are
 // provided: NegLog (default, exact) and Reciprocal (paper-faithful
 // heuristic); an ablation bench compares them.
+//
+// # Concurrency
+//
+// Oracle is the high-throughput row cache of the online stage: the hit path
+// is a single atomic pointer load (no locks), misses go through a lock-striped
+// singleflight so that N concurrent queries for the same source road trigger
+// exactly one Dijkstra, and Warm precomputes rows through a worker pool ahead
+// of an OCS solve. MutexOracle (legacy.go) preserves the pre-PR-2 global-mutex
+// implementation as the perf-trajectory baseline.
 package corr
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/rtf"
@@ -49,34 +60,130 @@ func (t Transform) String() string {
 	}
 }
 
+// Source is the read interface of a correlation oracle. Both the sharded
+// Oracle and the legacy MutexOracle satisfy it; OCS consumes this interface
+// so the two engines can be benchmarked head-to-head through identical
+// solver code. Implementations must be safe for concurrent use.
+type Source interface {
+	// Corr returns corr^t(i, j).
+	Corr(i, j int) float64
+	// CorrRow returns corr^t(src, j) for every road j; the slice is cached
+	// and must not be modified.
+	CorrRow(src int) []float64
+	// RoadSetCorr is Eq. (11), RoadSetCorr(i, set) = max_{j∈set} corr(i, j).
+	RoadSetCorr(i int, set []int) float64
+	// SetSetCorr is Eq. (12): Σ_{i∈query} corr(i, set).
+	SetSetCorr(query, set []int) float64
+	// WeightedCorr is Eq. (13), the OCS objective.
+	WeightedCorr(query []int, sigma []float64, set []int) float64
+	// BuildTable precomputes the correlation rows for every query road.
+	BuildTable(query []int) *Table
+	// Warm precomputes the rows for the given source roads ahead of a
+	// query. Out-of-range ids are ignored (warming is best-effort).
+	Warm(roads []int)
+	// Stats reports the cache counters accumulated so far.
+	Stats() CacheStats
+}
+
+// CacheStats are the row-cache counters of an oracle. Misses counts Dijkstra
+// executions; InflightWaits counts lookups that piggybacked on a concurrent
+// computation of the same row instead of redoing it.
+type CacheStats struct {
+	Hits          uint64
+	Misses        uint64
+	InflightWaits uint64
+	ResidentRows  int
+	ResidentBytes int64
+}
+
+// Add accumulates other into s (used by the core LRU to retire evicted
+// oracles without losing their counters).
+func (s *CacheStats) Add(other CacheStats) {
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.InflightWaits += other.InflightWaits
+	s.ResidentRows += other.ResidentRows
+	s.ResidentBytes += other.ResidentBytes
+}
+
+// defaultShards is the number of lock stripes guarding in-flight row
+// computations. Cache hits never touch a stripe, so this only bounds
+// contention between concurrent misses.
+const defaultShards = 32
+
+// Option configures an Oracle at construction time.
+type Option func(*Oracle)
+
+// WithShards sets the number of singleflight lock stripes (rounded up to a
+// power of two, minimum 1). The default is 32.
+func WithShards(n int) Option {
+	return func(o *Oracle) { o.shardCount = n }
+}
+
+// WithWarmWorkers sets the goroutine-pool size used by Warm. Zero or
+// negative selects GOMAXPROCS.
+func WithWarmWorkers(n int) Option {
+	return func(o *Oracle) { o.warmWorkers = n }
+}
+
+// inflight is one singleflight computation: waiters block on done and read
+// row afterwards.
+type inflight struct {
+	done chan struct{}
+	row  []float64
+}
+
+// flightShard is one lock stripe of the miss path.
+type flightShard struct {
+	mu      sync.Mutex
+	pending map[int]*inflight
+}
+
 // Oracle answers correlation queries for one slot's RTF view. Rows are
-// computed by Dijkstra on demand and cached, so asking for all correlations
-// from the same source road is a single traversal. Safe for concurrent use.
+// computed by Dijkstra on demand and published into a per-road slice of
+// atomic pointers, so the hit path is lock-free; concurrent misses for the
+// same row are collapsed into a single computation (singleflight) guarded by
+// a lock stripe. Safe for concurrent use.
 type Oracle struct {
 	g    *graph.Graph
 	view rtf.View
 	tf   Transform
 
-	mu   sync.Mutex
-	rows map[int][]float64
+	// rows[src] atomically publishes the finished row for src; nil = not
+	// yet computed. Readers load, writers store exactly once.
+	rows   []atomic.Pointer[[]float64]
+	shards []flightShard
+
+	shardCount  int
+	warmWorkers int
+
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	waits    atomic.Uint64
+	resident atomic.Int64
 }
 
 // NewOracle builds an oracle over the topology g and slot parameters view.
-func NewOracle(g *graph.Graph, view rtf.View, tf Transform) *Oracle {
-	return &Oracle{g: g, view: view, tf: tf, rows: make(map[int][]float64)}
-}
-
-// edgeWeight returns the transformed weight of edge {u, v}.
-func (o *Oracle) edgeWeight(u, v int) float64 {
-	rho := o.view.RhoEdge(u, v)
-	if rho <= 0 {
-		// Non-edges never reach here; a zero ρ would mean an unfitted model.
-		return math.Inf(1)
+func NewOracle(g *graph.Graph, view rtf.View, tf Transform, opts ...Option) *Oracle {
+	o := &Oracle{g: g, view: view, tf: tf, shardCount: defaultShards}
+	for _, opt := range opts {
+		opt(o)
 	}
-	if o.tf == Reciprocal {
-		return 1 / rho
+	n := o.shardCount
+	if n < 1 {
+		n = 1
 	}
-	return -math.Log(rho)
+	// Round up to a power of two so shard selection is a mask.
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	o.shards = make([]flightShard, p)
+	for i := range o.shards {
+		o.shards[i].pending = make(map[int]*inflight)
+	}
+	o.rows = make([]atomic.Pointer[[]float64], g.N())
+	return o
 }
 
 // CorrRow returns corr^t(src, j) for every road j. The returned slice is the
@@ -89,24 +196,135 @@ func (o *Oracle) CorrRow(src int) []float64 {
 	if src < 0 || src >= o.g.N() {
 		panic(fmt.Sprintf("corr: source road %d out of range [0,%d)", src, o.g.N()))
 	}
-	o.mu.Lock()
-	if row, ok := o.rows[src]; ok {
-		o.mu.Unlock()
-		return row
+	if p := o.rows[src].Load(); p != nil {
+		o.hits.Add(1)
+		return *p
 	}
-	o.mu.Unlock()
+	return o.corrRowSlow(src)
+}
 
-	row := o.computeRow(src)
+// corrRowSlow is the miss path: singleflight per source road under a lock
+// stripe. Exactly one caller computes the row; everyone else waits for it.
+func (o *Oracle) corrRowSlow(src int) []float64 {
+	sh := &o.shards[src&(len(o.shards)-1)]
+	sh.mu.Lock()
+	// The row may have been published between the fast-path check and the
+	// stripe acquisition.
+	if p := o.rows[src].Load(); p != nil {
+		sh.mu.Unlock()
+		o.hits.Add(1)
+		return *p
+	}
+	if fl, ok := sh.pending[src]; ok {
+		sh.mu.Unlock()
+		o.waits.Add(1)
+		<-fl.done
+		return fl.row
+	}
+	fl := &inflight{done: make(chan struct{})}
+	sh.pending[src] = fl
+	sh.mu.Unlock()
 
-	o.mu.Lock()
-	o.rows[src] = row
-	o.mu.Unlock()
+	o.misses.Add(1)
+	row := computeRow(o.g, o.view, o.tf, src)
+	fl.row = row
+	o.rows[src].Store(&row)
+	o.resident.Add(1)
+	close(fl.done)
+
+	sh.mu.Lock()
+	delete(sh.pending, src)
+	sh.mu.Unlock()
 	return row
 }
 
-func (o *Oracle) computeRow(src int) []float64 {
+// Warm precomputes the rows for the given source roads through a worker
+// pool, deduplicating and skipping already-resident rows. Out-of-range road
+// ids are ignored: warming is a best-effort accelerator and must not
+// pre-empt the solver's own validation. Concurrent Warm calls and queries
+// are safe; the singleflight guarantees each row is still computed once.
+func (o *Oracle) Warm(roads []int) {
 	n := o.g.N()
-	_, parent := o.g.DijkstraTree(src, o.edgeWeight)
+	// Collect only the missing rows; the common steady-state call (every row
+	// already resident) allocates nothing. Duplicates in todo are harmless:
+	// the second request either hits the fast path or joins the singleflight.
+	var todo []int
+	for _, r := range roads {
+		if r < 0 || r >= n || o.rows[r].Load() != nil {
+			continue
+		}
+		todo = append(todo, r)
+	}
+	if len(todo) == 0 {
+		return
+	}
+	workers := o.warmWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	if workers <= 1 {
+		for _, r := range todo {
+			o.CorrRow(r)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(todo) {
+					return
+				}
+				o.CorrRow(todo[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Stats reports the cache counters: hits (lock-free fast path), misses
+// (Dijkstra executions), inflight waits (collapsed duplicate computations),
+// and the resident row footprint.
+func (o *Oracle) Stats() CacheStats {
+	rows := int(o.resident.Load())
+	return CacheStats{
+		Hits:          o.hits.Load(),
+		Misses:        o.misses.Load(),
+		InflightWaits: o.waits.Load(),
+		ResidentRows:  rows,
+		ResidentBytes: int64(rows) * int64(o.g.N()) * 8,
+	}
+}
+
+// edgeWeightFn returns the transformed weight function for the path search.
+func edgeWeightFn(view rtf.View, tf Transform) graph.WeightFunc {
+	return func(u, v int) float64 {
+		rho := view.RhoEdge(u, v)
+		if rho <= 0 {
+			// Non-edges never reach here; a zero ρ would mean an unfitted model.
+			return math.Inf(1)
+		}
+		if tf == Reciprocal {
+			return 1 / rho
+		}
+		return -math.Log(rho)
+	}
+}
+
+// computeRow runs the Dijkstra of Eq. (8–10) and evaluates the ρ-product
+// along each node's tree path. Pure function of (g, view, tf, src): both
+// oracle engines share it, which is what makes singleflight sound — any
+// caller's computation yields the same row.
+func computeRow(g *graph.Graph, view rtf.View, tf Transform, src int) []float64 {
+	n := g.N()
+	_, parent := g.DijkstraTree(src, edgeWeightFn(view, tf))
 	row := make([]float64, n)
 	// Evaluate the ρ-product along each node's tree path iteratively:
 	// prod[v] = prod[parent[v]] · ρ(parent[v], v). Resolve lazily with an
@@ -143,14 +361,19 @@ func (o *Oracle) computeRow(src int) []float64 {
 				row[w] = 0
 				continue
 			}
-			row[w] = row[p] * o.view.RhoEdge(p, w)
+			row[w] = row[p] * view.RhoEdge(p, w)
 		}
 	}
 	// Eq. (7): adjacency overrides the path value.
-	for _, nb := range o.g.Neighbors(src) {
-		row[nb] = o.view.RhoEdge(src, int(nb))
+	for _, nb := range g.Neighbors(src) {
+		row[nb] = view.RhoEdge(src, int(nb))
 	}
 	return row
+}
+
+// rowSource is the minimal dependency of the Eq. (11–13) helpers.
+type rowSource interface {
+	CorrRow(src int) []float64
 }
 
 // Corr returns corr^t(i, j).
@@ -164,6 +387,26 @@ func (o *Oracle) Corr(i, j int) float64 {
 // RoadSetCorr is Eq. (11): the maximum road–road correlation between road i
 // and any member of set. An empty set has correlation 0.
 func (o *Oracle) RoadSetCorr(i int, set []int) float64 {
+	return roadSetCorr(o, i, set)
+}
+
+// SetSetCorr is Eq. (12): Σ_{i∈query} corr(i, set).
+func (o *Oracle) SetSetCorr(query, set []int) float64 {
+	return setSetCorr(o, query, set)
+}
+
+// WeightedCorr is Eq. (13), the OCS objective: Σ_{i∈query} σ_i·corr(i, set),
+// where sigma is indexed by road id (pass the RTF view's Sigma).
+func (o *Oracle) WeightedCorr(query []int, sigma []float64, set []int) float64 {
+	return weightedCorr(o, query, sigma, set)
+}
+
+// BuildTable precomputes the correlation rows for every query road.
+func (o *Oracle) BuildTable(query []int) *Table {
+	return buildTable(o, query)
+}
+
+func roadSetCorr(o rowSource, i int, set []int) float64 {
 	row := o.CorrRow(i)
 	best := 0.0
 	for _, j := range set {
@@ -174,23 +417,28 @@ func (o *Oracle) RoadSetCorr(i int, set []int) float64 {
 	return best
 }
 
-// SetSetCorr is Eq. (12): Σ_{i∈query} corr(i, set).
-func (o *Oracle) SetSetCorr(query, set []int) float64 {
+func setSetCorr(o rowSource, query, set []int) float64 {
 	var sum float64
 	for _, i := range query {
-		sum += o.RoadSetCorr(i, set)
+		sum += roadSetCorr(o, i, set)
 	}
 	return sum
 }
 
-// WeightedCorr is Eq. (13), the OCS objective: Σ_{i∈query} σ_i·corr(i, set),
-// where sigma is indexed by road id (pass the RTF view's Sigma).
-func (o *Oracle) WeightedCorr(query []int, sigma []float64, set []int) float64 {
+func weightedCorr(o rowSource, query []int, sigma []float64, set []int) float64 {
 	var sum float64
 	for _, i := range query {
-		sum += sigma[i] * o.RoadSetCorr(i, set)
+		sum += sigma[i] * roadSetCorr(o, i, set)
 	}
 	return sum
+}
+
+func buildTable(o rowSource, query []int) *Table {
+	t := &Table{Query: append([]int(nil), query...), Rows: make([][]float64, len(query))}
+	for qi, q := range query {
+		t.Rows[qi] = o.CorrRow(q)
+	}
+	return t
 }
 
 // Table is a dense query-to-candidate correlation matrix: Q[qi][r] =
@@ -200,15 +448,6 @@ func (o *Oracle) WeightedCorr(query []int, sigma []float64, set []int) float64 {
 type Table struct {
 	Query []int
 	Rows  [][]float64 // Rows[qi][road]
-}
-
-// BuildTable precomputes the correlation rows for every query road.
-func (o *Oracle) BuildTable(query []int) *Table {
-	t := &Table{Query: append([]int(nil), query...), Rows: make([][]float64, len(query))}
-	for qi, q := range query {
-		t.Rows[qi] = o.CorrRow(q)
-	}
-	return t
 }
 
 // Corr returns corr(query[qi], road).

@@ -99,6 +99,8 @@ func LazyRatioGreedy(p *Problem) (Solution, error) {
 }
 
 // LazyHybridGreedy is Hybrid-Greedy (Alg. 4) built on the lazy variants.
+// With p.Parallel the two lazy passes run concurrently (the lazy heap itself
+// stays sequential — its whole point is to skip candidate evaluations).
 func LazyHybridGreedy(p *Problem) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
@@ -106,8 +108,7 @@ func LazyHybridGreedy(p *Problem) (Solution, error) {
 	if sol, ok := trivialCase(p); ok {
 		return sol, nil
 	}
-	ratio := runLazyGreedy(p, true)
-	obj := runLazyGreedy(p, false)
+	ratio, obj := runHybridPasses(p, runLazyGreedy)
 	if ratio.Value >= obj.Value {
 		return ratio, nil
 	}

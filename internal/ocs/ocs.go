@@ -18,7 +18,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/corr"
 )
@@ -32,8 +34,44 @@ type Problem struct {
 	Budget  int     // K, total payment budget
 	Theta   float64 // θ ∈ (0, 1], redundancy threshold
 	Sigma   []float64
-	Oracle  *corr.Oracle
+	Oracle  corr.Source
+
+	// Parallel evaluates candidate marginal gains across a goroutine pool
+	// inside each greedy round (gains are independent given the incremental
+	// state) and runs Hybrid-Greedy's two passes concurrently. Results are
+	// bit-identical to the sequential solver: every candidate's score is
+	// computed by the same float operations in the same order, and ties
+	// break toward the smaller road id under both schedules. Instances
+	// below parallelThreshold work units fall back to the sequential loop
+	// so small problems don't pay goroutine overhead. Requires Oracle to be
+	// safe for concurrent use (both corr engines are).
+	Parallel bool
+
+	// DirectCorr disables the row-cached θ-redundancy check and routes every
+	// pairwise correlation through Oracle.Corr, one oracle lookup per
+	// (selected, candidate) pair — the pre-PR-2 hot path. It exists only so
+	// the perf-trajectory benchmarks can measure the old access pattern
+	// against the same solver logic; selections are identical either way
+	// because CorrRow(i)[j] and Corr(i, j) are the same float.
+	DirectCorr bool
+
+	// workerSet is the hoisted R^w membership set, built once by Validate
+	// so Feasible doesn't rebuild it per call.
+	workerSet map[int]bool
 }
+
+// Tuning knobs for the parallel gain evaluation; package-level so tests can
+// force the parallel path on small instances and single-core machines.
+var (
+	// parallelThreshold is the minimum |candidates|·|query| work size per
+	// round before goroutines pay for themselves.
+	parallelThreshold = 2048
+	// parallelWorkerCap bounds the per-round worker pool; 0 means
+	// GOMAXPROCS.
+	parallelWorkerCap = 0
+	// parallelMinChunk is the smallest candidate chunk worth a goroutine.
+	parallelMinChunk = 16
+)
 
 // Validate checks the instance for structural errors.
 func (p *Problem) Validate() error {
@@ -71,6 +109,9 @@ func (p *Problem) Validate() error {
 		}
 		seen[w] = true
 	}
+	// Hoist the R^w membership set: Feasible used to rebuild it on every
+	// call; now it is constructed once per validated instance.
+	p.workerSet = seen
 	return nil
 }
 
@@ -88,11 +129,19 @@ func (p *Problem) Objective(set []int) float64 {
 }
 
 // Feasible reports whether the set satisfies the budget and pairwise
-// redundancy constraints (and is drawn from R^w).
+// redundancy constraints (and is drawn from R^w). The worker membership set
+// is hoisted into the Problem by Validate, and the pairwise redundancy check
+// fetches each member's cached correlation row once instead of doing O(k²)
+// oracle lookups.
 func (p *Problem) Feasible(set []int) bool {
-	allowed := make(map[int]bool, len(p.Workers))
-	for _, w := range p.Workers {
-		allowed[w] = true
+	allowed := p.workerSet
+	if allowed == nil {
+		// Unvalidated instance (Feasible called standalone): build locally
+		// without publishing, so concurrent Feasible calls stay race-free.
+		allowed = make(map[int]bool, len(p.Workers))
+		for _, w := range p.Workers {
+			allowed[w] = true
+		}
 	}
 	cost := 0
 	for _, r := range set {
@@ -105,8 +154,9 @@ func (p *Problem) Feasible(set []int) bool {
 		return false
 	}
 	for i := 0; i < len(set); i++ {
+		row := p.Oracle.CorrRow(set[i])
 		for j := i + 1; j < len(set); j++ {
-			if p.Oracle.Corr(set[i], set[j]) > p.Theta {
+			if row[set[j]] > p.Theta {
 				return false
 			}
 		}
@@ -122,8 +172,13 @@ type greedyState struct {
 	tab      *corr.Table
 	best     []float64
 	selected []int
-	cost     int
-	value    float64
+	// selRows[i] is the cached correlation row of selected[i], so the θ
+	// check in redundant() is a slice index instead of an oracle call per
+	// pair. Rows are immutable snapshots; appended only between rounds, so
+	// concurrent roundBest chunks read a stable slice.
+	selRows [][]float64
+	cost    int
+	value   float64
 }
 
 func newGreedyState(p *Problem) *greedyState {
@@ -146,10 +201,20 @@ func (s *greedyState) gain(r int) float64 {
 }
 
 // redundant reports whether r violates the θ constraint against the current
-// selection (corr(r, R^c) > θ).
+// selection (corr(r, R^c) > θ). The default path indexes the cached rows of
+// the selected roads — no oracle call in the inner loop; DirectCorr restores
+// the pre-PR per-pair lookup for the perf-trajectory baseline.
 func (s *greedyState) redundant(r int) bool {
-	for _, sel := range s.selected {
-		if s.p.Oracle.Corr(sel, r) > s.p.Theta {
+	if s.p.DirectCorr {
+		for _, sel := range s.selected {
+			if s.p.Oracle.Corr(sel, r) > s.p.Theta {
+				return true
+			}
+		}
+		return false
+	}
+	for _, row := range s.selRows {
+		if row[r] > s.p.Theta {
 			return true
 		}
 	}
@@ -158,6 +223,9 @@ func (s *greedyState) redundant(r int) bool {
 
 func (s *greedyState) add(r int) {
 	s.selected = append(s.selected, r)
+	if !s.p.DirectCorr {
+		s.selRows = append(s.selRows, s.p.Oracle.CorrRow(r))
+	}
 	s.cost += s.p.Costs[r]
 	s.value += s.gain(r)
 	for qi := range s.p.Query {
@@ -170,34 +238,119 @@ func (s *greedyState) add(r int) {
 // value recomputation note: add() accumulates gains before updating best, so
 // s.value always equals Objective(selected) up to float rounding.
 
+// roundBest scans remaining[lo:hi] for the highest-scoring affordable,
+// non-redundant candidate. Permanently infeasible candidates (redundancy
+// never relaxes as the selection grows) are marked with -1, mirroring the
+// feasible_set recomputation in Alg. 2 line 5. Ties break toward the smaller
+// road id, matching the lazy variant so both produce identical selections.
+// Read-only on the greedy state, so disjoint index ranges may run
+// concurrently.
+func (s *greedyState) roundBest(remaining []int, byRatio bool, budget, lo, hi int) (int, float64) {
+	bestIdx, bestScore := -1, math.Inf(-1)
+	for idx := lo; idx < hi; idx++ {
+		r := remaining[idx]
+		if r < 0 || s.p.Costs[r] > budget {
+			continue
+		}
+		if s.redundant(r) {
+			remaining[idx] = -1
+			continue
+		}
+		score := s.gain(r)
+		if byRatio {
+			score /= float64(s.p.Costs[r])
+		}
+		if score > bestScore || (score == bestScore && bestIdx >= 0 && r < remaining[bestIdx]) {
+			bestIdx, bestScore = idx, score
+		}
+	}
+	return bestIdx, bestScore
+}
+
+// roundBestParallel fans roundBest out over disjoint chunks of the candidate
+// slice and merges the per-chunk winners with the same (score desc, road id
+// asc) order, so the result is bit-identical to the sequential scan: each
+// candidate's score is produced by the exact same float operations, and the
+// merge is a pure argmax over those values.
+func (s *greedyState) roundBestParallel(remaining []int, byRatio bool, budget, workers int) (int, float64) {
+	type chunkBest struct {
+		idx   int
+		score float64
+	}
+	results := make([]chunkBest, workers)
+	chunk := (len(remaining) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(remaining) {
+			hi = len(remaining)
+		}
+		if lo >= hi {
+			results[w] = chunkBest{idx: -1, score: math.Inf(-1)}
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			idx, score := s.roundBest(remaining, byRatio, budget, lo, hi)
+			results[w] = chunkBest{idx: idx, score: score}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	bestIdx, bestScore := -1, math.Inf(-1)
+	for _, r := range results {
+		if r.idx < 0 {
+			continue
+		}
+		if r.score > bestScore || (r.score == bestScore && bestIdx >= 0 && remaining[r.idx] < remaining[bestIdx]) {
+			bestIdx, bestScore = r.idx, r.score
+		}
+	}
+	return bestIdx, bestScore
+}
+
+// gainWorkers decides the per-round pool size: 0 (sequential) unless the
+// instance clears the work threshold and more than one worker is useful.
+func gainWorkers(candidates, queries int) int {
+	if queries < 1 {
+		queries = 1
+	}
+	if candidates*queries < parallelThreshold {
+		return 0
+	}
+	w := parallelWorkerCap
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if limit := candidates / parallelMinChunk; w > limit {
+		w = limit
+	}
+	if w < 2 {
+		return 0
+	}
+	return w
+}
+
 // runGreedy executes the shared loop of Alg. 2/3. score ranks candidates:
 // objective increment for Objective-Greedy, increment/cost for Ratio-Greedy.
+// With p.Parallel set and a large enough instance, each round's candidate
+// scan is fanned out over a goroutine pool; see roundBestParallel for why
+// the selection stays bit-identical.
 func runGreedy(p *Problem, byRatio bool) Solution {
 	s := newGreedyState(p)
 	remaining := append([]int(nil), p.Workers...)
+	workers := 0
+	if p.Parallel {
+		workers = gainWorkers(len(remaining), len(p.Query))
+	}
 	for {
-		bestIdx, bestScore := -1, math.Inf(-1)
 		budget := p.Budget - s.cost
-		for idx, r := range remaining {
-			if r < 0 || p.Costs[r] > budget {
-				continue
-			}
-			if s.redundant(r) {
-				// Permanently infeasible: redundancy never relaxes as the
-				// selection grows, so drop the candidate (mirrors the
-				// feasible_set recomputation in Alg. 2 line 5).
-				remaining[idx] = -1
-				continue
-			}
-			score := s.gain(r)
-			if byRatio {
-				score /= float64(p.Costs[r])
-			}
-			// Ties break toward the smaller road id, matching the lazy
-			// variant so both produce identical selections.
-			if score > bestScore || (score == bestScore && bestIdx >= 0 && r < remaining[bestIdx]) {
-				bestIdx, bestScore = idx, score
-			}
+		var bestIdx int
+		if workers > 1 {
+			bestIdx, _ = s.roundBestParallel(remaining, byRatio, budget, workers)
+		} else {
+			bestIdx, _ = s.roundBest(remaining, byRatio, budget, 0, len(remaining))
 		}
 		if bestIdx < 0 {
 			break
@@ -230,7 +383,10 @@ func ObjectiveGreedy(p *Problem) (Solution, error) {
 }
 
 // HybridGreedy is Alg. 4: run Ratio-Greedy and Objective-Greedy and keep the
-// better solution. Theorem 2 proves the approximation ratio (1−1/e)/2.
+// better solution. Theorem 2 proves the approximation ratio (1−1/e)/2. With
+// p.Parallel the two passes run concurrently — they share only the oracle,
+// which serves each correlation row through its own cache — and each pass
+// additionally parallelizes its per-round candidate scan on large instances.
 func HybridGreedy(p *Problem) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
@@ -238,12 +394,28 @@ func HybridGreedy(p *Problem) (Solution, error) {
 	if sol, ok := trivialCase(p); ok {
 		return sol, nil
 	}
-	ratio := runGreedy(p, true)
-	obj := runGreedy(p, false)
+	ratio, obj := runHybridPasses(p, runGreedy)
 	if ratio.Value >= obj.Value {
 		return ratio, nil
 	}
 	return obj, nil
+}
+
+// runHybridPasses executes the ratio and objective passes of Alg. 4,
+// concurrently when p.Parallel is set. Each pass owns its greedy state; the
+// solutions are deterministic either way.
+func runHybridPasses(p *Problem, pass func(*Problem, bool) Solution) (ratio, obj Solution) {
+	if !p.Parallel {
+		return pass(p, true), pass(p, false)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ratio = pass(p, true)
+	}()
+	obj = pass(p, false)
+	<-done
+	return ratio, obj
 }
 
 // trivialCase implements Remark 2: with θ = 1 and unit costs, OCS is trivial

@@ -1,0 +1,205 @@
+package ocs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/corr"
+	"repro/internal/network"
+	"repro/internal/rtf"
+)
+
+// randomInstance builds a seeded random OCS instance over a synthetic
+// network: random ρ, random query/worker subsets, random budget and θ.
+func randomParallelInstance(tb testing.TB, seed int64) *Problem {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	roads := 40 + rng.Intn(50)
+	net := network.Synthetic(network.SyntheticOptions{Roads: roads, Seed: seed, CostMax: 1 + rng.Intn(8)})
+	m := rtf.New(net)
+	for _, e := range m.Edges() {
+		m.SetRho(0, e[0], e[1], 0.1+0.89*rng.Float64())
+		m.SetSigma(0, e[0], 0.5+10*rng.Float64())
+	}
+	perm := rng.Perm(roads)
+	nq := 4 + rng.Intn(12)
+	nw := 10 + rng.Intn(roads-10)
+	view := m.At(0)
+	return &Problem{
+		Query:   append([]int(nil), perm[:nq]...),
+		Workers: append([]int(nil), rng.Perm(roads)[:nw]...),
+		Costs:   net.Costs(),
+		Budget:  5 + rng.Intn(40),
+		Theta:   0.5 + 0.45*rng.Float64(),
+		Sigma:   view.Sigma,
+		Oracle:  corr.NewOracle(net.Graph(), view, corr.NegLog),
+	}
+}
+
+// clone returns a fresh Problem over the same data with its own oracle, so
+// the two runs share no mutable state at all.
+func cloneInstance(tb testing.TB, seed int64, parallel bool) *Problem {
+	p := randomParallelInstance(tb, seed)
+	p.Parallel = parallel
+	return p
+}
+
+func sameSolution(a, b Solution) bool {
+	if a.Value != b.Value || a.Cost != b.Cost || len(a.Roads) != len(b.Roads) {
+		return false
+	}
+	for i := range a.Roads {
+		if a.Roads[i] != b.Roads[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// forceParallel drops the work threshold and worker cap so the parallel path
+// actually executes, even for small instances on single-core machines.
+// Restores the defaults on cleanup.
+func forceParallel(tb testing.TB) {
+	tb.Helper()
+	oldThreshold, oldCap := parallelThreshold, parallelWorkerCap
+	parallelThreshold = 1
+	parallelWorkerCap = 4
+	oldChunk := parallelMinChunk
+	parallelMinChunk = 1
+	tb.Cleanup(func() {
+		parallelThreshold = oldThreshold
+		parallelWorkerCap = oldCap
+		parallelMinChunk = oldChunk
+	})
+}
+
+// TestParallelEquivalenceProperty is the seeded property test: Hybrid-Greedy
+// must return identical road sets, values (bitwise) and costs with Parallel
+// on and off, across random instances.
+func TestParallelEquivalenceProperty(t *testing.T) {
+	forceParallel(t)
+	for seed := int64(1); seed <= 40; seed++ {
+		seq, err := HybridGreedy(cloneInstance(t, seed, false))
+		if err != nil {
+			t.Fatalf("seed %d sequential: %v", seed, err)
+		}
+		par, err := HybridGreedy(cloneInstance(t, seed, true))
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+		if !sameSolution(seq, par) {
+			t.Errorf("seed %d: sequential %+v != parallel %+v", seed, seq, par)
+		}
+	}
+}
+
+// TestParallelEquivalenceAllSolvers extends the property to the individual
+// greedy passes and the lazy hybrid.
+func TestParallelEquivalenceAllSolvers(t *testing.T) {
+	forceParallel(t)
+	type solver struct {
+		name string
+		run  func(*Problem) (Solution, error)
+	}
+	solvers := []solver{
+		{"ratio", RatioGreedy},
+		{"objective", ObjectiveGreedy},
+		{"lazy-hybrid", LazyHybridGreedy},
+	}
+	for seed := int64(100); seed < 115; seed++ {
+		for _, sv := range solvers {
+			seq, err := sv.run(cloneInstance(t, seed, false))
+			if err != nil {
+				t.Fatalf("seed %d %s sequential: %v", seed, sv.name, err)
+			}
+			par, err := sv.run(cloneInstance(t, seed, true))
+			if err != nil {
+				t.Fatalf("seed %d %s parallel: %v", seed, sv.name, err)
+			}
+			if !sameSolution(seq, par) {
+				t.Errorf("seed %d %s: sequential %+v != parallel %+v", seed, sv.name, seq, par)
+			}
+		}
+	}
+}
+
+// TestParallelSharedOracle runs sequential and parallel solvers against the
+// SAME oracle instance (the production configuration: one cached oracle per
+// slot serving every query), under -race.
+func TestParallelSharedOracle(t *testing.T) {
+	forceParallel(t)
+	p := randomParallelInstance(t, 7)
+	p.Parallel = false
+	seq, err := HybridGreedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Parallel = true
+	for i := 0; i < 5; i++ {
+		par, err := HybridGreedy(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameSolution(seq, par) {
+			t.Fatalf("run %d: parallel diverged on shared oracle: %+v vs %+v", i, seq, par)
+		}
+	}
+}
+
+// TestGainWorkersFallback pins the sequential-fallback contract: small
+// instances never spawn goroutines.
+func TestGainWorkersFallback(t *testing.T) {
+	if w := gainWorkers(10, 5); w != 0 {
+		t.Errorf("tiny instance got %d workers, want sequential fallback", w)
+	}
+	old := parallelWorkerCap
+	parallelWorkerCap = 8
+	defer func() { parallelWorkerCap = old }()
+	if w := gainWorkers(4096, 16); w != 8 {
+		t.Errorf("large instance got %d workers, want cap 8", w)
+	}
+	// Chunk floor: never more workers than candidates/parallelMinChunk.
+	if w := gainWorkers(parallelThreshold, 1000); w > parallelThreshold/parallelMinChunk {
+		t.Errorf("worker count %d exceeds chunk floor", w)
+	}
+}
+
+// TestFeasibleUsesHoistedWorkerSet checks Feasible both on validated
+// instances (hoisted set) and standalone (local build), and that the
+// redundancy check still rejects over-correlated pairs.
+func TestFeasibleUsesHoistedWorkerSet(t *testing.T) {
+	p := randomParallelInstance(t, 42)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.workerSet == nil {
+		t.Fatal("Validate did not hoist the worker set")
+	}
+	if len(p.workerSet) != len(p.Workers) {
+		t.Fatalf("worker set has %d entries for %d workers", len(p.workerSet), len(p.Workers))
+	}
+	// Any single worker road within budget is feasible.
+	w0 := p.Workers[0]
+	if p.Costs[w0] <= p.Budget && !p.Feasible([]int{w0}) {
+		t.Errorf("single worker road %d not feasible", w0)
+	}
+	// A non-worker road is rejected.
+	nonWorker := -1
+	for r := 0; r < len(p.Sigma); r++ {
+		if !p.workerSet[r] {
+			nonWorker = r
+			break
+		}
+	}
+	if nonWorker >= 0 && p.Feasible([]int{nonWorker}) {
+		t.Errorf("non-worker road %d accepted", nonWorker)
+	}
+	// Standalone (unvalidated) Problem agrees.
+	q := *p
+	q.workerSet = nil
+	for _, set := range [][]int{{w0}, {nonWorker}, p.Workers[:2]} {
+		if got, want := q.Feasible(set), p.Feasible(set); got != want {
+			t.Errorf("standalone Feasible(%v) = %v, validated = %v", set, got, want)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestHealthzOracleCacheSignal checks /v1/healthz exports the correlation
+// cache counters after a selection has exercised the oracle.
+func TestHealthzOracleCacheSignal(t *testing.T) {
+	srv, _ := newRawServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var h struct {
+		OracleCache core.CacheReport `json:"oracle_cache"`
+	}
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, &h)
+	if h.OracleCache.ResidentOracles != 0 || h.OracleCache.Misses != 0 {
+		t.Errorf("fresh server has warm oracle cache: %+v", h.OracleCache)
+	}
+
+	// Register workers and run a selection → the slot oracle is admitted and
+	// rows become resident.
+	postJSON(t, ts.URL+"/v1/workers", map[string]interface{}{
+		"workers": []map[string]int{{"road": 1}, {"road": 5}, {"road": 9}, {"road": 13}},
+	}).Body.Close()
+	sel := postJSON(t, ts.URL+"/v1/select", map[string]interface{}{
+		"slot": 102, "roads": []int{2, 6, 10}, "budget": 6, "theta": 0.92,
+	})
+	sel.Body.Close()
+	if sel.StatusCode != http.StatusOK {
+		t.Fatalf("select = %d", sel.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, &h)
+	oc := h.OracleCache
+	if oc.ResidentOracles != 1 {
+		t.Errorf("resident oracles = %d, want 1", oc.ResidentOracles)
+	}
+	if oc.Misses == 0 || oc.ResidentRows == 0 || oc.ResidentBytes == 0 {
+		t.Errorf("oracle cache counters flat after select: %+v", oc)
+	}
+	if oc.Hits > 0 && (oc.HitRate <= 0 || oc.HitRate >= 1) {
+		t.Errorf("hit rate %v inconsistent with hits=%d misses=%d", oc.HitRate, oc.Hits, oc.Misses)
+	}
+	if oc.Evictions != 0 {
+		t.Errorf("unexpected evictions on a one-slot workload: %+v", oc)
+	}
+}

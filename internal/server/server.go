@@ -285,6 +285,11 @@ type healthResponse struct {
 	TotalReports     int     `json:"total_reports"`
 	LastReportAgeSec float64 `json:"last_report_age_seconds"` // -1 if none
 	CollectorStale   bool    `json:"collector_stale"`
+	// OracleCache is the correlation-cache perf signal: hit rate, resident
+	// bytes and LRU evictions of the per-slot oracle cache. A collapsing hit
+	// rate or runaway evictions flag an undersized cache long before
+	// latency degrades.
+	OracleCache core.CacheReport `json:"oracle_cache"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -303,6 +308,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		ReportSlots:      s.collector.SlotCount(),
 		TotalReports:     s.collector.TotalReports(),
 		LastReportAgeSec: -1,
+		OracleCache:      s.sys.OracleCacheReport(),
 	}
 	if last, ok := s.collector.LastReport(); ok {
 		age := time.Since(last)
