@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fault-determinism race-hotpath check bench bench-concurrent bench-all qps
+.PHONY: all build vet test race fault-determinism race-hotpath fuzz-seed fuzz-snapshot refit-drill check bench bench-concurrent bench-all qps bench-lifecycle
 
 all: build
 
@@ -24,13 +24,29 @@ fault-determinism:
 
 # Concurrency regression suite for the online hot path: the CorrRow
 # singleflight (one Dijkstra under 32 hammering goroutines), the parallel
-# greedy equivalence corpus, mixed-slot System.Query under LRU eviction, and
-# the legacy/sharded determinism check — all under the race detector.
+# greedy equivalence corpus, mixed-slot System.Query under LRU eviction, the
+# legacy/sharded determinism check, and the PR-3 model hot-swap under 32
+# concurrent resilient clients — all under the race detector.
 race-hotpath:
-	$(GO) test -race -run 'Singleflight|ConcurrentMixedRows|ParallelEquivalence|ParallelSharedOracle|ConcurrentQueryMixedSlots|DeterministicAcrossOracleEngines' \
+	$(GO) test -race -run 'Singleflight|ConcurrentMixedRows|ParallelEquivalence|ParallelSharedOracle|ConcurrentQueryMixedSlots|DeterministicAcrossOracleEngines|HotSwapRaceUnderLoad' \
 		./internal/corr/ ./internal/ocs/ ./internal/core/
 
-check: vet build race fault-determinism race-hotpath
+# Snapshot-codec fuzz harness. fuzz-seed replays the checked-in seed corpus
+# (fast, deterministic — part of `make check`); fuzz-snapshot explores new
+# inputs for a bounded time.
+fuzz-seed:
+	$(GO) test -run FuzzSnapshotRoundTrip ./internal/modelstore/
+
+fuzz-snapshot:
+	$(GO) test -fuzz FuzzSnapshotRoundTrip -fuzztime 15s ./internal/modelstore/
+
+# End-to-end lifecycle drill under the race detector: streamed reports are
+# folded into a refit, gated, published and hot-swapped; a corrupted
+# candidate is refused; the operator rolls back and reloads forward.
+refit-drill:
+	$(GO) test -race -run 'RefitDrill|RefitOnce|Refitter' -v ./internal/modelstore/
+
+check: vet build race fault-determinism race-hotpath fuzz-seed
 
 # The perf-trajectory suite of PR 2: legacy (pre-PR mutex oracle, sequential
 # OCS) vs sharded singleflight engine at 1/4/16 concurrent clients, plus the
@@ -49,4 +65,11 @@ bench-all:
 qps:
 	$(GO) run ./cmd/rtsebench -qps -out BENCH_PR2.json
 
+# The PR-3 lifecycle latency suite: snapshot save/load, hot-swap and the
+# refit drill, recorded as BENCH_PR3.json.
+bench-lifecycle:
+	$(GO) run ./cmd/rtsebench -lifecycle -out BENCH_PR3.json
+
 BENCH_PR2.json: qps
+
+BENCH_PR3.json: bench-lifecycle

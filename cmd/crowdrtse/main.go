@@ -15,7 +15,26 @@
 //	    runs under the injected faults and reports its degradation
 //	    diagnostics
 //	crowdrtse serve -data DIR -model model.gob [-addr :8080] [-days D]
-//	    [-timeout 5s] serve the HTTP estimation API
+//	    [-timeout 5s] [-store DIR] [-refit 5m] [-alpha 0.1]
+//	    [-report-horizon 72]
+//	    serve the HTTP estimation API; with -store the model-lifecycle
+//	    subsystem is active: the serving model comes from the store's
+//	    current version (bootstrapping it from -model on first run),
+//	    streamed /v1/report data is folded into validated background
+//	    refits every -refit interval, and /v1/model exposes the version
+//	    history plus reload/rollback/refit actions
+//	crowdrtse model <save|load|list|rollback> [flags]
+//	    manage the versioned snapshot store directly:
+//	    save -data DIR -model model.gob -store DIR [-note TEXT]
+//	        validate a gob model against the network and publish it as a
+//	        new checksummed store version
+//	    load -store DIR [-version N] [-out model.gob]
+//	        decode + verify a stored version (0 = current) and optionally
+//	        re-export it as gob
+//	    list -store DIR
+//	        print the version history and the current pointer
+//	    rollback -store DIR
+//	        repoint the store's current version to the previous one
 package main
 
 import (
@@ -33,6 +52,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/crowd"
 	"repro/internal/faults"
+	"repro/internal/modelstore"
 	"repro/internal/network"
 	"repro/internal/rtf"
 	"repro/internal/server"
@@ -49,7 +69,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: crowdrtse <datagen|train|query|serve> [flags]")
+		return fmt.Errorf("usage: crowdrtse <datagen|train|query|serve|model> [flags]")
 	}
 	switch args[0] {
 	case "datagen":
@@ -60,6 +80,8 @@ func run(args []string) error {
 		return cmdQuery(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
+	case "model":
+		return cmdModel(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -358,19 +380,253 @@ func cmdServe(args []string) error {
 	days := fs.Int("days", 30, "days recorded in history.csv")
 	addr := fs.String("addr", ":8080", "listen address")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-request deadline (0 = none)")
+	storeDir := fs.String("store", "", "snapshot store directory (enables the model lifecycle)")
+	refitEvery := fs.Duration("refit", 5*time.Minute, "background refit interval (0 disables refits; needs -store)")
+	alpha := fs.Float64("alpha", 0.1, "exponential-forgetting weight of a refit fold")
+	horizon := fs.Int("report-horizon", 72, "collector eviction horizon in slots (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *data == "" {
 		return fmt.Errorf("serve: -data is required")
 	}
-	sys, _, err := loadSystem(*data, *modelPath, *days)
+	net, _, err := loadData(*data, *days)
 	if err != nil {
 		return err
 	}
+
+	var store *modelstore.Store
+	var model *rtf.Model
+	bootstrapped := false
+	if *storeDir != "" {
+		if store, err = modelstore.Open(*storeDir); err != nil {
+			return err
+		}
+		if cur, ok := store.Current(); ok {
+			// Serve whatever the store says is current.
+			m, _, err := store.Load(cur.Version)
+			if err != nil {
+				return fmt.Errorf("serve: load store current v%d: %w", cur.Version, err)
+			}
+			model = m
+			fmt.Printf("loaded model v%d from store %s\n", cur.Version, *storeDir)
+		}
+	}
+	if model == nil {
+		if model, err = readGobModel(*modelPath); err != nil {
+			return err
+		}
+		bootstrapped = store != nil
+	}
+	sys, err := core.NewFromModel(net, model, core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+
 	srv := server.New(sys)
 	srv.Timeout = *timeout
+	srv.Collector().SetHorizon(*horizon)
+
+	if store != nil {
+		mgr, err := modelstore.NewManager(sys, store, modelstore.GateConfig{})
+		if err != nil {
+			return err
+		}
+		if bootstrapped {
+			// First run against an empty store: publish the offline fit as
+			// v1 so rollback/reload have an anchor.
+			info, _, err := mgr.Publish(model.Clone(), modelstore.Meta{
+				Source: "offline-fit", Note: "serve bootstrap from " + *modelPath,
+			}, nil)
+			if err != nil {
+				return fmt.Errorf("serve: bootstrap store: %w", err)
+			}
+			fmt.Printf("bootstrapped store %s with %s as v%d\n", *storeDir, *modelPath, info.Version)
+		}
+		var refitter *modelstore.Refitter
+		if *refitEvery > 0 {
+			cfg := modelstore.DefaultRefitter()
+			cfg.Interval = *refitEvery
+			cfg.Alpha = *alpha
+			refitter, err = modelstore.NewRefitter(mgr, srv.Collector(), cfg)
+			if err != nil {
+				return err
+			}
+			refitter.Start()
+			defer refitter.Stop()
+			fmt.Printf("background refit every %s (alpha %.3g, holdout 1/%d)\n",
+				*refitEvery, cfg.Alpha, cfg.HoldoutMod)
+		}
+		srv.AttachLifecycle(mgr, refitter)
+	}
+
 	fmt.Printf("serving CrowdRTSE API on %s (%d roads, %s request deadline)\n",
 		*addr, sys.Network().N(), *timeout)
 	return http.ListenAndServe(*addr, srv.Handler())
+}
+
+// readGobModel loads an offline-trained gob model from disk.
+func readGobModel(path string) (*rtf.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return rtf.Read(f)
+}
+
+func cmdModel(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: crowdrtse model <save|load|list|rollback> [flags]")
+	}
+	switch args[0] {
+	case "save":
+		return cmdModelSave(args[1:])
+	case "load":
+		return cmdModelLoad(args[1:])
+	case "list":
+		return cmdModelList(args[1:])
+	case "rollback":
+		return cmdModelRollback(args[1:])
+	default:
+		return fmt.Errorf("unknown model subcommand %q", args[0])
+	}
+}
+
+// cmdModelSave publishes a gob model into the snapshot store after validating
+// it against the network — the offline-fit → lifecycle hand-off.
+func cmdModelSave(args []string) error {
+	fs := flag.NewFlagSet("model save", flag.ContinueOnError)
+	data := fs.String("data", "", "data directory with network.json (required)")
+	modelPath := fs.String("model", "model.gob", "trained model path")
+	storeDir := fs.String("store", "", "snapshot store directory (required)")
+	note := fs.String("note", "", "operator annotation recorded in the snapshot")
+	days := fs.Int("days", 30, "days recorded in history.csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" || *storeDir == "" {
+		return fmt.Errorf("model save: -data and -store are required")
+	}
+	net, _, err := loadData(*data, *days)
+	if err != nil {
+		return err
+	}
+	model, err := readGobModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	// The same structural gate the server applies: a corrupt or
+	// wrong-topology model never enters the store.
+	if err := modelstore.ValidateModel(net, model, 0); err != nil {
+		return err
+	}
+	store, err := modelstore.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	info, err := store.Save(model, modelstore.Meta{Source: "cli", Note: *note})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("published v%d (%s, %d roads, %d edges, %d bytes, topo %016x)\n",
+		info.Version, info.File, info.Roads, info.Edges, info.SizeBytes, info.TopoHash)
+	return nil
+}
+
+// cmdModelLoad decodes a stored version — exercising every checksum — and
+// optionally re-exports it as gob for the offline tooling.
+func cmdModelLoad(args []string) error {
+	fs := flag.NewFlagSet("model load", flag.ContinueOnError)
+	storeDir := fs.String("store", "", "snapshot store directory (required)")
+	version := fs.Uint64("version", 0, "version to load (0 = current)")
+	out := fs.String("out", "", "write the decoded model as gob to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("model load: -store is required")
+	}
+	store, err := modelstore.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	model, info, err := store.Load(*version)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("v%d ok: %d roads, %d edges, source %q, created %s\n",
+		info.Version, info.Roads, info.Edges, info.Meta.Source,
+		time.Unix(info.CreatedAtUnix, 0).UTC().Format(time.RFC3339))
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := model.Write(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+func cmdModelList(args []string) error {
+	fs := flag.NewFlagSet("model list", flag.ContinueOnError)
+	storeDir := fs.String("store", "", "snapshot store directory (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("model list: -store is required")
+	}
+	store, err := modelstore.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	versions := store.Versions()
+	if len(versions) == 0 {
+		fmt.Println("store is empty")
+		return nil
+	}
+	cur, _ := store.Current()
+	fmt.Printf("%-3s %-8s %-20s %-12s %-8s %s\n", "", "version", "created", "source", "size", "note")
+	for _, v := range versions {
+		mark := ""
+		if v.Version == cur.Version {
+			mark = "*"
+		}
+		fmt.Printf("%-3s v%-7d %-20s %-12s %-8d %s\n",
+			mark, v.Version,
+			time.Unix(v.CreatedAtUnix, 0).UTC().Format("2006-01-02T15:04:05Z"),
+			v.Meta.Source, v.SizeBytes, v.Meta.Note)
+	}
+	return nil
+}
+
+func cmdModelRollback(args []string) error {
+	fs := flag.NewFlagSet("model rollback", flag.ContinueOnError)
+	storeDir := fs.String("store", "", "snapshot store directory (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("model rollback: -store is required")
+	}
+	store, err := modelstore.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	info, err := store.Rollback()
+	if err != nil {
+		return err
+	}
+	// Verify the rolled-back-to snapshot still decodes cleanly before
+	// declaring success — an operator rolling back wants certainty.
+	if _, _, err := store.Load(info.Version); err != nil {
+		return fmt.Errorf("rolled back to v%d but it fails to load: %w", info.Version, err)
+	}
+	fmt.Printf("current is now v%d (%s, source %q)\n", info.Version, info.File, info.Meta.Source)
+	return nil
 }

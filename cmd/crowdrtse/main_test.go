@@ -34,6 +34,61 @@ func TestPipelineEndToEnd(t *testing.T) {
 	}
 }
 
+// TestModelSubcommands drives the snapshot-store CLI: train a model, publish
+// it twice, list, load-verify with gob re-export, and roll back.
+func TestModelSubcommands(t *testing.T) {
+	dir := t.TempDir()
+	dataDir := filepath.Join(dir, "data")
+	modelPath := filepath.Join(dir, "model.gob")
+	storeDir := filepath.Join(dir, "store")
+
+	if err := run([]string{"datagen", "-out", dataDir, "-roads", "30", "-days", "4", "-seed", "5"}); err != nil {
+		t.Fatalf("datagen: %v", err)
+	}
+	if err := run([]string{"train", "-data", dataDir, "-days", "4", "-out", modelPath}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := run([]string{"model", "save", "-data", dataDir, "-days", "4",
+			"-model", modelPath, "-store", storeDir, "-note", "cli test"}); err != nil {
+			t.Fatalf("model save #%d: %v", i+1, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(storeDir, "v000001.rtf")); err != nil {
+		t.Fatalf("snapshot file missing: %v", err)
+	}
+	if err := run([]string{"model", "list", "-store", storeDir}); err != nil {
+		t.Fatalf("model list: %v", err)
+	}
+	exported := filepath.Join(dir, "exported.gob")
+	if err := run([]string{"model", "load", "-store", storeDir, "-out", exported}); err != nil {
+		t.Fatalf("model load: %v", err)
+	}
+	if _, err := os.Stat(exported); err != nil {
+		t.Fatalf("exported gob missing: %v", err)
+	}
+	if err := run([]string{"model", "rollback", "-store", storeDir}); err != nil {
+		t.Fatalf("model rollback: %v", err)
+	}
+	// Only one version to roll back from — a second rollback must fail.
+	if err := run([]string{"model", "rollback", "-store", storeDir}); err == nil {
+		t.Error("rollback past the oldest version succeeded")
+	}
+	// Saving a model trained on a different topology must be refused.
+	otherData := filepath.Join(dir, "other")
+	otherModel := filepath.Join(dir, "other.gob")
+	if err := run([]string{"datagen", "-out", otherData, "-roads", "30", "-days", "4", "-seed", "99"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"train", "-data", otherData, "-days", "4", "-out", otherModel}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"model", "save", "-data", dataDir, "-days", "4",
+		"-model", otherModel, "-store", storeDir}); err == nil {
+		t.Error("wrong-topology model published")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run(nil); err == nil {
 		t.Error("empty args accepted")
@@ -52,6 +107,24 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"serve"}); err == nil {
 		t.Error("serve without -data accepted")
+	}
+	if err := run([]string{"model"}); err == nil {
+		t.Error("bare model subcommand accepted")
+	}
+	if err := run([]string{"model", "frobnicate"}); err == nil {
+		t.Error("unknown model subcommand accepted")
+	}
+	if err := run([]string{"model", "save"}); err == nil {
+		t.Error("model save without flags accepted")
+	}
+	if err := run([]string{"model", "load"}); err == nil {
+		t.Error("model load without -store accepted")
+	}
+	if err := run([]string{"model", "list"}); err == nil {
+		t.Error("model list without -store accepted")
+	}
+	if err := run([]string{"model", "rollback"}); err == nil {
+		t.Error("model rollback without -store accepted")
 	}
 }
 

@@ -1,0 +1,184 @@
+// Lifecycle mode: the model-lifecycle latency harness of PR 3. It measures
+// the three operations the lifecycle subsystem puts on the serving path —
+// snapshot save (encode + fsync + atomic publish), snapshot load (decode +
+// checksum verification), and hot-swap (RCU state replacement with oracle
+// pre-warm) — plus a full refit drill (fold → gate → publish → swap), and
+// writes the latency distribution to a JSON file (BENCH_PR3.json) so later
+// PRs can track the trajectory.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/modelstore"
+	"repro/internal/stream"
+	"repro/internal/tslot"
+)
+
+// latencyStats summarizes one operation's latency distribution.
+type latencyStats struct {
+	Op       string  `json:"op"`
+	Samples  int     `json:"samples"`
+	MeanMS   float64 `json:"mean_ms"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	MaxMS    float64 `json:"max_ms"`
+	BytesPer int64   `json:"bytes_per_op,omitempty"` // snapshot size for save/load
+}
+
+// lifecycleReport is the BENCH_PR3.json schema.
+type lifecycleReport struct {
+	Generated  string         `json:"generated"`
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Roads      int            `json:"roads"`
+	Edges      int            `json:"edges"`
+	Days       int            `json:"days"`
+	Ops        []latencyStats `json:"ops"`
+}
+
+func summarize(op string, durs []time.Duration, bytesPer int64) latencyStats {
+	s := latencyStats{Op: op, Samples: len(durs), BytesPer: bytesPer}
+	if len(durs) == 0 {
+		return s
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	s.MeanMS = ms(total / time.Duration(len(sorted)))
+	s.P50MS = ms(sorted[len(sorted)/2])
+	s.P95MS = ms(sorted[len(sorted)*95/100])
+	s.MaxMS = ms(sorted[len(sorted)-1])
+	return s
+}
+
+// runLifecycle measures save/load/swap/refit latencies and writes the report.
+func runLifecycle(paper bool, iters int, outPath string) error {
+	opt := experiments.Small()
+	if paper {
+		opt = experiments.Paper()
+	}
+	env, err := experiments.NewEnv(opt)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "rtsebench-lifecycle-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	store, err := modelstore.Open(filepath.Join(dir, "store"))
+	if err != nil {
+		return err
+	}
+	model := env.Sys.Model()
+
+	rep := lifecycleReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Roads:      model.N(),
+		Edges:      len(model.Edges()),
+		Days:       opt.Days,
+	}
+
+	// Snapshot save: encode + fsync + atomic rename + manifest.
+	var saveDurs []time.Duration
+	var size int64
+	var lastInfo modelstore.VersionInfo
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		info, err := store.Save(model, modelstore.Meta{Source: "bench"})
+		if err != nil {
+			return err
+		}
+		saveDurs = append(saveDurs, time.Since(t0))
+		size = info.SizeBytes
+		lastInfo = info
+	}
+	rep.Ops = append(rep.Ops, summarize("snapshot_save", saveDurs, size))
+
+	// Snapshot load: open + decode + every checksum.
+	var loadDurs []time.Duration
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		if _, _, err := store.Load(lastInfo.Version); err != nil {
+			return err
+		}
+		loadDurs = append(loadDurs, time.Since(t0))
+	}
+	rep.Ops = append(rep.Ops, summarize("snapshot_load", loadDurs, size))
+
+	// Hot-swap: clone + RCU replace with a one-slot oracle pre-warm, on a
+	// dedicated system so the shared env stays untouched.
+	sys, err := core.NewFromModel(env.Net, model, core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	var swapDurs []time.Duration
+	for i := 0; i < iters; i++ {
+		next := sys.Model().Clone()
+		slot := tslot.Slot(i % int(tslot.PerDay))
+		t0 := time.Now()
+		if _, _, err := sys.SwapModel(next, []tslot.Slot{slot}); err != nil {
+			return err
+		}
+		swapDurs = append(swapDurs, time.Since(t0))
+	}
+	rep.Ops = append(rep.Ops, summarize("hot_swap_prewarm1", swapDurs, 0))
+
+	// Refit drill: fold one slot of streamed reports, gate, publish, swap.
+	mgr, err := modelstore.NewManager(sys, store, modelstore.GateConfig{})
+	if err != nil {
+		return err
+	}
+	col := stream.NewCollector(env.Net.N())
+	refitter, err := modelstore.NewRefitter(mgr, col, modelstore.RefitterConfig{})
+	if err != nil {
+		return err
+	}
+	day := opt.Days - 1
+	var refitDurs []time.Duration
+	for i := 0; i < iters; i++ {
+		slot := tslot.Slot(100 + i%8)
+		for r := 0; r < env.Net.N(); r++ {
+			if err := col.Add(stream.Report{Road: r, Slot: slot, Speed: env.Hist.At(day, slot, r)}); err != nil {
+				return err
+			}
+		}
+		t0 := time.Now()
+		if _, err := refitter.RefitOnce(); err != nil {
+			return err
+		}
+		refitDurs = append(refitDurs, time.Since(t0))
+	}
+	rep.Ops = append(rep.Ops, summarize("refit_fold_gate_publish_swap", refitDurs, 0))
+
+	for _, op := range rep.Ops {
+		fmt.Printf("lifecycle: %-30s n=%-3d mean %8.3fms  p50 %8.3fms  p95 %8.3fms  max %8.3fms\n",
+			op.Op, op.Samples, op.MeanMS, op.P50MS, op.P95MS, op.MaxMS)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("lifecycle: wrote %s\n", outPath)
+	return nil
+}

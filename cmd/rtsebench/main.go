@@ -10,6 +10,12 @@
 // and writes the perf-trajectory JSON (default BENCH_PR2.json):
 //
 //	rtsebench -qps [-qps-duration 2s] [-qps-clients 1,4,16] [-out BENCH_PR2.json]
+//
+// The -lifecycle flag measures the model-lifecycle subsystem instead:
+// snapshot save/load latency (encode + checksums + atomic publish), hot-swap
+// latency, and the full refit drill, written as BENCH_PR3.json:
+//
+//	rtsebench -lifecycle [-lifecycle-iters 20] [-out BENCH_PR3.json]
 package main
 
 import (
@@ -31,12 +37,29 @@ func main() {
 	qps := flag.Bool("qps", false, "run the concurrent-throughput sweep instead of the experiment suite")
 	qpsDuration := flag.Duration("qps-duration", 2*time.Second, "wall-clock length of each (engine, clients) run")
 	qpsClients := flag.String("qps-clients", "1,4,16", "comma-separated concurrent client counts")
-	out := flag.String("out", "BENCH_PR2.json", "output path for the -qps JSON report")
+	lifecycle := flag.Bool("lifecycle", false, "run the model-lifecycle latency harness instead of the experiment suite")
+	lifecycleIters := flag.Int("lifecycle-iters", 20, "samples per lifecycle operation")
+	out := flag.String("out", "", "output path for the -qps / -lifecycle JSON report (defaults per mode)")
 	flag.Parse()
+	if *lifecycle {
+		path := *out
+		if path == "" {
+			path = "BENCH_PR3.json"
+		}
+		if err := runLifecycle(*paper, *lifecycleIters, path); err != nil {
+			fmt.Fprintln(os.Stderr, "rtsebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *qps {
+		path := *out
+		if path == "" {
+			path = "BENCH_PR2.json"
+		}
 		clients, err := parseClients(*qpsClients)
 		if err == nil {
-			err = runQPS(*paper, *qpsDuration, clients, *out)
+			err = runQPS(*paper, *qpsDuration, clients, path)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rtsebench:", err)

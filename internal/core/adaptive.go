@@ -78,6 +78,8 @@ func (s *System) QueryAdaptiveCtx(ctx context.Context, req QueryRequest, targetS
 
 	costs := s.net.Costs()
 	workerRoads := req.Workers.Roads()
+	// Pin one model generation across all stages (RCU hot-swap safety).
+	st := s.current()
 	ranStage := false
 	for stage := 1; stage <= stages; stage++ {
 		if ranStage && ctx.Err() != nil {
@@ -87,7 +89,7 @@ func (s *System) QueryAdaptiveCtx(ctx context.Context, req QueryRequest, targetS
 		if stageBudget <= 0 {
 			continue
 		}
-		sol, err := s.SelectRoads(req.Slot, req.Roads, workerRoads, stageBudget, req.Theta, req.Selector, req.Seed)
+		sol, err := s.selectRoadsState(st, req.Slot, req.Roads, workerRoads, stageBudget, req.Theta, req.Selector, req.Seed)
 		if err != nil {
 			return nil, fmt.Errorf("core: OCS stage %d: %w", stage, err)
 		}
@@ -135,7 +137,7 @@ func (s *System) QueryAdaptiveCtx(ctx context.Context, req QueryRequest, targetS
 				answers = append(answers, ans...)
 			}
 		}
-		prop, err := s.EstimateCtx(ctx, req.Slot, observed)
+		prop, err := s.estimateState(ctx, st, req.Slot, observed)
 		if err != nil {
 			return nil, fmt.Errorf("core: GSP stage %d: %w", stage, err)
 		}
@@ -160,7 +162,7 @@ func (s *System) QueryAdaptiveCtx(ctx context.Context, req QueryRequest, targetS
 	if !ranStage {
 		// Degenerate inputs (e.g. every stage budget rounded to zero):
 		// return the prior field rather than a nil-speeds result.
-		prop, err := s.EstimateCtx(ctx, req.Slot, observed)
+		prop, err := s.estimateState(ctx, st, req.Slot, observed)
 		if err != nil {
 			return nil, fmt.Errorf("core: GSP: %w", err)
 		}

@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/corr"
 	"repro/internal/crowd"
@@ -79,15 +80,44 @@ func DefaultConfig() Config {
 	}
 }
 
+// modelState is the immutable unit of the RCU scheme: one fitted model plus
+// the per-slot oracle LRU derived from it. A query pins exactly one
+// modelState for its whole lifetime; SwapModel publishes a fresh state (new
+// model, empty oracle cache) with a single atomic pointer store. In-flight
+// queries keep the state they pinned — and its oracles — until they finish,
+// so a swap can never mix parameters from two model generations inside one
+// query, and stale correlation rows can never serve a post-swap query.
+type modelState struct {
+	model   *rtf.Model
+	oracles *oracleCache
+	version uint64 // monotonically increasing swap generation, 1-based
+}
+
 // System is a trained CrowdRTSE instance, safe for concurrent queries. The
 // per-slot correlation oracles live in a bounded LRU (see oracleCache); the
-// hot row-lookup path inside each oracle is lock-free.
+// hot row-lookup path inside each oracle is lock-free. The model itself is
+// hot-swappable (SwapModel) with RCU semantics.
 type System struct {
-	net   *network.Network
-	model *rtf.Model
-	cfg   Config
+	net *network.Network
+	cfg Config
 
-	oracles *oracleCache
+	state atomic.Pointer[modelState]
+	swaps atomic.Uint64
+
+	// retired accumulates the cache counters of states replaced by swaps so
+	// OracleCacheReport stays monotonic across model generations.
+	retired retiredCounters
+}
+
+func (s *System) current() *modelState { return s.state.Load() }
+
+// newState builds a modelState around model with a cold oracle cache.
+func (s *System) newState(model *rtf.Model, version uint64) *modelState {
+	return &modelState{
+		model:   model,
+		oracles: newOracleCache(s.cfg.OracleCacheSlots, s.cfg.OracleCacheBytes),
+		version: version,
+	}
 }
 
 // Train runs the offline stage: fit RTF on the history and prepare the
@@ -105,12 +135,9 @@ func Train(net *network.Network, h rtf.History, cfg Config) (*System, error) {
 			return nil, fmt.Errorf("core: CCD refinement: %w", err)
 		}
 	}
-	return &System{
-		net:     net,
-		model:   model,
-		cfg:     cfg,
-		oracles: newOracleCache(cfg.OracleCacheSlots, cfg.OracleCacheBytes),
-	}, nil
+	s := &System{net: net, cfg: cfg}
+	s.state.Store(s.newState(model, 1))
+	return s, nil
 }
 
 // NewFromModel wraps an existing fitted model (e.g. loaded from disk) into a
@@ -122,22 +149,65 @@ func NewFromModel(net *network.Network, model *rtf.Model, cfg Config) (*System, 
 	if model.N() != net.N() {
 		return nil, fmt.Errorf("core: model covers %d roads, network has %d", model.N(), net.N())
 	}
-	return &System{net: net, model: model, cfg: cfg,
-		oracles: newOracleCache(cfg.OracleCacheSlots, cfg.OracleCacheBytes)}, nil
+	s := &System{net: net, cfg: cfg}
+	s.state.Store(s.newState(model, 1))
+	return s, nil
 }
 
 // Network returns the system's road network.
 func (s *System) Network() *network.Network { return s.net }
 
-// Model returns the fitted RTF model.
-func (s *System) Model() *rtf.Model { return s.model }
+// Model returns the currently serving RTF model.
+func (s *System) Model() *rtf.Model { return s.current().model }
 
-// Oracle returns the (cached) correlation oracle for slot t, admitting it
-// into the LRU. The engine is the sharded singleflight oracle unless the
-// configuration pins the legacy baseline.
-func (s *System) Oracle(t tslot.Slot) corr.Source {
-	return s.oracles.get(t, func() corr.Source {
-		view := s.model.At(t)
+// ModelVersion returns the swap generation of the serving model (1 for the
+// model the system was constructed with, +1 per successful SwapModel).
+func (s *System) ModelVersion() uint64 { return s.current().version }
+
+// Swaps returns how many hot-swaps the system has performed.
+func (s *System) Swaps() uint64 { return s.swaps.Load() }
+
+// SwapModel atomically replaces the serving model (RCU): the new model gets
+// a fresh, empty per-slot oracle LRU — flushing every correlation row derived
+// from the old parameters — and becomes visible to all subsequent queries
+// with one atomic pointer store. Queries already in flight finish on the old
+// model and its oracles. prewarm optionally pre-builds the oracles of the
+// given slots into the new cache before publication, so the first queries
+// after the swap skip the cold-start; their rows still compute lazily
+// (building an oracle is cheap, rows are the expensive part and accrete
+// through the usual singleflight path).
+//
+// It returns the old and new model versions. The old model is untouched and
+// remains valid for as long as callers hold references to it.
+func (s *System) SwapModel(model *rtf.Model, prewarm []tslot.Slot) (oldVersion, newVersion uint64, err error) {
+	if model == nil {
+		return 0, 0, fmt.Errorf("core: swap to nil model")
+	}
+	if model.N() != s.net.N() {
+		return 0, 0, fmt.Errorf("core: swap model covers %d roads, network has %d", model.N(), s.net.N())
+	}
+	for {
+		old := s.current()
+		next := s.newState(model, old.version+1)
+		for _, t := range prewarm {
+			if t.Valid() {
+				s.oracleAt(next, t)
+			}
+		}
+		if s.state.CompareAndSwap(old, next) {
+			s.retired.fold(old.oracles.counters())
+			s.swaps.Add(1)
+			return old.version, next.version, nil
+		}
+	}
+}
+
+// oracleAt returns st's cached correlation oracle for slot t, admitting it
+// into st's LRU. The oracle is built from st's model, so two states never
+// share correlation rows.
+func (s *System) oracleAt(st *modelState, t tslot.Slot) corr.Source {
+	return st.oracles.get(t, func() corr.Source {
+		view := st.model.At(t)
 		if s.cfg.LegacyOracle {
 			return corr.NewMutexOracle(s.net.Graph(), view, s.cfg.Transform)
 		}
@@ -145,11 +215,25 @@ func (s *System) Oracle(t tslot.Slot) corr.Source {
 	})
 }
 
+// Oracle returns the (cached) correlation oracle for slot t of the currently
+// serving model. The engine is the sharded singleflight oracle unless the
+// configuration pins the legacy baseline.
+func (s *System) Oracle(t tslot.Slot) corr.Source {
+	return s.oracleAt(s.current(), t)
+}
+
 // OracleCacheReport returns the aggregated correlation-cache counters:
-// hit/miss/inflight totals (including retired counters of evicted oracles),
-// resident rows and bytes, and eviction count. The server exports it through
-// /v1/healthz.
-func (s *System) OracleCacheReport() CacheReport { return s.oracles.report() }
+// hit/miss/inflight totals (including retired counters of evicted oracles
+// and of caches flushed by model swaps), resident rows and bytes, and
+// eviction count. The server exports it through /v1/healthz.
+func (s *System) OracleCacheReport() CacheReport {
+	r := s.current().oracles.report()
+	s.retired.addTo(&r)
+	if total := r.Hits + r.Misses; total > 0 {
+		r.HitRate = float64(r.Hits) / float64(total)
+	}
+	return r
+}
 
 // Selector chooses the crowdsourced-road selection algorithm.
 type Selector int
@@ -187,8 +271,14 @@ func (s Selector) String() string {
 // Config.PrewarmWorkers is set — so concurrent queries sharing a slot find
 // the rows resident instead of recomputing them.
 func (s *System) SelectRoads(t tslot.Slot, query, workerRoads []int, budget int, theta float64, sel Selector, seed int64) (ocs.Solution, error) {
-	view := s.model.At(t)
-	oracle := s.Oracle(t)
+	return s.selectRoadsState(s.current(), t, query, workerRoads, budget, theta, sel, seed)
+}
+
+// selectRoadsState is SelectRoads pinned to one model state, so a query's
+// OCS solve and GSP propagation cannot straddle a hot-swap.
+func (s *System) selectRoadsState(st *modelState, t tslot.Slot, query, workerRoads []int, budget int, theta float64, sel Selector, seed int64) (ocs.Solution, error) {
+	view := st.model.At(t)
+	oracle := s.oracleAt(st, t)
 	warm := query
 	if s.cfg.PrewarmWorkers {
 		warm = make([]int, 0, len(query)+len(workerRoads))
@@ -232,7 +322,12 @@ func (s *System) Estimate(t tslot.Slot, observed map[int]float64) (gsp.Result, e
 // EstimateCtx is Estimate under a deadline: when ctx expires, GSP stops
 // sweeping and returns the best-so-far field with Result.Aborted set.
 func (s *System) EstimateCtx(ctx context.Context, t tslot.Slot, observed map[int]float64) (gsp.Result, error) {
-	return gsp.PropagateCtx(ctx, s.net, s.model.At(t), observed, s.cfg.GSP)
+	return s.estimateState(ctx, s.current(), t, observed)
+}
+
+// estimateState is EstimateCtx pinned to one model state.
+func (s *System) estimateState(ctx context.Context, st *modelState, t tslot.Slot, observed map[int]float64) (gsp.Result, error) {
+	return gsp.PropagateCtx(ctx, s.net, st.model.At(t), observed, s.cfg.GSP)
 }
 
 // QueryRequest is one online realtime-speed query.
@@ -295,7 +390,11 @@ func (s *System) QueryCtx(ctx context.Context, req QueryRequest) (*QueryResult, 
 		probeCfg.Seed = req.Seed
 	}
 
-	sol, err := s.SelectRoads(req.Slot, req.Roads, req.Workers.Roads(), req.Budget, req.Theta, req.Selector, req.Seed)
+	// Pin one model generation for the whole query: selection and
+	// propagation must see the same parameters even if a hot-swap lands
+	// mid-query (RCU — the swap retires this state only after we drop it).
+	st := s.current()
+	sol, err := s.selectRoadsState(st, req.Slot, req.Roads, req.Workers.Roads(), req.Budget, req.Theta, req.Selector, req.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("core: OCS: %w", err)
 	}
@@ -321,7 +420,7 @@ func (s *System) QueryCtx(ctx context.Context, req QueryRequest) (*QueryResult, 
 			return nil, fmt.Errorf("core: probing: %w", err)
 		}
 	}
-	prop, err := s.EstimateCtx(ctx, req.Slot, probed)
+	prop, err := s.estimateState(ctx, st, req.Slot, probed)
 	if err != nil {
 		return nil, fmt.Errorf("core: GSP: %w", err)
 	}

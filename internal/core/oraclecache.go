@@ -116,6 +116,42 @@ func (c *oracleCache) evictOldestLocked() {
 	c.evictions++
 }
 
+// counters returns only the monotonic counters (hits/misses/inflight waits/
+// evictions) of the cache, live and retired combined. SwapModel folds these
+// into System.retired when a model generation is replaced, so the flushed
+// cache's history is not lost from OracleCacheReport.
+func (c *oracleCache) counters() CacheReport {
+	r := c.report()
+	r.ResidentOracles, r.ResidentRows, r.ResidentBytes = 0, 0, 0
+	return r
+}
+
+// retiredCounters accumulates cache counters of model states retired by
+// hot-swaps. Guarded by its own mutex because swaps are rare and reports
+// must not contend with the query path.
+type retiredCounters struct {
+	mu sync.Mutex
+	r  CacheReport
+}
+
+func (rc *retiredCounters) fold(c CacheReport) {
+	rc.mu.Lock()
+	rc.r.Hits += c.Hits
+	rc.r.Misses += c.Misses
+	rc.r.InflightWaits += c.InflightWaits
+	rc.r.Evictions += c.Evictions
+	rc.mu.Unlock()
+}
+
+func (rc *retiredCounters) addTo(r *CacheReport) {
+	rc.mu.Lock()
+	r.Hits += rc.r.Hits
+	r.Misses += rc.r.Misses
+	r.InflightWaits += rc.r.InflightWaits
+	r.Evictions += rc.r.Evictions
+	rc.mu.Unlock()
+}
+
 // report aggregates live and retired counters.
 func (c *oracleCache) report() CacheReport {
 	c.mu.Lock()

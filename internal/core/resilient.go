@@ -101,6 +101,10 @@ func (s *System) QueryResilient(ctx context.Context, req QueryRequest, opt Resil
 	abandoned := make(map[int]bool)
 	workerRoads := req.Workers.Roads()
 
+	// Pin one model generation for every round and the final propagation:
+	// a hot-swap mid-query must not mix parameters across rounds (RCU).
+	st := s.current()
+
 	out := &ResilientResult{}
 	merged := &crowd.CampaignReport{}
 
@@ -128,7 +132,7 @@ func (s *System) QueryResilient(ctx context.Context, req QueryRequest, opt Resil
 		if len(cands) == 0 || ledger.Remaining() <= 0 || minCost > ledger.Remaining() {
 			break
 		}
-		sol, err := s.SelectRoads(req.Slot, req.Roads, cands, ledger.Remaining(), req.Theta, req.Selector, req.Seed+int64(round-1))
+		sol, err := s.selectRoadsState(st, req.Slot, req.Roads, cands, ledger.Remaining(), req.Theta, req.Selector, req.Seed+int64(round-1))
 		if err != nil {
 			if round == 1 {
 				return nil, fmt.Errorf("core: OCS: %w", err)
@@ -187,7 +191,7 @@ func (s *System) QueryResilient(ctx context.Context, req QueryRequest, opt Resil
 	// Propagate whatever we got. With zero observations GSP has no sources
 	// and the field rests at the periodicity prior μ — the explicit
 	// graceful-degradation fallback.
-	prop, err := s.EstimateCtx(ctx, req.Slot, observed)
+	prop, err := s.estimateState(ctx, st, req.Slot, observed)
 	if err != nil {
 		return nil, fmt.Errorf("core: GSP: %w", err)
 	}
@@ -218,7 +222,7 @@ func (s *System) QueryResilient(ctx context.Context, req QueryRequest, opt Resil
 // PriorSpeeds returns the periodicity prior μ for slot t — the field a
 // fully degraded query falls back to. The slice is a copy.
 func (s *System) PriorSpeeds(t tslot.Slot) []float64 {
-	mu := s.model.At(t).Mu
+	mu := s.current().model.At(t).Mu
 	out := make([]float64, len(mu))
 	copy(out, mu)
 	return out

@@ -1,0 +1,140 @@
+package modelstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/network"
+)
+
+// encodeFixture returns deterministic snapshot bytes for the fixture model.
+func encodeFixture(tb testing.TB, f *fixture) ([]byte, Meta) {
+	tb.Helper()
+	meta := Meta{CreatedAtUnix: 1700000000, Source: "test", Note: "codec fixture", Parent: 3}
+	var buf bytes.Buffer
+	if err := Encode(&buf, f.model(), meta); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes(), meta
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	f := newFixture(t, 18, 3, 11)
+	raw, meta := encodeFixture(t, f)
+
+	m, gotMeta, hd, err := Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta {
+		t.Errorf("meta round-trip: got %+v want %+v", gotMeta, meta)
+	}
+	if hd.Roads != f.net.N() || hd.Edges != len(f.model().Edges()) {
+		t.Errorf("header %+v does not match model shape", hd)
+	}
+	if hd.TopoHash != NetworkTopologyHash(f.net) {
+		t.Errorf("topo hash %016x != network hash %016x", hd.TopoHash, NetworkTopologyHash(f.net))
+	}
+	sameParams(t, f.model(), m)
+}
+
+func TestCodecDeterministic(t *testing.T) {
+	f := newFixture(t, 18, 3, 11)
+	a, _ := encodeFixture(t, f)
+	b, _ := encodeFixture(t, f)
+	if !bytes.Equal(a, b) {
+		t.Error("two encodes of the same (model, meta) differ — snapshot output is not deterministic")
+	}
+}
+
+func TestCodecBadMagic(t *testing.T) {
+	f := newFixture(t, 18, 3, 11)
+	raw, _ := encodeFixture(t, f)
+	raw[0] ^= 0xFF
+	if _, _, _, err := Decode(bytes.NewReader(raw)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("flipped magic byte: got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestCodecTruncated(t *testing.T) {
+	f := newFixture(t, 18, 3, 11)
+	raw, _ := encodeFixture(t, f)
+	// Cut at a spread of depths: inside the header, inside the edge section,
+	// inside a parameter payload, and one byte short of complete.
+	for _, n := range []int{4, 20, 40, 200, len(raw) / 2, len(raw) - 1} {
+		if _, _, _, err := Decode(bytes.NewReader(raw[:n])); !errors.Is(err, ErrTruncated) {
+			t.Errorf("truncated at %d/%d bytes: got %v, want ErrTruncated", n, len(raw), err)
+		}
+	}
+}
+
+func TestCodecHeaderCorruption(t *testing.T) {
+	f := newFixture(t, 18, 3, 11)
+	raw, _ := encodeFixture(t, f)
+	// Byte 33 lands inside the JSON meta blob (fixed header is 28 bytes +
+	// 4-byte meta length); the header CRC must catch the flip.
+	cp := append([]byte(nil), raw...)
+	cp[33] ^= 0x01
+	if _, _, _, err := Decode(bytes.NewReader(cp)); !errors.Is(err, ErrChecksum) {
+		t.Errorf("flipped meta byte: got %v, want ErrChecksum", err)
+	}
+}
+
+func TestCodecPayloadCorruption(t *testing.T) {
+	f := newFixture(t, 18, 3, 11)
+	raw, _ := encodeFixture(t, f)
+	// Locate the μ section payload and flip one bit in the middle of it:
+	// header | edges section | μ section. Offsets per the wire format doc.
+	le := binary.LittleEndian
+	metaLen := int(le.Uint32(raw[28:32]))
+	hdrLen := 28 + 4 + metaLen + 4
+	edges := int(le.Uint32(raw[16:20]))
+	edgeSec := 9 + 8*edges + 4
+	muPayload := hdrLen + edgeSec + 9
+	cp := append([]byte(nil), raw...)
+	cp[muPayload+1024] ^= 0x40
+	if _, _, _, err := Decode(bytes.NewReader(cp)); !errors.Is(err, ErrChecksum) {
+		t.Errorf("flipped μ payload byte: got %v, want ErrChecksum", err)
+	}
+}
+
+func TestCodecTrailingGarbage(t *testing.T) {
+	f := newFixture(t, 18, 3, 11)
+	raw, _ := encodeFixture(t, f)
+	raw = append(raw, 0xAB)
+	if _, _, _, err := Decode(bytes.NewReader(raw)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestDecodeVerifyTopologyMismatch(t *testing.T) {
+	f := newFixture(t, 18, 3, 11)
+	raw, _ := encodeFixture(t, f)
+	other := network.Synthetic(network.SyntheticOptions{Roads: 18, Seed: 99})
+	want := NetworkTopologyHash(other)
+	if want == NetworkTopologyHash(f.net) {
+		t.Fatal("fixture networks unexpectedly share a topology hash")
+	}
+	if _, _, _, err := DecodeVerify(bytes.NewReader(raw), want); !errors.Is(err, ErrTopologyMismatch) {
+		t.Errorf("wrong-topology load: got %v, want ErrTopologyMismatch", err)
+	}
+	if _, _, _, err := DecodeVerify(bytes.NewReader(raw), NetworkTopologyHash(f.net)); err != nil {
+		t.Errorf("matching-topology load refused: %v", err)
+	}
+}
+
+func TestTopologyHashCanonical(t *testing.T) {
+	a := TopologyHash(5, [][2]int{{0, 1}, {1, 2}})
+	b := TopologyHash(5, [][2]int{{0, 1}, {1, 2}})
+	if a != b {
+		t.Error("hash not deterministic")
+	}
+	if a == TopologyHash(5, [][2]int{{0, 1}, {1, 3}}) {
+		t.Error("different edge lists share a hash")
+	}
+	if a == TopologyHash(6, [][2]int{{0, 1}, {1, 2}}) {
+		t.Error("different road counts share a hash")
+	}
+}

@@ -1,0 +1,43 @@
+package modelstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotRoundTrip feeds arbitrary bytes to the decoder. Two properties
+// must hold: the decoder never panics (corrupt headers must not drive
+// allocations or indexing), and any input it accepts re-encodes to a snapshot
+// that decodes to the same parameters (decode∘encode is the identity on the
+// valid subset).
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	fx := newFixture(f, 10, 2, 21)
+	valid, _ := encodeFixture(f, fx)
+	f.Add(valid)
+	f.Add(valid[:37])                        // truncated inside the header
+	f.Add(append([]byte(nil), valid[8:]...)) // magic stripped
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)/2] ^= 0x10
+	f.Add(mut) // payload bit flip
+	f.Add([]byte("RTFSNP01"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, meta, _, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, m, meta); err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		m2, meta2, _, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded snapshot failed to decode: %v", err)
+		}
+		if meta2 != meta {
+			t.Fatalf("meta drifted across round-trip: %+v vs %+v", meta2, meta)
+		}
+		sameParams(t, m, m2)
+	})
+}

@@ -1,0 +1,59 @@
+package modelstore
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/rtf"
+	"repro/internal/speedgen"
+	"repro/internal/tslot"
+)
+
+// fixture is a small trained system the lifecycle tests operate on.
+type fixture struct {
+	net  *network.Network
+	hist *speedgen.History
+	sys  *core.System
+}
+
+func newFixture(tb testing.TB, roads, days int, seed int64) *fixture {
+	tb.Helper()
+	net := network.Synthetic(network.SyntheticOptions{Roads: roads, Seed: seed})
+	h, err := speedgen.Generate(net, speedgen.Default(days, seed+1))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sys, err := core.Train(net, h, core.DefaultConfig())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return &fixture{net: net, hist: h, sys: sys}
+}
+
+func (f *fixture) model() *rtf.Model { return f.sys.Model() }
+
+// sameParams compares two models over a handful of slots (full 288×N×4
+// comparisons are wasteful at test time; corruption is caught by checksums,
+// not by equality sweeps).
+func sameParams(tb testing.TB, a, b *rtf.Model) {
+	tb.Helper()
+	if a.N() != b.N() || len(a.Edges()) != len(b.Edges()) {
+		tb.Fatalf("shape mismatch: (%d roads, %d edges) vs (%d roads, %d edges)",
+			a.N(), len(a.Edges()), b.N(), len(b.Edges()))
+	}
+	for _, t := range []tslot.Slot{0, 1, 100, tslot.PerDay - 1} {
+		va, vb := a.At(t), b.At(t)
+		for i := 0; i < a.N(); i++ {
+			if va.Mu[i] != vb.Mu[i] || va.Sigma[i] != vb.Sigma[i] {
+				tb.Fatalf("slot %d road %d: (μ=%v σ=%v) vs (μ=%v σ=%v)",
+					t, i, va.Mu[i], va.Sigma[i], vb.Mu[i], vb.Sigma[i])
+			}
+		}
+		for i := range va.Rho {
+			if va.Rho[i] != vb.Rho[i] {
+				tb.Fatalf("slot %d edge %d: ρ %v vs %v", t, i, va.Rho[i], vb.Rho[i])
+			}
+		}
+	}
+}

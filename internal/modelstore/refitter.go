@@ -1,0 +1,215 @@
+package modelstore
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/stream"
+	"repro/internal/tslot"
+)
+
+// RefitterConfig tunes the background refit loop.
+type RefitterConfig struct {
+	// Interval between refit attempts (default 5 minutes — one slot width).
+	Interval time.Duration
+	// Alpha is the exponential-forgetting weight a folded day carries
+	// (stream.OnlineRTF); default 0.1 ≈ a 10-day sliding window.
+	Alpha float64
+	// HoldoutMod splits each slot's observed roads deterministically:
+	// roads with hash(slot,road) % HoldoutMod == 0 are withheld from the
+	// fold and used as the gate's holdout set. Default 4 (≈25% holdout).
+	HoldoutMod int
+	// DropFoldedSlots resets the collector buckets that were folded into a
+	// published refit, so the same reports are never folded twice. Default
+	// true (set explicitly to keep buckets, e.g. for diagnostics).
+	KeepFoldedSlots bool
+}
+
+// DefaultRefitter returns the production defaults.
+func DefaultRefitter() RefitterConfig {
+	return RefitterConfig{Interval: 5 * time.Minute, Alpha: 0.1, HoldoutMod: 4}
+}
+
+// RefitReport describes one refit attempt.
+type RefitReport struct {
+	Published    bool       `json:"published"`
+	Skipped      bool       `json:"skipped"` // no data to fold
+	Version      uint64     `json:"version,omitempty"`
+	SlotsFolded  int        `json:"slots_folded"`
+	RoadsFolded  int        `json:"roads_folded"`
+	HoldoutObs   int        `json:"holdout_observations"`
+	Gate         GateResult `json:"gate"`
+	DurationMS   float64    `json:"duration_ms"`
+	AttemptsUnix int64      `json:"attempted_at_unix"`
+}
+
+// Refitter periodically folds the stream.Collector's robust per-slot
+// aggregates into a clone of the live model (exponential forgetting), runs
+// the candidate through the manager's gate, and publishes + hot-swaps it on
+// success. A refused candidate leaves the live model untouched and shows up
+// in the manager's Rejected counter — the serving path can only ever move to
+// a model the gate admitted.
+type Refitter struct {
+	mgr *Manager
+	col *stream.Collector
+	cfg RefitterConfig
+
+	mu       sync.Mutex
+	last     RefitReport
+	attempts uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+	started  bool
+}
+
+// NewRefitter wires a refitter; call Start to launch the background loop or
+// RefitOnce to drive it manually.
+func NewRefitter(mgr *Manager, col *stream.Collector, cfg RefitterConfig) (*Refitter, error) {
+	if mgr == nil || col == nil {
+		return nil, fmt.Errorf("modelstore: refitter needs a manager and a collector")
+	}
+	def := DefaultRefitter()
+	if cfg.Interval <= 0 {
+		cfg.Interval = def.Interval
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha >= 1 {
+		cfg.Alpha = def.Alpha
+	}
+	if cfg.HoldoutMod < 2 {
+		cfg.HoldoutMod = def.HoldoutMod
+	}
+	return &Refitter{
+		mgr:  mgr,
+		col:  col,
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}, nil
+}
+
+// Start launches the background loop. Stop it with Stop; Start must be
+// called at most once.
+func (r *Refitter) Start() {
+	r.mu.Lock()
+	r.started = true
+	r.mu.Unlock()
+	go func() {
+		defer close(r.done)
+		ticker := time.NewTicker(r.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-ticker.C:
+				r.RefitOnce() // errors land in Manager.Status().LastError
+			}
+		}
+	}()
+}
+
+// Stop terminates the background loop and waits for it to exit. Safe to call
+// multiple times and without a prior Start.
+func (r *Refitter) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.mu.Lock()
+	started := r.started
+	r.mu.Unlock()
+	if started {
+		<-r.done
+	}
+}
+
+// LastReport returns the most recent refit attempt's report and the total
+// attempt count.
+func (r *Refitter) LastReport() (RefitReport, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.last, r.attempts
+}
+
+// holdoutRoad deterministically assigns a (slot, road) pair to the holdout
+// split. Knuth multiplicative hashing keeps the split stable across runs and
+// uncorrelated with road ids.
+func holdoutRoad(t tslot.Slot, road, mod int) bool {
+	h := uint64(road)*2654435761 + uint64(t)*40503
+	return h%uint64(mod) == 0
+}
+
+// RefitOnce performs one fold→gate→publish→swap cycle synchronously and
+// returns its report. With no collector data it is a cheap no-op
+// (Skipped=true). On publication the folded slots' buckets are reset
+// (unless KeepFoldedSlots) so reports are folded exactly once.
+func (r *Refitter) RefitOnce() (RefitReport, error) {
+	start := time.Now()
+	rep := RefitReport{AttemptsUnix: start.Unix()}
+	defer func() {
+		rep.DurationMS = float64(time.Since(start).Microseconds()) / 1000
+		r.mu.Lock()
+		r.attempts++
+		r.last = rep
+		r.mu.Unlock()
+	}()
+
+	slots := r.col.Slots()
+	fold := make(map[tslot.Slot]map[int]float64, len(slots))
+	var holdout []HoldoutSample
+	for _, t := range slots {
+		obs := r.col.Observations(t)
+		if len(obs) == 0 {
+			continue
+		}
+		fSet := make(map[int]float64, len(obs))
+		hSet := make(map[int]float64)
+		for road, v := range obs {
+			if holdoutRoad(t, road, r.cfg.HoldoutMod) {
+				hSet[road] = v
+			} else {
+				fSet[road] = v
+			}
+		}
+		if len(fSet) == 0 { // tiny slot: everything landed in holdout
+			fSet, hSet = hSet, nil
+		}
+		fold[t] = fSet
+		rep.RoadsFolded += len(fSet)
+		if len(hSet) > 0 {
+			holdout = append(holdout, HoldoutSample{Slot: t, Speeds: hSet})
+			rep.HoldoutObs += len(hSet)
+		}
+	}
+	rep.SlotsFolded = len(fold)
+	if len(fold) == 0 {
+		rep.Skipped = true
+		return rep, nil
+	}
+
+	// Fold into a clone; the live model keeps serving untouched.
+	cand := r.mgr.System().Model().Clone()
+	online, err := stream.NewOnlineRTF(cand, r.cfg.Alpha)
+	if err != nil {
+		return rep, err
+	}
+	for t, obs := range fold {
+		if err := online.Fold(t, obs); err != nil {
+			return rep, fmt.Errorf("modelstore: refit fold slot %d: %w", t, err)
+		}
+	}
+
+	info, gr, err := r.mgr.Publish(cand, Meta{Source: "refit"}, holdout)
+	rep.Gate = gr
+	if err != nil {
+		return rep, err
+	}
+	rep.Published = true
+	rep.Version = info.Version
+	if !r.cfg.KeepFoldedSlots {
+		for t := range fold {
+			r.col.Reset(t)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,242 @@
+package modelstore
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+	"repro/internal/tslot"
+)
+
+// feedSlot pushes three reports per road into the collector for one slot,
+// drawn from the recorded day's truth with deterministic jitter.
+func feedSlot(tb testing.TB, f *fixture, col *stream.Collector, day int, slot tslot.Slot) {
+	tb.Helper()
+	for r := 0; r < f.net.N(); r++ {
+		truth := f.hist.At(day, slot, r)
+		for k := 0; k < 3; k++ {
+			v := truth * (1 + 0.01*float64(k-1))
+			if v < 0 {
+				v = 0
+			}
+			if err := col.Add(stream.Report{Road: r, Slot: slot, Speed: v}); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestRefitDrill is the full lifecycle drill: bootstrap publish → streamed
+// reports → background refit (fold, gate, publish, hot-swap) → corrupted
+// candidate refused with the live model untouched → operator rollback →
+// reload forward. This is the `make refit-drill` target.
+func TestRefitDrill(t *testing.T) {
+	f := newFixture(t, 20, 4, 9)
+	store := openStore(t)
+	mgr, err := NewManager(f.sys, store, GateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Bootstrap: publish the offline fit as v1.
+	gen0 := f.sys.ModelVersion()
+	i1, gr, err := mgr.Publish(f.model().Clone(), Meta{Source: "offline-fit"}, nil)
+	if err != nil {
+		t.Fatalf("bootstrap publish: %v (gate %+v)", err, gr)
+	}
+	if i1.Version != 1 {
+		t.Fatalf("bootstrap got v%d", i1.Version)
+	}
+	if f.sys.ModelVersion() <= gen0 {
+		t.Error("publish did not bump the serving model generation")
+	}
+
+	// 2. Stream a slot's reports and refit.
+	col := stream.NewCollector(f.net.N())
+	day := f.hist.Days - 1
+	slot := tslot.Slot(102)
+	feedSlot(t, f, col, day, slot)
+	refitter, err := NewRefitter(mgr, col, RefitterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := refitter.RefitOnce()
+	if err != nil {
+		t.Fatalf("refit: %v (report %+v)", err, rep)
+	}
+	if !rep.Published || rep.Version != 2 {
+		t.Fatalf("refit did not publish v2: %+v", rep)
+	}
+	if rep.SlotsFolded != 1 || rep.RoadsFolded == 0 {
+		t.Errorf("fold accounting: %+v", rep)
+	}
+	if col.SlotCount() != 0 {
+		t.Error("folded slot was not reset — reports would fold twice")
+	}
+	if cur, _ := store.Current(); cur.Version != 2 {
+		t.Errorf("store current v%d after refit", cur.Version)
+	}
+	st := mgr.Status()
+	if st.Published != 2 || st.CurrentVersion != 2 {
+		t.Errorf("status after refit: %+v", st)
+	}
+	// The refit moved μ toward the streamed observations at the folded slot.
+	base, _, err := store.Load(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	for r := 0; r < f.net.N(); r++ {
+		if f.sys.Model().Mu(slot, r) != base.Mu(slot, r) {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Error("refit left every μ at the folded slot unchanged")
+	}
+
+	// 3. A corrupted candidate must never reach the serving path.
+	genBefore := f.sys.ModelVersion()
+	bad := f.sys.Model().Clone()
+	bad.SetMu(slot, 0, math.NaN())
+	_, gr, err = mgr.Publish(bad, Meta{Source: "test"}, nil)
+	if !errors.Is(err, ErrGateRefused) {
+		t.Fatalf("corrupt candidate: err=%v, want ErrGateRefused", err)
+	}
+	if !gr.Refused {
+		t.Error("gate result not marked refused")
+	}
+	if f.sys.ModelVersion() != genBefore {
+		t.Error("refused candidate was swapped in")
+	}
+	if math.IsNaN(f.sys.Model().Mu(slot, 0)) {
+		t.Error("live model carries the candidate's NaN")
+	}
+	if len(store.Versions()) != 2 {
+		t.Error("refused candidate was persisted")
+	}
+	st = mgr.Status()
+	if st.Rejected != 1 {
+		t.Errorf("rejected counter %d, want 1", st.Rejected)
+	}
+
+	// 4. Operator rollback to the pre-refit model.
+	info, err := mgr.Rollback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 {
+		t.Fatalf("rollback landed on v%d", info.Version)
+	}
+	sameParams(t, base, f.sys.Model())
+	st = mgr.Status()
+	if st.Rollbacks != 1 || st.CurrentVersion != 1 {
+		t.Errorf("status after rollback: %+v", st)
+	}
+
+	// 5. Roll forward again via SetCurrent + Reload.
+	if _, err := store.SetCurrent(2); err != nil {
+		t.Fatal(err)
+	}
+	info, err = mgr.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 {
+		t.Fatalf("reload served v%d", info.Version)
+	}
+	v2, _, err := store.Load(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameParams(t, v2, f.sys.Model())
+}
+
+func TestRefitOnceEmptyCollectorSkips(t *testing.T) {
+	f := newFixture(t, 12, 2, 13)
+	mgr, err := NewManager(f.sys, openStore(t), GateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refitter, err := NewRefitter(mgr, stream.NewCollector(f.net.N()), RefitterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := refitter.RefitOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Skipped || rep.Published {
+		t.Errorf("empty refit: %+v", rep)
+	}
+	if _, attempts := refitter.LastReport(); attempts != 1 {
+		t.Errorf("attempts %d, want 1", attempts)
+	}
+}
+
+func TestRefitterBackgroundLoop(t *testing.T) {
+	f := newFixture(t, 12, 2, 13)
+	mgr, err := NewManager(f.sys, openStore(t), GateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := stream.NewCollector(f.net.N())
+	refitter, err := NewRefitter(mgr, col, RefitterConfig{Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refitter.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, attempts := refitter.LastReport(); attempts > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background loop never attempted a refit")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	refitter.Stop()
+	refitter.Stop() // idempotent
+}
+
+func TestRefitterStopWithoutStart(t *testing.T) {
+	f := newFixture(t, 12, 2, 13)
+	mgr, err := NewManager(f.sys, openStore(t), GateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refitter, err := NewRefitter(mgr, stream.NewCollector(f.net.N()), RefitterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { refitter.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Stop without Start blocked")
+	}
+}
+
+func TestHoldoutRoadSplit(t *testing.T) {
+	// The deterministic split must be stable and roughly 1/mod sized.
+	mod := 4
+	var held int
+	total := 2000
+	for r := 0; r < total; r++ {
+		if holdoutRoad(100, r, mod) != holdoutRoad(100, r, mod) {
+			t.Fatal("split not deterministic")
+		}
+		if holdoutRoad(100, r, mod) {
+			held++
+		}
+	}
+	frac := float64(held) / float64(total)
+	if frac < 0.15 || frac > 0.35 {
+		t.Errorf("holdout fraction %.3f far from 1/%d", frac, mod)
+	}
+}

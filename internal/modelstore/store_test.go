@@ -1,0 +1,219 @@
+package modelstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openStore(tb testing.TB) *Store {
+	tb.Helper()
+	s, err := Open(tb.TempDir())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreEmpty(t *testing.T) {
+	s := openStore(t)
+	if _, ok := s.Current(); ok {
+		t.Error("empty store reports a current version")
+	}
+	if _, _, err := s.Load(0); !errors.Is(err, ErrEmptyStore) {
+		t.Errorf("Load(0) on empty store: %v, want ErrEmptyStore", err)
+	}
+	if _, err := s.Rollback(); !errors.Is(err, ErrEmptyStore) {
+		t.Errorf("Rollback on empty store: %v, want ErrEmptyStore", err)
+	}
+	if _, _, err := s.Load(7); !errors.Is(err, ErrNoSuchVersion) {
+		t.Errorf("Load(7): %v, want ErrNoSuchVersion", err)
+	}
+}
+
+func TestStoreSaveLoadCurrent(t *testing.T) {
+	f := newFixture(t, 16, 3, 5)
+	s := openStore(t)
+
+	i1, err := s.Save(f.model(), Meta{Source: "test", Note: "first"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i1.Version != 1 {
+		t.Fatalf("first save got version %d", i1.Version)
+	}
+
+	mod := f.model().Clone()
+	mod.SetMu(10, 0, mod.Mu(10, 0)+1)
+	i2, err := s.Save(mod, Meta{Source: "test", Note: "second"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i2.Version != 2 {
+		t.Fatalf("second save got version %d", i2.Version)
+	}
+	cur, ok := s.Current()
+	if !ok || cur.Version != 2 {
+		t.Fatalf("current = %+v, want v2", cur)
+	}
+
+	// Load current (0) and explicit versions; parameters must survive.
+	m, info, err := s.Load(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 {
+		t.Errorf("Load(0) returned v%d", info.Version)
+	}
+	sameParams(t, mod, m)
+	m1, _, err := s.Load(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameParams(t, f.model(), m1)
+
+	if vs := s.Versions(); len(vs) != 2 || vs[0].Version != 1 || vs[1].Version != 2 {
+		t.Errorf("version list %+v", vs)
+	}
+}
+
+func TestStoreRollbackAndSetCurrent(t *testing.T) {
+	f := newFixture(t, 16, 3, 5)
+	s := openStore(t)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Save(f.model(), Meta{Source: "test"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := s.Rollback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 {
+		t.Fatalf("rollback landed on v%d, want v2", info.Version)
+	}
+	info, err = s.Rollback()
+	if err != nil || info.Version != 1 {
+		t.Fatalf("second rollback: v%d, %v", info.Version, err)
+	}
+	if _, err := s.Rollback(); err == nil {
+		t.Error("rollback past the oldest version succeeded")
+	}
+	// Roll forward again.
+	if _, err := s.SetCurrent(3); err != nil {
+		t.Fatal(err)
+	}
+	if cur, _ := s.Current(); cur.Version != 3 {
+		t.Errorf("SetCurrent(3) left current at v%d", cur.Version)
+	}
+	if _, err := s.SetCurrent(42); !errors.Is(err, ErrNoSuchVersion) {
+		t.Errorf("SetCurrent(42): %v", err)
+	}
+}
+
+func TestStoreReopenPersists(t *testing.T) {
+	f := newFixture(t, 16, 3, 5)
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save(f.model(), Meta{Source: "test"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save(f.model(), Meta{Source: "test"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, ok := s2.Current()
+	if !ok || cur.Version != 1 {
+		t.Fatalf("reopened store current = %+v, want v1", cur)
+	}
+	if len(s2.Versions()) != 2 {
+		t.Errorf("reopened store has %d versions", len(s2.Versions()))
+	}
+	// Next assigned version continues the sequence.
+	i3, err := s2.Save(f.model(), Meta{Source: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i3.Version != 3 {
+		t.Errorf("save after reopen assigned v%d, want v3", i3.Version)
+	}
+}
+
+func TestStoreGC(t *testing.T) {
+	f := newFixture(t, 16, 3, 5)
+	s := openStore(t)
+	for i := 0; i < 5; i++ {
+		if _, err := s.Save(f.model(), Meta{Source: "test"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Point current at an old version; GC must keep it even though it falls
+	// outside keepN.
+	if _, err := s.SetCurrent(1); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a stray temp file from a "crashed" publish.
+	stray := filepath.Join(s.Dir(), ".tmp-snapshot-crashed")
+	if err := os.WriteFile(stray, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := s.GC(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 { // v2, v3 go; v4, v5 newest; v1 current
+		t.Fatalf("GC removed %v, want [2 3]", removed)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Error("GC left the stray temp file behind")
+	}
+	// The survivors still load; the removed versions are gone.
+	for _, v := range []uint64{1, 4, 5} {
+		if _, _, err := s.Load(v); err != nil {
+			t.Errorf("kept version v%d fails to load: %v", v, err)
+		}
+	}
+	for _, v := range removed {
+		if _, _, err := s.Load(v); !errors.Is(err, ErrNoSuchVersion) {
+			t.Errorf("removed v%d still loads (%v)", v, err)
+		}
+		if _, err := os.Stat(filepath.Join(s.Dir(), fmt.Sprintf("v%06d.rtf", v))); !os.IsNotExist(err) {
+			t.Errorf("removed v%d file still on disk", v)
+		}
+	}
+}
+
+func TestStoreRefusesCorruptSnapshot(t *testing.T) {
+	f := newFixture(t, 16, 3, 5)
+	s := openStore(t)
+	info, err := s.Save(f.model(), Meta{Source: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the middle of the published file.
+	path := filepath.Join(s.Dir(), info.File)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x04
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Load(info.Version); !errors.Is(err, ErrChecksum) {
+		t.Errorf("corrupted snapshot loaded: %v, want ErrChecksum", err)
+	}
+}

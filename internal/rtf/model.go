@@ -185,6 +185,73 @@ func (v View) EdgeParams(i, j int) (muIJ, sigmaIJ2 float64) {
 	return muIJ, sigmaIJ2
 }
 
+// Clone returns a deep copy of the parameter tensors. The topology (edge
+// list and index) is immutable and therefore shared. Clone is the first step
+// of a background refit: the live model keeps serving while the copy is
+// mutated, validated and finally hot-swapped in.
+func (m *Model) Clone() *Model {
+	c := &Model{
+		n:     m.n,
+		edges: m.edges,
+		eidx:  m.eidx,
+		mu:    make([][]float64, len(m.mu)),
+		sigma: make([][]float64, len(m.sigma)),
+		rho:   make([][]float64, len(m.rho)),
+	}
+	for t := range m.mu {
+		c.mu[t] = append([]float64(nil), m.mu[t]...)
+		c.sigma[t] = append([]float64(nil), m.sigma[t]...)
+		c.rho[t] = append([]float64(nil), m.rho[t]...)
+	}
+	return c
+}
+
+// FromParams reconstructs a model from raw parameter tensors — the
+// constructor used by snapshot decoders (package modelstore). It takes
+// ownership of the slices and validates shape and value ranges exactly like
+// Read: every slot must cover n roads and len(edges) edges, σ must be
+// positive and finite, ρ inside (0, 1], and μ finite.
+func FromParams(n int, edges [][2]int, mu, sigma, rho [][]float64) (*Model, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("rtf: negative road count %d", n)
+	}
+	if len(mu) != tslot.PerDay || len(sigma) != tslot.PerDay || len(rho) != tslot.PerDay {
+		return nil, fmt.Errorf("rtf: model has %d slots, want %d", len(mu), tslot.PerDay)
+	}
+	m := &Model{n: n, edges: edges, eidx: make(map[int64]int, len(edges)),
+		mu: mu, sigma: sigma, rho: rho}
+	for i, e := range edges {
+		if e[0] < 0 || e[1] >= n || e[0] >= e[1] {
+			return nil, fmt.Errorf("rtf: bad edge %v", e)
+		}
+		if _, dup := m.eidx[packEdge(e[0], e[1])]; dup {
+			return nil, fmt.Errorf("rtf: duplicate edge %v", e)
+		}
+		m.eidx[packEdge(e[0], e[1])] = i
+	}
+	for t := 0; t < tslot.PerDay; t++ {
+		if len(mu[t]) != n || len(sigma[t]) != n || len(rho[t]) != len(edges) {
+			return nil, fmt.Errorf("rtf: slot %d has inconsistent lengths", t)
+		}
+		for i, v := range mu[t] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("rtf: slot %d road %d has μ=%v", t, i, v)
+			}
+		}
+		for i, s := range sigma[t] {
+			if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+				return nil, fmt.Errorf("rtf: slot %d road %d has σ=%v", t, i, s)
+			}
+		}
+		for i, r := range rho[t] {
+			if r <= 0 || r > 1 || math.IsNaN(r) {
+				return nil, fmt.Errorf("rtf: slot %d edge %d has ρ=%v", t, i, r)
+			}
+		}
+	}
+	return m, nil
+}
+
 // modelWire is the gob wire form.
 type modelWire struct {
 	N     int
@@ -207,31 +274,9 @@ func Read(r io.Reader) (*Model, error) {
 	if err := gob.NewDecoder(r).Decode(&w); err != nil {
 		return nil, fmt.Errorf("rtf: decode: %w", err)
 	}
-	if len(w.Mu) != tslot.PerDay || len(w.Sigma) != tslot.PerDay || len(w.Rho) != tslot.PerDay {
-		return nil, fmt.Errorf("rtf: decode: model has %d slots, want %d", len(w.Mu), tslot.PerDay)
-	}
-	m := &Model{n: w.N, edges: w.Edges, eidx: make(map[int64]int, len(w.Edges)),
-		mu: w.Mu, sigma: w.Sigma, rho: w.Rho}
-	for i, e := range w.Edges {
-		if e[0] < 0 || e[1] >= w.N || e[0] >= e[1] {
-			return nil, fmt.Errorf("rtf: decode: bad edge %v", e)
-		}
-		m.eidx[packEdge(e[0], e[1])] = i
-	}
-	for t := 0; t < tslot.PerDay; t++ {
-		if len(m.mu[t]) != w.N || len(m.sigma[t]) != w.N || len(m.rho[t]) != len(w.Edges) {
-			return nil, fmt.Errorf("rtf: decode: slot %d has inconsistent lengths", t)
-		}
-		for i, s := range m.sigma[t] {
-			if s <= 0 || math.IsNaN(s) {
-				return nil, fmt.Errorf("rtf: decode: slot %d road %d has σ=%v", t, i, s)
-			}
-		}
-		for i, r := range m.rho[t] {
-			if r <= 0 || r > 1 || math.IsNaN(r) {
-				return nil, fmt.Errorf("rtf: decode: slot %d edge %d has ρ=%v", t, i, r)
-			}
-		}
+	m, err := FromParams(w.N, w.Edges, w.Mu, w.Sigma, w.Rho)
+	if err != nil {
+		return nil, fmt.Errorf("rtf: decode: %w", err)
 	}
 	return m, nil
 }

@@ -10,6 +10,8 @@
 //	GET  /v1/estimate?slot=102&roads=1,2,3   run GSP over current reports
 //	GET  /v1/alerts?slot=102         scan the slot's estimates for incidents
 //	GET  /v1/healthz                 liveness + degraded-state report
+//	GET  /v1/model                   model lifecycle: version, history, counters
+//	POST /v1/model                   admin actions                      {"action":"rollback"|"reload"|"refit"}
 //
 // Reports are kept per slot; an estimate uses the aggregated reports of its
 // slot as the GSP observations. All handlers are safe for concurrent use.
@@ -36,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/crowd"
 	"repro/internal/detect"
+	"repro/internal/modelstore"
 	"repro/internal/stream"
 	"repro/internal/tslot"
 )
@@ -61,6 +64,12 @@ type Server struct {
 
 	mu   sync.RWMutex
 	pool *crowd.Pool
+
+	// lifecycle/refitter are set by AttachLifecycle; without them /v1/model
+	// serves the System's swap generation read-only and admin actions return
+	// 409.
+	lifecycle *modelstore.Manager
+	refitter  *modelstore.Refitter
 }
 
 // New wraps a trained system. The worker pool starts empty.
@@ -87,8 +96,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/estimate", s.handleEstimate)
 	mux.HandleFunc("/v1/alerts", s.handleAlerts)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/model", s.handleModel)
 	return s.withRecovery(s.withBodyLimit(s.withTimeout(mux)))
 }
+
+// AttachLifecycle enables the model-lifecycle admin surface: /v1/model gains
+// history and the rollback/reload/refit actions, and /v1/healthz reports the
+// lifecycle counters. refitter may be nil (the "refit" action then returns
+// 409).
+func (s *Server) AttachLifecycle(mgr *modelstore.Manager, refitter *modelstore.Refitter) {
+	s.mu.Lock()
+	s.lifecycle = mgr
+	s.refitter = refitter
+	s.mu.Unlock()
+}
+
+// Collector exposes the server's report collector so the serve command can
+// wire it into a background refitter and configure the eviction horizon.
+func (s *Server) Collector() *stream.Collector { return s.collector }
 
 // withRecovery converts a handler panic into a 500 JSON error. A degraded
 // crowd (or a bug) must never take the estimation service down with it.
@@ -290,6 +315,16 @@ type healthResponse struct {
 	// rate or runaway evictions flag an undersized cache long before
 	// latency degrades.
 	OracleCache core.CacheReport `json:"oracle_cache"`
+	// ModelGeneration / ModelSwaps expose the hot-swap state of the serving
+	// system even without a lifecycle manager attached.
+	ModelGeneration uint64 `json:"model_generation"`
+	ModelSwaps      uint64 `json:"model_swaps"`
+	// EvictedReportSlots counts collector slot-buckets dropped by the memory
+	// horizon (0 when the horizon is disabled).
+	EvictedReportSlots int `json:"evicted_report_slots"`
+	// Lifecycle is the model-lifecycle counter block (nil when no manager is
+	// attached).
+	Lifecycle *modelstore.Status `json:"lifecycle,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -299,16 +334,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RLock()
 	workers := s.pool.Size()
+	lifecycle := s.lifecycle
 	s.mu.RUnlock()
+	evictedSlots, _ := s.collector.Evicted()
 	out := healthResponse{
-		Status:           "ok",
-		UptimeSeconds:    time.Since(s.started).Seconds(),
-		Roads:            s.sys.Network().N(),
-		Workers:          workers,
-		ReportSlots:      s.collector.SlotCount(),
-		TotalReports:     s.collector.TotalReports(),
-		LastReportAgeSec: -1,
-		OracleCache:      s.sys.OracleCacheReport(),
+		Status:             "ok",
+		UptimeSeconds:      time.Since(s.started).Seconds(),
+		Roads:              s.sys.Network().N(),
+		Workers:            workers,
+		ReportSlots:        s.collector.SlotCount(),
+		TotalReports:       s.collector.TotalReports(),
+		LastReportAgeSec:   -1,
+		OracleCache:        s.sys.OracleCacheReport(),
+		ModelGeneration:    s.sys.ModelVersion(),
+		ModelSwaps:         s.sys.Swaps(),
+		EvictedReportSlots: evictedSlots,
+	}
+	if lifecycle != nil {
+		st := lifecycle.Status()
+		out.Lifecycle = &st
 	}
 	if last, ok := s.collector.LastReport(); ok {
 		age := time.Since(last)
@@ -450,4 +494,108 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// modelResponse is the GET /v1/model body.
+type modelResponse struct {
+	// ModelGeneration is the serving system's swap generation; Swaps counts
+	// completed hot-swaps. Present even without a lifecycle manager.
+	ModelGeneration uint64 `json:"model_generation"`
+	Swaps           uint64 `json:"swaps"`
+	// Lifecycle and History appear when a manager is attached.
+	Lifecycle *modelstore.Status       `json:"lifecycle,omitempty"`
+	History   []modelstore.VersionInfo `json:"history,omitempty"`
+	// Refit is the last background-refit report (when a refitter is wired).
+	Refit         *modelstore.RefitReport `json:"refit,omitempty"`
+	RefitAttempts uint64                  `json:"refit_attempts,omitempty"`
+}
+
+type modelActionRequest struct {
+	Action string `json:"action"` // "rollback" | "reload" | "refit"
+}
+
+type modelActionResponse struct {
+	Action          string                  `json:"action"`
+	Version         uint64                  `json:"version,omitempty"`
+	ModelGeneration uint64                  `json:"model_generation"`
+	Refit           *modelstore.RefitReport `json:"refit,omitempty"`
+}
+
+// handleModel is the model-lifecycle admin endpoint: GET reports the serving
+// version, store history and swap/refit counters; POST triggers rollback,
+// reload (re-load the store's current version) or a synchronous refit.
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	mgr, refitter := s.lifecycle, s.refitter
+	s.mu.RUnlock()
+	switch r.Method {
+	case http.MethodGet:
+		out := modelResponse{
+			ModelGeneration: s.sys.ModelVersion(),
+			Swaps:           s.sys.Swaps(),
+		}
+		if mgr != nil {
+			st := mgr.Status()
+			out.Lifecycle = &st
+			out.History = mgr.History()
+		}
+		if refitter != nil {
+			rep, attempts := refitter.LastReport()
+			if attempts > 0 {
+				out.Refit = &rep
+			}
+			out.RefitAttempts = attempts
+		}
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		if mgr == nil {
+			writeErr(w, http.StatusConflict, "no model lifecycle attached (start with a model store)")
+			return
+		}
+		var req modelActionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "decode: %v", err)
+			return
+		}
+		switch req.Action {
+		case "rollback":
+			info, err := mgr.Rollback()
+			if err != nil {
+				writeErr(w, http.StatusConflict, "rollback: %v", err)
+				return
+			}
+			writeJSON(w, http.StatusOK, modelActionResponse{
+				Action: "rollback", Version: info.Version, ModelGeneration: s.sys.ModelVersion(),
+			})
+		case "reload":
+			info, err := mgr.Reload()
+			if err != nil {
+				writeErr(w, http.StatusConflict, "reload: %v", err)
+				return
+			}
+			writeJSON(w, http.StatusOK, modelActionResponse{
+				Action: "reload", Version: info.Version, ModelGeneration: s.sys.ModelVersion(),
+			})
+		case "refit":
+			if refitter == nil {
+				writeErr(w, http.StatusConflict, "no refitter attached")
+				return
+			}
+			rep, err := refitter.RefitOnce()
+			if err != nil && !rep.Gate.Refused {
+				writeErr(w, http.StatusInternalServerError, "refit: %v", err)
+				return
+			}
+			// A gate refusal is a successful *refusal*, not a server error:
+			// report it with the gate verdict so operators see why.
+			writeJSON(w, http.StatusOK, modelActionResponse{
+				Action: "refit", Version: rep.Version,
+				ModelGeneration: s.sys.ModelVersion(), Refit: &rep,
+			})
+		default:
+			writeErr(w, http.StatusBadRequest, "unknown action %q (want rollback|reload|refit)", req.Action)
+		}
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "GET or POST only")
+	}
 }

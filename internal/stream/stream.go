@@ -36,9 +36,16 @@ type Collector struct {
 
 	mu      sync.RWMutex
 	buckets map[tslot.Slot]map[int][]float64
-	lastAdd time.Time // wall time of the last accepted report
-	total   int       // accepted reports since construction
+	lastAdd time.Time  // wall time of the last accepted report
+	total   int        // accepted reports since construction
+	latest  tslot.Slot // slot of the most recent accepted report
 	now     func() time.Time
+
+	// horizon bounds memory: when > 0, any bucket whose cyclic slot distance
+	// from the most recently reported slot exceeds it is evicted on Add.
+	horizon        int
+	evictedSlots   int
+	evictedReports int
 }
 
 // NewCollector builds a collector for a network of nRoads roads.
@@ -73,8 +80,75 @@ func (c *Collector) Add(r Report) error {
 	}
 	byRoad[r.Road] = append(byRoad[r.Road], r.Speed)
 	c.lastAdd = c.now()
+	c.latest = r.Slot
 	c.total++
+	c.evictStaleLocked()
 	return nil
+}
+
+// SetHorizon bounds the collector's memory to ±slots around the most
+// recently reported slot: whenever a report arrives, per-(slot,road)
+// accumulators whose cyclic distance from that report's slot exceeds the
+// horizon are evicted. 0 (the default) disables eviction. A long-running
+// server cycling through the day would otherwise accrete every report of
+// every slot forever; with a horizon of H the working set is at most 2H+1
+// slot buckets. Slots whose aggregates matter after they close should be
+// folded (e.g. by the refitter) before they age out; tslot.PerDay/2−1 is the
+// largest effective horizon.
+func (c *Collector) SetHorizon(slots int) {
+	if slots < 0 {
+		slots = 0
+	}
+	c.mu.Lock()
+	c.horizon = slots
+	c.evictStaleLocked()
+	c.mu.Unlock()
+}
+
+// Horizon returns the configured eviction horizon in slots (0 = unbounded).
+func (c *Collector) Horizon() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.horizon
+}
+
+// Evicted returns how many slot buckets and how many individual reports the
+// horizon policy has evicted since construction.
+func (c *Collector) Evicted() (slots, reports int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.evictedSlots, c.evictedReports
+}
+
+// Slots returns the slots currently holding reports, ascending. The
+// refitter uses it to enumerate fold candidates.
+func (c *Collector) Slots() []tslot.Slot {
+	c.mu.RLock()
+	out := make([]tslot.Slot, 0, len(c.buckets))
+	for t := range c.buckets {
+		out = append(out, t)
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// evictStaleLocked drops buckets outside the horizon window around the most
+// recent report's slot. Requires c.mu held for writing.
+func (c *Collector) evictStaleLocked() {
+	if c.horizon <= 0 || c.total == 0 {
+		return
+	}
+	for t, byRoad := range c.buckets {
+		if tslot.Dist(t, c.latest) <= c.horizon {
+			continue
+		}
+		c.evictedSlots++
+		for _, speeds := range byRoad {
+			c.evictedReports += len(speeds)
+		}
+		delete(c.buckets, t)
+	}
 }
 
 // LastReport returns the wall time of the last accepted report; ok is false
