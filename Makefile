@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fault-determinism race-hotpath fuzz-seed fuzz-snapshot refit-drill check bench bench-concurrent bench-all qps bench-lifecycle
+.PHONY: all build vet test race fault-determinism race-hotpath race-suite fuzz-seed fuzz-snapshot refit-drill benchguard check bench bench-concurrent bench-all qps bench-lifecycle
 
 all: build
 
@@ -40,13 +40,27 @@ fuzz-seed:
 fuzz-snapshot:
 	$(GO) test -fuzz FuzzSnapshotRoundTrip -fuzztime 15s ./internal/modelstore/
 
+# Full race-detector pass over every package with concurrent state: the query
+# pipeline, the correlation oracle, the report collector, the HTTP surface
+# (including the 32-client metrics-scrape-during-hot-swap test) and the
+# instrument primitives themselves.
+race-suite:
+	$(GO) test -race ./internal/core/ ./internal/corr/ ./internal/stream/ \
+		./internal/server/ ./internal/obs/
+
+# Guard against perf regressions: re-measure the sharded qps sweep and the
+# lifecycle latency suite and diff them against the checked-in baselines
+# (BENCH_PR2.json / BENCH_PR3.json); fails on >25% throughput loss.
+benchguard:
+	$(GO) run ./cmd/benchguard -pr2 BENCH_PR2.json -pr3 BENCH_PR3.json
+
 # End-to-end lifecycle drill under the race detector: streamed reports are
 # folded into a refit, gated, published and hot-swapped; a corrupted
 # candidate is refused; the operator rolls back and reloads forward.
 refit-drill:
 	$(GO) test -race -run 'RefitDrill|RefitOnce|Refitter' -v ./internal/modelstore/
 
-check: vet build race fault-determinism race-hotpath fuzz-seed
+check: vet build race fault-determinism race-hotpath race-suite fuzz-seed benchguard
 
 # The perf-trajectory suite of PR 2: legacy (pre-PR mutex oracle, sequential
 # OCS) vs sharded singleflight engine at 1/4/16 concurrent clients, plus the

@@ -41,6 +41,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -384,6 +385,8 @@ func cmdServe(args []string) error {
 	refitEvery := fs.Duration("refit", 5*time.Minute, "background refit interval (0 disables refits; needs -store)")
 	alpha := fs.Float64("alpha", 0.1, "exponential-forgetting weight of a refit fold")
 	horizon := fs.Int("report-horizon", 72, "collector eviction horizon in slots (0 = unbounded)")
+	trace := fs.Bool("trace", false, "emit per-request stage spans (OCS/probe/GSP) as structured JSON logs on stderr, X-Request-ID correlated")
+	pprofOn := fs.Bool("pprof", true, "mount the net/http/pprof surface under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -426,6 +429,10 @@ func cmdServe(args []string) error {
 	srv := server.New(sys)
 	srv.Timeout = *timeout
 	srv.Collector().SetHorizon(*horizon)
+	srv.EnablePprof = *pprofOn
+	if *trace {
+		srv.TraceLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 
 	if store != nil {
 		mgr, err := modelstore.NewManager(sys, store, modelstore.GateConfig{})
@@ -462,6 +469,14 @@ func cmdServe(args []string) error {
 
 	fmt.Printf("serving CrowdRTSE API on %s (%d roads, %s request deadline)\n",
 		*addr, sys.Network().N(), *timeout)
+	fmt.Printf("metrics at %s/v1/metrics", *addr)
+	if *pprofOn {
+		fmt.Printf(", pprof at %s/debug/pprof/", *addr)
+	}
+	if *trace {
+		fmt.Printf(", per-request span traces on stderr")
+	}
+	fmt.Println()
 	return http.ListenAndServe(*addr, srv.Handler())
 }
 

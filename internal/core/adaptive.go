@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/crowd"
+	"repro/internal/obs"
 )
 
 // AdaptiveResult is QueryResult plus the adaptive-spending diagnostics.
@@ -40,6 +41,20 @@ func (s *System) QueryAdaptive(req QueryRequest, targetSD float64, stages int) (
 // QueryAdaptiveCtx is QueryAdaptive under a deadline: an expired context
 // stops opening new stages and lets GSP return its best-so-far field.
 func (s *System) QueryAdaptiveCtx(ctx context.Context, req QueryRequest, targetSD float64, stages int) (*AdaptiveResult, error) {
+	pipe := s.Obs()
+	pipe.QueriesAdaptive.Inc()
+	queryStart := pipe.Clock.Now()
+	res, err := s.queryAdaptiveCtx(ctx, pipe, req, targetSD, stages)
+	pipe.QueryLatency.Observe(pipe.Clock.Since(queryStart))
+	if err != nil {
+		pipe.QueryErrors.Inc()
+	} else if len(res.Probed) == 0 {
+		pipe.QueryDegraded.Inc()
+	}
+	return res, err
+}
+
+func (s *System) queryAdaptiveCtx(ctx context.Context, pipe *obs.Pipeline, req QueryRequest, targetSD float64, stages int) (*AdaptiveResult, error) {
 	if stages <= 0 {
 		return nil, fmt.Errorf("core: stages must be positive, got %d", stages)
 	}
@@ -89,11 +104,14 @@ func (s *System) QueryAdaptiveCtx(ctx context.Context, req QueryRequest, targetS
 		if stageBudget <= 0 {
 			continue
 		}
-		sol, err := s.selectRoadsState(st, req.Slot, req.Roads, workerRoads, stageBudget, req.Theta, req.Selector, req.Seed)
+		sol, err := s.selectRoadsState(ctx, st, req.Slot, req.Roads, workerRoads, stageBudget, req.Theta, req.Selector, req.Seed)
 		if err != nil {
 			return nil, fmt.Errorf("core: OCS stage %d: %w", stage, err)
 		}
 		out.Selected = sol
+		spentBefore := ledger.Spent
+		answersBefore := len(answers)
+		probeStart := pipe.Clock.Now()
 		if campBase != nil {
 			// Campaign path: run the task lifecycle over this stage's new,
 			// still-affordable roads against the shared ledger (RunCampaign
@@ -136,6 +154,10 @@ func (s *System) QueryAdaptiveCtx(ctx context.Context, req QueryRequest, targetS
 				observed[r] = probed[r]
 				answers = append(answers, ans...)
 			}
+		}
+		if ledger.Spent != spentBefore || len(answers) != answersBefore {
+			observeProbeRound(pipe, obs.FromContext(ctx), probeStart,
+				len(answers)-answersBefore, ledger.Spent-spentBefore)
 		}
 		prop, err := s.estimateState(ctx, st, req.Slot, observed)
 		if err != nil {

@@ -19,11 +19,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/corr"
 	"repro/internal/crowd"
 	"repro/internal/gsp"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/ocs"
 	"repro/internal/rtf"
 	"repro/internal/tslot"
@@ -103,6 +105,10 @@ type System struct {
 
 	state atomic.Pointer[modelState]
 	swaps atomic.Uint64
+
+	// obsPipe is the attached instrument set (Instrument/Obs); nil means
+	// uninstrumented, in which case Obs() hands out the shared discard set.
+	obsPipe atomic.Pointer[obs.Pipeline]
 
 	// retired accumulates the cache counters of states replaced by swaps so
 	// OracleCacheReport stays monotonic across model generations.
@@ -211,7 +217,9 @@ func (s *System) oracleAt(st *modelState, t tslot.Slot) corr.Source {
 		if s.cfg.LegacyOracle {
 			return corr.NewMutexOracle(s.net.Graph(), view, s.cfg.Transform)
 		}
-		return corr.NewOracle(s.net.Graph(), view, s.cfg.Transform)
+		pipe := s.Obs()
+		return corr.NewOracle(s.net.Graph(), view, s.cfg.Transform,
+			corr.WithRowObs(pipe.CorrRowCompute, pipe.Clock))
 	})
 }
 
@@ -271,12 +279,19 @@ func (s Selector) String() string {
 // Config.PrewarmWorkers is set — so concurrent queries sharing a slot find
 // the rows resident instead of recomputing them.
 func (s *System) SelectRoads(t tslot.Slot, query, workerRoads []int, budget int, theta float64, sel Selector, seed int64) (ocs.Solution, error) {
-	return s.selectRoadsState(s.current(), t, query, workerRoads, budget, theta, sel, seed)
+	return s.selectRoadsState(context.Background(), s.current(), t, query, workerRoads, budget, theta, sel, seed)
 }
 
 // selectRoadsState is SelectRoads pinned to one model state, so a query's
-// OCS solve and GSP propagation cannot straddle a hot-swap.
-func (s *System) selectRoadsState(st *modelState, t tslot.Slot, query, workerRoads []int, budget int, theta float64, sel Selector, seed int64) (ocs.Solution, error) {
+// OCS solve and GSP propagation cannot straddle a hot-swap. A trace attached
+// to ctx receives an "ocs_select" span; the solve itself counts into the
+// attached instrument set via ocs.Problem.Metrics.
+func (s *System) selectRoadsState(ctx context.Context, st *modelState, t tslot.Slot, query, workerRoads []int, budget int, theta float64, sel Selector, seed int64) (ocs.Solution, error) {
+	tr := obs.FromContext(ctx)
+	var spanStart time.Time
+	if tr != nil {
+		spanStart = tr.Clock().Now()
+	}
 	view := st.model.At(t)
 	oracle := s.oracleAt(st, t)
 	warm := query
@@ -294,22 +309,29 @@ func (s *System) selectRoadsState(st *modelState, t tslot.Slot, query, workerRoa
 		Sigma:    view.Sigma,
 		Oracle:   oracle,
 		Parallel: s.cfg.ParallelOCS,
+		Metrics:  &s.Obs().OCS,
 		// The legacy engine reproduces the pre-PR-2 access pattern end to
 		// end: per-pair mutex lookups in the θ check, no row caching.
 		DirectCorr: s.cfg.LegacyOracle,
 	}
+	var sol ocs.Solution
+	var err error
 	switch sel {
 	case Hybrid:
-		return ocs.HybridGreedy(p)
+		sol, err = ocs.HybridGreedy(p)
 	case Ratio:
-		return ocs.RatioGreedy(p)
+		sol, err = ocs.RatioGreedy(p)
 	case Objective:
-		return ocs.ObjectiveGreedy(p)
+		sol, err = ocs.ObjectiveGreedy(p)
 	case RandomSel:
-		return ocs.Random(p, rand.New(rand.NewSource(seed)))
+		sol, err = ocs.Random(p, rand.New(rand.NewSource(seed)))
 	default:
 		return ocs.Solution{}, fmt.Errorf("core: unknown selector %d", sel)
 	}
+	if err == nil && tr != nil {
+		tr.Span("ocs_select", spanStart, spanAttrsOCS(&sol)...)
+	}
+	return sol, err
 }
 
 // Estimate runs GSP at slot t from already-collected observations,
@@ -325,9 +347,13 @@ func (s *System) EstimateCtx(ctx context.Context, t tslot.Slot, observed map[int
 	return s.estimateState(ctx, s.current(), t, observed)
 }
 
-// estimateState is EstimateCtx pinned to one model state.
+// estimateState is EstimateCtx pinned to one model state. The propagation
+// counts into the attached instrument set and records a "gsp" span on any
+// trace carried by ctx.
 func (s *System) estimateState(ctx context.Context, st *modelState, t tslot.Slot, observed map[int]float64) (gsp.Result, error) {
-	return gsp.PropagateCtx(ctx, s.net, st.model.At(t), observed, s.cfg.GSP)
+	opt := s.cfg.GSP
+	opt.Metrics = &s.Obs().GSP
+	return gsp.PropagateCtx(ctx, s.net, st.model.At(t), observed, opt)
 }
 
 // QueryRequest is one online realtime-speed query.
@@ -376,6 +402,18 @@ func (s *System) Query(req QueryRequest) (*QueryResult, error) {
 // failing the query. For retry rounds and degraded-mode fallbacks use
 // QueryResilient.
 func (s *System) QueryCtx(ctx context.Context, req QueryRequest) (*QueryResult, error) {
+	pipe := s.Obs()
+	pipe.Queries.Inc()
+	queryStart := pipe.Clock.Now()
+	res, err := s.queryCtx(ctx, pipe, req)
+	pipe.QueryLatency.Observe(pipe.Clock.Since(queryStart))
+	if err != nil {
+		pipe.QueryErrors.Inc()
+	}
+	return res, err
+}
+
+func (s *System) queryCtx(ctx context.Context, pipe *obs.Pipeline, req QueryRequest) (*QueryResult, error) {
 	if req.Workers == nil {
 		return nil, fmt.Errorf("core: query without a worker pool")
 	}
@@ -394,10 +432,12 @@ func (s *System) QueryCtx(ctx context.Context, req QueryRequest) (*QueryResult, 
 	// propagation must see the same parameters even if a hot-swap lands
 	// mid-query (RCU — the swap retires this state only after we drop it).
 	st := s.current()
-	sol, err := s.selectRoadsState(st, req.Slot, req.Roads, req.Workers.Roads(), req.Budget, req.Theta, req.Selector, req.Seed)
+	sol, err := s.selectRoadsState(ctx, st, req.Slot, req.Roads, req.Workers.Roads(), req.Budget, req.Theta, req.Selector, req.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("core: OCS: %w", err)
 	}
+	tr := obs.FromContext(ctx)
+	probeStart := pipe.Clock.Now()
 	ledger := crowd.Ledger{Budget: req.Budget}
 	var probed map[int]float64
 	var answers []crowd.Answer
@@ -420,9 +460,16 @@ func (s *System) QueryCtx(ctx context.Context, req QueryRequest) (*QueryResult, 
 			return nil, fmt.Errorf("core: probing: %w", err)
 		}
 	}
+	observeProbeRound(pipe, tr, probeStart, len(answers), ledger.Spent)
+	if len(probed) == 0 {
+		pipe.QueryDegraded.Inc()
+	}
 	prop, err := s.estimateState(ctx, st, req.Slot, probed)
 	if err != nil {
 		return nil, fmt.Errorf("core: GSP: %w", err)
+	}
+	if prop.Aborted {
+		pipe.QueryDeadline.Inc()
 	}
 	qs := make(map[int]float64, len(req.Roads))
 	for _, r := range req.Roads {

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/crowd"
+	"repro/internal/obs"
 	"repro/internal/tslot"
 )
 
@@ -71,6 +72,29 @@ type ResilientResult struct {
 // The whole pipeline is deterministic for a fixed req.Seed: round r uses
 // OCS seed req.Seed+r−1 and campaign seed base+1009·(r−1).
 func (s *System) QueryResilient(ctx context.Context, req QueryRequest, opt ResilientOptions) (*ResilientResult, error) {
+	pipe := s.Obs()
+	pipe.QueriesResilient.Inc()
+	queryStart := pipe.Clock.Now()
+	res, err := s.queryResilient(ctx, pipe, req, opt)
+	pipe.QueryLatency.Observe(pipe.Clock.Since(queryStart))
+	if err != nil {
+		pipe.QueryErrors.Inc()
+		return res, err
+	}
+	if res.Degraded {
+		pipe.QueryDegraded.Inc()
+	}
+	if res.FallbackPrior {
+		pipe.QueryFallback.Inc()
+	}
+	if res.DeadlineHit {
+		pipe.QueryDeadline.Inc()
+	}
+	pipe.BudgetRecycled.Add(res.BudgetRecycled)
+	return res, nil
+}
+
+func (s *System) queryResilient(ctx context.Context, pipe *obs.Pipeline, req QueryRequest, opt ResilientOptions) (*ResilientResult, error) {
 	if req.Workers == nil {
 		return nil, fmt.Errorf("core: query without a worker pool")
 	}
@@ -132,7 +156,7 @@ func (s *System) QueryResilient(ctx context.Context, req QueryRequest, opt Resil
 		if len(cands) == 0 || ledger.Remaining() <= 0 || minCost > ledger.Remaining() {
 			break
 		}
-		sol, err := s.selectRoadsState(st, req.Slot, req.Roads, cands, ledger.Remaining(), req.Theta, req.Selector, req.Seed+int64(round-1))
+		sol, err := s.selectRoadsState(ctx, st, req.Slot, req.Roads, cands, ledger.Remaining(), req.Theta, req.Selector, req.Seed+int64(round-1))
 		if err != nil {
 			if round == 1 {
 				return nil, fmt.Errorf("core: OCS: %w", err)
@@ -148,10 +172,12 @@ func (s *System) QueryResilient(ctx context.Context, req QueryRequest, opt Resil
 		campCfg := campBase
 		campCfg.Seed = campBase.Seed + 1009*int64(round-1)
 		spentBefore := ledger.Spent
+		probeStart := pipe.Clock.Now()
 		probed, rep, err := req.Workers.RunCampaign(sol.Roads, costs, req.Truth, campCfg, &ledger)
 		if err != nil {
 			return nil, fmt.Errorf("core: campaign round %d: %w", round, err)
 		}
+		observeProbeRound(pipe, obs.FromContext(ctx), probeStart, len(rep.Answers), ledger.Spent-spentBefore)
 		out.Rounds = round
 		out.Reports = append(out.Reports, rep)
 		merged.Merge(rep)

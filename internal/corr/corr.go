@@ -30,8 +30,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rtf"
 )
 
@@ -126,6 +128,18 @@ func WithWarmWorkers(n int) Option {
 	return func(o *Oracle) { o.warmWorkers = n }
 }
 
+// WithRowObs instruments the miss path: every Dijkstra row computation's
+// latency is observed into h on clock c. The lock-free hit path is
+// untouched — hits and misses are already counted by the oracle's own
+// atomics, which the obs registry re-exports via CounterFunc so the numbers
+// cannot diverge between views. Either argument may be nil (no-op).
+func WithRowObs(h *obs.Histogram, c obs.Clock) Option {
+	return func(o *Oracle) {
+		o.rowLatency = h
+		o.rowClock = c
+	}
+}
+
 // inflight is one singleflight computation: waiters block on done and read
 // row afterwards.
 type inflight struct {
@@ -156,6 +170,11 @@ type Oracle struct {
 
 	shardCount  int
 	warmWorkers int
+
+	// rowLatency/rowClock optionally time the Dijkstra miss path (see
+	// WithRowObs); both nil by default.
+	rowLatency *obs.Histogram
+	rowClock   obs.Clock
 
 	hits     atomic.Uint64
 	misses   atomic.Uint64
@@ -226,7 +245,14 @@ func (o *Oracle) corrRowSlow(src int) []float64 {
 	sh.mu.Unlock()
 
 	o.misses.Add(1)
+	var rowStart time.Time
+	if o.rowLatency != nil && o.rowClock != nil {
+		rowStart = o.rowClock.Now()
+	}
 	row := computeRow(o.g, o.view, o.tf, src)
+	if o.rowLatency != nil && o.rowClock != nil {
+		o.rowLatency.Observe(o.rowClock.Since(rowStart))
+	}
 	fl.row = row
 	o.rows[src].Store(&row)
 	o.resident.Add(1)

@@ -22,12 +22,15 @@ package gsp
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/rtf"
 )
 
@@ -45,6 +48,11 @@ type Options struct {
 	// either way (the objective has a unique maximizer); only the sweep
 	// count changes. Must have one entry per road.
 	WarmStart []float64
+
+	// Metrics, when non-nil, receives the propagation counters (runs,
+	// sweeps, convergence/abort outcomes, latency). All obs instruments are
+	// nil-safe, so a partially wired set is fine.
+	Metrics *obs.GSPMetrics
 }
 
 // DefaultOptions mirrors the experimental setup.
@@ -100,6 +108,21 @@ func PropagateCtx(ctx context.Context, net *network.Network, view rtf.View, obse
 	if opt.MaxIters <= 0 {
 		return Result{}, fmt.Errorf("gsp: MaxIters must be positive, got %d", opt.MaxIters)
 	}
+	// Observability wiring: metrics come from the options, the stage tracer
+	// from the context. Latency needs a clock; the metrics clock wins, a
+	// traced call falls back to the trace's clock.
+	tr := obs.FromContext(ctx)
+	m := opt.Metrics
+	var clock obs.Clock
+	if m != nil && m.Clock != nil {
+		clock = m.Clock
+	} else if tr != nil {
+		clock = tr.Clock()
+	}
+	var start time.Time
+	if clock != nil {
+		start = clock.Now()
+	}
 	sources := make([]int, 0, len(observed))
 	for r, v := range observed {
 		if r < 0 || r >= n {
@@ -136,6 +159,7 @@ func PropagateCtx(ctx context.Context, net *network.Network, view rtf.View, obse
 		// No propagation targets: everything is either probed or unreachable.
 		res.Converged = true
 		res.SD = computeSD(net, view, observed, nil)
+		observeGSP(m, tr, clock, start, &res, len(observed))
 		return res, nil
 	}
 
@@ -167,7 +191,34 @@ func PropagateCtx(ctx context.Context, net *network.Network, view rtf.View, obse
 		}
 	}
 	res.SD = computeSD(net, view, observed, layers)
+	observeGSP(m, tr, clock, start, &res, len(observed))
 	return res, nil
+}
+
+// observeGSP records one successful propagation into the metrics set and the
+// stage tracer. Top-level (not a closure) so the uninstrumented hot path
+// allocates nothing.
+func observeGSP(m *obs.GSPMetrics, tr *obs.Trace, clock obs.Clock, start time.Time, res *Result, observed int) {
+	if m != nil {
+		m.Runs.Inc()
+		m.Iterations.Add(res.Iterations)
+		if res.Converged {
+			m.Converged.Inc()
+		}
+		if res.Aborted {
+			m.Aborted.Inc()
+		}
+		if clock != nil {
+			m.Latency.Observe(clock.Since(start))
+		}
+	}
+	if tr != nil {
+		tr.Span("gsp", start,
+			slog.Int("iterations", res.Iterations),
+			slog.Bool("converged", res.Converged),
+			slog.Bool("aborted", res.Aborted),
+			slog.Int("observed", observed))
+	}
 }
 
 // computeSD propagates a certainty field outward from the observations and

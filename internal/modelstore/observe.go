@@ -1,0 +1,44 @@
+package modelstore
+
+import "repro/internal/obs"
+
+// Metric names exported by Manager.RegisterMetrics and
+// Refitter.RegisterMetrics. All are func-backed views over Status() /
+// LastReport() — the same snapshots /v1/model serializes — so the Prometheus
+// exposition and the lifecycle API can never disagree.
+const (
+	MLifecycleVersion   = "crowdrtse_lifecycle_store_version"
+	MLifecyclePublished = "crowdrtse_lifecycle_published_total"
+	MLifecycleRejected  = "crowdrtse_lifecycle_rejected_total"
+	MLifecycleRollbacks = "crowdrtse_lifecycle_rollbacks_total"
+	MRefitAttempts      = "crowdrtse_refit_attempts_total"
+	MRefitLastDuration  = "crowdrtse_refit_last_duration_seconds"
+)
+
+// RegisterMetrics exports the lifecycle counters on reg: serving store
+// version, publishes, gate rejections and rollbacks.
+func (m *Manager) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc(MLifecycleVersion, "store version of the serving model (0 = unpublished seed)",
+		func() float64 { return float64(m.Status().CurrentVersion) })
+	reg.CounterFunc(MLifecyclePublished, "candidates that passed the gate and went live",
+		func() uint64 { return m.Status().Published })
+	reg.CounterFunc(MLifecycleRejected, "candidates the validation gate refused",
+		func() uint64 { return m.Status().Rejected })
+	reg.CounterFunc(MLifecycleRollbacks, "completed model rollbacks",
+		func() uint64 { return m.Status().Rollbacks })
+}
+
+// RegisterMetrics exports the refitter's attempt counter and the duration of
+// the most recent fold→gate→publish cycle.
+func (r *Refitter) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc(MRefitAttempts, "refit cycles attempted",
+		func() uint64 { _, n := r.LastReport(); return n })
+	reg.GaugeFunc(MRefitLastDuration, "duration of the last refit cycle",
+		func() float64 { rep, _ := r.LastReport(); return rep.DurationMS / 1000 })
+}

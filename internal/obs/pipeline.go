@@ -1,0 +1,161 @@
+package obs
+
+import "sync"
+
+// Metric names of the online pipeline. Exported so the server's healthz
+// rollup, the exposition tests and the documentation agree on one spelling.
+const (
+	MQueries          = "crowdrtse_queries_total"
+	MQueriesAdaptive  = "crowdrtse_queries_adaptive_total"
+	MQueriesResilient = "crowdrtse_queries_resilient_total"
+	MQueryErrors      = "crowdrtse_query_errors_total"
+	MQueryDegraded    = "crowdrtse_query_degraded_total"
+	MQueryFallback    = "crowdrtse_query_fallback_prior_total"
+	MQueryDeadline    = "crowdrtse_query_deadline_total"
+	MQuerySeconds     = "crowdrtse_query_seconds"
+
+	MOCSSolves        = "crowdrtse_ocs_select_total"
+	MOCSSelectedRoads = "crowdrtse_ocs_selected_roads_total"
+	MOCSSeconds       = "crowdrtse_ocs_select_seconds"
+
+	MProbeRounds  = "crowdrtse_probe_rounds_total"
+	MProbeAnswers = "crowdrtse_probe_answers_total"
+	MProbeSeconds = "crowdrtse_probe_seconds"
+
+	MBudgetSpent    = "crowdrtse_budget_spent_total"
+	MBudgetRecycled = "crowdrtse_budget_recycled_total"
+
+	MGSPRuns       = "crowdrtse_gsp_runs_total"
+	MGSPIterations = "crowdrtse_gsp_iterations_total"
+	MGSPConverged  = "crowdrtse_gsp_converged_total"
+	MGSPAborted    = "crowdrtse_gsp_aborted_total"
+	MGSPSeconds    = "crowdrtse_gsp_seconds"
+
+	MCorrRowSeconds = "crowdrtse_corr_row_compute_seconds"
+
+	MStreamReports         = "crowdrtse_stream_reports_total"
+	MStreamReportsRejected = "crowdrtse_stream_reports_rejected_total"
+)
+
+// OCSMetrics is the instrument handle package ocs accepts on a Problem:
+// solve count, total roads selected, and solve latency. All fields are
+// nil-safe; the zero value is a no-op set.
+type OCSMetrics struct {
+	Solves   *Counter
+	Selected *Counter
+	Latency  *Histogram
+	Clock    Clock // nil disables latency measurement
+}
+
+// GSPMetrics is the instrument handle package gsp accepts in Options:
+// propagation runs, total sweeps, convergence/abort outcomes, latency.
+type GSPMetrics struct {
+	Runs       *Counter
+	Iterations *Counter
+	Converged  *Counter
+	Aborted    *Counter
+	Latency    *Histogram
+	Clock      Clock // nil disables latency measurement
+}
+
+// StreamMetrics is the instrument handle the stream collector accepts:
+// accepted and rejected report counts.
+type StreamMetrics struct {
+	Accepted *Counter
+	Rejected *Counter
+}
+
+// Pipeline is the standard instrument set of the online estimation pipeline
+// (OCS → crowd probing → GSP), wired once at startup and shared by every
+// stage. Counters are plain atomics; the per-event cost is a few atomic adds
+// and zero allocations.
+type Pipeline struct {
+	Clock Clock
+
+	// Query-level counters (core.Query / QueryAdaptive / QueryResilient).
+	Queries          *Counter
+	QueriesAdaptive  *Counter
+	QueriesResilient *Counter
+	QueryErrors      *Counter
+	QueryDegraded    *Counter
+	QueryFallback    *Counter
+	QueryDeadline    *Counter
+	QueryLatency     *Histogram
+
+	// Stage instruments, shared with the stage packages.
+	OCS OCSMetrics
+	GSP GSPMetrics
+
+	ProbeRounds  *Counter
+	ProbeAnswers *Counter
+	ProbeLatency *Histogram
+
+	BudgetSpent    *Counter
+	BudgetRecycled *Counter
+
+	// CorrRowCompute is the Dijkstra row-computation latency of the
+	// correlation oracle's miss path (hits are lock-free and unmeasured).
+	CorrRowCompute *Histogram
+
+	Stream StreamMetrics
+}
+
+// NewPipeline registers the full pipeline instrument set on reg. clock nil
+// selects the system clock.
+func NewPipeline(reg *Registry, clock Clock) *Pipeline {
+	if clock == nil {
+		clock = SystemClock()
+	}
+	p := &Pipeline{
+		Clock:            clock,
+		Queries:          reg.Counter(MQueries, "online queries served by the plain pipeline"),
+		QueriesAdaptive:  reg.Counter(MQueriesAdaptive, "online queries served by the adaptive-budget pipeline"),
+		QueriesResilient: reg.Counter(MQueriesResilient, "online queries served by the fault-tolerant pipeline"),
+		QueryErrors:      reg.Counter(MQueryErrors, "queries that returned an error"),
+		QueryDegraded:    reg.Counter(MQueryDegraded, "queries answered with zero successful probes"),
+		QueryFallback:    reg.Counter(MQueryFallback, "queries that fell back to the periodicity prior"),
+		QueryDeadline:    reg.Counter(MQueryDeadline, "queries cut short by a context deadline"),
+		QueryLatency:     reg.Histogram(MQuerySeconds, "end-to-end online query latency", nil),
+		OCS: OCSMetrics{
+			Solves:   reg.Counter(MOCSSolves, "OCS solver invocations"),
+			Selected: reg.Counter(MOCSSelectedRoads, "crowdsourced roads selected by OCS"),
+			Latency:  reg.Histogram(MOCSSeconds, "OCS solve latency", nil),
+			Clock:    clock,
+		},
+		GSP: GSPMetrics{
+			Runs:       reg.Counter(MGSPRuns, "GSP propagation runs"),
+			Iterations: reg.Counter(MGSPIterations, "GSP sweeps executed"),
+			Converged:  reg.Counter(MGSPConverged, "GSP runs that converged below epsilon"),
+			Aborted:    reg.Counter(MGSPAborted, "GSP runs aborted by a deadline"),
+			Latency:    reg.Histogram(MGSPSeconds, "GSP propagation latency", nil),
+			Clock:      clock,
+		},
+		ProbeRounds:    reg.Counter(MProbeRounds, "crowd probe/campaign rounds executed"),
+		ProbeAnswers:   reg.Counter(MProbeAnswers, "raw worker answers collected"),
+		ProbeLatency:   reg.Histogram(MProbeSeconds, "probe/campaign round latency", nil),
+		BudgetSpent:    reg.Counter(MBudgetSpent, "crowdsourcing budget spent"),
+		BudgetRecycled: reg.Counter(MBudgetRecycled, "budget recycled into re-selection rounds"),
+		CorrRowCompute: reg.Histogram(MCorrRowSeconds, "correlation row Dijkstra computation latency", nil),
+		Stream: StreamMetrics{
+			Accepted: reg.Counter(MStreamReports, "speed reports accepted by the collector"),
+			Rejected: reg.Counter(MStreamReportsRejected, "speed reports rejected as malformed or implausible"),
+		},
+	}
+	return p
+}
+
+var (
+	discardOnce sync.Once
+	discardPipe *Pipeline
+)
+
+// Discard returns a shared pipeline backed by a registry nobody scrapes —
+// the default for systems constructed without observability wiring. The
+// instruments still count (atomics are near-free); the numbers are simply
+// never exported.
+func Discard() *Pipeline {
+	discardOnce.Do(func() {
+		discardPipe = NewPipeline(NewRegistry(), SystemClock())
+	})
+	return discardPipe
+}

@@ -1,0 +1,407 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter. The zero value is usable;
+// a nil *Counter is a no-op, so optional wiring needs no branches.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (negative n is ignored — counters are monotone).
+func (c *Counter) Add(n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(uint64(n))
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float value. Nil-safe like Counter.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// AddDelta adds d (CAS loop; gauges move rarely — in-flight counts, pool
+// sizes — so contention is negligible).
+func (g *Gauge) AddDelta(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefLatencyBuckets are the default histogram bounds in seconds: 100µs to
+// 2.5s in a 1-2.5-5 progression, matching online-query latencies from the
+// sub-millisecond oracle hit path to a multi-round resilient query under a
+// deadline.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observing a sample is a
+// bounded linear scan over ~14 bounds plus three atomic adds — no locks, no
+// allocation. The sum is kept in integer nanoseconds so deterministic tests
+// get exact equality. Nil-safe.
+type Histogram struct {
+	bounds   []float64 // upper bounds in seconds, ascending; +Inf implicit
+	buckets  []atomic.Uint64
+	count    atomic.Uint64
+	sumNanos atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one duration sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	s := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNanos.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) in seconds by linear
+// interpolation inside the containing bucket; samples in the overflow bucket
+// report the largest bound. Returns 0 with no samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.buckets {
+		n := float64(h.buckets[i].Load())
+		if cum+n >= rank && n > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1] // overflow bucket
+			}
+			hi := h.bounds[i]
+			frac := (rank - cum) / n
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// instKind discriminates registry entries.
+type instKind int
+
+const (
+	kindCounter instKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+type instrument struct {
+	name string // full name, possibly with a {label="..."} suffix
+	help string
+	kind instKind
+
+	counter   *Counter
+	gauge     *Gauge
+	hist      *Histogram
+	counterFn func() uint64
+	gaugeFn   func() float64
+}
+
+// Registry holds named instruments and renders them in the Prometheus text
+// exposition format. Registration takes a mutex; using a registered
+// instrument never does. Instrument names may carry a constant label suffix
+// (e.g. `http_requests_total{route="estimate"}`); the base name before `{`
+// groups the HELP/TYPE headers.
+type Registry struct {
+	mu    sync.Mutex
+	items map[string]*instrument
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{items: make(map[string]*instrument)}
+}
+
+func (r *Registry) register(in *instrument) *instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.items[in.name]; ok {
+		if old.kind != in.kind {
+			panic(fmt.Sprintf("obs: %q re-registered as a different instrument kind", in.name))
+		}
+		return old
+	}
+	r.items[in.name] = in
+	return in
+}
+
+// Counter registers (or returns the existing) counter under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	in := r.register(&instrument{name: name, help: help, kind: kindCounter, counter: &Counter{}})
+	return in.counter
+}
+
+// Gauge registers (or returns the existing) gauge under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	in := r.register(&instrument{name: name, help: help, kind: kindGauge, gauge: &Gauge{}})
+	return in.gauge
+}
+
+// Histogram registers (or returns the existing) histogram under name.
+// bounds are upper bucket bounds in seconds; nil selects DefLatencyBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	in := r.register(&instrument{name: name, help: help, kind: kindHistogram, hist: newHistogram(bounds)})
+	return in.hist
+}
+
+// CounterFunc registers a counter whose value is read from fn at exposition
+// time — the unification hook for counters that already live elsewhere (the
+// corr row-cache, the modelstore lifecycle): one source, many views.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.register(&instrument{name: name, help: help, kind: kindCounterFunc, counterFn: fn})
+}
+
+// GaugeFunc registers a gauge read from fn at exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&instrument{name: name, help: help, kind: kindGaugeFunc, gaugeFn: fn})
+}
+
+// splitName separates a full instrument name into its base metric name and
+// the constant-label body (without braces); labels is "" when absent.
+func splitName(full string) (base, labels string) {
+	if i := strings.IndexByte(full, '{'); i >= 0 && strings.HasSuffix(full, "}") {
+		return full[:i], full[i+1 : len(full)-1]
+	}
+	return full, ""
+}
+
+// suffixed inserts a suffix before the label body: suffixed(`a{b="c"}`,
+// "_count") = `a_count{b="c"}`.
+func suffixed(full, suffix string) string {
+	base, labels := splitName(full)
+	if labels == "" {
+		return base + suffix
+	}
+	return base + suffix + "{" + labels + "}"
+}
+
+// withLabel appends one label to the full name's label set.
+func withLabel(full, key, val string) string {
+	base, labels := splitName(full)
+	lbl := fmt.Sprintf("%s=%q", key, val)
+	if labels != "" {
+		lbl = labels + "," + lbl
+	}
+	return base + "{" + lbl + "}"
+}
+
+// sorted returns the instruments ordered by (base name, full name), so
+// same-base labeled series share one HELP/TYPE header block.
+func (r *Registry) sorted() []*instrument {
+	r.mu.Lock()
+	out := make([]*instrument, 0, len(r.items))
+	for _, in := range r.items {
+		out = append(out, in)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		bi, _ := splitName(out[i].name)
+		bj, _ := splitName(out[j].name)
+		if bi != bj {
+			return bi < bj
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+// WritePrometheus renders every instrument in the Prometheus text exposition
+// format (v0.0.4), in stable sorted order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastBase := ""
+	for _, in := range r.sorted() {
+		base, _ := splitName(in.name)
+		if base != lastBase {
+			if in.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", base, in.help)
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, in.promType())
+			lastBase = base
+		}
+		switch in.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "%s %d\n", in.name, in.counter.Value())
+		case kindCounterFunc:
+			fmt.Fprintf(w, "%s %d\n", in.name, in.counterFn())
+		case kindGauge:
+			fmt.Fprintf(w, "%s %v\n", in.name, in.gauge.Value())
+		case kindGaugeFunc:
+			fmt.Fprintf(w, "%s %v\n", in.name, in.gaugeFn())
+		case kindHistogram:
+			h := in.hist
+			var cum uint64
+			for i := range h.buckets {
+				cum += h.buckets[i].Load()
+				le := "+Inf"
+				if i < len(h.bounds) {
+					le = formatBound(h.bounds[i])
+				}
+				fmt.Fprintf(w, "%s %d\n", withLabel(suffixed(in.name, "_bucket"), "le", le), cum)
+			}
+			fmt.Fprintf(w, "%s %v\n", suffixed(in.name, "_sum"), h.Sum().Seconds())
+			fmt.Fprintf(w, "%s %d\n", suffixed(in.name, "_count"), h.Count())
+		}
+	}
+	return nil
+}
+
+func (in *instrument) promType() string {
+	switch in.kind {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// formatBound renders a bucket bound without trailing zeros.
+func formatBound(b float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", b), "0"), ".")
+}
+
+// Snapshot flattens every instrument into name → value. Histograms expand to
+// <name>_count, <name>_sum (seconds), and <name>_p50/_p95/_p99 quantile
+// estimates. Deterministic tests compare whole snapshots; /v1/healthz builds
+// its rollup from the same instruments the exposition reads.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, in := range r.sorted() {
+		switch in.kind {
+		case kindCounter:
+			out[in.name] = float64(in.counter.Value())
+		case kindCounterFunc:
+			out[in.name] = float64(in.counterFn())
+		case kindGauge:
+			out[in.name] = in.gauge.Value()
+		case kindGaugeFunc:
+			out[in.name] = in.gaugeFn()
+		case kindHistogram:
+			out[suffixed(in.name, "_count")] = float64(in.hist.Count())
+			out[suffixed(in.name, "_sum")] = in.hist.Sum().Seconds()
+			out[suffixed(in.name, "_p50")] = in.hist.Quantile(0.50)
+			out[suffixed(in.name, "_p95")] = in.hist.Quantile(0.95)
+			out[suffixed(in.name, "_p99")] = in.hist.Quantile(0.99)
+		}
+	}
+	return out
+}
+
+// Value returns the current value of a counter or gauge instrument by full
+// name; ok is false for unknown names and histograms.
+func (r *Registry) Value(name string) (v float64, ok bool) {
+	r.mu.Lock()
+	in, found := r.items[name]
+	r.mu.Unlock()
+	if !found {
+		return 0, false
+	}
+	switch in.kind {
+	case kindCounter:
+		return float64(in.counter.Value()), true
+	case kindCounterFunc:
+		return float64(in.counterFn()), true
+	case kindGauge:
+		return in.gauge.Value(), true
+	case kindGaugeFunc:
+		return in.gaugeFn(), true
+	default:
+		return 0, false
+	}
+}

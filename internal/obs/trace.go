@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Span is one recorded pipeline stage of a traced query: OCS selection, a
+// probe round, a GSP propagation, plus whatever stage-specific attributes
+// the recorder attached (selected roads, iterations, convergence...).
+type Span struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []slog.Attr
+}
+
+// Trace collects the stage spans of one query or request. A nil *Trace is a
+// no-op recorder, so the pipeline can call FromContext once and record
+// unconditionally. Safe for concurrent use (parallel probe rounds may record
+// concurrently).
+type Trace struct {
+	// ID correlates the trace's emitted log lines with the request
+	// (X-Request-ID on the HTTP surface).
+	ID string
+
+	clock Clock
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace starts an empty trace. clock nil selects the system clock.
+func NewTrace(id string, clock Clock) *Trace {
+	if clock == nil {
+		clock = SystemClock()
+	}
+	return &Trace{ID: id, clock: clock}
+}
+
+// Clock returns the trace's clock (system clock for a nil trace), so
+// recorders measure spans on the same time source the trace was built with.
+func (t *Trace) Clock() Clock {
+	if t == nil || t.clock == nil {
+		return SystemClock()
+	}
+	return t.clock
+}
+
+// Span records one completed stage: its duration is clock.Since(start).
+// No-op on a nil trace.
+func (t *Trace) Span(name string, start time.Time, attrs ...slog.Attr) {
+	if t == nil {
+		return
+	}
+	d := t.clock.Since(start)
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Start: start, Duration: d, Attrs: attrs})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in recording order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	return out
+}
+
+// Emit writes one structured log line per span, each carrying the trace ID,
+// span name, duration and the recorded attributes, followed by a summary
+// line with the span count and extra request-level attributes. This is the
+// `crowdrtse serve -trace` output, request-ID correlated via slog.
+func (t *Trace) Emit(l *slog.Logger, extra ...slog.Attr) {
+	if t == nil || l == nil {
+		return
+	}
+	spans := t.Spans()
+	for _, s := range spans {
+		attrs := make([]slog.Attr, 0, len(s.Attrs)+3)
+		attrs = append(attrs,
+			slog.String("trace", t.ID),
+			slog.String("span", s.Name),
+			slog.Duration("dur", s.Duration),
+		)
+		attrs = append(attrs, s.Attrs...)
+		l.LogAttrs(context.Background(), slog.LevelInfo, "span", attrs...)
+	}
+	attrs := make([]slog.Attr, 0, len(extra)+2)
+	attrs = append(attrs, slog.String("trace", t.ID), slog.Int("spans", len(spans)))
+	attrs = append(attrs, extra...)
+	l.LogAttrs(context.Background(), slog.LevelInfo, "trace", attrs...)
+}
+
+type traceCtxKey struct{}
+
+// WithTrace attaches a trace to the context; pipeline stages discover it via
+// FromContext and record their spans into it.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// FromContext returns the attached trace, or nil (a valid no-op recorder).
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}

@@ -21,8 +21,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/corr"
+	"repro/internal/obs"
 )
 
 // Problem is one OCS instance. Sigma is indexed by road id (the RTF view's
@@ -54,6 +56,12 @@ type Problem struct {
 	// against the same solver logic; selections are identical either way
 	// because CorrRow(i)[j] and Corr(i, j) are the same float.
 	DirectCorr bool
+
+	// Metrics, when non-nil, receives per-solve counters (invocations,
+	// selected road count, solve latency). Instrumentation happens once per
+	// exported solver call, never inside the greedy round loops, so the
+	// solver hot path stays allocation- and atomic-free.
+	Metrics *obs.OCSMetrics
 
 	// workerSet is the hoisted R^w membership set, built once by Validate
 	// so Feasible doesn't rebuild it per call.
@@ -362,6 +370,30 @@ func runGreedy(p *Problem, byRatio bool) Solution {
 	return Solution{Roads: s.selected, Value: p.Objective(s.selected), Cost: s.cost}
 }
 
+// solveStart returns the instrumentation start time (zero when latency is
+// not wired). Top-level helpers, not closures, so uninstrumented solves
+// cost nothing.
+func (p *Problem) solveStart() time.Time {
+	if m := p.Metrics; m != nil && m.Clock != nil {
+		return m.Clock.Now()
+	}
+	return time.Time{}
+}
+
+// observeSolve records one completed solve: invocation count, roads
+// selected, and — when a clock is wired — solve latency.
+func (p *Problem) observeSolve(start time.Time, sol *Solution) {
+	m := p.Metrics
+	if m == nil {
+		return
+	}
+	m.Solves.Inc()
+	m.Selected.Add(len(sol.Roads))
+	if m.Clock != nil {
+		m.Latency.Observe(m.Clock.Since(start))
+	}
+}
+
 // RatioGreedy is Alg. 2: each iteration picks the feasible candidate with
 // the highest objective-increment-to-cost ratio. O(K·|R^w|·|R^q|) time,
 // O(|R^w|) extra space; the approximation can be arbitrarily bad alone
@@ -370,7 +402,10 @@ func RatioGreedy(p *Problem) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
-	return runGreedy(p, true), nil
+	start := p.solveStart()
+	sol := runGreedy(p, true)
+	p.observeSolve(start, &sol)
+	return sol, nil
 }
 
 // ObjectiveGreedy is Alg. 3: each iteration picks the feasible candidate
@@ -379,7 +414,10 @@ func ObjectiveGreedy(p *Problem) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
-	return runGreedy(p, false), nil
+	start := p.solveStart()
+	sol := runGreedy(p, false)
+	p.observeSolve(start, &sol)
+	return sol, nil
 }
 
 // HybridGreedy is Alg. 4: run Ratio-Greedy and Objective-Greedy and keep the
@@ -391,14 +429,18 @@ func HybridGreedy(p *Problem) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
+	start := p.solveStart()
 	if sol, ok := trivialCase(p); ok {
+		p.observeSolve(start, &sol)
 		return sol, nil
 	}
 	ratio, obj := runHybridPasses(p, runGreedy)
+	sol := obj
 	if ratio.Value >= obj.Value {
-		return ratio, nil
+		sol = ratio
 	}
-	return obj, nil
+	p.observeSolve(start, &sol)
+	return sol, nil
 }
 
 // runHybridPasses executes the ratio and objective passes of Alg. 4,
@@ -466,6 +508,7 @@ func Random(p *Problem, rng *rand.Rand) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
+	start := p.solveStart()
 	s := newGreedyState(p)
 	perm := rng.Perm(len(p.Workers))
 	for _, idx := range perm {
@@ -479,7 +522,9 @@ func Random(p *Problem, rng *rand.Rand) (Solution, error) {
 		s.add(r)
 	}
 	sort.Ints(s.selected)
-	return Solution{Roads: s.selected, Value: p.Objective(s.selected), Cost: s.cost}, nil
+	sol := Solution{Roads: s.selected, Value: p.Objective(s.selected), Cost: s.cost}
+	p.observeSolve(start, &sol)
+	return sol, nil
 }
 
 // Exhaustive finds the exact optimum by depth-first enumeration with budget

@@ -1,0 +1,277 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/obs"
+	"repro/internal/speedgen"
+)
+
+// scrapeMetrics fetches /v1/metrics and parses the Prometheus text format
+// into series name → value.
+func scrapeMetrics(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// TestMetricsEndToEnd drives one scripted request mix through the full HTTP
+// surface on a FakeClock and asserts the exact counter values /v1/metrics
+// exports for every pipeline stage.
+func TestMetricsEndToEnd(t *testing.T) {
+	net := network.Synthetic(network.SyntheticOptions{Roads: 40, Seed: 9})
+	h, err := speedgen.Generate(net, speedgen.Default(5, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.Train(net, h, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sys)
+	srv.SetClock(obs.NewFakeClock(time.Unix(1_700_000_000, 0), time.Millisecond))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// 1 workers + 4 reports (3 accepted, 1 rejected) + 1 select + 2 estimates
+	// + 1 healthz = 9 requests before the scrape.
+	resp := postJSON(t, ts.URL+"/v1/workers", map[string]interface{}{
+		"workers": []map[string]int{{"road": 1}, {"road": 2}, {"road": 3}},
+	})
+	resp.Body.Close()
+	for i := 0; i < 3; i++ {
+		resp = postJSON(t, ts.URL+"/v1/report", map[string]interface{}{
+			"road": 3, "slot": 102, "speed": 40.0 + float64(i),
+		})
+		resp.Body.Close()
+	}
+	resp = postJSON(t, ts.URL+"/v1/report", map[string]interface{}{
+		"road": 3, "slot": 102, "speed": -5.0, // implausible → rejected
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad report = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/v1/select", map[string]interface{}{
+		"slot": 102, "roads": []int{1, 2}, "budget": 20, "theta": 0.9,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("select = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	for i := 0; i < 2; i++ {
+		r2, err := http.Get(ts.URL + "/v1/estimate?slot=102&roads=1,2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.StatusCode != http.StatusOK {
+			t.Fatalf("estimate = %d", r2.StatusCode)
+		}
+		r2.Body.Close()
+	}
+	var health struct {
+		Observability struct {
+			GSPRuns         uint64 `json:"gsp_runs"`
+			ReportsAccepted uint64 `json:"reports_accepted"`
+			ReportsRejected uint64 `json:"reports_rejected"`
+		} `json:"observability"`
+	}
+	hr, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, hr, &health)
+
+	m := scrapeMetrics(t, ts.URL)
+	expect := func(name string, want float64) {
+		t.Helper()
+		got, ok := m[name]
+		if !ok {
+			t.Errorf("exposition missing %s", name)
+			return
+		}
+		if got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+
+	// Stage counters: exactly what the scripted mix produced.
+	expect(obs.MStreamReports, 3)
+	expect(obs.MStreamReportsRejected, 1)
+	expect(obs.MOCSSolves, 1)
+	expect(obs.MGSPRuns, 2)
+	expect(obs.MGSPSeconds+"_count", 2)
+	expect(obs.MOCSSeconds+"_count", 1)
+
+	// HTTP surface: per-route counters, status classes, in-flight.
+	expect(fmt.Sprintf("%s{route=%q}", MHTTPRequests, "workers"), 1)
+	expect(fmt.Sprintf("%s{route=%q}", MHTTPRequests, "report"), 4)
+	expect(fmt.Sprintf("%s{route=%q}", MHTTPRequests, "select"), 1)
+	expect(fmt.Sprintf("%s{route=%q}", MHTTPRequests, "estimate"), 2)
+	expect(fmt.Sprintf("%s{route=%q}", MHTTPRequests, "healthz"), 1)
+	expect(fmt.Sprintf("%s{route=%q}", MHTTPRequests, "metrics"), 1) // the scrape itself
+	expect(MHTTPResponses+`{class="2xx"}`, 8)
+	expect(MHTTPResponses+`{class="4xx"}`, 1)
+	// The scrape's own latency is observed after its response renders.
+	expect(suffix(MHTTPSeconds, "_count"), 9)
+	expect(MHTTPInFlight, 1) // the scrape is in flight while rendering
+
+	// Oracle cache + model generation came through the func-backed exports.
+	if m[core.MOracleCacheMisses] == 0 {
+		t.Error("oracle cache misses not exported")
+	}
+	expect(core.MModelVersion, 1)
+
+	// The healthz rollup and the exposition read the same instruments.
+	if float64(health.Observability.GSPRuns) != m[obs.MGSPRuns] {
+		t.Errorf("healthz gsp_runs %d != metrics %v", health.Observability.GSPRuns, m[obs.MGSPRuns])
+	}
+	if float64(health.Observability.ReportsAccepted) != m[obs.MStreamReports] {
+		t.Errorf("healthz accepted %d != metrics %v", health.Observability.ReportsAccepted, m[obs.MStreamReports])
+	}
+	if float64(health.Observability.ReportsRejected) != m[obs.MStreamReportsRejected] {
+		t.Errorf("healthz rejected %d != metrics %v", health.Observability.ReportsRejected, m[obs.MStreamReportsRejected])
+	}
+}
+
+func suffix(name, s string) string { return name + s }
+
+// TestTraceLogEmission turns on request tracing and checks the estimate
+// request emits request-ID correlated span lines covering the GSP stage.
+func TestTraceLogEmission(t *testing.T) {
+	net := network.Synthetic(network.SyntheticOptions{Roads: 30, Seed: 2})
+	h, err := speedgen.Generate(net, speedgen.Default(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.Train(net, h, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sys)
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	srv.TraceLog = slog.New(slog.NewJSONHandler(lockedWriter{&mu, &buf}, nil))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/estimate?slot=10", nil)
+	req.Header.Set("X-Request-ID", "trace-me-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "trace-me-42" {
+		t.Errorf("X-Request-ID echoed as %q", got)
+	}
+
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	for _, want := range []string{
+		`"trace":"trace-me-42"`,
+		`"span":"gsp"`,
+		`"route":"estimate"`,
+		`"status":200`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace log missing %q:\n%s", want, out)
+		}
+	}
+
+	// Without a client-supplied ID the server mints one.
+	resp2, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.Header.Get("X-Request-ID") == "" {
+		t.Error("server should mint a request ID when tracing")
+	}
+}
+
+type lockedWriter struct {
+	mu  *sync.Mutex
+	buf *bytes.Buffer
+}
+
+func (w lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+// TestPprofMounted checks the pprof index answers (and can be disabled).
+func TestPprofMounted(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index = %d, want 200", resp.StatusCode)
+	}
+
+	net := network.Synthetic(network.SyntheticOptions{Roads: 20, Seed: 1})
+	h, err := speedgen.Generate(net, speedgen.Default(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.Train(net, h, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sys)
+	srv.EnablePprof = false
+	ts2 := httptest.NewServer(srv.Handler())
+	defer ts2.Close()
+	resp2, err := http.Get(ts2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("disabled pprof = %d, want 404", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tslot"
+)
+
+// TestMetricsScrapeDuringHotSwapRace is the HTTP-layer companion to core's
+// TestHotSwapRaceUnderLoad: 32 concurrent clients hammer /v1/metrics and
+// /v1/estimate while the main goroutine hot-swaps perturbed model clones
+// underneath the serving system. Under -race this pins down that
+//
+//   - the exposition writer, the func-backed gauges (model version, oracle
+//     cache occupancy) and the swap path share no unsynchronized state,
+//   - every scrape parses and every estimate succeeds mid-swap (no torn
+//     model state surfaces through the HTTP layer),
+//   - the model-version gauge only ever moves forward.
+func TestMetricsScrapeDuringHotSwapRace(t *testing.T) {
+	ts, sys, _ := newTestServer(t)
+
+	const clients = 32
+	const roundsPerClient = 6
+
+	var done atomic.Bool
+	swapperDone := make(chan struct{})
+	go func() {
+		defer close(swapperDone)
+		for i := 0; !done.Load(); i++ {
+			next := sys.Model().Clone()
+			slot := tslot.Slot((50 + i) % tslot.PerDay)
+			for r := 0; r < next.N(); r++ {
+				next.SetMu(slot, r, next.Mu(slot, r)+0.01)
+			}
+			if _, _, err := sys.SwapModel(next, []tslot.Slot{slot}); err != nil {
+				t.Errorf("swap %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var lastVersion atomic.Uint64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for q := 0; q < roundsPerClient; q++ {
+				// Half the clients scrape, half query; everyone alternates so
+				// scrapes and estimates interleave with swaps.
+				if (c+q)%2 == 0 {
+					v, err := scrapeModelVersion(ts.URL)
+					if err != nil {
+						t.Errorf("client %d round %d: %v", c, q, err)
+						return
+					}
+					// Monotone: a later scrape never reports an older model.
+					for {
+						prev := lastVersion.Load()
+						if v <= prev || lastVersion.CompareAndSwap(prev, v) {
+							break
+						}
+					}
+				} else {
+					url := fmt.Sprintf("%s/v1/estimate?slot=%d&roads=%d,%d",
+						ts.URL, 50+(c+q)%8, c%40, (c+11)%40)
+					resp, err := http.Get(url)
+					if err != nil {
+						t.Errorf("client %d round %d: %v", c, q, err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("client %d round %d: estimate = %d mid-swap", c, q, resp.StatusCode)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	done.Store(true)
+	<-swapperDone
+
+	if sys.Swaps() == 0 {
+		t.Fatal("swapper never swapped — the race window was never open")
+	}
+	if lastVersion.Load() < 2 {
+		t.Errorf("scrapes never observed a swapped model (last version %d, %d swaps)",
+			lastVersion.Load(), sys.Swaps())
+	}
+}
+
+// scrapeModelVersion fetches /v1/metrics and extracts the model-version gauge.
+// Unlike scrapeMetrics it never calls t.Fatal, so it is safe from worker
+// goroutines.
+func scrapeModelVersion(base string) (uint64, error) {
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("GET /v1/metrics = %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		rest, ok := bytes.CutPrefix(line, []byte(core.MModelVersion+" "))
+		if !ok {
+			continue
+		}
+		var v uint64
+		if _, err := fmt.Sscanf(string(rest), "%d", &v); err != nil {
+			return 0, fmt.Errorf("parse %q: %w", line, err)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("exposition missing %s", core.MModelVersion)
+}

@@ -12,6 +12,8 @@
 //	GET  /v1/healthz                 liveness + degraded-state report
 //	GET  /v1/model                   model lifecycle: version, history, counters
 //	POST /v1/model                   admin actions                      {"action":"rollback"|"reload"|"refit"}
+//	GET  /v1/metrics                 Prometheus text exposition of every pipeline instrument
+//	GET  /debug/pprof/...            standard pprof surface (EnablePprof, on by default)
 //
 // Reports are kept per slot; an estimate uses the aggregated reports of its
 // slot as the GSP observations. All handlers are safe for concurrent use.
@@ -28,17 +30,20 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/crowd"
 	"repro/internal/detect"
 	"repro/internal/modelstore"
+	"repro/internal/obs"
 	"repro/internal/stream"
 	"repro/internal/tslot"
 )
@@ -59,6 +64,23 @@ type Server struct {
 	// StaleAfter is how old the newest report may be before /v1/healthz
 	// declares the collector stale (default 10 min).
 	StaleAfter time.Duration
+	// EnablePprof mounts the net/http/pprof surface under /debug/pprof/
+	// (default true).
+	EnablePprof bool
+	// TraceLog, when set, turns on per-request stage tracing: each request
+	// gets an X-Request-ID correlated obs.Trace and its OCS/probe/GSP spans
+	// are emitted as structured log lines after the response. This is the
+	// `crowdrtse serve -trace` sink.
+	TraceLog *slog.Logger
+
+	// Observability wiring: one registry, one pipeline instrument set,
+	// shared with core/stream at construction (New) or re-clocked by
+	// SetClock.
+	reg    *obs.Registry
+	pipe   *obs.Pipeline
+	httpm  *httpMetrics
+	clock  obs.Clock
+	reqSeq atomic.Uint64
 
 	started time.Time
 
@@ -72,17 +94,34 @@ type Server struct {
 	refitter  *modelstore.Refitter
 }
 
-// New wraps a trained system. The worker pool starts empty.
+// New wraps a trained system. The worker pool starts empty. Construction
+// wires the full observability chain: one obs.Registry, one pipeline
+// instrument set attached to the system (every query stage counts), the
+// collector's accepted/rejected counters, and the system's oracle-cache and
+// model-generation exports — all served by /v1/metrics and rolled up in
+// /v1/healthz.
 func New(sys *core.System) *Server {
-	return &Server{
+	reg := obs.NewRegistry()
+	clock := obs.SystemClock()
+	pipe := obs.NewPipeline(reg, clock)
+	s := &Server{
 		sys:          sys,
 		collector:    stream.NewCollector(sys.Network().N()),
 		pool:         crowd.NewPool(nil),
 		Timeout:      5 * time.Second,
 		MaxBodyBytes: 1 << 20,
 		StaleAfter:   10 * time.Minute,
-		started:      time.Now(),
+		EnablePprof:  true,
+		reg:          reg,
+		pipe:         pipe,
+		httpm:        newHTTPMetrics(reg),
+		clock:        clock,
+		started:      clock.Now(),
 	}
+	sys.Instrument(pipe)
+	sys.RegisterMetrics(reg)
+	s.collector.SetMetrics(pipe.Stream)
+	return s
 }
 
 // Handler returns the HTTP routing table wrapped in the hardening
@@ -97,7 +136,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/alerts", s.handleAlerts)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/model", s.handleModel)
-	return s.withRecovery(s.withBodyLimit(s.withTimeout(mux)))
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	if s.EnablePprof {
+		mountPprof(mux)
+	}
+	return s.withObs(s.withRecovery(s.withBodyLimit(s.withTimeout(mux))))
 }
 
 // AttachLifecycle enables the model-lifecycle admin surface: /v1/model gains
@@ -109,6 +152,12 @@ func (s *Server) AttachLifecycle(mgr *modelstore.Manager, refitter *modelstore.R
 	s.lifecycle = mgr
 	s.refitter = refitter
 	s.mu.Unlock()
+	if mgr != nil {
+		mgr.RegisterMetrics(s.reg)
+	}
+	if refitter != nil {
+		refitter.RegisterMetrics(s.reg)
+	}
 }
 
 // Collector exposes the server's report collector so the serve command can
@@ -325,6 +374,10 @@ type healthResponse struct {
 	// Lifecycle is the model-lifecycle counter block (nil when no manager is
 	// attached).
 	Lifecycle *modelstore.Status `json:"lifecycle,omitempty"`
+	// Observability rolls up the pipeline instrument set. It reads the very
+	// counters /v1/metrics exports, so the two surfaces agree by
+	// construction.
+	Observability *obsRollup `json:"observability,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -339,7 +392,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	evictedSlots, _ := s.collector.Evicted()
 	out := healthResponse{
 		Status:             "ok",
-		UptimeSeconds:      time.Since(s.started).Seconds(),
+		UptimeSeconds:      s.clock.Since(s.started).Seconds(),
 		Roads:              s.sys.Network().N(),
 		Workers:            workers,
 		ReportSlots:        s.collector.SlotCount(),
@@ -349,13 +402,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		ModelGeneration:    s.sys.ModelVersion(),
 		ModelSwaps:         s.sys.Swaps(),
 		EvictedReportSlots: evictedSlots,
+		Observability:      s.rollup(),
 	}
 	if lifecycle != nil {
 		st := lifecycle.Status()
 		out.Lifecycle = &st
 	}
 	if last, ok := s.collector.LastReport(); ok {
-		age := time.Since(last)
+		age := s.clock.Since(last)
 		out.LastReportAgeSec = age.Seconds()
 		out.CollectorStale = s.StaleAfter > 0 && age > s.StaleAfter
 	} else {

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rtf"
 	"repro/internal/tslot"
 )
@@ -39,7 +40,10 @@ type Collector struct {
 	lastAdd time.Time  // wall time of the last accepted report
 	total   int        // accepted reports since construction
 	latest  tslot.Slot // slot of the most recent accepted report
-	now     func() time.Time
+	clock   obs.Clock
+
+	// metrics optionally counts accepted/rejected reports (SetMetrics).
+	metrics obs.StreamMetrics
 
 	// horizon bounds memory: when > 0, any bucket whose cyclic slot distance
 	// from the most recently reported slot exceeds it is evicted on Add.
@@ -55,21 +59,39 @@ func NewCollector(nRoads int) *Collector {
 		MaxSpeed: 160,
 		OutlierK: 4,
 		buckets:  make(map[tslot.Slot]map[int][]float64),
-		now:      time.Now,
+		clock:    obs.SystemClock(),
 	}
+}
+
+// SetClock replaces the collector's time source (staleness tracking). A nil
+// clock restores the system clock. Not safe to call concurrently with Add;
+// set it at wiring time.
+func (c *Collector) SetClock(clk obs.Clock) {
+	if clk == nil {
+		clk = obs.SystemClock()
+	}
+	c.mu.Lock()
+	c.clock = clk
+	c.mu.Unlock()
+}
+
+// SetMetrics attaches accepted/rejected counters to the collector. The
+// instruments are nil-safe, so a zero StreamMetrics simply disables counting.
+func (c *Collector) SetMetrics(m obs.StreamMetrics) {
+	c.mu.Lock()
+	c.metrics = m
+	c.mu.Unlock()
 }
 
 // Add ingests one report. It returns an error for malformed reports; an
 // error does not disturb previously ingested data.
 func (c *Collector) Add(r Report) error {
-	if r.Road < 0 || r.Road >= c.nRoads {
-		return fmt.Errorf("stream: road %d out of range [0,%d)", r.Road, c.nRoads)
-	}
-	if !r.Slot.Valid() {
-		return fmt.Errorf("stream: invalid slot %d", r.Slot)
-	}
-	if r.Speed < 0 || r.Speed > c.MaxSpeed || math.IsNaN(r.Speed) {
-		return fmt.Errorf("stream: implausible speed %v", r.Speed)
+	if err := c.validate(r); err != nil {
+		c.mu.RLock()
+		rejected := c.metrics.Rejected
+		c.mu.RUnlock()
+		rejected.Inc()
+		return err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -79,10 +101,24 @@ func (c *Collector) Add(r Report) error {
 		c.buckets[r.Slot] = byRoad
 	}
 	byRoad[r.Road] = append(byRoad[r.Road], r.Speed)
-	c.lastAdd = c.now()
+	c.lastAdd = c.clock.Now()
 	c.latest = r.Slot
 	c.total++
+	c.metrics.Accepted.Inc()
 	c.evictStaleLocked()
+	return nil
+}
+
+func (c *Collector) validate(r Report) error {
+	if r.Road < 0 || r.Road >= c.nRoads {
+		return fmt.Errorf("stream: road %d out of range [0,%d)", r.Road, c.nRoads)
+	}
+	if !r.Slot.Valid() {
+		return fmt.Errorf("stream: invalid slot %d", r.Slot)
+	}
+	if r.Speed < 0 || r.Speed > c.MaxSpeed || math.IsNaN(r.Speed) {
+		return fmt.Errorf("stream: implausible speed %v", r.Speed)
+	}
 	return nil
 }
 

@@ -1,0 +1,235 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/tslot"
+)
+
+// TestHorizonEvictionWraparound is the table-driven companion to the tslot
+// cyclic-distance edge tests: it pins the eviction counters for report
+// sequences that straddle midnight, where the horizon window wraps through
+// slot 0 and a linear-distance bug would evict the wrong side of the day.
+func TestHorizonEvictionWraparound(t *testing.T) {
+	type step struct {
+		slot tslot.Slot
+		road int
+	}
+	cases := []struct {
+		name         string
+		horizon      int
+		steps        []step
+		wantSlots    []tslot.Slot // buckets surviving after the last step
+		wantEvSlots  int
+		wantEvCounts int
+	}{
+		{
+			name:    "window wraps through midnight keeps both sides",
+			horizon: 2,
+			steps:   []step{{286, 0}, {287, 0}, {0, 0}, {1, 0}},
+			// Last report at slot 1; 286 is Dist 3 away → evicted, 287 is 2.
+			wantSlots:    []tslot.Slot{0, 1, 287},
+			wantEvSlots:  1,
+			wantEvCounts: 1,
+		},
+		{
+			name:    "jump across midnight evicts the far side only",
+			horizon: 1,
+			steps:   []step{{285, 0}, {286, 0}, {287, 0}, {0, 0}},
+			// After slot 0: 287 is Dist 1 (kept), 286 is 2, 285 is 3.
+			wantSlots:    []tslot.Slot{0, 287},
+			wantEvSlots:  2,
+			wantEvCounts: 2,
+		},
+		{
+			name:    "backward wrap from slot 0 keeps late-night buckets",
+			horizon: 3,
+			steps:   []step{{0, 0}, {1, 0}, {285, 0}},
+			// Latest 285: slot 0 is Dist 3 (kept), slot 1 is Dist 4 (evicted).
+			wantSlots:    []tslot.Slot{0, 285},
+			wantEvSlots:  1,
+			wantEvCounts: 1,
+		},
+		{
+			name:    "antipode is the farthest point",
+			horizon: 143,
+			steps:   []step{{0, 0}, {143, 0}, {144, 0}},
+			// Latest 144: slot 0 is Dist 144 > 143 → evicted; 143 is Dist 1.
+			wantSlots:    []tslot.Slot{143, 144},
+			wantEvSlots:  1,
+			wantEvCounts: 1,
+		},
+		{
+			name:    "multiple reports per bucket counted individually",
+			horizon: 1,
+			steps:   []step{{287, 0}, {287, 1}, {287, 2}, {0, 0}, {2, 0}},
+			// Latest 2: 287 is Dist 3 (3 reports evicted), 0 is Dist 2 (1 report).
+			wantSlots:    []tslot.Slot{2},
+			wantEvSlots:  2,
+			wantEvCounts: 4,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewCollector(4)
+			c.SetHorizon(tc.horizon)
+			for _, s := range tc.steps {
+				if err := c.Add(Report{Road: s.road, Slot: s.slot, Speed: 42}); err != nil {
+					t.Fatalf("add slot %d: %v", s.slot, err)
+				}
+			}
+			got := c.Slots()
+			if len(got) != len(tc.wantSlots) {
+				t.Fatalf("surviving slots %v, want %v", got, tc.wantSlots)
+			}
+			for i := range got {
+				if got[i] != tc.wantSlots[i] {
+					t.Fatalf("surviving slots %v, want %v", got, tc.wantSlots)
+				}
+			}
+			evS, evR := c.Evicted()
+			if evS != tc.wantEvSlots || evR != tc.wantEvCounts {
+				t.Errorf("evicted (%d slots, %d reports), want (%d, %d)",
+					evS, evR, tc.wantEvSlots, tc.wantEvCounts)
+			}
+			if c.TotalReports() != len(tc.steps) {
+				t.Errorf("total %d, want %d (eviction must not rewrite history)",
+					c.TotalReports(), len(tc.steps))
+			}
+		})
+	}
+}
+
+// TestHorizonFullDayNeverEvicts pins the degenerate "horizon ≥ half day" case:
+// the maximum cyclic distance is PerDay/2, so a horizon of 144 (or the
+// nonsensical 288) can never evict anything even when reports cycle through
+// every slot of the day — the working set grows to all 288 buckets.
+func TestHorizonFullDayNeverEvicts(t *testing.T) {
+	for _, h := range []int{tslot.PerDay / 2, tslot.PerDay} {
+		c := NewCollector(2)
+		c.SetHorizon(h)
+		for s := 0; s < tslot.PerDay; s++ {
+			if err := c.Add(Report{Road: 0, Slot: tslot.Slot(s), Speed: 30}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Wrap around once more: still nothing to evict.
+		if err := c.Add(Report{Road: 1, Slot: 0, Speed: 30}); err != nil {
+			t.Fatal(err)
+		}
+		if c.SlotCount() != tslot.PerDay {
+			t.Errorf("horizon %d: %d slots held, want %d", h, c.SlotCount(), tslot.PerDay)
+		}
+		if evS, evR := c.Evicted(); evS != 0 || evR != 0 {
+			t.Errorf("horizon %d evicted (%d, %d), want nothing", h, evS, evR)
+		}
+	}
+}
+
+// TestSetHorizonShrinkEvictsImmediately checks that tightening the horizon
+// prunes on the SetHorizon call itself (not lazily on the next Add), with
+// exact counter deltas, including across midnight.
+func TestSetHorizonShrinkEvictsImmediately(t *testing.T) {
+	c := NewCollector(2)
+	c.SetHorizon(10)
+	// Latest will be slot 2; distances: 280→10, 287→3, 0→2, 2→0.
+	for _, s := range []tslot.Slot{280, 287, 0, 2} {
+		if err := c.Add(Report{Road: 0, Slot: s, Speed: 55}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Add(Report{Road: 1, Slot: s, Speed: 56}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.SlotCount() != 4 {
+		t.Fatalf("setup: %d slots", c.SlotCount())
+	}
+
+	// Shrink to 3: slot 280 (Dist 10) falls out, its 2 reports counted.
+	c.SetHorizon(3)
+	if c.SlotCount() != 3 {
+		t.Errorf("after shrink to 3: %d slots, want 3", c.SlotCount())
+	}
+	if evS, evR := c.Evicted(); evS != 1 || evR != 2 {
+		t.Errorf("after shrink to 3: evicted (%d, %d), want (1, 2)", evS, evR)
+	}
+
+	// Shrink to 1: slots 287 (Dist 3) and 0 (Dist 2) fall out too.
+	c.SetHorizon(1)
+	if c.SlotCount() != 1 || c.Count(2, 0) != 1 {
+		t.Errorf("after shrink to 1: %d slots", c.SlotCount())
+	}
+	if evS, evR := c.Evicted(); evS != 3 || evR != 6 {
+		t.Errorf("after shrink to 1: evicted (%d, %d), want (3, 6)", evS, evR)
+	}
+}
+
+// TestCollectorClockAndMetrics covers the observability seams added to the
+// collector: a FakeClock makes LastReport deterministic, and SetMetrics wires
+// accepted/rejected counters that agree with TotalReports.
+func TestCollectorClockAndMetrics(t *testing.T) {
+	c := NewCollector(4)
+	start := time.Unix(1_700_000_000, 0)
+	fc := obs.NewFakeClock(start, time.Second)
+	c.SetClock(fc)
+
+	reg := obs.NewRegistry()
+	m := obs.StreamMetrics{
+		Accepted: reg.Counter("acc_total", ""),
+		Rejected: reg.Counter("rej_total", ""),
+	}
+	c.SetMetrics(m)
+
+	if _, ok := c.LastReport(); ok {
+		t.Fatal("LastReport ok before any report")
+	}
+	if err := c.Add(Report{Road: 0, Slot: 5, Speed: 40}); err != nil {
+		t.Fatal(err)
+	}
+	last, ok := c.LastReport()
+	if !ok || !last.Equal(start) {
+		t.Errorf("LastReport = %v, %v; want %v", last, ok, start)
+	}
+	if err := c.Add(Report{Road: 1, Slot: 5, Speed: 41}); err != nil {
+		t.Fatal(err)
+	}
+	// The FakeClock advances one step per Now(): second accept lands at +1s.
+	if last, _ = c.LastReport(); !last.Equal(start.Add(time.Second)) {
+		t.Errorf("LastReport after second add = %v, want %v", last, start.Add(time.Second))
+	}
+
+	// Rejections: bad road, bad slot, implausible speed.
+	for _, r := range []Report{
+		{Road: 99, Slot: 5, Speed: 40},
+		{Road: 0, Slot: -1, Speed: 40},
+		{Road: 0, Slot: 5, Speed: -3},
+	} {
+		if err := c.Add(r); err == nil {
+			t.Fatalf("report %+v should be rejected", r)
+		}
+	}
+	if v := m.Accepted.Value(); v != 2 {
+		t.Errorf("accepted = %d, want 2", v)
+	}
+	if v := m.Rejected.Value(); v != 3 {
+		t.Errorf("rejected = %d, want 3", v)
+	}
+	if c.TotalReports() != int(m.Accepted.Value()) {
+		t.Errorf("TotalReports %d != accepted counter %d", c.TotalReports(), m.Accepted.Value())
+	}
+	// Rejections must not advance the staleness clock.
+	if last2, _ := c.LastReport(); !last2.Equal(start.Add(time.Second)) {
+		t.Error("rejected report moved LastReport")
+	}
+
+	// SetClock(nil) restores the system clock without disturbing state.
+	c.SetClock(nil)
+	if err := c.Add(Report{Road: 2, Slot: 6, Speed: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Accepted.Value() != 3 {
+		t.Errorf("accepted after clock reset = %d, want 3", m.Accepted.Value())
+	}
+}

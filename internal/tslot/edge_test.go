@@ -1,0 +1,60 @@
+package tslot
+
+import "testing"
+
+// TestDistMidnightEdges pins the cyclic-distance behavior at the midnight
+// wraparound and at the antipode, where an off-by-one in the modular
+// arithmetic would silently corrupt horizon eviction and window pooling.
+func TestDistMidnightEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Slot
+		want int
+	}{
+		{"same slot", 0, 0, 0},
+		{"adjacent", 10, 11, 1},
+		{"across midnight forward", 287, 0, 1},
+		{"across midnight backward", 0, 287, 1},
+		{"two across midnight", 286, 1, 3},
+		{"exact antipode from zero", 0, 144, 144},
+		{"exact antipode shifted", 1, 145, 144},
+		{"one short of antipode", 0, 143, 143},
+		{"one past antipode wraps", 0, 145, 143},
+		{"antipode from high slot", 200, 56, 144},
+		{"max distance is half day", 100, 244, 144},
+		{"last and antipode", 287, 143, 144},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Dist(tc.a, tc.b); got != tc.want {
+				t.Errorf("Dist(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+			}
+			if got := Dist(tc.b, tc.a); got != tc.want {
+				t.Errorf("Dist(%d,%d) = %d, want %d (symmetry)", tc.b, tc.a, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDistFullDayWrap walks a full day in both directions: moving PerDay
+// slots lands back at distance zero (the "horizon == 288" degenerate case),
+// and the distance profile is a tent peaking at PerDay/2.
+func TestDistFullDayWrap(t *testing.T) {
+	base := Slot(42)
+	for k := 0; k <= PerDay; k++ {
+		got := Dist(base, base.Add(k))
+		want := k
+		if want > PerDay/2 {
+			want = PerDay - want
+		}
+		if got != want {
+			t.Fatalf("Dist(base, base+%d) = %d, want %d", k, got, want)
+		}
+		if back := Dist(base, base.Add(-k)); back != want {
+			t.Fatalf("Dist(base, base-%d) = %d, want %d", k, back, want)
+		}
+	}
+	if Dist(base, base.Add(PerDay)) != 0 {
+		t.Error("a full-day step must wrap to distance 0")
+	}
+}
