@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fault-determinism race-hotpath race-suite fuzz-seed fuzz-snapshot refit-drill benchguard check bench bench-concurrent bench-all qps bench-lifecycle
+.PHONY: all build vet test race fault-determinism race-hotpath race-suite fuzz-seed fuzz-snapshot refit-drill benchguard check bench bench-concurrent bench-all qps bench-lifecycle bench-batch
 
 all: build
 
@@ -48,11 +48,14 @@ race-suite:
 	$(GO) test -race ./internal/core/ ./internal/corr/ ./internal/stream/ \
 		./internal/server/ ./internal/obs/
 
-# Guard against perf regressions: re-measure the sharded qps sweep and the
-# lifecycle latency suite and diff them against the checked-in baselines
-# (BENCH_PR2.json / BENCH_PR3.json); fails on >25% throughput loss.
+# Guard against perf regressions: re-measure the sharded qps sweep, the
+# lifecycle latency suite and the batch-coalescing sweep ratio and diff them
+# against the checked-in baselines (BENCH_PR2.json / BENCH_PR3.json /
+# BENCH_PR5.json); fails on >25% throughput loss, latency blowup, a sweep
+# ratio below the ≥2× coalescing target, or coalesced estimates that diverge
+# from independent ones beyond the GSP epsilon.
 benchguard:
-	$(GO) run ./cmd/benchguard -pr2 BENCH_PR2.json -pr3 BENCH_PR3.json
+	$(GO) run ./cmd/benchguard -pr2 BENCH_PR2.json -pr3 BENCH_PR3.json -pr5 BENCH_PR5.json
 
 # End-to-end lifecycle drill under the race detector: streamed reports are
 # folded into a refit, gated, published and hot-swapped; a corrupted
@@ -84,6 +87,14 @@ qps:
 bench-lifecycle:
 	$(GO) run ./cmd/rtsebench -lifecycle -out BENCH_PR3.json
 
+# The PR-5 coalescing suite: 32 same-slot queries sequential vs coalesced
+# through the Batcher (GSP sweep counts + warm-start economics), recorded as
+# BENCH_PR5.json.
+bench-batch:
+	$(GO) run ./cmd/rtsebench -batch -out BENCH_PR5.json
+
 BENCH_PR2.json: qps
 
 BENCH_PR3.json: bench-lifecycle
+
+BENCH_PR5.json: bench-batch

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/experiments"
+	"repro/internal/obs"
+)
+
+// The PR-5 gate re-measures the batch-coalescing sweep ratio: N identical
+// same-slot queries issued independently vs the same N coalesced through the
+// core.Batcher. Unlike the throughput gate, sweep counts are deterministic —
+// they depend on the model and the convergence criterion, not on the clock —
+// so no machine calibration is needed and the gate is strict: the fresh ratio
+// must clear the recorded target (≥2×) AND stay within batchTol of the
+// recorded ratio, and the coalesced estimates must match the independent ones
+// within the recorded epsilon.
+
+// The workload constants mirror cmd/rtsebench's batch mode exactly.
+const (
+	pr5Budget = 25
+	pr5Theta  = 0.9
+	pr5Seed   = 7
+)
+
+// pr5Report is the subset of the BENCH_PR5.json schema the gate needs.
+type pr5Report struct {
+	BatchSize        int     `json:"batch_size"`
+	SweepRatio       float64 `json:"sweep_ratio"`
+	SweepRatioTarget float64 `json:"sweep_ratio_target"`
+	Epsilon          float64 `json:"epsilon"`
+}
+
+func loadPR5(path string) (*pr5Report, error) {
+	var r pr5Report
+	if err := loadJSON(path, &r); err != nil {
+		return nil, err
+	}
+	if r.BatchSize < 2 || r.SweepRatioTarget <= 0 || r.Epsilon <= 0 {
+		return nil, fmt.Errorf("%s: implausible baseline (batch_size=%d, target=%v, epsilon=%v)",
+			path, r.BatchSize, r.SweepRatioTarget, r.Epsilon)
+	}
+	return &r, nil
+}
+
+// measureSweepRatio replays the rtsebench -batch workload on the current tree
+// and returns the fresh sweep ratio plus the largest coalesced-vs-independent
+// estimate delta.
+func measureSweepRatio(env *experiments.Env, batchSize int) (ratio, maxDelta float64, err error) {
+	pool := crowd.PlaceEverywhere(env.Net)
+	truth := env.Truth(env.EvalDays[0])
+	mkReq := func() core.QueryRequest {
+		return core.QueryRequest{
+			Slot: env.Slot, Roads: env.Query, Budget: pr5Budget, Theta: pr5Theta,
+			Workers: pool, Truth: truth, Seed: pr5Seed,
+		}
+	}
+	fresh := func() (*core.System, *obs.Pipeline, error) {
+		sys, err := core.NewFromModel(env.Net, env.Sys.Model(), core.DefaultConfig())
+		if err != nil {
+			return nil, nil, err
+		}
+		pipe := obs.NewPipeline(obs.NewRegistry(), obs.SystemClock())
+		sys.Instrument(pipe)
+		return sys, pipe, nil
+	}
+
+	seqSys, seqPipe, err := fresh()
+	if err != nil {
+		return 0, 0, err
+	}
+	seqResults := make([]*core.QueryResult, batchSize)
+	for i := range seqResults {
+		if seqResults[i], err = seqSys.Query(mkReq()); err != nil {
+			return 0, 0, fmt.Errorf("sequential query %d: %w", i, err)
+		}
+	}
+	seqSweeps := seqPipe.GSP.Iterations.Value()
+
+	batSys, batPipe, err := fresh()
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := core.NewBatcher(batSys, core.BatcherOptions{
+		Window: 50 * time.Millisecond, MaxBatch: batchSize,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	batResults := make([]*core.QueryResult, batchSize)
+	errs := make([]error, batchSize)
+	var wg sync.WaitGroup
+	for i := 0; i < batchSize; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			batResults[i], errs[i] = b.Query(context.Background(), mkReq())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return 0, 0, fmt.Errorf("batched query %d: %w", i, err)
+		}
+	}
+	batSweeps := batPipe.GSP.Iterations.Value()
+	if batSweeps == 0 {
+		return 0, 0, fmt.Errorf("batched run recorded zero GSP sweeps")
+	}
+
+	for i, br := range batResults {
+		for r, want := range seqResults[i].QuerySpeeds {
+			got, ok := br.QuerySpeeds[r]
+			if !ok {
+				return 0, 0, fmt.Errorf("batched result %d missing road %d", i, r)
+			}
+			if d := math.Abs(got - want); d > maxDelta {
+				maxDelta = d
+			}
+		}
+	}
+	return float64(seqSweeps) / float64(batSweeps), maxDelta, nil
+}
+
+// compareSweepRatio gates the fresh coalescing ratio: it must clear the
+// recorded hard target and stay within a fractional tolerance of the recorded
+// ratio (a tree that still coalesces but amortizes far less has regressed the
+// warm-start/coalescing machinery even if it limps over the 2× bar).
+func compareSweepRatio(baseline, fresh, target, tol float64) error {
+	if fresh < target {
+		return fmt.Errorf("sweep-ratio regression: fresh %.2f× below the hard target %.2f×", fresh, target)
+	}
+	if floor := baseline * (1 - tol); fresh < floor {
+		return fmt.Errorf("sweep-ratio regression: fresh %.2f× below floor %.2f× (baseline %.2f×, tol %.0f%%)",
+			fresh, floor, baseline, tol*100)
+	}
+	return nil
+}
+
+// compareEstimateDelta gates equivalence: coalesced answers must match the
+// independent answers within the convergence epsilon.
+func compareEstimateDelta(maxDelta, epsilon float64) error {
+	if maxDelta > epsilon {
+		return fmt.Errorf("coalesced estimates diverge: max delta %.3e exceeds epsilon %.0e", maxDelta, epsilon)
+	}
+	return nil
+}
+
+// gatePR5 runs the whole PR-5 gate against one baseline file.
+func gatePR5(env *experiments.Env, pr5Path string, tol float64) error {
+	pr5, err := loadPR5(pr5Path)
+	if err != nil {
+		return err
+	}
+	ratio, maxDelta, err := measureSweepRatio(env, pr5.BatchSize)
+	if err != nil {
+		return err
+	}
+	verdict := compareSweepRatio(pr5.SweepRatio, ratio, pr5.SweepRatioTarget, tol)
+	fmt.Printf("benchguard: batch sweep ratio baseline %.1f×, fresh %.1f×, target %.1f× — %s\n",
+		pr5.SweepRatio, ratio, pr5.SweepRatioTarget, passFail(verdict == nil))
+	if verdict != nil {
+		return verdict
+	}
+	verdict = compareEstimateDelta(maxDelta, pr5.Epsilon)
+	fmt.Printf("benchguard: batch equivalence max delta %.2e, epsilon %.0e — %s\n",
+		maxDelta, pr5.Epsilon, passFail(verdict == nil))
+	return verdict
+}

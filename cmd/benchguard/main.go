@@ -1,16 +1,20 @@
 // Command benchguard is the perf-regression gate of the observability PR: it
-// re-measures the two checked-in performance baselines — the sharded-oracle
-// throughput sweep (BENCH_PR2.json) and the model-lifecycle latency suite
-// (BENCH_PR3.json) — with a short fresh run on the current tree and fails
-// (exit 1) when the fresh numbers regress past the tolerances.
+// re-measures the checked-in performance baselines — the sharded-oracle
+// throughput sweep (BENCH_PR2.json), the model-lifecycle latency suite
+// (BENCH_PR3.json) and the batch-coalescing sweep ratio (BENCH_PR5.json) —
+// with a short fresh run on the current tree and fails (exit 1) when the
+// fresh numbers regress past the tolerances.
 //
 // The throughput gate is strict (default: fail below 75% of the recorded
 // queries/s at the highest client count), because the qps harness is long
 // enough to be stable. The latency gate is deliberately loose (default: fail
 // only beyond 4× the recorded mean), because single-digit-millisecond
-// filesystem and swap latencies are noisy on shared machines.
+// filesystem and swap latencies are noisy on shared machines. The batch gate
+// is exact: GSP sweep counts are deterministic, so the fresh coalescing ratio
+// must clear the recorded ≥2× target and the coalesced estimates must match
+// independent ones within epsilon, on any machine.
 //
-//	benchguard -pr2 BENCH_PR2.json -pr3 BENCH_PR3.json
+//	benchguard -pr2 BENCH_PR2.json -pr3 BENCH_PR3.json -pr5 BENCH_PR5.json
 //	benchguard -tol 0.25 -lat-factor 4 -duration 1s -clients 16 -iters 6
 //
 // Wired into `make check` so a PR that quietly serializes the hot path or
@@ -48,6 +52,7 @@ func main() {
 	var (
 		pr2Path   = flag.String("pr2", "BENCH_PR2.json", "throughput baseline (qps sweep)")
 		pr3Path   = flag.String("pr3", "BENCH_PR3.json", "lifecycle latency baseline")
+		pr5Path   = flag.String("pr5", "BENCH_PR5.json", "batch-coalescing sweep-ratio baseline")
 		tol       = flag.Float64("tol", 0.25, "max tolerated fractional throughput loss")
 		latFactor = flag.Float64("lat-factor", 5.0, "max tolerated latency blowup factor")
 		duration  = flag.Duration("duration", time.Second, "fresh throughput run length per attempt")
@@ -57,13 +62,13 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*pr2Path, *pr3Path, *tol, *latFactor, *duration, *runs, *clients, *iters); err != nil {
+	if err := run(*pr2Path, *pr3Path, *pr5Path, *tol, *latFactor, *duration, *runs, *clients, *iters); err != nil {
 		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(pr2Path, pr3Path string, tol, latFactor float64, duration time.Duration, runs, clients, iters int) error {
+func run(pr2Path, pr3Path, pr5Path string, tol, latFactor float64, duration time.Duration, runs, clients, iters int) error {
 	pr2, err := loadPR2(pr2Path)
 	if err != nil {
 		return err
@@ -140,6 +145,12 @@ func run(pr2Path, pr3Path string, tol, latFactor float64, duration time.Duration
 			return verdict
 		}
 	}
+
+	// --- Batch-coalescing gate -------------------------------------------
+	if err := gatePR5(env, pr5Path, tol); err != nil {
+		return err
+	}
+
 	fmt.Println("benchguard: all gates passed")
 	return nil
 }
@@ -167,8 +178,8 @@ func bestOf(n int, f func() (float64, error)) (float64, error) {
 }
 
 // measureQPS mirrors rtsebench's qps drive: a fresh System (cold caches),
-// `clients` goroutines hammering SelectRoads with the slot-cycling
-// live-traffic pattern, for either oracle engine.
+// `clients` goroutines hammering Select with the slot-cycling live-traffic
+// pattern, for either oracle engine.
 func measureQPS(env *experiments.Env, engine string, clients int, duration time.Duration) (float64, error) {
 	cfg := core.DefaultConfig()
 	if engine == "legacy" {
@@ -196,7 +207,10 @@ func measureQPS(env *experiments.Env, engine string, clients int, duration time.
 			for !stop.Load() {
 				i := next.Add(1) - 1
 				slot := tslot.Slot(int(i/slotGroup) % slotCount * 6)
-				if _, err := sys.SelectRoads(slot, env.Query, workerRoads, budget, theta, core.Hybrid, i); err != nil {
+				if _, err := sys.Select(core.SelectRequest{
+					Slot: slot, Roads: env.Query, WorkerRoads: workerRoads,
+					Budget: budget, Theta: theta, Selector: core.Hybrid, Seed: i,
+				}); err != nil {
 					errs <- err
 					stop.Store(true)
 					return

@@ -71,6 +71,40 @@ func TestCompareLatency(t *testing.T) {
 	}
 }
 
+func TestCompareSweepRatio(t *testing.T) {
+	cases := []struct {
+		name                         string
+		baseline, fresh, target, tol float64
+		wantErr                      string
+	}{
+		{"exactly at baseline", 32, 32, 2, 0.25, ""},
+		{"improvement passes", 32, 40, 2, 0.25, ""},
+		{"within tolerance", 32, 24.5, 2, 0.25, ""},
+		{"at the floor passes", 32, 24, 2, 0.25, ""},
+		{"below the floor fails", 32, 23.9, 2, 0.25, "regression"},
+		{"hard target dominates", 2.1, 1.9, 2, 0.25, "hard target"},
+		{"barely over target but far under baseline", 32, 2.5, 2, 0.25, "regression"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := compareSweepRatio(tc.baseline, tc.fresh, tc.target, tc.tol)
+			checkVerdict(t, err, tc.wantErr)
+		})
+	}
+}
+
+func TestCompareEstimateDelta(t *testing.T) {
+	if err := compareEstimateDelta(0, 1e-3); err != nil {
+		t.Errorf("zero delta failed: %v", err)
+	}
+	if err := compareEstimateDelta(1e-3, 1e-3); err != nil {
+		t.Errorf("delta at epsilon failed: %v", err)
+	}
+	if err := compareEstimateDelta(1.1e-3, 1e-3); err == nil {
+		t.Error("delta above epsilon passed")
+	}
+}
+
 func checkVerdict(t *testing.T, err error, want string) {
 	t.Helper()
 	if want == "" {
@@ -162,6 +196,14 @@ func TestCheckedInBaselinesParse(t *testing.T) {
 		if v, ok := pr3.meanMS(op); !ok || v <= 0 {
 			t.Errorf("checked-in baseline op %s = %v, %v", op, v, ok)
 		}
+	}
+	pr5, err := loadPR5("../../BENCH_PR5.json")
+	if err != nil {
+		t.Fatalf("BENCH_PR5.json: %v", err)
+	}
+	if pr5.SweepRatio < pr5.SweepRatioTarget {
+		t.Errorf("checked-in sweep ratio %.2f below its own target %.2f",
+			pr5.SweepRatio, pr5.SweepRatioTarget)
 	}
 }
 

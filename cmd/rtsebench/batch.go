@@ -1,0 +1,241 @@
+// Batch mode: the PR-5 coalescing harness. It measures the tentpole
+// acceptance gate directly — a coalesced batch of N identical same-slot
+// queries must execute at least 2× fewer total GSP sweeps than N independent
+// Query calls, with estimates identical within the GSP epsilon — and writes
+// the result as BENCH_PR5.json. Sweep counts are read from the obs pipeline
+// counters, so the measurement is deterministic (no wall-clock dependence)
+// and benchguard -pr5 can re-derive it on any machine.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/experiments"
+	"repro/internal/obs"
+)
+
+const (
+	batchBudget = 25
+	batchTheta  = 0.9
+	batchSeed   = 7
+)
+
+// batchReport is the BENCH_PR5.json schema.
+type batchReport struct {
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Roads     int     `json:"roads"`
+	Days      int     `json:"days"`
+	Slot      int     `json:"slot"`
+	QuerySize int     `json:"query_size"`
+	Budget    int     `json:"budget"`
+	Theta     float64 `json:"theta"`
+	BatchSize int     `json:"batch_size"`
+
+	// Sweep economics: total GSP sweeps for batch_size independent Query
+	// calls vs the same queries coalesced through the Batcher.
+	SequentialSweeps uint64  `json:"sequential_sweeps"`
+	BatchedSweeps    uint64  `json:"batched_sweeps"`
+	SweepRatio       float64 `json:"sweep_ratio"`
+	BatchGroups      uint64  `json:"batch_groups"`
+	BatchMembers     uint64  `json:"batch_members"`
+	CoalescedQueries uint64  `json:"coalesced_queries"`
+
+	// Warm-start economics: an incremental re-estimate after a one-road
+	// observation change, seeded from the previous field.
+	WarmStarts      uint64 `json:"warm_starts"`
+	WarmSweepsSaved uint64 `json:"warm_sweeps_saved"`
+	ColdIterations  int    `json:"cold_iterations"`
+	WarmIterations  int    `json:"warm_iterations"`
+
+	// Equivalence: the largest |batched − sequential| estimate delta over all
+	// members and roads, which must stay within epsilon.
+	MaxEstimateDelta float64 `json:"max_estimate_delta"`
+	Epsilon          float64 `json:"epsilon"`
+
+	SweepRatioTarget float64 `json:"sweep_ratio_target"`
+	TargetAchieved   bool    `json:"target_achieved"`
+}
+
+// batchInstrumented builds a fresh System over the env's trained model with a
+// zeroed pipeline, so each measurement starts from cold counters and caches.
+func batchInstrumented(env *experiments.Env) (*core.System, *obs.Pipeline, error) {
+	sys, err := core.NewFromModel(env.Net, env.Sys.Model(), core.DefaultConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	pipe := obs.NewPipeline(obs.NewRegistry(), obs.SystemClock())
+	sys.Instrument(pipe)
+	return sys, pipe, nil
+}
+
+// runBatch executes the coalescing measurement and writes the JSON report.
+func runBatch(paper bool, batchSize int, outPath string) error {
+	if batchSize < 2 {
+		return fmt.Errorf("-batch-size must be ≥ 2, got %d", batchSize)
+	}
+	opt := experiments.Small()
+	if paper {
+		opt = experiments.Paper()
+	}
+	env, err := experiments.NewEnv(opt)
+	if err != nil {
+		return err
+	}
+	pool := crowd.PlaceEverywhere(env.Net)
+	slot := env.Slot
+	truth := env.Truth(env.EvalDays[0])
+	mkReq := func() core.QueryRequest {
+		return core.QueryRequest{
+			Slot: slot, Roads: env.Query, Budget: batchBudget, Theta: batchTheta,
+			Workers: pool, Truth: truth, Seed: batchSeed,
+		}
+	}
+
+	rep := batchReport{
+		Generated:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:        runtime.Version(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Roads:            opt.Roads,
+		Days:             opt.Days,
+		Slot:             int(slot),
+		QuerySize:        len(env.Query),
+		Budget:           batchBudget,
+		Theta:            batchTheta,
+		BatchSize:        batchSize,
+		Epsilon:          core.DefaultConfig().GSP.Epsilon,
+		SweepRatioTarget: 2.0,
+	}
+
+	// Sequential: batchSize independent Query calls, each paying its own
+	// OCS + probe + full GSP propagation.
+	seqSys, seqPipe, err := batchInstrumented(env)
+	if err != nil {
+		return err
+	}
+	seqResults := make([]*core.QueryResult, batchSize)
+	for i := range seqResults {
+		if seqResults[i], err = seqSys.Query(mkReq()); err != nil {
+			return fmt.Errorf("sequential query %d: %w", i, err)
+		}
+	}
+	rep.SequentialSweeps = seqPipe.GSP.Iterations.Value()
+
+	// Batched: the same queries arriving concurrently through the Batcher,
+	// which coalesces them into shared same-slot passes.
+	batSys, batPipe, err := batchInstrumented(env)
+	if err != nil {
+		return err
+	}
+	b, err := core.NewBatcher(batSys, core.BatcherOptions{
+		Window: 50 * time.Millisecond, MaxBatch: batchSize,
+	})
+	if err != nil {
+		return err
+	}
+	batResults := make([]*core.QueryResult, batchSize)
+	errs := make([]error, batchSize)
+	var wg sync.WaitGroup
+	for i := 0; i < batchSize; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			batResults[i], errs[i] = b.Query(context.Background(), mkReq())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("batched query %d: %w", i, err)
+		}
+	}
+	rep.BatchedSweeps = batPipe.GSP.Iterations.Value()
+	rep.BatchGroups = batPipe.Batch.Groups.Value()
+	rep.BatchMembers = batPipe.Batch.Members.Value()
+	rep.CoalescedQueries = batPipe.Batch.Coalesced.Value()
+	if rep.BatchedSweeps > 0 {
+		rep.SweepRatio = float64(rep.SequentialSweeps) / float64(rep.BatchedSweeps)
+	}
+
+	// Equivalence: every batched member must agree with its sequential twin
+	// within epsilon on every requested road.
+	for i, br := range batResults {
+		for r, want := range seqResults[i].QuerySpeeds {
+			got, ok := br.QuerySpeeds[r]
+			if !ok {
+				return fmt.Errorf("batched result %d missing road %d", i, r)
+			}
+			if d := math.Abs(got - want); d > rep.MaxEstimateDelta {
+				rep.MaxEstimateDelta = d
+			}
+		}
+	}
+
+	// Warm-start: estimate cold, perturb one observed road, re-estimate. The
+	// second pass seeds from the first field and resweeps only the dirty
+	// frontier.
+	warmSys, warmPipe, err := batchInstrumented(env)
+	if err != nil {
+		return err
+	}
+	wb, err := core.NewBatcher(warmSys, core.BatcherOptions{})
+	if err != nil {
+		return err
+	}
+	obsA := map[int]float64{}
+	for r := 0; r < env.Net.N(); r += 6 {
+		obsA[r] = truth(r)
+	}
+	cold, err := wb.Estimate(context.Background(), slot, obsA)
+	if err != nil {
+		return err
+	}
+	obsB := make(map[int]float64, len(obsA))
+	for r, v := range obsA {
+		obsB[r] = v
+	}
+	obsB[0] += 4
+	warm, err := wb.Estimate(context.Background(), slot, obsB)
+	if err != nil {
+		return err
+	}
+	rep.ColdIterations = cold.Iterations
+	rep.WarmIterations = warm.Iterations
+	rep.WarmStarts = warmPipe.GSP.WarmStarts.Value()
+	rep.WarmSweepsSaved = warmPipe.GSP.SweepsSaved.Value()
+
+	rep.TargetAchieved = rep.SweepRatio >= rep.SweepRatioTarget &&
+		rep.MaxEstimateDelta <= rep.Epsilon
+
+	fmt.Printf("batch: %d same-slot queries  sequential %d sweeps  coalesced %d sweeps  ratio %.1f× (target ≥ %.1f×)\n",
+		batchSize, rep.SequentialSweeps, rep.BatchedSweeps, rep.SweepRatio, rep.SweepRatioTarget)
+	fmt.Printf("batch: groups=%d members=%d coalesced=%d  max estimate delta %.2e (ε=%.0e)\n",
+		rep.BatchGroups, rep.BatchMembers, rep.CoalescedQueries, rep.MaxEstimateDelta, rep.Epsilon)
+	fmt.Printf("batch: warm-start cold=%d warm=%d sweeps (saved %d, warm starts %d)\n",
+		rep.ColdIterations, rep.WarmIterations, rep.WarmSweepsSaved, rep.WarmStarts)
+	if !rep.TargetAchieved {
+		fmt.Println("batch: WARNING target not achieved")
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("batch: wrote %s\n", outPath)
+	return nil
+}

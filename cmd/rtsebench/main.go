@@ -16,6 +16,13 @@
 // latency, and the full refit drill, written as BENCH_PR3.json:
 //
 //	rtsebench -lifecycle [-lifecycle-iters 20] [-out BENCH_PR3.json]
+//
+// The -batch flag measures the PR-5 coalescing engine instead: total GSP
+// sweeps for N independent same-slot queries vs the same N coalesced through
+// the core.Batcher (plus the incremental warm-start economics), written as
+// BENCH_PR5.json:
+//
+//	rtsebench -batch [-batch-size 32] [-out BENCH_PR5.json]
 package main
 
 import (
@@ -39,8 +46,21 @@ func main() {
 	qpsClients := flag.String("qps-clients", "1,4,16", "comma-separated concurrent client counts")
 	lifecycle := flag.Bool("lifecycle", false, "run the model-lifecycle latency harness instead of the experiment suite")
 	lifecycleIters := flag.Int("lifecycle-iters", 20, "samples per lifecycle operation")
-	out := flag.String("out", "", "output path for the -qps / -lifecycle JSON report (defaults per mode)")
+	batch := flag.Bool("batch", false, "run the batch-coalescing sweep harness instead of the experiment suite")
+	batchSize := flag.Int("batch-size", 32, "same-slot queries per coalesced batch")
+	out := flag.String("out", "", "output path for the -qps / -lifecycle / -batch JSON report (defaults per mode)")
 	flag.Parse()
+	if *batch {
+		path := *out
+		if path == "" {
+			path = "BENCH_PR5.json"
+		}
+		if err := runBatch(*paper, *batchSize, path); err != nil {
+			fmt.Fprintln(os.Stderr, "rtsebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *lifecycle {
 		path := *out
 		if path == "" {

@@ -142,7 +142,7 @@ func runQPS(paper bool, duration time.Duration, clientCounts []int, outPath stri
 	return nil
 }
 
-// qpsDrive hammers sys.SelectRoads from `clients` goroutines for roughly
+// qpsDrive hammers sys.Select from `clients` goroutines for roughly
 // `duration`, advancing the slot every qpsSlotGroup queries across
 // qpsSlotCount distinct slots — the live-traffic pattern where every client
 // asks about "now" and now keeps moving.
@@ -159,7 +159,10 @@ func qpsDrive(sys *core.System, query, workerRoads []int, clients int, duration 
 			for !stop.Load() {
 				i := next.Add(1) - 1
 				slot := tslot.Slot(int(i/qpsSlotGroup) % qpsSlotCount * 6)
-				if _, err := sys.SelectRoads(slot, query, workerRoads, qpsBudget, qpsTheta, core.Hybrid, i); err != nil {
+				if _, err := sys.Select(core.SelectRequest{
+					Slot: slot, Roads: query, WorkerRoads: workerRoads,
+					Budget: qpsBudget, Theta: qpsTheta, Selector: core.Hybrid, Seed: i,
+				}); err != nil {
 					errs <- err
 					stop.Store(true)
 					return

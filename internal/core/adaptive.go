@@ -104,7 +104,10 @@ func (s *System) queryAdaptiveCtx(ctx context.Context, pipe *obs.Pipeline, req Q
 		if stageBudget <= 0 {
 			continue
 		}
-		sol, err := s.selectRoadsState(ctx, st, req.Slot, req.Roads, workerRoads, stageBudget, req.Theta, req.Selector, req.Seed)
+		sol, err := s.selectState(ctx, st, SelectRequest{
+			Slot: req.Slot, Roads: req.Roads, WorkerRoads: workerRoads,
+			Budget: stageBudget, Theta: req.Theta, Selector: req.Selector, Seed: req.Seed,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("core: OCS stage %d: %w", stage, err)
 		}

@@ -273,20 +273,55 @@ func (s Selector) String() string {
 	}
 }
 
-// SelectRoads solves OCS for the given query at slot t. Before the solve it
-// pre-warms the slot oracle's query rows (the greedy correlation table)
-// through the parallel warm pool — and the worker rows too when
-// Config.PrewarmWorkers is set — so concurrent queries sharing a slot find
-// the rows resident instead of recomputing them.
-func (s *System) SelectRoads(t tslot.Slot, query, workerRoads []int, budget int, theta float64, sel Selector, seed int64) (ocs.Solution, error) {
-	return s.selectRoadsState(context.Background(), s.current(), t, query, workerRoads, budget, theta, sel, seed)
+// SelectRequest is one OCS road-selection request — the struct form of the
+// legacy positional SelectRoads signature, mirroring QueryRequest so the two
+// public entry points read the same.
+type SelectRequest struct {
+	Slot  tslot.Slot
+	Roads []int // R^q, the queried roads
+	// WorkerRoads is R^w, the roads currently covered by at least one
+	// worker (Pool.Roads()).
+	WorkerRoads []int
+	Budget      int // K
+	Theta       float64
+	// Selector picks the OCS algorithm (default Hybrid).
+	Selector Selector
+	// Seed drives the Random selector.
+	Seed int64
 }
 
-// selectRoadsState is SelectRoads pinned to one model state, so a query's
-// OCS solve and GSP propagation cannot straddle a hot-swap. A trace attached
-// to ctx receives an "ocs_select" span; the solve itself counts into the
+// Select solves OCS for the request. Before the solve it pre-warms the slot
+// oracle's query rows (the greedy correlation table) through the parallel
+// warm pool — and the worker rows too when Config.PrewarmWorkers is set — so
+// concurrent queries sharing a slot find the rows resident instead of
+// recomputing them.
+func (s *System) Select(req SelectRequest) (ocs.Solution, error) {
+	return s.SelectCtx(context.Background(), req)
+}
+
+// SelectCtx is Select under a context: a trace attached to ctx receives an
+// "ocs_select" span.
+func (s *System) SelectCtx(ctx context.Context, req SelectRequest) (ocs.Solution, error) {
+	return s.selectState(ctx, s.current(), req)
+}
+
+// SelectRoads solves OCS with positional arguments.
+//
+// Deprecated: use Select / SelectCtx with a SelectRequest. This wrapper is
+// kept so pre-PR-5 callers compile unchanged; it forwards verbatim.
+func (s *System) SelectRoads(t tslot.Slot, query, workerRoads []int, budget int, theta float64, sel Selector, seed int64) (ocs.Solution, error) {
+	return s.Select(SelectRequest{
+		Slot: t, Roads: query, WorkerRoads: workerRoads,
+		Budget: budget, Theta: theta, Selector: sel, Seed: seed,
+	})
+}
+
+// selectState is SelectCtx pinned to one model state, so a query's OCS solve
+// and GSP propagation cannot straddle a hot-swap. The solve counts into the
 // attached instrument set via ocs.Problem.Metrics.
-func (s *System) selectRoadsState(ctx context.Context, st *modelState, t tslot.Slot, query, workerRoads []int, budget int, theta float64, sel Selector, seed int64) (ocs.Solution, error) {
+func (s *System) selectState(ctx context.Context, st *modelState, req SelectRequest) (ocs.Solution, error) {
+	t, query, workerRoads := req.Slot, req.Roads, req.WorkerRoads
+	budget, theta, sel, seed := req.Budget, req.Theta, req.Selector, req.Seed
 	tr := obs.FromContext(ctx)
 	var spanStart time.Time
 	if tr != nil {
@@ -351,8 +386,19 @@ func (s *System) EstimateCtx(ctx context.Context, t tslot.Slot, observed map[int
 // counts into the attached instrument set and records a "gsp" span on any
 // trace carried by ctx.
 func (s *System) estimateState(ctx context.Context, st *modelState, t tslot.Slot, observed map[int]float64) (gsp.Result, error) {
+	return s.estimateStateWarm(ctx, st, t, observed, nil)
+}
+
+// estimateStateWarm is estimateState with an optional warm-start seed: when
+// initial is a previous full-network estimate, GSP runs the incremental
+// dirty-frontier engine (gsp.Options.WithInitial) instead of a cold pass.
+// The Batcher threads its per-slot previous results through here.
+func (s *System) estimateStateWarm(ctx context.Context, st *modelState, t tslot.Slot, observed map[int]float64, initial *gsp.Result) (gsp.Result, error) {
 	opt := s.cfg.GSP
 	opt.Metrics = &s.Obs().GSP
+	if initial != nil && len(initial.Speeds) == s.net.N() {
+		opt = opt.WithInitial(*initial)
+	}
 	return gsp.PropagateCtx(ctx, s.net, st.model.At(t), observed, opt)
 }
 
@@ -414,6 +460,16 @@ func (s *System) QueryCtx(ctx context.Context, req QueryRequest) (*QueryResult, 
 }
 
 func (s *System) queryCtx(ctx context.Context, pipe *obs.Pipeline, req QueryRequest) (*QueryResult, error) {
+	// Pin one model generation for the whole query: selection and
+	// propagation must see the same parameters even if a hot-swap lands
+	// mid-query (RCU — the swap retires this state only after we drop it).
+	return s.queryStateWarm(ctx, pipe, s.current(), req, nil)
+}
+
+// queryStateWarm is the shared online pipeline body: OCS → probe → GSP,
+// pinned to one model state, optionally seeding GSP with a previous
+// full-network estimate (the Batcher's warm-start path).
+func (s *System) queryStateWarm(ctx context.Context, pipe *obs.Pipeline, st *modelState, req QueryRequest, initial *gsp.Result) (*QueryResult, error) {
 	if req.Workers == nil {
 		return nil, fmt.Errorf("core: query without a worker pool")
 	}
@@ -428,11 +484,10 @@ func (s *System) queryCtx(ctx context.Context, pipe *obs.Pipeline, req QueryRequ
 		probeCfg.Seed = req.Seed
 	}
 
-	// Pin one model generation for the whole query: selection and
-	// propagation must see the same parameters even if a hot-swap lands
-	// mid-query (RCU — the swap retires this state only after we drop it).
-	st := s.current()
-	sol, err := s.selectRoadsState(ctx, st, req.Slot, req.Roads, req.Workers.Roads(), req.Budget, req.Theta, req.Selector, req.Seed)
+	sol, err := s.selectState(ctx, st, SelectRequest{
+		Slot: req.Slot, Roads: req.Roads, WorkerRoads: req.Workers.Roads(),
+		Budget: req.Budget, Theta: req.Theta, Selector: req.Selector, Seed: req.Seed,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: OCS: %w", err)
 	}
@@ -464,7 +519,7 @@ func (s *System) queryCtx(ctx context.Context, pipe *obs.Pipeline, req QueryRequ
 	if len(probed) == 0 {
 		pipe.QueryDegraded.Inc()
 	}
-	prop, err := s.estimateState(ctx, st, req.Slot, probed)
+	prop, err := s.estimateStateWarm(ctx, st, req.Slot, probed, initial)
 	if err != nil {
 		return nil, fmt.Errorf("core: GSP: %w", err)
 	}

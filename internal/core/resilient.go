@@ -156,7 +156,11 @@ func (s *System) queryResilient(ctx context.Context, pipe *obs.Pipeline, req Que
 		if len(cands) == 0 || ledger.Remaining() <= 0 || minCost > ledger.Remaining() {
 			break
 		}
-		sol, err := s.selectRoadsState(ctx, st, req.Slot, req.Roads, cands, ledger.Remaining(), req.Theta, req.Selector, req.Seed+int64(round-1))
+		sol, err := s.selectState(ctx, st, SelectRequest{
+			Slot: req.Slot, Roads: req.Roads, WorkerRoads: cands,
+			Budget: ledger.Remaining(), Theta: req.Theta,
+			Selector: req.Selector, Seed: req.Seed + int64(round-1),
+		})
 		if err != nil {
 			if round == 1 {
 				return nil, fmt.Errorf("core: OCS: %w", err)

@@ -1,0 +1,226 @@
+// Subscription: standing queries over the batch engine (PR 5). A realtime
+// dashboard doesn't ask once — it keeps asking "what are the speeds on these
+// roads right now?" as crowd reports stream in. A Subscription holds that
+// question open and re-estimates incrementally: each refresh pulls the slot's
+// current observations from the source (typically a stream.Collector),
+// compares them with the last refresh, and — only when they changed —
+// re-propagates through the Batcher's warm-started GSP path, so the sweep
+// cost is proportional to how much the field actually moved, not to the size
+// of the network.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/gsp"
+	"repro/internal/tslot"
+)
+
+// ObservationSource feeds a Subscription with the current per-road
+// observations for a slot. *stream.Collector satisfies it (robust per-road
+// aggregates of the crowd reports received so far); tests use map-backed
+// stubs.
+type ObservationSource interface {
+	Observations(t tslot.Slot) map[int]float64
+}
+
+// SubscriptionOptions configures a standing query.
+type SubscriptionOptions struct {
+	// Interval, when positive, starts a background goroutine that refreshes
+	// the subscription on this period and delivers changed estimates on
+	// Updates(). Zero leaves the subscription in manual mode: the caller
+	// drives it with Refresh.
+	Interval time.Duration
+}
+
+// SubscriptionUpdate is one delivered re-estimate.
+type SubscriptionUpdate struct {
+	Slot tslot.Slot
+	// Seq increments per delivered update, starting at 1.
+	Seq uint64
+	// Speeds maps each subscribed road to its fresh estimate.
+	Speeds map[int]float64
+	// Observed is how many roads carried observations this refresh.
+	Observed int
+	// Result is the full propagation diagnostics (WarmStarted, SweepsSaved,
+	// Iterations) of the refresh that produced this update.
+	Result gsp.Result
+}
+
+// Subscription is a standing query: a fixed (slot, roads) question that
+// re-answers itself as the observation source accumulates reports. Safe for
+// concurrent use.
+type Subscription struct {
+	b      *Batcher
+	slot   tslot.Slot
+	roads  []int
+	source ObservationSource
+	opt    SubscriptionOptions
+
+	mu      sync.Mutex
+	last    map[int]float64 // observations behind the latest estimate
+	seq     uint64
+	closed  bool
+	updates chan SubscriptionUpdate
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// Subscribe opens a standing query for roads at slot t, fed by source. With
+// Interval > 0 a background ticker refreshes it automatically; otherwise the
+// caller drives it via Refresh. Close releases the ticker.
+func (b *Batcher) Subscribe(t tslot.Slot, roads []int, source ObservationSource, opt SubscriptionOptions) (*Subscription, error) {
+	if !t.Valid() {
+		return nil, fmt.Errorf("core: invalid slot %d", t)
+	}
+	if source == nil {
+		return nil, fmt.Errorf("core: subscription without an observation source")
+	}
+	n := b.sys.net.N()
+	if len(roads) == 0 {
+		return nil, fmt.Errorf("core: subscription without roads")
+	}
+	for _, r := range roads {
+		if r < 0 || r >= n {
+			return nil, fmt.Errorf("core: subscribed road %d out of range", r)
+		}
+	}
+	sub := &Subscription{
+		b:       b,
+		slot:    t,
+		roads:   append([]int(nil), roads...),
+		source:  source,
+		opt:     opt,
+		updates: make(chan SubscriptionUpdate, 16),
+		stop:    make(chan struct{}),
+	}
+	if opt.Interval > 0 {
+		sub.wg.Add(1)
+		go sub.loop()
+	}
+	return sub, nil
+}
+
+// Slot returns the subscribed slot.
+func (s *Subscription) Slot() tslot.Slot { return s.slot }
+
+// Roads returns the subscribed roads (a copy).
+func (s *Subscription) Roads() []int { return append([]int(nil), s.roads...) }
+
+// Updates delivers automatic refreshes (Interval mode) and forced manual
+// ones. The channel is buffered; when a slow consumer falls 16 updates
+// behind, older updates are dropped in favor of newer ones (a dashboard wants
+// the current field, not the history). The channel closes on Close.
+func (s *Subscription) Updates() <-chan SubscriptionUpdate { return s.updates }
+
+// Refresh re-estimates the standing query now. When the source's observations
+// for the slot are unchanged since the last refresh and force is false, no
+// propagation runs and ok is false. Otherwise the estimate re-runs through
+// the Batcher's warm-started path and the fresh update is returned (and, in
+// Interval mode, also delivered on Updates).
+func (s *Subscription) Refresh(ctx context.Context, force bool) (SubscriptionUpdate, bool, error) {
+	obs := s.source.Observations(s.slot)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return SubscriptionUpdate{}, false, fmt.Errorf("core: subscription closed")
+	}
+	if !force && sameObservations(s.last, obs) && s.seq > 0 {
+		s.mu.Unlock()
+		return SubscriptionUpdate{}, false, nil
+	}
+	s.mu.Unlock()
+
+	res, err := s.b.Estimate(ctx, s.slot, obs)
+	if err != nil {
+		return SubscriptionUpdate{}, false, err
+	}
+	speeds := make(map[int]float64, len(s.roads))
+	for _, r := range s.roads {
+		speeds[r] = res.Speeds[r]
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return SubscriptionUpdate{}, false, fmt.Errorf("core: subscription closed")
+	}
+	s.last = obs
+	s.seq++
+	up := SubscriptionUpdate{
+		Slot:     s.slot,
+		Seq:      s.seq,
+		Speeds:   speeds,
+		Observed: len(obs),
+		Result:   res,
+	}
+	s.mu.Unlock()
+	return up, true, nil
+}
+
+// deliver pushes an update, dropping the oldest buffered one when the
+// consumer lags.
+func (s *Subscription) deliver(up SubscriptionUpdate) {
+	for {
+		select {
+		case s.updates <- up:
+			return
+		default:
+			select {
+			case <-s.updates: // drop oldest
+			default:
+			}
+		}
+	}
+}
+
+// loop is the Interval-mode ticker.
+func (s *Subscription) loop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.opt.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			up, ok, err := s.Refresh(context.Background(), false)
+			if err == nil && ok {
+				s.deliver(up)
+			}
+		}
+	}
+}
+
+// Close stops the background refresher (if any) and closes Updates. It is
+// idempotent.
+func (s *Subscription) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+	close(s.updates)
+}
+
+// sameObservations reports whether two observation maps are identical.
+func sameObservations(a, b map[int]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for r, v := range a {
+		w, ok := b[r]
+		if !ok || w != v {
+			return false
+		}
+	}
+	return true
+}

@@ -180,7 +180,10 @@ func Figure2(opt Options, budgets []int) ([]Fig2Row, error) {
 		for _, k := range budgets {
 			row := Fig2Row{CostRange: cr.name, Budget: k}
 			for _, sel := range []core.Selector{core.Hybrid, core.Ratio, core.Objective} {
-				sol, err := env.Sys.SelectRoads(env.Slot, env.Query, pool.Roads(), k, 0.92, sel, env.Seed)
+				sol, err := env.Sys.Select(core.SelectRequest{
+					Slot: env.Slot, Roads: env.Query, WorkerRoads: pool.Roads(),
+					Budget: k, Theta: 0.92, Selector: sel, Seed: env.Seed,
+				})
 				if err != nil {
 					return nil, err
 				}
@@ -320,7 +323,10 @@ func TableIII(env *Env, budgets []int) ([]TableIIIRow, error) {
 	var rows []TableIIIRow
 	for _, sel := range []core.Selector{core.Objective, core.RandomSel, core.Hybrid} {
 		for _, k := range budgets {
-			sol, err := env.Sys.SelectRoads(env.Slot, env.Query, pool.Roads(), k, 0.92, sel, env.Seed)
+			sol, err := env.Sys.Select(core.SelectRequest{
+				Slot: env.Slot, Roads: env.Query, WorkerRoads: pool.Roads(),
+				Budget: k, Theta: 0.92, Selector: sel, Seed: env.Seed,
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -354,7 +360,10 @@ func Figure4a(env *Env, budgets []int) ([]Fig4aRow, error) {
 		row := Fig4aRow{Budget: k}
 		for _, sel := range []core.Selector{core.Hybrid, core.Ratio, core.Objective} {
 			start := time.Now()
-			if _, err := env.Sys.SelectRoads(env.Slot, env.Query, pool.Roads(), k, 0.92, sel, env.Seed); err != nil {
+			if _, err := env.Sys.Select(core.SelectRequest{
+				Slot: env.Slot, Roads: env.Query, WorkerRoads: pool.Roads(),
+				Budget: k, Theta: 0.92, Selector: sel, Seed: env.Seed,
+			}); err != nil {
 				return nil, err
 			}
 			el := time.Since(start)
@@ -486,7 +495,10 @@ func Figure6(opt Options, budgets []int) ([]Fig6Row, error) {
 	for _, k := range budgets {
 		sums := map[string][2]float64{}
 		for _, day := range env.EvalDays {
-			sol, err := env.Sys.SelectRoads(env.Slot, env.Query, pool.Roads(), k, 0.92, core.Hybrid, env.Seed)
+			sol, err := env.Sys.Select(core.SelectRequest{
+				Slot: env.Slot, Roads: env.Query, WorkerRoads: pool.Roads(),
+				Budget: k, Theta: 0.92, Selector: core.Hybrid, Seed: env.Seed,
+			})
 			if err != nil {
 				return nil, err
 			}

@@ -49,6 +49,17 @@ type Options struct {
 	// count changes. Must have one entry per road.
 	WarmStart []float64
 
+	// Initial, when non-nil, runs incremental delta propagation: the engine
+	// seeds from the previous Result's field, diffs the new observations
+	// against the ones that produced it, and sweeps only a dirty frontier
+	// that grows breadth-first from the changed roads. Once the frontier
+	// quiesces, full verification sweeps apply the exact cold-run convergence
+	// criterion (max change < Epsilon), so the returned field matches a cold
+	// run within Epsilon while the sweeps stay proportional to how much the
+	// observations actually moved. Set via WithInitial; takes precedence over
+	// WarmStart. Initial.Speeds must cover every road of the network.
+	Initial *Result
+
 	// Metrics, when non-nil, receives the propagation counters (runs,
 	// sweeps, convergence/abort outcomes, latency). All obs instruments are
 	// nil-safe, so a partially wired set is fine.
@@ -58,6 +69,14 @@ type Options struct {
 // DefaultOptions mirrors the experimental setup.
 func DefaultOptions() Options {
 	return Options{Epsilon: 1e-3, MaxIters: 200}
+}
+
+// WithInitial returns a copy of the options that warm-starts propagation
+// from a previous run's result (see Options.Initial). prev is captured by
+// value, so the caller's Result may be reused freely.
+func (o Options) WithInitial(prev Result) Options {
+	o.Initial = &prev
+	return o
 }
 
 // Result is the inferred speed field plus convergence diagnostics.
@@ -72,6 +91,18 @@ type Result struct {
 	// only improves the slot likelihood, so a partial result is still the
 	// best estimate available at the deadline).
 	Aborted bool
+
+	// Observed is a copy of the observation map the run pinned (road →
+	// probed speed). A later run seeded from this result (WithInitial)
+	// diffs its own observations against it to find the dirty frontier.
+	Observed map[int]float64
+
+	// WarmStarted reports that this run was seeded from a previous estimate
+	// (Options.Initial); SweepsSaved is the seeding estimate's sweep count
+	// minus this run's — how much the warm start amortized, measured against
+	// the run that produced the seed (0 when warm-starting did not help).
+	WarmStarted bool
+	SweepsSaved int
 
 	// SD is a per-road uncertainty proxy: the standard deviation implied by
 	// the conditional precision of Eq. (18), 1/σ_i² + Σ_j 1/σ_ij², with a
@@ -140,12 +171,19 @@ func PropagateCtx(ctx context.Context, net *network.Network, view rtf.View, obse
 
 	// Initialization (Alg. 5 line 2), optionally from a previous field.
 	speeds := make([]float64, n)
-	if opt.WarmStart != nil {
+	warm := opt.Initial
+	switch {
+	case warm != nil:
+		if len(warm.Speeds) != n {
+			return Result{}, fmt.Errorf("gsp: initial field covers %d roads, network has %d", len(warm.Speeds), n)
+		}
+		copy(speeds, warm.Speeds)
+	case opt.WarmStart != nil:
 		if len(opt.WarmStart) != n {
 			return Result{}, fmt.Errorf("gsp: warm start covers %d roads, network has %d", len(opt.WarmStart), n)
 		}
 		copy(speeds, opt.WarmStart)
-	} else {
+	default:
 		copy(speeds, view.Mu)
 	}
 	for r, v := range observed {
@@ -154,7 +192,27 @@ func PropagateCtx(ctx context.Context, net *network.Network, view rtf.View, obse
 
 	// BFT scheduling (Alg. 5 line 3).
 	layers, _ := net.Graph().Layers(sources)
-	res := Result{Speeds: speeds}
+	if warm != nil {
+		// Roads no sweep can reach from the new observation set would keep
+		// stale warm values forever (they are outside every layer); a cold
+		// run leaves them at μ — the fixed point of an unobserved component.
+		// Reset them so warm and cold agree there exactly.
+		inSweep := make([]bool, n)
+		for _, r := range sources {
+			inSweep[r] = true
+		}
+		for _, layer := range layers {
+			for _, i := range layer {
+				inSweep[i] = true
+			}
+		}
+		for i := 0; i < n; i++ {
+			if !inSweep[i] {
+				speeds[i] = view.Mu[i]
+			}
+		}
+	}
+	res := Result{Speeds: speeds, WarmStarted: warm != nil, Observed: copyObserved(observed)}
 	if len(layers) == 0 {
 		// No propagation targets: everything is either probed or unreachable.
 		res.Converged = true
@@ -168,7 +226,36 @@ func PropagateCtx(ctx context.Context, net *network.Network, view rtf.View, obse
 		eng.prepareParallel(layers, opt.Workers)
 	}
 
-	for iter := 0; iter < opt.MaxIters; iter++ {
+	// Phase 1 (warm runs only): delta propagation over the dirty frontier.
+	// Only roads near a changed observation are updated; each sweep lets the
+	// frontier grow one ring wherever a value actually moved by ≥ ε.
+	if warm != nil {
+		if active, any := eng.activate(warm.Observed, observed); any {
+			for res.Iterations < opt.MaxIters {
+				select {
+				case <-ctx.Done():
+					res.Aborted = true
+				default:
+				}
+				if res.Aborted {
+					break
+				}
+				maxDelta := eng.sweepFrontier(layers, active, opt.Epsilon)
+				res.Iterations++
+				res.MaxDelta = maxDelta
+				if maxDelta < opt.Epsilon {
+					break
+				}
+			}
+		}
+	}
+
+	// Phase 2: full sweeps until the cold-run convergence criterion holds.
+	// For cold runs this is the whole algorithm; for warm runs the first
+	// full sweep doubles as verification that the quiesced frontier really
+	// reached the global fixed point — if it did not, the loop simply keeps
+	// sweeping, so warm and cold runs satisfy the identical ε criterion.
+	for !res.Aborted && res.Iterations < opt.MaxIters {
 		select {
 		case <-ctx.Done():
 			res.Aborted = true
@@ -183,16 +270,31 @@ func PropagateCtx(ctx context.Context, net *network.Network, view rtf.View, obse
 		} else {
 			maxDelta = eng.sweepSequential(layers)
 		}
-		res.Iterations = iter + 1
+		res.Iterations++
 		res.MaxDelta = maxDelta
 		if maxDelta < opt.Epsilon {
 			res.Converged = true
 			break
 		}
 	}
+	if warm != nil && res.Converged {
+		if saved := warm.Iterations - res.Iterations; saved > 0 {
+			res.SweepsSaved = saved
+		}
+	}
 	res.SD = computeSD(net, view, observed, layers)
 	observeGSP(m, tr, clock, start, &res, len(observed))
 	return res, nil
+}
+
+// copyObserved snapshots the observation map into the Result so a later
+// warm-started run can diff against it even if the caller mutates its map.
+func copyObserved(observed map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(observed))
+	for r, v := range observed {
+		out[r] = v
+	}
+	return out
 }
 
 // observeGSP records one successful propagation into the metrics set and the
@@ -208,6 +310,10 @@ func observeGSP(m *obs.GSPMetrics, tr *obs.Trace, clock obs.Clock, start time.Ti
 		if res.Aborted {
 			m.Aborted.Inc()
 		}
+		if res.WarmStarted {
+			m.WarmStarts.Inc()
+			m.SweepsSaved.Add(res.SweepsSaved)
+		}
 		if clock != nil {
 			m.Latency.Observe(clock.Since(start))
 		}
@@ -217,6 +323,7 @@ func observeGSP(m *obs.GSPMetrics, tr *obs.Trace, clock obs.Clock, start time.Ti
 			slog.Int("iterations", res.Iterations),
 			slog.Bool("converged", res.Converged),
 			slog.Bool("aborted", res.Aborted),
+			slog.Bool("warm", res.WarmStarted),
 			slog.Int("observed", observed))
 	}
 }
@@ -300,6 +407,75 @@ func (e *engine) update(i int) float64 {
 	d := math.Abs(v - e.speeds[i])
 	e.speeds[i] = v
 	return d
+}
+
+// activate seeds the dirty frontier of a warm-started run: every road whose
+// observation appeared, changed, or disappeared relative to the previous run
+// is marked, along with its immediate neighbors (their coordinate maximizers
+// shift when a pinned value moves or a pin is lifted). prev == nil means the
+// seeding result carries no observation provenance; every current observation
+// is then treated as changed. Marks on currently-pinned roads are harmless —
+// sweeps iterate the BFS layers, which exclude the sources.
+func (e *engine) activate(prev, cur map[int]float64) (active []bool, any bool) {
+	n := len(e.speeds)
+	active = make([]bool, n)
+	mark := func(r int) {
+		if r < 0 || r >= n {
+			return
+		}
+		if !active[r] {
+			active[r] = true
+			any = true
+		}
+		for _, nb := range e.net.Neighbors(r) {
+			if j := int(nb); !active[j] {
+				active[j] = true
+				any = true
+			}
+		}
+	}
+	if prev == nil {
+		for r := range cur {
+			mark(r)
+		}
+		return active, any
+	}
+	for r, v := range cur {
+		if pv, ok := prev[r]; !ok || pv != v {
+			mark(r)
+		}
+	}
+	for r := range prev {
+		if _, ok := cur[r]; !ok {
+			mark(r)
+		}
+	}
+	return active, any
+}
+
+// sweepFrontier updates only the active roads, in the usual layer order, and
+// grows the frontier: a road that moved by at least eps activates its
+// neighbors for subsequent sweeps — the move is large enough to shift their
+// maximizers past the convergence threshold. Returns the largest change.
+func (e *engine) sweepFrontier(layers [][]int, active []bool, eps float64) float64 {
+	var maxDelta float64
+	for _, layer := range layers {
+		for _, i := range layer {
+			if !active[i] {
+				continue
+			}
+			d := e.update(i)
+			if d > maxDelta {
+				maxDelta = d
+			}
+			if d >= eps {
+				for _, nb := range e.net.Neighbors(i) {
+					active[int(nb)] = true
+				}
+			}
+		}
+	}
+	return maxDelta
 }
 
 func (e *engine) sweepSequential(layers [][]int) float64 {

@@ -265,6 +265,146 @@ func TestWarmStart(t *testing.T) {
 	}
 }
 
+func TestWithInitialMatchesCold(t *testing.T) {
+	net, m, h := fitted(t, 120, 6, 31)
+	slot := tslot.Slot(110)
+	view := m.At(slot)
+	opt := Options{Epsilon: 1e-6, MaxIters: 500}
+
+	obsA := map[int]float64{}
+	for r := 0; r < net.N(); r += 7 {
+		obsA[r] = h.At(0, slot, r)
+	}
+	coldA, err := Propagate(net, view, obsA, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !coldA.Converged {
+		t.Fatal("cold A did not converge")
+	}
+	if coldA.WarmStarted {
+		t.Error("cold run flagged WarmStarted")
+	}
+	if len(coldA.Observed) != len(obsA) {
+		t.Errorf("Observed snapshot has %d entries, want %d", len(coldA.Observed), len(obsA))
+	}
+
+	// Perturb the observation set: change two, drop one, add one.
+	obsB := map[int]float64{}
+	for r, v := range obsA {
+		obsB[r] = v
+	}
+	obsB[0] += 5
+	obsB[7] -= 3
+	delete(obsB, 14)
+	obsB[3] = h.At(1, slot, 3)
+
+	coldB, err := Propagate(net, view, obsB, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmB, err := Propagate(net, view, obsB, opt.WithInitial(coldA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warmB.WarmStarted {
+		t.Error("warm run not flagged WarmStarted")
+	}
+	if !coldB.Converged || !warmB.Converged {
+		t.Fatalf("convergence: cold=%v warm=%v", coldB.Converged, warmB.Converged)
+	}
+	// Both satisfy the same ε fixed-point criterion; they must agree to well
+	// within a small multiple of ε.
+	for i := range coldB.Speeds {
+		if math.Abs(coldB.Speeds[i]-warmB.Speeds[i]) > 10*opt.Epsilon {
+			t.Fatalf("warm diverges from cold at road %d: %v vs %v",
+				i, warmB.Speeds[i], coldB.Speeds[i])
+		}
+	}
+	if warmB.Iterations > coldB.Iterations {
+		t.Errorf("incremental run swept more than cold: warm=%d cold=%d",
+			warmB.Iterations, coldB.Iterations)
+	}
+
+	// Identical observations: the seed already is the fixed point, so the run
+	// quiesces in at most a couple of verification sweeps and reports savings.
+	warmSame, err := Propagate(net, view, obsA, opt.WithInitial(coldA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warmSame.Converged {
+		t.Fatal("warm re-run did not converge")
+	}
+	if warmSame.Iterations > 2 {
+		t.Errorf("unchanged observations swept %d times", warmSame.Iterations)
+	}
+	if coldA.Iterations > 2 && warmSame.SweepsSaved == 0 {
+		t.Errorf("no sweeps saved: seed took %d, warm took %d",
+			coldA.Iterations, warmSame.Iterations)
+	}
+	for i := range coldA.Speeds {
+		if math.Abs(coldA.Speeds[i]-warmSame.Speeds[i]) > 10*opt.Epsilon {
+			t.Fatalf("unchanged warm re-run moved road %d: %v vs %v",
+				i, warmSame.Speeds[i], coldA.Speeds[i])
+		}
+	}
+
+	// Wrong-length seed rejected.
+	bad := coldA
+	bad.Speeds = bad.Speeds[:3]
+	if _, err := Propagate(net, view, obsB, opt.WithInitial(bad)); err == nil {
+		t.Error("short initial field accepted")
+	}
+}
+
+func TestWithInitialUnreachableReset(t *testing.T) {
+	// Two components 0-1-2 and 4-5. First run observes in both; second run
+	// drops the 4-5 observation — a cold run leaves 3,4,5 at μ, so the warm
+	// run must reset them even though no sweep reaches them.
+	g := graph.New(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {4, 5}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net, err := network.New(g, make([]network.Road, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rtf.New(net)
+	for i := 0; i < 6; i++ {
+		m.SetMu(0, i, 40)
+		m.SetSigma(0, i, 3)
+	}
+	for _, e := range m.Edges() {
+		m.SetRho(0, e[0], e[1], 0.9)
+	}
+	view := m.At(0)
+	first, err := Propagate(net, view, map[int]float64{0: 10, 4: 80}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Speeds[5] == 40 {
+		t.Fatal("observation at 4 did not move road 5")
+	}
+	second, err := Propagate(net, view, map[int]float64{0: 12}, DefaultOptions().WithInitial(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Propagate(net, view, map[int]float64{0: 12}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int{3, 4, 5} {
+		if second.Speeds[r] != cold.Speeds[r] {
+			t.Errorf("road %d: warm %v, cold %v", r, second.Speeds[r], cold.Speeds[r])
+		}
+		if second.Speeds[r] != 40 {
+			t.Errorf("unreachable road %d kept stale warm value %v", r, second.Speeds[r])
+		}
+	}
+}
+
 func TestUncertaintyField(t *testing.T) {
 	// Chain with strong correlation: SD must be ~0 on the probed road,
 	// grow with hop distance, and approach the prior σ far away.

@@ -31,6 +31,19 @@ const (
 	MGSPAborted    = "crowdrtse_gsp_aborted_total"
 	MGSPSeconds    = "crowdrtse_gsp_seconds"
 
+	// Warm-start counters (PR 5): propagations seeded from a previous
+	// estimate, and the sweeps they saved relative to that estimate's own
+	// sweep count.
+	MGSPWarmStarts  = "crowdrtse_gsp_warm_starts_total"
+	MWarmSweepSaved = "crowdrtse_warmstart_sweeps_saved_total"
+
+	// Batch/coalescing counters (PR 5): shared passes executed by the
+	// batcher, member queries folded into them, and the queries that rode an
+	// already-running or shared pass instead of paying for their own.
+	MBatchGroups      = "crowdrtse_batch_groups_total"
+	MBatchMembers     = "crowdrtse_batch_members_total"
+	MCoalescedQueries = "crowdrtse_coalesced_queries_total"
+
 	MCorrRowSeconds = "crowdrtse_corr_row_compute_seconds"
 
 	MStreamReports         = "crowdrtse_stream_reports_total"
@@ -48,7 +61,8 @@ type OCSMetrics struct {
 }
 
 // GSPMetrics is the instrument handle package gsp accepts in Options:
-// propagation runs, total sweeps, convergence/abort outcomes, latency.
+// propagation runs, total sweeps, convergence/abort outcomes, latency, and
+// the warm-start amortization counters.
 type GSPMetrics struct {
 	Runs       *Counter
 	Iterations *Counter
@@ -56,6 +70,23 @@ type GSPMetrics struct {
 	Aborted    *Counter
 	Latency    *Histogram
 	Clock      Clock // nil disables latency measurement
+
+	// WarmStarts counts propagations seeded from a previous estimate
+	// (gsp.Options.WithInitial); SweepsSaved accumulates how many sweeps
+	// those runs saved relative to the sweep count of the estimate they were
+	// seeded from.
+	WarmStarts  *Counter
+	SweepsSaved *Counter
+}
+
+// BatchMetrics is the instrument handle core.Batcher records into: shared
+// passes executed (Groups), member queries folded into them (Members), and
+// queries that were answered by a pass another caller paid for (Coalesced =
+// Members − Groups plus singleflight followers).
+type BatchMetrics struct {
+	Groups    *Counter
+	Members   *Counter
+	Coalesced *Counter
 }
 
 // StreamMetrics is the instrument handle the stream collector accepts:
@@ -85,6 +116,9 @@ type Pipeline struct {
 	// Stage instruments, shared with the stage packages.
 	OCS OCSMetrics
 	GSP GSPMetrics
+
+	// Batch is the coalescing-engine instrument block (core.Batcher).
+	Batch BatchMetrics
 
 	ProbeRounds  *Counter
 	ProbeAnswers *Counter
@@ -123,12 +157,19 @@ func NewPipeline(reg *Registry, clock Clock) *Pipeline {
 			Clock:    clock,
 		},
 		GSP: GSPMetrics{
-			Runs:       reg.Counter(MGSPRuns, "GSP propagation runs"),
-			Iterations: reg.Counter(MGSPIterations, "GSP sweeps executed"),
-			Converged:  reg.Counter(MGSPConverged, "GSP runs that converged below epsilon"),
-			Aborted:    reg.Counter(MGSPAborted, "GSP runs aborted by a deadline"),
-			Latency:    reg.Histogram(MGSPSeconds, "GSP propagation latency", nil),
-			Clock:      clock,
+			Runs:        reg.Counter(MGSPRuns, "GSP propagation runs"),
+			Iterations:  reg.Counter(MGSPIterations, "GSP sweeps executed"),
+			Converged:   reg.Counter(MGSPConverged, "GSP runs that converged below epsilon"),
+			Aborted:     reg.Counter(MGSPAborted, "GSP runs aborted by a deadline"),
+			Latency:     reg.Histogram(MGSPSeconds, "GSP propagation latency", nil),
+			Clock:       clock,
+			WarmStarts:  reg.Counter(MGSPWarmStarts, "GSP runs warm-started from a previous estimate"),
+			SweepsSaved: reg.Counter(MWarmSweepSaved, "GSP sweeps saved by warm-starting vs the seeding estimate"),
+		},
+		Batch: BatchMetrics{
+			Groups:    reg.Counter(MBatchGroups, "shared batch passes executed by the coalescing engine"),
+			Members:   reg.Counter(MBatchMembers, "member queries folded into shared batch passes"),
+			Coalesced: reg.Counter(MCoalescedQueries, "queries answered by a pass another caller paid for"),
 		},
 		ProbeRounds:    reg.Counter(MProbeRounds, "crowd probe/campaign rounds executed"),
 		ProbeAnswers:   reg.Counter(MProbeAnswers, "raw worker answers collected"),

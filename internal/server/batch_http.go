@@ -1,0 +1,308 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tslot"
+)
+
+// POST /v1/query — the batch estimation endpoint. A dashboard refreshing a
+// hundred tiles sends one request with a hundred entries instead of a
+// hundred; entries that share a slot (and observation overrides) coalesce
+// into one warm-started propagation through the server's Batcher, so the
+// total GSP work is per-distinct-slot, not per-entry.
+//
+//	{"queries": [{"slot":102,"roads":[1,2]}, {"slot":102,"roads":[3]}, ...]}
+//
+// The response preserves entry order:
+//
+//	{"results": [ <estimate response>, ... ], "queries": 2, "slots": 1}
+
+type batchQueryRequest struct {
+	Queries []estimateRequest `json:"queries"`
+}
+
+type batchQueryResponse struct {
+	Results []*estimateResponse `json:"results"`
+	Queries int                 `json:"queries"`
+	// Slots is how many distinct slots the batch touched — the number of
+	// propagations an un-coalesced client would at minimum have paid for
+	// redundantly is Queries − Slots.
+	Slots int `json:"slots"`
+}
+
+// maxBatchEntries bounds one batch request; beyond it the envelope says 400
+// rather than letting a single POST monopolize the pipeline.
+const maxBatchEntries = 256
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, r, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req batchQueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, r, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, r, http.StatusBadRequest, "empty batch: queries must contain at least one entry")
+		return
+	}
+	if len(req.Queries) > maxBatchEntries {
+		writeErr(w, r, http.StatusBadRequest, "batch of %d entries exceeds the limit of %d", len(req.Queries), maxBatchEntries)
+		return
+	}
+	// Validate every entry before estimating any: a batch is atomic on
+	// validation errors, so a client cannot be left guessing which half ran.
+	slots := map[int]struct{}{}
+	for i, q := range req.Queries {
+		if !tslot.Slot(q.Slot).Valid() {
+			writeErr(w, r, http.StatusBadRequest, "queries[%d]: slot %d out of range", i, q.Slot)
+			return
+		}
+		slots[q.Slot] = struct{}{}
+	}
+
+	// Fan the entries out concurrently; the Batcher's singleflight collapses
+	// same-slot entries into one propagation.
+	out := batchQueryResponse{
+		Results: make([]*estimateResponse, len(req.Queries)),
+		Queries: len(req.Queries),
+		Slots:   len(slots),
+	}
+	errs := make([]error, len(req.Queries))
+	statuses := make([]int, len(req.Queries))
+	var wg sync.WaitGroup
+	for i, q := range req.Queries {
+		wg.Add(1)
+		go func(i int, q estimateRequest) {
+			defer wg.Done()
+			out.Results[i], statuses[i], errs[i] = s.estimateOne(r.Context(), q)
+		}(i, q)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			writeErr(w, r, statuses[i], "queries[%d]: %v", i, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// GET /v1/subscribe — the standing-query endpoint over the Batcher's
+// Subscription machinery. Two consumption modes:
+//
+// Long-poll (default): the client passes the digest of the observation state
+// it last saw (from the previous response; "" on the first call). The server
+// answers immediately when the slot's observations differ from that digest,
+// otherwise it holds the request until they change or the wait budget
+// elapses (204 No Content → poll again).
+//
+//	GET /v1/subscribe?slot=102&roads=1,2&digest=<prev>&wait=30s
+//
+// SSE (stream=sse): the response is a text/event-stream of estimate events,
+// one per observation change (the first immediately), until the client
+// disconnects or the request deadline closes the stream.
+//
+//	GET /v1/subscribe?slot=102&roads=1,2&stream=sse
+
+type subscribeResponse struct {
+	Slot     int                `json:"slot"`
+	Seq      uint64             `json:"seq"`
+	Observed int                `json:"observed_roads"`
+	Digest   string             `json:"digest"` // pass back as ?digest= on the next poll
+	Speeds   map[string]float64 `json:"speeds"`
+	// WarmStarted / SweepsSaved surface the incremental-GSP amortization for
+	// this refresh.
+	WarmStarted bool `json:"warm_started,omitempty"`
+	SweepsSaved int  `json:"sweeps_saved,omitempty"`
+}
+
+// subscribePollInterval is how often a held long-poll / SSE stream re-checks
+// the collector for changed observations.
+const subscribePollInterval = 25 * time.Millisecond
+
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, r, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	slotN, err := strconv.Atoi(q.Get("slot"))
+	if err != nil {
+		writeErr(w, r, http.StatusBadRequest, "slot: %v", err)
+		return
+	}
+	slot := tslot.Slot(slotN)
+	if !slot.Valid() {
+		writeErr(w, r, http.StatusBadRequest, "slot %d out of range", slotN)
+		return
+	}
+	n := s.sys.Network().N()
+	var roads []int
+	if raw := q.Get("roads"); raw != "" {
+		for _, part := range strings.Split(raw, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				writeErr(w, r, http.StatusBadRequest, "roads: %v", err)
+				return
+			}
+			if id < 0 || id >= n {
+				writeErr(w, r, http.StatusBadRequest, "road %d out of range", id)
+				return
+			}
+			roads = append(roads, id)
+		}
+	} else {
+		roads = make([]int, n)
+		for i := range roads {
+			roads[i] = i
+		}
+	}
+
+	if q.Get("stream") == "sse" {
+		s.subscribeSSE(w, r, slot, roads)
+		return
+	}
+	s.subscribePoll(w, r, slot, roads, q.Get("digest"), q.Get("wait"))
+}
+
+// subscribePoll implements the long-poll mode.
+func (s *Server) subscribePoll(w http.ResponseWriter, r *http.Request, slot tslot.Slot, roads []int, prevDigest, waitRaw string) {
+	wait := 25 * time.Second
+	if waitRaw != "" {
+		d, err := time.ParseDuration(waitRaw)
+		if err != nil || d <= 0 {
+			writeErr(w, r, http.StatusBadRequest, "wait: invalid duration %q", waitRaw)
+			return
+		}
+		wait = d
+	}
+	ctx := r.Context()
+	deadline := time.After(wait)
+	ticker := time.NewTicker(subscribePollInterval)
+	defer ticker.Stop()
+	for {
+		obs := s.collector.Observations(slot)
+		digest := observationDigest(slot, obs)
+		if digest != prevDigest {
+			res, err := s.batcher.Estimate(ctx, slot, obs)
+			if err != nil {
+				writeErr(w, r, http.StatusInternalServerError, "%v", err)
+				return
+			}
+			out := subscribeResponse{
+				Slot:        int(slot),
+				Seq:         1,
+				Observed:    len(obs),
+				Digest:      digest,
+				Speeds:      make(map[string]float64, len(roads)),
+				WarmStarted: res.WarmStarted,
+				SweepsSaved: res.SweepsSaved,
+			}
+			for _, id := range roads {
+				out.Speeds[strconv.Itoa(id)] = res.Speeds[id]
+			}
+			writeJSON(w, http.StatusOK, out)
+			return
+		}
+		select {
+		case <-ctx.Done():
+			// The request deadline (withTimeout) or a client disconnect ends
+			// the hold; 204 tells a live client to simply poll again.
+			w.WriteHeader(http.StatusNoContent)
+			return
+		case <-deadline:
+			w.WriteHeader(http.StatusNoContent)
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// subscribeSSE implements the server-sent-events mode over a
+// core.Subscription: the stream.Collector is the observation source, every
+// observation change triggers one warm-started incremental re-estimate, and
+// each delivered update becomes one "estimate" event (the first immediately).
+func (s *Server) subscribeSSE(w http.ResponseWriter, r *http.Request, slot tslot.Slot, roads []int) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, r, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	sub, err := s.batcher.Subscribe(slot, roads, s.collector, core.SubscriptionOptions{})
+	if err != nil {
+		writeErr(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ctx := r.Context()
+	ticker := time.NewTicker(subscribePollInterval)
+	defer ticker.Stop()
+	for {
+		up, changed, err := sub.Refresh(ctx, false)
+		if err != nil {
+			fmt.Fprintf(w, "event: error\ndata: %q\n\n", err.Error())
+			flusher.Flush()
+			return
+		}
+		if changed {
+			out := subscribeResponse{
+				Slot:        int(slot),
+				Seq:         up.Seq,
+				Observed:    up.Observed,
+				Digest:      observationDigest(slot, up.Result.Observed),
+				Speeds:      make(map[string]float64, len(up.Speeds)),
+				WarmStarted: up.Result.WarmStarted,
+				SweepsSaved: up.Result.SweepsSaved,
+			}
+			for id, v := range up.Speeds {
+				out.Speeds[strconv.Itoa(id)] = v
+			}
+			data, err := json.Marshal(out)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: estimate\nid: %d\ndata: %s\n\n", up.Seq, data)
+			flusher.Flush()
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// observationDigest fingerprints a slot's observation state for the
+// long-poll/SSE change detection. Roads are visited in sorted order so the
+// digest is deterministic.
+func observationDigest(slot tslot.Slot, obs map[int]float64) string {
+	roads := make([]int, 0, len(obs))
+	for r := range obs {
+		roads = append(roads, r)
+	}
+	sort.Ints(roads)
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d:", slot)
+	for _, r := range roads {
+		fmt.Fprintf(h, "%d=%x;", r, obs[r])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -22,8 +22,8 @@ const (
 // under "other" (404s, scrapes of wrong paths) so the by-route counters stay
 // a closed set.
 var routes = []string{
-	"network", "workers", "report", "select", "estimate",
-	"alerts", "healthz", "model", "metrics", "pprof",
+	"network", "workers", "report", "select", "estimate", "query",
+	"subscribe", "alerts", "healthz", "model", "metrics", "pprof",
 }
 
 // httpMetrics is the request-level instrument block: per-route request
@@ -93,11 +93,22 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the underlying writer so the SSE subscribe stream can
+// push events through the middleware chain (no-op when unsupported).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // withObs is the outermost middleware: it counts the request by route,
 // tracks in-flight requests, measures latency on the server clock, counts the
-// response status class, and — when TraceLog is set — attaches a request-ID
-// correlated obs.Trace to the context and emits its spans after the handler
-// returns (the `crowdrtse serve -trace` output).
+// response status class, and correlates the request. Every request gets an
+// X-Request-ID — echoed from the client's header or minted — stashed in the
+// context (error envelopes embed it) and set on the response. When TraceLog
+// is set the ID additionally keys an obs.Trace whose OCS/probe/GSP spans are
+// emitted as structured log lines after the response (the `crowdrtse serve
+// -trace` output).
 func (s *Server) withObs(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		m := s.httpm
@@ -107,16 +118,18 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 		defer m.inFlight.AddDelta(-1)
 		start := s.clock.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		}
+		sw.Header().Set("X-Request-ID", id)
+		ctx := withRequestID(r.Context(), id)
 		var tr *obs.Trace
 		if s.TraceLog != nil {
-			id := r.Header.Get("X-Request-ID")
-			if id == "" {
-				id = fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
-			}
 			tr = obs.NewTrace(id, s.clock)
-			sw.Header().Set("X-Request-ID", id)
-			r = r.WithContext(obs.WithTrace(r.Context(), tr))
+			ctx = obs.WithTrace(ctx, tr)
 		}
+		r = r.WithContext(ctx)
 		next.ServeHTTP(sw, r)
 		d := s.clock.Since(start)
 		m.latency.Observe(d)
@@ -134,7 +147,7 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 // handleMetrics serves the registry in the Prometheus text exposition format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		writeErr(w, r, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -7,7 +7,10 @@
 //	POST /v1/workers                 replace the worker pool            {"workers":[{"road":3}, ...]}
 //	POST /v1/report                  submit a speed answer              {"road":3,"slot":102,"speed":47.5}
 //	POST /v1/select                  run OCS                            {"slot":102,"roads":[1,2],"budget":30,"theta":0.92,"selector":"Hybrid"}
-//	GET  /v1/estimate?slot=102&roads=1,2,3   run GSP over current reports
+//	POST /v1/estimate                run GSP over current reports       {"slot":102,"roads":[1,2],"observed":{"3":47.5}}
+//	GET  /v1/estimate?slot=102&roads=1,2,3   deprecated alias of POST /v1/estimate (Deprecation header)
+//	POST /v1/query                   batch estimate: coalesces entries  {"queries":[{"slot":102,"roads":[1,2]}, ...]}
+//	GET  /v1/subscribe?slot=102&roads=1,2    standing query: long-poll (digest=...) or SSE (stream=sse)
 //	GET  /v1/alerts?slot=102         scan the slot's estimates for incidents
 //	GET  /v1/healthz                 liveness + degraded-state report
 //	GET  /v1/model                   model lifecycle: version, history, counters
@@ -17,6 +20,17 @@
 //
 // Reports are kept per slot; an estimate uses the aggregated reports of its
 // slot as the GSP observations. All handlers are safe for concurrent use.
+//
+// Estimation runs through a core.Batcher: identical concurrent estimates
+// singleflight into one propagation, batch entries sharing a slot coalesce
+// into one pass, and every pass warm-starts from the slot's previous field
+// (incremental GSP). The amortization counters appear on /v1/metrics
+// (crowdrtse_batch_*, crowdrtse_gsp_warm_starts_total,
+// crowdrtse_warmstart_sweeps_saved_total).
+//
+// Errors: every /v1 handler answers failures with one JSON envelope,
+// {"error":{"code","message","request_id"}} — code derives from the HTTP
+// status, request_id echoes the X-Request-ID header (minted when absent).
 //
 // Hardening: every request runs under panic recovery (a malformed campaign
 // or model edge case returns 500 JSON instead of killing the process), a
@@ -54,6 +68,11 @@ import (
 type Server struct {
 	sys       *core.System
 	collector *stream.Collector
+	// batcher is the coalescing layer in front of select/estimate/query:
+	// identical concurrent requests singleflight, same-slot batch entries
+	// share one pass, and every propagation warm-starts from the slot's
+	// previous field.
+	batcher *core.Batcher
 
 	// Timeout bounds each request; the estimate/alerts handlers plumb it
 	// through context so GSP early-aborts with a best-so-far field.
@@ -121,8 +140,14 @@ func New(sys *core.System) *Server {
 	sys.Instrument(pipe)
 	sys.RegisterMetrics(reg)
 	s.collector.SetMetrics(pipe.Stream)
+	// The batcher reads the pipeline through sys.Obs(), so SetClock's pipeline
+	// rebuild is picked up automatically.
+	s.batcher, _ = core.NewBatcher(sys, core.BatcherOptions{})
 	return s
 }
+
+// Batcher exposes the server's coalescing layer (tests and embedders).
+func (s *Server) Batcher() *core.Batcher { return s.batcher }
 
 // Handler returns the HTTP routing table wrapped in the hardening
 // middleware (panic recovery → body limit → request timeout).
@@ -133,6 +158,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/report", s.handleReport)
 	mux.HandleFunc("/v1/select", s.handleSelect)
 	mux.HandleFunc("/v1/estimate", s.handleEstimate)
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/subscribe", s.handleSubscribe)
 	mux.HandleFunc("/v1/alerts", s.handleAlerts)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/model", s.handleModel)
@@ -171,7 +198,7 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 		defer func() {
 			if rec := recover(); rec != nil {
 				debug.PrintStack()
-				writeErr(w, http.StatusInternalServerError, "internal panic: %v", rec)
+				writeErr(w, r, http.StatusInternalServerError, "internal panic: %v", rec)
 			}
 		}()
 		next.ServeHTTP(w, r)
@@ -203,16 +230,6 @@ func (s *Server) withTimeout(next http.Handler) http.Handler {
 	})
 }
 
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeErr(w http.ResponseWriter, status int, format string, args ...interface{}) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
 type networkInfo struct {
 	Roads int `json:"roads"`
 	Edges int `json:"edges"`
@@ -220,7 +237,7 @@ type networkInfo struct {
 
 func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		writeErr(w, r, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	net := s.sys.Network()
@@ -235,19 +252,19 @@ type workersRequest struct {
 
 func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		writeErr(w, r, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	var req workersRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "decode: %v", err)
+		writeErr(w, r, http.StatusBadRequest, "decode: %v", err)
 		return
 	}
 	n := s.sys.Network().N()
 	ws := make([]crowd.Worker, len(req.Workers))
 	for i, rw := range req.Workers {
 		if rw.Road < 0 || rw.Road >= n {
-			writeErr(w, http.StatusBadRequest, "worker %d on road %d: out of range", i, rw.Road)
+			writeErr(w, r, http.StatusBadRequest, "worker %d on road %d: out of range", i, rw.Road)
 			return
 		}
 		ws[i] = crowd.Worker{Road: rw.Road}
@@ -266,17 +283,17 @@ type reportRequest struct {
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		writeErr(w, r, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	var req reportRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "decode: %v", err)
+		writeErr(w, r, http.StatusBadRequest, "decode: %v", err)
 		return
 	}
 	slot := tslot.Slot(req.Slot)
 	if err := s.collector.Add(stream.Report{Road: req.Road, Slot: slot, Speed: req.Speed}); err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"answers": s.collector.Count(slot, req.Road)})
@@ -314,34 +331,37 @@ func parseSelector(name string) (core.Selector, error) {
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		writeErr(w, r, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	var req selectRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "decode: %v", err)
+		writeErr(w, r, http.StatusBadRequest, "decode: %v", err)
 		return
 	}
 	sel, err := parseSelector(req.Selector)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	slot := tslot.Slot(req.Slot)
 	if !slot.Valid() {
-		writeErr(w, http.StatusBadRequest, "slot %d out of range", req.Slot)
+		writeErr(w, r, http.StatusBadRequest, "slot %d out of range", req.Slot)
 		return
 	}
 	s.mu.RLock()
 	workerRoads := s.pool.Roads()
 	s.mu.RUnlock()
 	if len(workerRoads) == 0 {
-		writeErr(w, http.StatusConflict, "no workers registered")
+		writeErr(w, r, http.StatusConflict, "no workers registered")
 		return
 	}
-	sol, err := s.sys.SelectRoads(slot, req.Roads, workerRoads, req.Budget, req.Theta, sel, req.Seed)
+	sol, err := s.batcher.Select(r.Context(), core.SelectRequest{
+		Slot: slot, Roads: req.Roads, WorkerRoads: workerRoads,
+		Budget: req.Budget, Theta: req.Theta, Selector: sel, Seed: req.Seed,
+	})
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, selectResponse{Roads: sol.Roads, Value: sol.Value, Cost: sol.Cost})
@@ -382,7 +402,7 @@ type healthResponse struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		writeErr(w, r, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	s.mu.RLock()
@@ -434,65 +454,117 @@ type estimateResponse struct {
 	// Aborted: the request deadline cut GSP short; estimates are the
 	// best-so-far field.
 	Aborted bool `json:"aborted,omitempty"`
+	// WarmStarted: this propagation was seeded from the slot's previous
+	// estimate (incremental GSP) instead of running cold.
+	WarmStarted bool `json:"warm_started,omitempty"`
+}
+
+// estimateRequest is the POST /v1/estimate body — the same shape as
+// /v1/select plus per-road observation overrides: values in Observed replace
+// (or extend) the collector's aggregates for the slot, letting a client ask
+// "what would the field look like if road 3 reported 47.5 right now".
+type estimateRequest struct {
+	Slot  int   `json:"slot"`
+	Roads []int `json:"roads"`
+	// Observed maps road id (string, JSON object keys) → speed override.
+	Observed map[string]float64 `json:"observed,omitempty"`
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+	var req estimateRequest
+	switch r.Method {
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, r, http.StatusBadRequest, "decode: %v", err)
+			return
+		}
+	case http.MethodGet:
+		// Deprecated query-string form, kept for pre-PR-5 clients. The
+		// Deprecation header (RFC 9745 style) signals the migration.
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1/estimate>; rel="successor-version"`)
+		q := r.URL.Query()
+		slotN, err := strconv.Atoi(q.Get("slot"))
+		if err != nil {
+			writeErr(w, r, http.StatusBadRequest, "slot: %v", err)
+			return
+		}
+		req.Slot = slotN
+		if raw := q.Get("roads"); raw != "" {
+			for _, part := range strings.Split(raw, ",") {
+				id, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil {
+					writeErr(w, r, http.StatusBadRequest, "roads: %v", err)
+					return
+				}
+				req.Roads = append(req.Roads, id)
+			}
+		}
+	default:
+		writeErr(w, r, http.StatusMethodNotAllowed, "GET or POST only")
 		return
 	}
-	q := r.URL.Query()
-	slotN, err := strconv.Atoi(q.Get("slot"))
+	out, status, err := s.estimateOne(r.Context(), req)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "slot: %v", err)
+		writeErr(w, r, status, "%v", err)
 		return
 	}
-	slot := tslot.Slot(slotN)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// estimateOne validates and answers one estimate request through the
+// coalescing layer. On error the returned status is the HTTP code to report.
+func (s *Server) estimateOne(ctx context.Context, req estimateRequest) (*estimateResponse, int, error) {
+	slot := tslot.Slot(req.Slot)
 	if !slot.Valid() {
-		writeErr(w, http.StatusBadRequest, "slot %d out of range", slotN)
-		return
+		return nil, http.StatusBadRequest, fmt.Errorf("slot %d out of range", req.Slot)
 	}
-	var roads []int
-	if raw := q.Get("roads"); raw != "" {
-		for _, part := range strings.Split(raw, ",") {
-			id, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil {
-				writeErr(w, http.StatusBadRequest, "roads: %v", err)
-				return
-			}
-			if id < 0 || id >= s.sys.Network().N() {
-				writeErr(w, http.StatusBadRequest, "road %d out of range", id)
-				return
-			}
-			roads = append(roads, id)
+	n := s.sys.Network().N()
+	roads := req.Roads
+	for _, id := range roads {
+		if id < 0 || id >= n {
+			return nil, http.StatusBadRequest, fmt.Errorf("road %d out of range", id)
 		}
-	} else {
-		for i := 0; i < s.sys.Network().N(); i++ {
-			roads = append(roads, i)
+	}
+	if len(roads) == 0 {
+		roads = make([]int, n)
+		for i := range roads {
+			roads[i] = i
 		}
 	}
 
-	// Robust per-road aggregates of this slot's reports.
+	// Robust per-road aggregates of this slot's reports, plus any explicit
+	// per-request overrides.
 	observed := s.collector.Observations(slot)
-
-	res, err := s.sys.EstimateCtx(r.Context(), slot, observed)
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
-		return
+	for key, v := range req.Observed {
+		id, err := strconv.Atoi(key)
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("observed road %q: %v", key, err)
+		}
+		if id < 0 || id >= n {
+			return nil, http.StatusBadRequest, fmt.Errorf("observed road %d out of range", id)
+		}
+		observed[id] = v
 	}
-	out := estimateResponse{
-		Slot:          slotN,
+
+	res, err := s.batcher.Estimate(ctx, slot, observed)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	out := &estimateResponse{
+		Slot:          req.Slot,
 		Observed:      len(observed),
 		Estimates:     make(map[string]float64, len(roads)),
 		Converged:     res.Converged,
 		Degraded:      len(observed) == 0,
 		FallbackPrior: len(observed) == 0,
 		Aborted:       res.Aborted,
+		WarmStarted:   res.WarmStarted,
 	}
 	for _, id := range roads {
 		out.Estimates[strconv.Itoa(id)] = res.Speeds[id]
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out, http.StatusOK, nil
 }
 
 type alertJSON struct {
@@ -516,28 +588,28 @@ type alertsResponse struct {
 // incident-like drops (package detect).
 func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		writeErr(w, r, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	slotN, err := strconv.Atoi(r.URL.Query().Get("slot"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "slot: %v", err)
+		writeErr(w, r, http.StatusBadRequest, "slot: %v", err)
 		return
 	}
 	slot := tslot.Slot(slotN)
 	if !slot.Valid() {
-		writeErr(w, http.StatusBadRequest, "slot %d out of range", slotN)
+		writeErr(w, r, http.StatusBadRequest, "slot %d out of range", slotN)
 		return
 	}
 	observed := s.collector.Observations(slot)
-	res, err := s.sys.EstimateCtx(r.Context(), slot, observed)
+	res, err := s.batcher.Estimate(r.Context(), slot, observed)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	alerts, err := detect.Scan(s.sys.Model().At(slot), res, detect.DefaultConfig())
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	out := alertsResponse{Slot: slotN, Observed: len(observed), Alerts: []alertJSON{},
@@ -603,19 +675,19 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, out)
 	case http.MethodPost:
 		if mgr == nil {
-			writeErr(w, http.StatusConflict, "no model lifecycle attached (start with a model store)")
+			writeErr(w, r, http.StatusConflict, "no model lifecycle attached (start with a model store)")
 			return
 		}
 		var req modelActionRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(w, http.StatusBadRequest, "decode: %v", err)
+			writeErr(w, r, http.StatusBadRequest, "decode: %v", err)
 			return
 		}
 		switch req.Action {
 		case "rollback":
 			info, err := mgr.Rollback()
 			if err != nil {
-				writeErr(w, http.StatusConflict, "rollback: %v", err)
+				writeErr(w, r, http.StatusConflict, "rollback: %v", err)
 				return
 			}
 			writeJSON(w, http.StatusOK, modelActionResponse{
@@ -624,7 +696,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		case "reload":
 			info, err := mgr.Reload()
 			if err != nil {
-				writeErr(w, http.StatusConflict, "reload: %v", err)
+				writeErr(w, r, http.StatusConflict, "reload: %v", err)
 				return
 			}
 			writeJSON(w, http.StatusOK, modelActionResponse{
@@ -632,12 +704,12 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 			})
 		case "refit":
 			if refitter == nil {
-				writeErr(w, http.StatusConflict, "no refitter attached")
+				writeErr(w, r, http.StatusConflict, "no refitter attached")
 				return
 			}
 			rep, err := refitter.RefitOnce()
 			if err != nil && !rep.Gate.Refused {
-				writeErr(w, http.StatusInternalServerError, "refit: %v", err)
+				writeErr(w, r, http.StatusInternalServerError, "refit: %v", err)
 				return
 			}
 			// A gate refusal is a successful *refusal*, not a server error:
@@ -647,9 +719,9 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 				ModelGeneration: s.sys.ModelVersion(), Refit: &rep,
 			})
 		default:
-			writeErr(w, http.StatusBadRequest, "unknown action %q (want rollback|reload|refit)", req.Action)
+			writeErr(w, r, http.StatusBadRequest, "unknown action %q (want rollback|reload|refit)", req.Action)
 		}
 	default:
-		writeErr(w, http.StatusMethodNotAllowed, "GET or POST only")
+		writeErr(w, r, http.StatusMethodNotAllowed, "GET or POST only")
 	}
 }
