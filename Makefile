@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fault-determinism race-hotpath race-suite fuzz-seed fuzz-snapshot refit-drill benchguard check bench bench-concurrent bench-all qps bench-lifecycle bench-batch
+.PHONY: all build vet test race fault-determinism race-hotpath race-suite fuzz-seed fuzz-snapshot refit-drill benchguard check bench bench-concurrent bench-all qps bench-lifecycle bench-batch bench-load
 
 all: build
 
@@ -49,13 +49,16 @@ race-suite:
 		./internal/server/ ./internal/obs/
 
 # Guard against perf regressions: re-measure the sharded qps sweep, the
-# lifecycle latency suite and the batch-coalescing sweep ratio and diff them
-# against the checked-in baselines (BENCH_PR2.json / BENCH_PR3.json /
-# BENCH_PR5.json); fails on >25% throughput loss, latency blowup, a sweep
-# ratio below the ≥2× coalescing target, or coalesced estimates that diverge
-# from independent ones beyond the GSP epsilon.
+# lifecycle latency suite, the batch-coalescing sweep ratio and the
+# admission-control overload replay, and diff them against the checked-in
+# baselines (BENCH_PR2.json / BENCH_PR3.json / BENCH_PR5.json /
+# BENCH_PR6.json); fails on >25% throughput loss, latency blowup, a sweep
+# ratio below the ≥2× coalescing target, coalesced estimates that diverge
+# from independent ones beyond the GSP epsilon, any alerting-class shed, a
+# broken QoS class order, a batch surge shed rate above the pinned ceiling,
+# or >25% alerting-p99 regression.
 benchguard:
-	$(GO) run ./cmd/benchguard -pr2 BENCH_PR2.json -pr3 BENCH_PR3.json -pr5 BENCH_PR5.json
+	$(GO) run ./cmd/benchguard -pr2 BENCH_PR2.json -pr3 BENCH_PR3.json -pr5 BENCH_PR5.json -pr6 BENCH_PR6.json
 
 # End-to-end lifecycle drill under the race detector: streamed reports are
 # folded into a refit, gated, published and hot-swapped; a corrupted
@@ -93,8 +96,16 @@ bench-lifecycle:
 bench-batch:
 	$(GO) run ./cmd/rtsebench -batch -out BENCH_PR5.json
 
+# The PR-6 admission-control suite: the diurnal overload replay against the
+# QoS-enabled server (per-class shed rates, served tiers, latency quantiles),
+# recorded as BENCH_PR6.json.
+bench-load:
+	$(GO) run ./cmd/rtsebench -load -out BENCH_PR6.json
+
 BENCH_PR2.json: qps
 
 BENCH_PR3.json: bench-lifecycle
 
 BENCH_PR5.json: bench-batch
+
+BENCH_PR6.json: bench-load

@@ -1,9 +1,10 @@
 // Command benchguard is the perf-regression gate of the observability PR: it
 // re-measures the checked-in performance baselines — the sharded-oracle
 // throughput sweep (BENCH_PR2.json), the model-lifecycle latency suite
-// (BENCH_PR3.json) and the batch-coalescing sweep ratio (BENCH_PR5.json) —
-// with a short fresh run on the current tree and fails (exit 1) when the
-// fresh numbers regress past the tolerances.
+// (BENCH_PR3.json), the batch-coalescing sweep ratio (BENCH_PR5.json) and,
+// when -pr6 names a baseline, the admission-control overload replay
+// (BENCH_PR6.json) — with a short fresh run on the current tree and fails
+// (exit 1) when the fresh numbers regress past the tolerances.
 //
 // The throughput gate is strict (default: fail below 75% of the recorded
 // queries/s at the highest client count), because the qps harness is long
@@ -14,8 +15,8 @@
 // must clear the recorded ≥2× target and the coalesced estimates must match
 // independent ones within epsilon, on any machine.
 //
-//	benchguard -pr2 BENCH_PR2.json -pr3 BENCH_PR3.json -pr5 BENCH_PR5.json
-//	benchguard -tol 0.25 -lat-factor 4 -duration 1s -clients 16 -iters 6
+//	benchguard -pr2 BENCH_PR2.json -pr3 BENCH_PR3.json -pr5 BENCH_PR5.json -pr6 BENCH_PR6.json
+//	benchguard -tol 0.25 -lat-factor 4 -p99-tol 0.25 -duration 1s -clients 16 -iters 6
 //
 // Wired into `make check` so a PR that quietly serializes the hot path or
 // bloats the snapshot codec fails CI with a number, not a vibe.
@@ -53,6 +54,8 @@ func main() {
 		pr2Path   = flag.String("pr2", "BENCH_PR2.json", "throughput baseline (qps sweep)")
 		pr3Path   = flag.String("pr3", "BENCH_PR3.json", "lifecycle latency baseline")
 		pr5Path   = flag.String("pr5", "BENCH_PR5.json", "batch-coalescing sweep-ratio baseline")
+		pr6Path   = flag.String("pr6", "", "admission-control load baseline (BENCH_PR6.json); empty skips the load gate")
+		p99Tol    = flag.Float64("p99-tol", 0.25, "max tolerated fractional alerting-p99 regression in the load gate")
 		tol       = flag.Float64("tol", 0.25, "max tolerated fractional throughput loss")
 		latFactor = flag.Float64("lat-factor", 5.0, "max tolerated latency blowup factor")
 		duration  = flag.Duration("duration", time.Second, "fresh throughput run length per attempt")
@@ -62,13 +65,13 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*pr2Path, *pr3Path, *pr5Path, *tol, *latFactor, *duration, *runs, *clients, *iters); err != nil {
+	if err := run(*pr2Path, *pr3Path, *pr5Path, *pr6Path, *tol, *latFactor, *p99Tol, *duration, *runs, *clients, *iters); err != nil {
 		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(pr2Path, pr3Path, pr5Path string, tol, latFactor float64, duration time.Duration, runs, clients, iters int) error {
+func run(pr2Path, pr3Path, pr5Path, pr6Path string, tol, latFactor, p99Tol float64, duration time.Duration, runs, clients, iters int) error {
 	pr2, err := loadPR2(pr2Path)
 	if err != nil {
 		return err
@@ -149,6 +152,13 @@ func run(pr2Path, pr3Path, pr5Path string, tol, latFactor float64, duration time
 	// --- Batch-coalescing gate -------------------------------------------
 	if err := gatePR5(env, pr5Path, tol); err != nil {
 		return err
+	}
+
+	// --- Admission-control load gate --------------------------------------
+	if pr6Path != "" {
+		if err := gatePR6(pr6Path, p99Tol); err != nil {
+			return err
+		}
 	}
 
 	fmt.Println("benchguard: all gates passed")

@@ -17,12 +17,18 @@
 //	crowdrtse serve -data DIR -model model.gob [-addr :8080] [-days D]
 //	    [-timeout 5s] [-store DIR] [-refit 5m] [-alpha 0.1]
 //	    [-report-horizon 72]
+//	    [-qos] [-tenant key=K,name=N,class=C,rps=R,quota=Q]...
+//	    [-max-inflight N] [-latency-target D] [-no-anonymous]
 //	    serve the HTTP estimation API; with -store the model-lifecycle
 //	    subsystem is active: the serving model comes from the store's
 //	    current version (bootstrapping it from -model on first run),
 //	    streamed /v1/report data is folded into validated background
 //	    refits every -refit interval, and /v1/model exposes the version
-//	    history plus reload/rollback/refit actions
+//	    history plus reload/rollback/refit actions; with -qos (implied by
+//	    any -tenant) multi-tenant admission control is active: API keys
+//	    resolve to tenants with token-bucket rate limits, probe-budget
+//	    quotas and priority classes, and under pressure requests step down
+//	    the QoS degradation ladder or shed with 429 + Retry-After
 //	crowdrtse model <save|load|list|rollback> [flags]
 //	    manage the versioned snapshot store directly:
 //	    save -data DIR -model model.gob -store DIR [-note TEXT]
@@ -55,6 +61,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/modelstore"
 	"repro/internal/network"
+	"repro/internal/qos"
 	"repro/internal/rtf"
 	"repro/internal/server"
 	"repro/internal/speedgen"
@@ -387,6 +394,19 @@ func cmdServe(args []string) error {
 	horizon := fs.Int("report-horizon", 72, "collector eviction horizon in slots (0 = unbounded)")
 	trace := fs.Bool("trace", false, "emit per-request stage spans (OCS/probe/GSP) as structured JSON logs on stderr, X-Request-ID correlated")
 	pprofOn := fs.Bool("pprof", true, "mount the net/http/pprof surface under /debug/pprof/")
+	qosOn := fs.Bool("qos", false, "enable multi-tenant admission control (implied by -tenant)")
+	maxInFlight := fs.Int("max-inflight", 0, "concurrent requests treated as saturation (0 = qos default)")
+	latencyTarget := fs.Duration("latency-target", 0, "p95 request latency the QoS ladder aims for (0 = qos default)")
+	noAnon := fs.Bool("no-anonymous", false, "reject keyless requests with 401 instead of admitting them as the anonymous batch tenant")
+	var tenants []qos.TenantConfig
+	fs.Func("tenant", "tenant spec `key=K[,name=N,class=C,maxclass=C,rps=R,burst=B,quota=Q]` (repeatable; implies -qos)", func(spec string) error {
+		tc, err := qos.ParseTenant(spec)
+		if err != nil {
+			return err
+		}
+		tenants = append(tenants, tc)
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -432,6 +452,18 @@ func cmdServe(args []string) error {
 	srv.EnablePprof = *pprofOn
 	if *trace {
 		srv.TraceLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	if *qosOn || len(tenants) > 0 {
+		if err := srv.EnableQoS(qos.Config{
+			Tenants:          tenants,
+			DisableAnonymous: *noAnon,
+			MaxInFlight:      *maxInFlight,
+			LatencyTarget:    *latencyTarget,
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("admission control on: %d tenant key(s), anonymous %s\n",
+			len(tenants), map[bool]string{true: "rejected", false: "admitted as batch"}[*noAnon])
 	}
 
 	if store != nil {

@@ -1,0 +1,75 @@
+// Load mode: the PR-6 admission-control harness. It replays a diurnal
+// demand curve (internal/loadbench — demand derived from the speedgen
+// congestion profile, peak concurrency a calibrated multiple of the
+// server's admission capacity) against a live server with multi-tenant QoS
+// enabled, and records what the ladder did: per-class shed rates, served
+// tiers, latency quantiles, and the recovery check, written as
+// BENCH_PR6.json for the benchguard -pr6 gate.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/loadbench"
+)
+
+// runLoad executes the replay and writes the JSON report.
+func runLoad(steps, maxInFlight int, surge float64, outPath string) error {
+	rep, err := loadbench.Run(loadbench.Options{
+		Steps:         steps,
+		MaxInFlight:   maxInFlight,
+		SurgeMultiple: surge,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("load: %d diurnal steps, offered in-flight %.1f..%.1f vs MaxInFlight %d (%d surge steps, service %.2fms)\n",
+		rep.Steps, rep.TroughOffered, rep.PeakOffered, rep.MaxInFlight, rep.SurgeSteps, rep.CalibratedLatencyMS)
+	classes := make([]string, 0, len(rep.Classes))
+	for c := range rep.Classes {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		cs := rep.Classes[c]
+		fmt.Printf("load: %-11s sent=%-4d admitted=%-4d shed=%-3d (%.0f%%)  p50 %.1fms p99 %.1fms  tiers %v\n",
+			c, cs.Sent, cs.Admitted, cs.Shed, 100*cs.ShedRate, cs.P50MS, cs.P99MS, cs.Tiers)
+	}
+	fmt.Printf("load: surge shed %v  surge degraded %v\n",
+		fmtRates(rep.SurgeShedRate), fmtRates(rep.SurgeDegradedRate))
+	fmt.Printf("load: batch surge shed rate %.2f (ceiling %.2f)  class order ok=%v  recovered=%v\n",
+		rep.BatchSurgeShedRate, rep.ShedCeiling, rep.ClassOrderOK, rep.RecoveredFullTier)
+	if rep.Classes["alerting"].Shed != 0 {
+		return fmt.Errorf("load: invariant violated — %d alerting requests shed", rep.Classes["alerting"].Shed)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("load: wrote %s\n", outPath)
+	return nil
+}
+
+// fmtRates renders a class→rate map in stable class order.
+func fmtRates(m map[string]float64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%.2f", k, m[k]))
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

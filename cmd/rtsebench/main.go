@@ -23,6 +23,13 @@
 // BENCH_PR5.json:
 //
 //	rtsebench -batch [-batch-size 32] [-out BENCH_PR5.json]
+//
+// The -load flag replays a diurnal overload curve (demand derived from the
+// speedgen congestion profile) against a live QoS-enabled server and records
+// per-class shed rates, served tiers and latency quantiles, written as
+// BENCH_PR6.json for the benchguard -pr6 gate:
+//
+//	rtsebench -load [-load-steps 16] [-load-inflight 8] [-load-surge 3] [-out BENCH_PR6.json]
 package main
 
 import (
@@ -48,8 +55,23 @@ func main() {
 	lifecycleIters := flag.Int("lifecycle-iters", 20, "samples per lifecycle operation")
 	batch := flag.Bool("batch", false, "run the batch-coalescing sweep harness instead of the experiment suite")
 	batchSize := flag.Int("batch-size", 32, "same-slot queries per coalesced batch")
-	out := flag.String("out", "", "output path for the -qps / -lifecycle / -batch JSON report (defaults per mode)")
+	load := flag.Bool("load", false, "run the diurnal overload replay against the QoS-enabled server instead of the experiment suite")
+	loadSteps := flag.Int("load-steps", 16, "diurnal steps in the -load replay")
+	loadInflight := flag.Int("load-inflight", 8, "server admission capacity (MaxInFlight) for -load")
+	loadSurge := flag.Float64("load-surge", 3, "peak offered concurrency as a multiple of MaxInFlight for -load")
+	out := flag.String("out", "", "output path for the -qps / -lifecycle / -batch / -load JSON report (defaults per mode)")
 	flag.Parse()
+	if *load {
+		path := *out
+		if path == "" {
+			path = "BENCH_PR6.json"
+		}
+		if err := runLoad(*loadSteps, *loadInflight, *loadSurge, path); err != nil {
+			fmt.Fprintln(os.Stderr, "rtsebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *batch {
 		path := *out
 		if path == "" {

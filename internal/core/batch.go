@@ -66,6 +66,9 @@ type Batcher struct {
 	flightMu sync.Mutex
 	estimate map[uint64]*flight[gsp.Result]
 	selects  map[uint64]*flight[ocs.Solution]
+	// slotFlight is the TierBatched singleflight: one in-flight propagation
+	// per slot shared across requests with *different* observation sets.
+	slotFlight map[tslot.Slot]*flight[gsp.Result]
 
 	prevMu  sync.Mutex
 	prev    map[tslot.Slot]*prevEntry
@@ -87,12 +90,13 @@ func NewBatcher(sys *System, opt BatcherOptions) (*Batcher, error) {
 		opt.PrevSlots = defaultPrevSlots
 	}
 	return &Batcher{
-		sys:      sys,
-		opt:      opt,
-		pending:  make(map[batchKey]*batchGroup),
-		estimate: make(map[uint64]*flight[gsp.Result]),
-		selects:  make(map[uint64]*flight[ocs.Solution]),
-		prev:     make(map[tslot.Slot]*prevEntry),
+		sys:        sys,
+		opt:        opt,
+		pending:    make(map[batchKey]*batchGroup),
+		estimate:   make(map[uint64]*flight[gsp.Result]),
+		selects:    make(map[uint64]*flight[ocs.Solution]),
+		slotFlight: make(map[tslot.Slot]*flight[gsp.Result]),
+		prev:       make(map[tslot.Slot]*prevEntry),
 	}, nil
 }
 

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tslot"
+)
+
+// churnSource is an ObservationSource whose observations change on every
+// call, so every Refresh re-propagates and every interval tick delivers.
+type churnSource struct {
+	mu    sync.Mutex
+	road  int
+	calls float64
+}
+
+func (c *churnSource) Observations(tslot.Slot) map[int]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	return map[int]float64{c.road: 30 + c.calls}
+}
+
+// TestSubscriptionBackpressureDropOldest pins the slow-consumer contract: a
+// consumer that stops reading never blocks delivery; the buffer stays
+// bounded, old updates are dropped in favor of new ones, and what the
+// consumer eventually reads is in order and ends with the newest update.
+func TestSubscriptionBackpressureDropOldest(t *testing.T) {
+	f := newFixture(t, 30, 4, 21)
+	b, err := NewBatcher(f.sys, BatcherOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &churnSource{road: 3}
+	sub, err := b.Subscribe(tslot.Slot(50), []int{3, 5}, src, SubscriptionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// Nobody reads Updates while 100 refreshed updates are delivered — far
+	// past the 16-slot buffer. deliver must never block.
+	const total = 100
+	var lastSeq uint64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			up, ok, err := sub.Refresh(context.Background(), false)
+			if err != nil || !ok {
+				t.Errorf("refresh %d: ok=%v err=%v", i, ok, err)
+				return
+			}
+			lastSeq = up.Seq
+			sub.deliver(up)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("deliver deadlocked against a non-reading consumer")
+	}
+
+	if n := len(sub.updates); n > 16 {
+		t.Fatalf("buffer grew to %d, want ≤ 16", n)
+	}
+
+	// Drain: sequence numbers strictly increase and the newest survives.
+	var got []uint64
+	for {
+		select {
+		case up := <-sub.Updates():
+			got = append(got, up.Seq)
+			continue
+		default:
+		}
+		break
+	}
+	if len(got) == 0 || len(got) > 16 {
+		t.Fatalf("drained %d updates, want 1..16", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("updates out of order: %v", got)
+		}
+	}
+	if got[len(got)-1] != lastSeq {
+		t.Fatalf("newest update %d dropped (kept up to %d)", lastSeq, got[len(got)-1])
+	}
+}
+
+// TestSubscriptionSlowConsumerNoLeak runs interval-mode subscriptions against
+// a consumer that never reads, closes them, and verifies every goroutine
+// (ticker loop and any in-flight deliver) has exited.
+func TestSubscriptionSlowConsumerNoLeak(t *testing.T) {
+	f := newFixture(t, 30, 4, 22)
+	b, err := NewBatcher(f.sys, BatcherOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	for round := 0; round < 3; round++ {
+		src := &churnSource{road: 2}
+		sub, err := b.Subscribe(tslot.Slot(60), []int{2, 4}, src, SubscriptionOptions{Interval: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Let the ticker overrun the buffer while nobody reads.
+		time.Sleep(25 * time.Millisecond)
+		sub.Close()
+		// Updates closes on Close: a ranging consumer terminates.
+		for range sub.Updates() {
+		}
+	}
+
+	// Goroutine counts are noisy (GC, timers); poll with a deadline instead
+	// of asserting an instant snapshot.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSubscriptionConcurrentDeliverAndClose races deliveries, a slow reader
+// and Close against each other — the -race run is the assertion.
+func TestSubscriptionConcurrentDeliverAndClose(t *testing.T) {
+	f := newFixture(t, 30, 4, 23)
+	b, err := NewBatcher(f.sys, BatcherOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &churnSource{road: 1}
+	sub, err := b.Subscribe(tslot.Slot(70), []int{1, 6}, src, SubscriptionOptions{Interval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // slow reader
+		defer wg.Done()
+		for range sub.Updates() {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	go func() { // manual refreshes racing the ticker's own refresh+deliver
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			_, _, _ = sub.Refresh(context.Background(), true)
+		}
+	}()
+
+	time.Sleep(10 * time.Millisecond)
+	sub.Close()
+	sub.Close() // idempotent under race
+	wg.Wait()
+
+	if _, _, err := sub.Refresh(context.Background(), true); err == nil {
+		t.Fatal("refresh after Close should fail")
+	}
+}

@@ -1,0 +1,177 @@
+// Tier-aware estimation (PR 6). The admission controller (internal/qos)
+// decides at what service tier a request runs; this file is the execution
+// side: each rung of the QoS ladder maps onto machinery previous PRs built
+// as optimizations or fault responses, now addressable as deliberate service
+// levels. A degraded answer is never silently degraded — it carries its tier
+// and a standard deviation inflated by the tier's factor, so downstream
+// consumers see honestly wider uncertainty instead of a bare boolean
+// (Rodrigues & Pereira's heteroscedastic-GP point applied to load shedding).
+package core
+
+import (
+	"context"
+
+	"repro/internal/gsp"
+	"repro/internal/qos"
+	"repro/internal/tslot"
+)
+
+// tierInflation is the SD multiplier per service tier, indexed by qos.Tier.
+//
+//   - full (1.0): the exact pipeline answer.
+//   - batched (1.2): same-slot requests share one in-flight propagation —
+//     a follower's answer reflects the leader's observation set, which may
+//     lag its own by a batching window.
+//   - cached (1.5): the slot's previous field from the warm LRU, no
+//     propagation — correct as of the last estimate, blind to reports since.
+//   - prior (2.5): the periodicity prior μ with zero realtime signal; Sigma
+//     is already the prior spread, the factor prices in that traffic chose
+//     this moment (overload!) to be abnormal.
+var tierInflation = [...]float64{
+	qos.TierFull:    1.0,
+	qos.TierBatched: 1.2,
+	qos.TierCached:  1.5,
+	qos.TierPrior:   2.5,
+}
+
+// TierInflation returns the SD multiplier applied at a tier.
+func TierInflation(t qos.Tier) float64 {
+	if t < 0 || int(t) >= len(tierInflation) {
+		return 1
+	}
+	return tierInflation[t]
+}
+
+// TierResult is a speed field served at an explicit QoS tier. SD is already
+// inflated by VarianceInflation; Result.Speeds/SD are private copies safe to
+// mutate.
+type TierResult struct {
+	gsp.Result
+	// Tier is the rung the answer was actually served at — it may be lower
+	// than the admitted tier (TierCached falls through to TierPrior when the
+	// warm LRU has nothing for the slot).
+	Tier qos.Tier
+	// VarianceInflation is the factor SD was multiplied by (1.0 at TierFull).
+	VarianceInflation float64
+}
+
+// EstimateTier answers an estimate request at a service tier:
+//
+//	TierFull    — Batcher.Estimate: dedicated propagation over the request's
+//	              exact observations (plus the ε-equivalent singleflight and
+//	              warm-start amortizations, which do not change the answer).
+//	TierBatched — slot-keyed singleflight: all concurrent requests for the
+//	              slot share whichever propagation runs first, even when
+//	              their observation sets differ.
+//	TierCached  — the slot's previous field straight from the warm LRU, no
+//	              propagation; falls through to TierPrior when the slot was
+//	              never estimated (the result's Tier reports the fallthrough).
+//	TierPrior   — the periodicity prior μ alone, no model evaluation beyond
+//	              a read of the slot's view.
+//
+// Lower tiers never return an error: their whole point is answering when
+// the full pipeline can't be afforded.
+func (b *Batcher) EstimateTier(ctx context.Context, tier qos.Tier, t tslot.Slot, observed map[int]float64) (TierResult, error) {
+	switch tier {
+	case qos.TierBatched:
+		res, err := b.estimateSlotShared(ctx, t, observed)
+		if err != nil {
+			return TierResult{}, err
+		}
+		return inflated(res, qos.TierBatched), nil
+	case qos.TierCached:
+		if res := b.lastResult(t); res != nil {
+			return inflated(*res, qos.TierCached), nil
+		}
+		return b.priorResult(t), nil
+	case qos.TierPrior:
+		return b.priorResult(t), nil
+	default: // TierFull
+		res, err := b.Estimate(ctx, t, observed)
+		if err != nil {
+			return TierResult{}, err
+		}
+		return inflated(res, qos.TierFull), nil
+	}
+}
+
+// estimateSlotShared coalesces every concurrent same-slot request onto one
+// propagation regardless of observation set: the leader runs Estimate with
+// its own observations, followers wait and take the leader's field. This is
+// deliberately lossier than Estimate's digest-keyed singleflight — that is
+// what makes it a cheaper tier.
+func (b *Batcher) estimateSlotShared(ctx context.Context, t tslot.Slot, observed map[int]float64) (gsp.Result, error) {
+	b.flightMu.Lock()
+	if f, ok := b.slotFlight[t]; ok {
+		b.flightMu.Unlock()
+		b.sys.Obs().Batch.Coalesced.Inc()
+		select {
+		case <-f.done:
+			return f.res, f.err
+		case <-ctx.Done():
+			return gsp.Result{}, ctx.Err()
+		}
+	}
+	f := &flight[gsp.Result]{done: make(chan struct{})}
+	b.slotFlight[t] = f
+	b.flightMu.Unlock()
+
+	f.res, f.err = b.Estimate(ctx, t, observed)
+	b.flightMu.Lock()
+	delete(b.slotFlight, t)
+	b.flightMu.Unlock()
+	close(f.done)
+	return f.res, f.err
+}
+
+// CachedResult returns the slot's most recent estimate from the warm LRU
+// without running anything, with ok=false when the slot has no cached field.
+// The result is a private copy.
+func (b *Batcher) CachedResult(t tslot.Slot) (gsp.Result, bool) {
+	res := b.lastResult(t)
+	if res == nil {
+		return gsp.Result{}, false
+	}
+	out := *res
+	out.Speeds = append([]float64(nil), res.Speeds...)
+	out.SD = append([]float64(nil), res.SD...)
+	return out, true
+}
+
+// PriorField returns the periodicity prior for slot t: μ as the speeds and
+// the prior spread Σ as the (uninflated) SD. Both slices are copies.
+func (s *System) PriorField(t tslot.Slot) (speeds, sd []float64) {
+	view := s.current().model.At(t)
+	speeds = append([]float64(nil), view.Mu...)
+	sd = append([]float64(nil), view.Sigma...)
+	return speeds, sd
+}
+
+// priorResult packages the prior field as a TierPrior answer.
+func (b *Batcher) priorResult(t tslot.Slot) TierResult {
+	speeds, sd := b.sys.PriorField(t)
+	factor := TierInflation(qos.TierPrior)
+	for i := range sd {
+		sd[i] *= factor
+	}
+	return TierResult{
+		Result:            gsp.Result{Speeds: speeds, SD: sd, Converged: true},
+		Tier:              qos.TierPrior,
+		VarianceInflation: factor,
+	}
+}
+
+// inflated labels res with its tier and scales a private copy of SD by the
+// tier's inflation factor. Speeds are copied too: shared-flight followers and
+// cached reads alias the stored field, which must stay pristine for the next
+// warm start.
+func inflated(res gsp.Result, tier qos.Tier) TierResult {
+	factor := TierInflation(tier)
+	out := res
+	out.Speeds = append([]float64(nil), res.Speeds...)
+	out.SD = make([]float64, len(res.SD))
+	for i, v := range res.SD {
+		out.SD[i] = v * factor
+	}
+	return TierResult{Result: out, Tier: tier, VarianceInflation: factor}
+}

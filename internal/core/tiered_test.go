@@ -1,0 +1,239 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/gsp"
+	"repro/internal/qos"
+	"repro/internal/tslot"
+)
+
+func tierFixture(t *testing.T, seed int64) (*fixture, *Batcher, tslot.Slot, map[int]float64) {
+	t.Helper()
+	f := newFixture(t, 40, 6, seed)
+	b, err := NewBatcher(f.sys, BatcherOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := tslot.Slot(100)
+	day := f.hist.Days - 1
+	observed := map[int]float64{}
+	for _, r := range []int{2, 7, 13, 21, 33} {
+		observed[r] = f.hist.At(day, slot, r)
+	}
+	return f, b, slot, observed
+}
+
+func TestEstimateTierFull(t *testing.T) {
+	f, b, slot, observed := tierFixture(t, 11)
+	res, err := b.EstimateTier(context.Background(), qos.TierFull, slot, observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tier != qos.TierFull || res.VarianceInflation != 1.0 {
+		t.Fatalf("full tier labeled %s ×%v", res.Tier, res.VarianceInflation)
+	}
+	want, err := f.sys.Estimate(slot, observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Speeds {
+		if math.Abs(res.Speeds[i]-want.Speeds[i]) > 1e-9 {
+			t.Fatalf("road %d: full tier %v != direct estimate %v", i, res.Speeds[i], want.Speeds[i])
+		}
+		if math.Abs(res.SD[i]-want.SD[i]) > 1e-9 {
+			t.Fatalf("road %d: full tier SD inflated: %v != %v", i, res.SD[i], want.SD[i])
+		}
+	}
+}
+
+func TestEstimateTierCached(t *testing.T) {
+	_, b, slot, observed := tierFixture(t, 12)
+	full, err := b.EstimateTier(context.Background(), qos.TierFull, slot, observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cached, err := b.EstimateTier(context.Background(), qos.TierCached, slot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Tier != qos.TierCached || cached.VarianceInflation != TierInflation(qos.TierCached) {
+		t.Fatalf("cached tier labeled %s ×%v", cached.Tier, cached.VarianceInflation)
+	}
+	for i := range full.Speeds {
+		if cached.Speeds[i] != full.Speeds[i] {
+			t.Fatalf("road %d: cached speed %v != last estimate %v", i, cached.Speeds[i], full.Speeds[i])
+		}
+		want := full.SD[i] * TierInflation(qos.TierCached) // full.SD is ×1.0
+		if math.Abs(cached.SD[i]-want) > 1e-9 {
+			t.Fatalf("road %d: cached SD %v, want %v (inflated)", i, cached.SD[i], want)
+		}
+	}
+
+	// The inflation must not have leaked into the stored warm-start entry.
+	stored, ok := b.CachedResult(slot)
+	if !ok {
+		t.Fatal("warm LRU lost the slot")
+	}
+	for i := range stored.SD {
+		if math.Abs(stored.SD[i]-full.SD[i]) > 1e-9 {
+			t.Fatalf("road %d: stored SD mutated to %v (was %v)", i, stored.SD[i], full.SD[i])
+		}
+	}
+}
+
+// TestEstimateTierCachedFallsThrough pins the honest-labeling rule: a cached
+// request on a never-estimated slot is served the prior and *says so*.
+func TestEstimateTierCachedFallsThrough(t *testing.T) {
+	f, b, _, _ := tierFixture(t, 13)
+	cold := tslot.Slot(222)
+	res, err := b.EstimateTier(context.Background(), qos.TierCached, cold, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tier != qos.TierPrior {
+		t.Fatalf("cold cached request labeled %s, want prior fallthrough", res.Tier)
+	}
+	mu := f.sys.PriorSpeeds(cold)
+	for i := range mu {
+		if res.Speeds[i] != mu[i] {
+			t.Fatalf("road %d: fallthrough speed %v != prior %v", i, res.Speeds[i], mu[i])
+		}
+	}
+}
+
+func TestEstimateTierPrior(t *testing.T) {
+	f, b, slot, _ := tierFixture(t, 14)
+	res, err := b.EstimateTier(context.Background(), qos.TierPrior, slot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tier != qos.TierPrior || res.VarianceInflation != TierInflation(qos.TierPrior) {
+		t.Fatalf("prior tier labeled %s ×%v", res.Tier, res.VarianceInflation)
+	}
+	mu, sigma := f.sys.PriorField(slot)
+	for i := range mu {
+		if res.Speeds[i] != mu[i] {
+			t.Fatalf("road %d: prior speed %v != μ %v", i, res.Speeds[i], mu[i])
+		}
+		want := sigma[i] * TierInflation(qos.TierPrior)
+		if math.Abs(res.SD[i]-want) > 1e-9 {
+			t.Fatalf("road %d: prior SD %v, want %v", i, res.SD[i], want)
+		}
+	}
+}
+
+// TestTierInflationMonotone pins the honesty invariant: uncertainty never
+// shrinks as the tier degrades.
+func TestTierInflationMonotone(t *testing.T) {
+	prev := 0.0
+	for _, tier := range qos.Tiers() {
+		f := TierInflation(tier)
+		if f < 1 || f < prev {
+			t.Fatalf("tier %s inflation %v breaks monotonicity (prev %v)", tier, f, prev)
+		}
+		prev = f
+	}
+	if TierInflation(qos.Tier(99)) != 1 {
+		t.Error("out-of-range tier should inflate by 1")
+	}
+}
+
+// TestEstimateTierBatchedShares pins the slot-keyed singleflight: a follower
+// arriving while a same-slot propagation is in flight takes the leader's
+// field — even with a different observation set — at the batched tier's
+// inflation.
+func TestEstimateTierBatchedShares(t *testing.T) {
+	_, b, slot, observed := tierFixture(t, 15)
+
+	// Plant an in-flight leader by hand so the test is deterministic.
+	leader := &flight[gsp.Result]{done: make(chan struct{})}
+	b.flightMu.Lock()
+	b.slotFlight[slot] = leader
+	b.flightMu.Unlock()
+
+	type answer struct {
+		res TierResult
+		err error
+	}
+	got := make(chan answer, 1)
+	go func() {
+		res, err := b.EstimateTier(context.Background(), qos.TierBatched, slot, observed)
+		got <- answer{res, err}
+	}()
+
+	// The follower must be blocked on the leader, not running its own pass.
+	select {
+	case a := <-got:
+		t.Fatalf("follower returned before the leader finished: %+v", a)
+	default:
+	}
+
+	leader.res = gsp.Result{
+		Speeds:    make([]float64, b.sys.Network().N()),
+		SD:        make([]float64, b.sys.Network().N()),
+		Converged: true,
+	}
+	for i := range leader.res.Speeds {
+		leader.res.Speeds[i] = 42
+		leader.res.SD[i] = 2
+	}
+	close(leader.done)
+
+	a := <-got
+	if a.err != nil {
+		t.Fatal(a.err)
+	}
+	if a.res.Tier != qos.TierBatched {
+		t.Fatalf("follower tier %s", a.res.Tier)
+	}
+	if a.res.Speeds[0] != 42 {
+		t.Fatalf("follower got its own pass, not the leader's field: %v", a.res.Speeds[0])
+	}
+	if want := 2 * TierInflation(qos.TierBatched); math.Abs(a.res.SD[0]-want) > 1e-9 {
+		t.Fatalf("follower SD %v, want %v", a.res.SD[0], want)
+	}
+	// The leader's stored field must not have been inflated in place.
+	if leader.res.SD[0] != 2 {
+		t.Fatalf("leader SD mutated to %v", leader.res.SD[0])
+	}
+
+	b.flightMu.Lock()
+	delete(b.slotFlight, slot)
+	b.flightMu.Unlock()
+
+	// With nothing in flight the batched tier runs a pass itself (leader
+	// path) and still labels the answer honestly.
+	res, err := b.EstimateTier(context.Background(), qos.TierBatched, slot, observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tier != qos.TierBatched || res.VarianceInflation != TierInflation(qos.TierBatched) {
+		t.Fatalf("leader-path batched answer labeled %s ×%v", res.Tier, res.VarianceInflation)
+	}
+}
+
+// TestEstimateTierBatchedContext: a follower's context expiring abandons its
+// wait without disturbing the in-flight leader.
+func TestEstimateTierBatchedContext(t *testing.T) {
+	_, b, slot, observed := tierFixture(t, 16)
+	leader := &flight[gsp.Result]{done: make(chan struct{})}
+	b.flightMu.Lock()
+	b.slotFlight[slot] = leader
+	b.flightMu.Unlock()
+	defer func() {
+		close(leader.done)
+		b.flightMu.Lock()
+		delete(b.slotFlight, slot)
+		b.flightMu.Unlock()
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.EstimateTier(ctx, qos.TierBatched, slot, observed); err != context.Canceled {
+		t.Fatalf("cancelled follower: %v", err)
+	}
+}

@@ -133,13 +133,18 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// u01 hashes (seed, parts...) to a uniform value in [0,1).
-func (inj *Injector) u01(parts ...uint64) float64 {
-	x := splitmix64(uint64(inj.cfg.Seed))
+// hashU01 hashes (seed, parts...) to a uniform value in [0,1).
+func hashU01(seed int64, parts ...uint64) float64 {
+	x := splitmix64(uint64(seed))
 	for _, p := range parts {
 		x = splitmix64(x ^ p)
 	}
 	return float64(x>>11) / (1 << 53)
+}
+
+// u01 hashes (Seed, parts...) to a uniform value in [0,1).
+func (inj *Injector) u01(parts ...uint64) float64 {
+	return hashU01(inj.cfg.Seed, parts...)
 }
 
 // BlackedOut reports whether road r is configured as a blackout road.

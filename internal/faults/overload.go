@@ -1,0 +1,213 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+)
+
+// Overload scenario (PR 6). Where the rest of this package breaks the
+// crowdsourcing *supply* (workers vanish, answers rot), the overload
+// scenario breaks the *demand* side: a diurnal arrival process with a surge
+// window and transient bursts, paired with a latency spike that models the
+// collector slowing down under the same load. It produces the deterministic
+// traffic an admission controller is drilled against — every arrival count,
+// class label, and latency jitter is a pure function of (Seed, step,
+// index), so a drill replays bit-for-bit and assertions about *which* class
+// was shed *when* are meaningful.
+//
+// The scenario deliberately does not import the qos package: classes are
+// plain strings here (the injector is below admission control in the
+// dependency order), and the driver — a test or examples/chaosdrill — maps
+// them onto qos.Class when it feeds the controller.
+
+// ClassShare is one slice of the arrival mix: a fraction of the traffic
+// belonging to one tenant at one priority class.
+type ClassShare struct {
+	Class  string  // "alerting" | "interactive" | "batch" (opaque here)
+	Tenant string  // tenant name the driver resolves to an API key
+	Share  float64 // relative weight; shares are normalized, need not sum to 1
+}
+
+// OverloadConfig parameterizes the scenario. The zero value is invalid —
+// Steps, BaseArrivals and a ClassMix are required.
+type OverloadConfig struct {
+	// Seed drives every arrival count, class draw, and latency jitter.
+	Seed int64
+	// Steps is the drill length in ticks.
+	Steps int
+	// Tick is the wall duration one step models (default 1s). It only
+	// matters for the Little's-law load estimate.
+	Tick time.Duration
+
+	// BaseArrivals is the mean arrivals per tick outside the surge.
+	BaseArrivals float64
+	// SurgeStart/SurgeEnd bound the surge window: steps in [start, end)
+	// multiply arrivals by SurgeFactor and collector latency by SpikeFactor.
+	SurgeStart, SurgeEnd int
+	// SurgeFactor is the arrival multiplier during the surge (default 1 = no
+	// surge).
+	SurgeFactor float64
+
+	// BurstProb is the per-step probability of a transient burst on top of
+	// the diurnal shape — the "thundering herd" a rate limiter exists for.
+	BurstProb float64
+	// BurstFactor is the arrival multiplier within a burst step (default 3).
+	BurstFactor float64
+
+	// ClassMix is the arrival class/tenant mix. Order matters for
+	// determinism; at least one share must be positive.
+	ClassMix []ClassShare
+
+	// BaseLatency is the collector's per-request service time outside the
+	// surge (default 40ms); during the surge it multiplies by SpikeFactor
+	// (default 4) — the slow-collector half of the scenario.
+	BaseLatency time.Duration
+	SpikeFactor float64
+}
+
+// Arrival is one request in the generated traffic.
+type Arrival struct {
+	Step   int
+	Index  int // position within the step
+	Class  string
+	Tenant string
+}
+
+// OverloadScenario generates deterministic overload traffic. Safe for
+// concurrent use — it holds no mutable state.
+type OverloadScenario struct {
+	cfg   OverloadConfig
+	total float64 // sum of shares
+}
+
+// NewOverload validates the config and builds the scenario.
+func NewOverload(cfg OverloadConfig) (*OverloadScenario, error) {
+	if cfg.Steps <= 0 {
+		return nil, fmt.Errorf("faults: overload Steps %d must be positive", cfg.Steps)
+	}
+	if cfg.BaseArrivals <= 0 {
+		return nil, fmt.Errorf("faults: overload BaseArrivals %v must be positive", cfg.BaseArrivals)
+	}
+	if cfg.SurgeStart < 0 || cfg.SurgeEnd < cfg.SurgeStart || cfg.SurgeEnd > cfg.Steps {
+		return nil, fmt.Errorf("faults: overload surge window [%d,%d) outside [0,%d]",
+			cfg.SurgeStart, cfg.SurgeEnd, cfg.Steps)
+	}
+	if cfg.SurgeFactor < 0 || cfg.BurstFactor < 0 || cfg.SpikeFactor < 0 {
+		return nil, fmt.Errorf("faults: overload factors must be non-negative")
+	}
+	if cfg.BurstProb < 0 || cfg.BurstProb > 1 {
+		return nil, fmt.Errorf("faults: overload BurstProb %v outside [0,1]", cfg.BurstProb)
+	}
+	if len(cfg.ClassMix) == 0 {
+		return nil, fmt.Errorf("faults: overload needs a ClassMix")
+	}
+	var total float64
+	for i, cs := range cfg.ClassMix {
+		if cs.Share < 0 {
+			return nil, fmt.Errorf("faults: overload ClassMix[%d] share %v negative", i, cs.Share)
+		}
+		if cs.Class == "" {
+			return nil, fmt.Errorf("faults: overload ClassMix[%d] missing class", i)
+		}
+		total += cs.Share
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("faults: overload ClassMix shares sum to %v", total)
+	}
+	if cfg.SurgeFactor == 0 {
+		cfg.SurgeFactor = 1
+	}
+	if cfg.BurstFactor == 0 {
+		cfg.BurstFactor = 3
+	}
+	if cfg.SpikeFactor == 0 {
+		cfg.SpikeFactor = 4
+	}
+	if cfg.Tick == 0 {
+		cfg.Tick = time.Second
+	}
+	if cfg.BaseLatency == 0 {
+		cfg.BaseLatency = 40 * time.Millisecond
+	}
+	return &OverloadScenario{cfg: cfg, total: total}, nil
+}
+
+// Salts for the overload hash streams, disjoint from the injector's.
+const (
+	saltOverBurst = iota + 16
+	saltOverCount
+	saltOverClass
+	saltOverLatency
+)
+
+// Steps returns the drill length.
+func (s *OverloadScenario) Steps() int { return s.cfg.Steps }
+
+// Surging reports whether step lies in the surge window.
+func (s *OverloadScenario) Surging(step int) bool {
+	return step >= s.cfg.SurgeStart && step < s.cfg.SurgeEnd
+}
+
+// mean is the expected arrivals at step: base shape × surge × burst.
+func (s *OverloadScenario) mean(step int) float64 {
+	m := s.cfg.BaseArrivals
+	if s.Surging(step) {
+		m *= s.cfg.SurgeFactor
+	}
+	if s.cfg.BurstProb > 0 &&
+		hashU01(s.cfg.Seed, saltOverBurst, uint64(step)) < s.cfg.BurstProb {
+		m *= s.cfg.BurstFactor
+	}
+	return m
+}
+
+// Count returns the arrival count at step: the mean with its fractional part
+// resolved by a deterministic coin, so long-run volume matches the mean
+// without a shared RNG stream.
+func (s *OverloadScenario) Count(step int) int {
+	m := s.mean(step)
+	n := int(m)
+	if frac := m - float64(n); frac > 0 &&
+		hashU01(s.cfg.Seed, saltOverCount, uint64(step)) < frac {
+		n++
+	}
+	return n
+}
+
+// Arrivals returns the step's requests, classes drawn from the mix. The i-th
+// arrival of a step is identical across replays.
+func (s *OverloadScenario) Arrivals(step int) []Arrival {
+	n := s.Count(step)
+	out := make([]Arrival, n)
+	for i := 0; i < n; i++ {
+		u := hashU01(s.cfg.Seed, saltOverClass, uint64(step), uint64(i)) * s.total
+		pick := s.cfg.ClassMix[len(s.cfg.ClassMix)-1]
+		for _, cs := range s.cfg.ClassMix {
+			if u < cs.Share {
+				pick = cs
+				break
+			}
+			u -= cs.Share
+		}
+		out[i] = Arrival{Step: step, Index: i, Class: pick.Class, Tenant: pick.Tenant}
+	}
+	return out
+}
+
+// CollectorLatency models the collector's per-request service time at step:
+// BaseLatency, ×SpikeFactor inside the surge, ±10% deterministic jitter.
+func (s *OverloadScenario) CollectorLatency(step int) time.Duration {
+	lat := float64(s.cfg.BaseLatency)
+	if s.Surging(step) {
+		lat *= s.cfg.SpikeFactor
+	}
+	jitter := 0.9 + 0.2*hashU01(s.cfg.Seed, saltOverLatency, uint64(step))
+	return time.Duration(lat * jitter)
+}
+
+// OfferedLoad is the Little's-law estimate of concurrent in-flight work at
+// step: arrival rate × service time. Dividing by the server's MaxInFlight
+// gives the pressure the admission controller would read.
+func (s *OverloadScenario) OfferedLoad(step int) float64 {
+	return s.mean(step) * float64(s.CollectorLatency(step)) / float64(s.cfg.Tick)
+}

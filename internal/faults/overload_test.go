@@ -1,0 +1,167 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func overloadCfg() OverloadConfig {
+	return OverloadConfig{
+		Seed:         42,
+		Steps:        60,
+		BaseArrivals: 10,
+		SurgeStart:   20, SurgeEnd: 40, SurgeFactor: 5,
+		BurstProb: 0.2,
+		ClassMix: []ClassShare{
+			{Class: "alerting", Tenant: "ops", Share: 0.1},
+			{Class: "interactive", Tenant: "maps", Share: 0.3},
+			{Class: "batch", Tenant: "etl", Share: 0.6},
+		},
+		BaseLatency: 40 * time.Millisecond,
+	}
+}
+
+func TestOverloadValidates(t *testing.T) {
+	bad := []OverloadConfig{
+		{},                           // no steps
+		{Steps: 10},                  // no arrivals
+		{Steps: 10, BaseArrivals: 1}, // no mix
+		{Steps: 10, BaseArrivals: 1, SurgeStart: 5, SurgeEnd: 3, ClassMix: []ClassShare{{Class: "batch", Share: 1}}}, // inverted window
+		{Steps: 10, BaseArrivals: 1, SurgeEnd: 11, ClassMix: []ClassShare{{Class: "batch", Share: 1}}},               // window past end
+		{Steps: 10, BaseArrivals: 1, BurstProb: 1.5, ClassMix: []ClassShare{{Class: "batch", Share: 1}}},             // bad prob
+		{Steps: 10, BaseArrivals: 1, ClassMix: []ClassShare{{Class: "batch", Share: -1}}},                            // negative share
+		{Steps: 10, BaseArrivals: 1, ClassMix: []ClassShare{{Class: "", Share: 1}}},                                  // unnamed class
+		{Steps: 10, BaseArrivals: 1, ClassMix: []ClassShare{{Class: "batch", Share: 0}}},                             // zero total
+	}
+	for i, cfg := range bad {
+		if _, err := NewOverload(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewOverload(overloadCfg()); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+}
+
+// TestOverloadDeterministic: two scenarios with the same seed replay the
+// identical arrival tape; a different seed does not.
+func TestOverloadDeterministic(t *testing.T) {
+	a, _ := NewOverload(overloadCfg())
+	b, _ := NewOverload(overloadCfg())
+	diffSeed := overloadCfg()
+	diffSeed.Seed = 43
+	c, _ := NewOverload(diffSeed)
+
+	same, diff := true, true
+	for step := 0; step < a.Steps(); step++ {
+		as, bs, cs := a.Arrivals(step), b.Arrivals(step), c.Arrivals(step)
+		if len(as) != len(bs) {
+			t.Fatalf("step %d: same seed, %d vs %d arrivals", step, len(as), len(bs))
+		}
+		for i := range as {
+			if as[i] != bs[i] {
+				same = false
+			}
+		}
+		if len(as) != len(cs) {
+			diff = false
+		}
+		if a.CollectorLatency(step) != b.CollectorLatency(step) {
+			t.Fatalf("step %d: same seed, different latency", step)
+		}
+	}
+	if !same {
+		t.Error("same seed produced different arrival tapes")
+	}
+	if diff {
+		t.Error("different seed produced an identical arrival count tape (suspicious)")
+	}
+}
+
+// TestOverloadSurgeShape: the surge window carries more traffic and slower
+// collector service than the shoulders, and the load estimate tracks both.
+func TestOverloadSurgeShape(t *testing.T) {
+	s, _ := NewOverload(overloadCfg())
+	var calmN, surgeN int
+	var calmSteps, surgeSteps int
+	for step := 0; step < s.Steps(); step++ {
+		n := s.Count(step)
+		if s.Surging(step) {
+			surgeN += n
+			surgeSteps++
+		} else {
+			calmN += n
+			calmSteps++
+		}
+	}
+	calmMean := float64(calmN) / float64(calmSteps)
+	surgeMean := float64(surgeN) / float64(surgeSteps)
+	if surgeMean < 3*calmMean {
+		t.Errorf("surge mean %.1f not clearly above calm mean %.1f (factor 5 configured)", surgeMean, calmMean)
+	}
+	if got := s.CollectorLatency(25); got < 2*s.CollectorLatency(5) {
+		t.Errorf("surge latency %v not spiked over calm %v", got, s.CollectorLatency(5))
+	}
+	if s.OfferedLoad(25) < 4*s.OfferedLoad(5) {
+		t.Errorf("surge load %.1f vs calm %.1f: Little's law should compound arrivals × latency",
+			s.OfferedLoad(25), s.OfferedLoad(5))
+	}
+}
+
+// TestOverloadClassMix: long-run class frequencies track the configured
+// shares, and every arrival carries its tenant label.
+func TestOverloadClassMix(t *testing.T) {
+	cfg := overloadCfg()
+	cfg.Steps = 400
+	cfg.SurgeFactor = 1 // flat tape, larger sample
+	s, _ := NewOverload(cfg)
+	counts := map[string]int{}
+	tenants := map[string]string{}
+	total := 0
+	for step := 0; step < s.Steps(); step++ {
+		for _, a := range s.Arrivals(step) {
+			counts[a.Class]++
+			tenants[a.Class] = a.Tenant
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	want := map[string]float64{"alerting": 0.1, "interactive": 0.3, "batch": 0.6}
+	for class, share := range want {
+		got := float64(counts[class]) / float64(total)
+		if got < share-0.05 || got > share+0.05 {
+			t.Errorf("class %s frequency %.3f, want %.2f ±0.05", class, got, share)
+		}
+	}
+	if tenants["alerting"] != "ops" || tenants["batch"] != "etl" {
+		t.Errorf("tenant labels: %v", tenants)
+	}
+}
+
+// TestOverloadBursts: with BurstProb set some steps exceed the diurnal mean
+// by the burst factor; with it zero none do.
+func TestOverloadBursts(t *testing.T) {
+	cfg := overloadCfg()
+	cfg.SurgeFactor = 1
+	cfg.BurstProb = 0.25
+	cfg.BurstFactor = 4
+	s, _ := NewOverload(cfg)
+	bursts := 0
+	for step := 0; step < s.Steps(); step++ {
+		if s.Count(step) >= int(3*cfg.BaseArrivals) {
+			bursts++
+		}
+	}
+	if bursts == 0 {
+		t.Error("BurstProb 0.25 over 60 steps produced no bursts")
+	}
+	cfg.BurstProb = 0
+	flat, _ := NewOverload(cfg)
+	for step := 0; step < flat.Steps(); step++ {
+		if n := flat.Count(step); n > int(cfg.BaseArrivals)+1 {
+			t.Fatalf("step %d: %d arrivals without bursts configured", step, n)
+		}
+	}
+}

@@ -48,6 +48,17 @@ const (
 
 	MStreamReports         = "crowdrtse_stream_reports_total"
 	MStreamReportsRejected = "crowdrtse_stream_reports_rejected_total"
+
+	// Admission-control names (PR 6). The per-tenant counters are registered
+	// with label-in-name constants by qos.Controller.RegisterMetrics through
+	// the CounterFunc/GaugeFunc bridges, reading the same atomics the healthz
+	// rollup reads.
+	MQoSPressure       = "crowdrtse_qos_pressure"
+	MQoSAdmitted       = "crowdrtse_qos_admitted_total"
+	MQoSShed           = "crowdrtse_qos_shed_total"
+	MQoSTier           = "crowdrtse_qos_tier_total"
+	MQoSQuotaRejected  = "crowdrtse_qos_quota_rejected_total"
+	MQoSQuotaRemaining = "crowdrtse_qos_probe_quota_remaining"
 )
 
 // OCSMetrics is the instrument handle package ocs accepts on a Problem:

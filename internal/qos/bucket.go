@@ -1,0 +1,87 @@
+package qos
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// bucket is a deterministic token bucket driven by explicit timestamps (the
+// controller's obs.Clock), so rate limiting replays exactly under a
+// FakeClock. rate ≤ 0 disables the bucket (every take succeeds).
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+}
+
+// newBucket returns a full bucket. A non-positive burst defaults to one
+// second of rate (and at least 1), so a bare "rps=10" spec behaves sanely.
+func newBucket(rate, burst float64) *bucket {
+	if rate > 0 && burst <= 0 {
+		burst = math.Max(rate, 1)
+	}
+	return &bucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// take atomically removes n tokens if available — all or nothing, so a batch
+// request can never be half-admitted. On refusal it reports how long the
+// caller should wait before the n tokens will have accrued (the Retry-After
+// hint).
+func (b *bucket) take(now time.Time, n float64) (ok bool, retryAfter time.Duration) {
+	if b == nil || b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(now)
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	need := n - b.tokens
+	if n > b.burst {
+		// The request can never fit; report the full-bucket horizon rather
+		// than a time that will never be enough.
+		need = b.burst
+	}
+	return false, time.Duration(need / b.rate * float64(time.Second))
+}
+
+// refill accrues tokens for the elapsed time; must hold mu.
+func (b *bucket) refill(now time.Time) {
+	if b.last.IsZero() {
+		b.last = now
+		return
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed <= 0 {
+		return
+	}
+	b.last = now
+	b.tokens = math.Min(b.burst, b.tokens+elapsed*b.rate)
+}
+
+// put returns n tokens, capped at the bucket's capacity. Used to refund a
+// charge whose work never happened.
+func (b *bucket) put(n float64) {
+	if b == nil || b.rate <= 0 || n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens = math.Min(b.burst, b.tokens+n)
+}
+
+// remaining returns the token count after refilling to now (metrics/healthz).
+func (b *bucket) remaining(now time.Time) float64 {
+	if b == nil || b.rate <= 0 {
+		return math.Inf(1)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(now)
+	return b.tokens
+}

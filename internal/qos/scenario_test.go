@@ -1,0 +1,130 @@
+package qos
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestOverloadScenario replays a deterministic rush-hour surge through the
+// controller and pins the acceptance criteria of the QoS ladder:
+//
+//  1. zero alerting-class requests are shed before the first batch-class shed
+//     (in fact alerting is never pressure-shed at all),
+//  2. every class steps down monotonically as pressure rises, and
+//  3. after the surge every class recovers to the full-pipeline tier.
+//
+// Pressure is driven through the same signal hook the server wires (the
+// in-flight gauge), on a FakeClock, so the replay is exact.
+func TestOverloadScenario(t *testing.T) {
+	clk := obs.NewFakeClock(time.Date(2026, 8, 7, 7, 0, 0, 0, time.UTC), 0)
+	c, err := New(Config{
+		MaxInFlight: 100,
+		Tenants: []TenantConfig{
+			{Key: "ops", Name: "ops", Class: ClassAlerting},
+			{Key: "maps", Name: "maps", Class: ClassInteractive},
+			{Key: "etl", Name: "etl", Class: ClassBatch},
+		},
+	}, clk)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var inFlight float64
+	c.SetSignals(func() float64 { return inFlight }, nil)
+
+	tenants := map[Class]*Tenant{}
+	for key, class := range map[string]Class{"ops": ClassAlerting, "maps": ClassInteractive, "etl": ClassBatch} {
+		ten, ok := c.Resolve(key)
+		if !ok {
+			t.Fatalf("Resolve(%s)", key)
+		}
+		tenants[class] = ten
+	}
+
+	// The surge: in-flight ramps 0 → 100 → 0 in steps of 2 (pressure 0 →
+	// 1 → 0), one request per class per step.
+	var ramp []float64
+	for f := 0.0; f <= 100; f += 2 {
+		ramp = append(ramp, f)
+	}
+	for f := 98.0; f >= 0; f -= 2 {
+		ramp = append(ramp, f)
+	}
+
+	firstShed := map[Class]int{} // step index of the first shed per class
+	sawDegraded := false
+	prevTier := map[Class]Tier{}
+	rising := true
+	for step, f := range ramp {
+		inFlight = f
+		if step > 0 && f < ramp[step-1] {
+			rising = false
+		}
+		for _, class := range Classes() {
+			d := c.Admit(tenants[class], class, 1)
+			if d.Admit {
+				if d.Tier.Degraded() {
+					sawDegraded = true
+				}
+				if rising {
+					if prev, ok := prevTier[class]; ok && d.Tier < prev {
+						t.Fatalf("step %d (pressure %.2f): class %s improved %s→%s while pressure rose",
+							step, d.Pressure, class, prev, d.Tier)
+					}
+					prevTier[class] = d.Tier
+				}
+				continue
+			}
+			if d.Reason != "overload" {
+				t.Fatalf("step %d: class %s shed for %q, want overload", step, class, d.Reason)
+			}
+			if d.RetryAfter <= 0 {
+				t.Fatalf("step %d: shed without Retry-After", step)
+			}
+			if _, seen := firstShed[class]; !seen {
+				firstShed[class] = step
+			}
+		}
+	}
+
+	// Criterion 1: alerting is never pressure-shed; interactive sheds only
+	// after batch.
+	if step, shed := firstShed[ClassAlerting]; shed {
+		t.Fatalf("alerting-class request shed at step %d", step)
+	}
+	batchStep, batchShed := firstShed[ClassBatch]
+	if !batchShed {
+		t.Fatal("surge never shed batch traffic — ramp did not reach shedding pressure")
+	}
+	if interStep, interShed := firstShed[ClassInteractive]; interShed && interStep < batchStep {
+		t.Fatalf("interactive shed at step %d before batch at step %d", interStep, batchStep)
+	}
+	if !sawDegraded {
+		t.Fatal("surge never degraded a request — ladder thresholds unreached")
+	}
+
+	// Criterion 3: after the surge every class is back on the full pipeline.
+	inFlight = 0
+	for _, class := range Classes() {
+		d := c.Admit(tenants[class], class, 1)
+		if !d.Admit || d.Tier != TierFull {
+			t.Fatalf("post-surge class %s: admit=%v tier=%s, want full service", class, d.Admit, d.Tier)
+		}
+	}
+
+	// The report reflects the drill: batch shed > 0, alerting shed == 0.
+	r := c.Report()
+	for _, tr := range r.Tenants {
+		switch tr.Name {
+		case "ops":
+			if tr.Shed["alerting"] != 0 {
+				t.Errorf("ops shed %d alerting requests", tr.Shed["alerting"])
+			}
+		case "etl":
+			if tr.Shed["batch"] == 0 {
+				t.Error("etl shows no batch sheds after the surge")
+			}
+		}
+	}
+}

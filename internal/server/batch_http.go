@@ -72,6 +72,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		slots[q.Slot] = struct{}{}
 	}
+	// Deferred admission charge: one token per entry, all or nothing — the
+	// batch sheds atomically (429 + Retry-After), never half-admitted.
+	if !s.admitBatch(w, r, admissionFrom(r.Context()), len(req.Queries)) {
+		return
+	}
 
 	// Fan the entries out concurrently; the Batcher's singleflight collapses
 	// same-slot entries into one propagation.

@@ -42,6 +42,12 @@ func errorCode(status int) string {
 		return "timeout"
 	case http.StatusConflict:
 		return "conflict"
+	case http.StatusUnauthorized:
+		return "unauthorized"
+	case http.StatusTooManyRequests:
+		// The admission controller's shed/rate-limit/quota rejections; the
+		// response additionally carries a Retry-After header.
+		return "too_many_requests"
 	case http.StatusRequestEntityTooLarge:
 		return "payload_too_large"
 	case http.StatusInternalServerError:

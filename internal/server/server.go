@@ -58,6 +58,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/modelstore"
 	"repro/internal/obs"
+	"repro/internal/qos"
 	"repro/internal/stream"
 	"repro/internal/tslot"
 )
@@ -91,6 +92,16 @@ type Server struct {
 	// are emitted as structured log lines after the response. This is the
 	// `crowdrtse serve -trace` sink.
 	TraceLog *slog.Logger
+	// ServiceFloor, when positive, holds every admitted work-route request in
+	// the handler for at least this long (load-testing aid). The synthetic
+	// benchmark network turns an estimate around in microseconds — far faster
+	// than a production-scale deployment, and too fast for closed-loop load to
+	// accumulate observable concurrency — so the load harness sets a floor
+	// emulating realistic propagation/collection latency; the admission
+	// controller then reads the in-flight pressure a real deployment would.
+	// The floor sits inside the in-flight gauge and after admission: shed
+	// requests return immediately. Zero (the default) disables it.
+	ServiceFloor time.Duration
 
 	// Observability wiring: one registry, one pipeline instrument set,
 	// shared with core/stream at construction (New) or re-clocked by
@@ -111,6 +122,10 @@ type Server struct {
 	// 409.
 	lifecycle *modelstore.Manager
 	refitter  *modelstore.Refitter
+
+	// qosCtl is the admission controller (EnableQoS); nil serves every
+	// request at full fidelity with no tenancy.
+	qosCtl *qos.Controller
 }
 
 // New wraps a trained system. The worker pool starts empty. Construction
@@ -167,7 +182,7 @@ func (s *Server) Handler() http.Handler {
 	if s.EnablePprof {
 		mountPprof(mux)
 	}
-	return s.withObs(s.withRecovery(s.withBodyLimit(s.withTimeout(mux))))
+	return s.withObs(s.withRecovery(s.withBodyLimit(s.withAdmission(s.withTimeout(s.withServiceFloor(mux))))))
 }
 
 // AttachLifecycle enables the model-lifecycle admin surface: /v1/model gains
@@ -356,11 +371,24 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusConflict, "no workers registered")
 		return
 	}
+	// Probes cost real crowdsourcing money: charge the requested budget
+	// against the tenant's quota before the oracle does any work.
+	if ai := admissionFrom(r.Context()); ai != nil && s.qosCtl != nil {
+		if ok, retry := s.qosCtl.ConsumeProbeBudget(ai.Tenant, req.Budget); !ok {
+			writeQuotaExhausted(w, r, ai.Tenant, req.Budget, retry.Seconds())
+			return
+		}
+	}
 	sol, err := s.batcher.Select(r.Context(), core.SelectRequest{
 		Slot: slot, Roads: req.Roads, WorkerRoads: workerRoads,
 		Budget: req.Budget, Theta: req.Theta, Selector: sel, Seed: req.Seed,
 	})
 	if err != nil {
+		// No probes were bought — refund the quota charge so a failing
+		// request (bad θ, empty query) can't drain a tenant's budget.
+		if ai := admissionFrom(r.Context()); ai != nil && s.qosCtl != nil {
+			s.qosCtl.RefundProbeBudget(ai.Tenant, req.Budget)
+		}
 		writeErr(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -398,6 +426,10 @@ type healthResponse struct {
 	// counters /v1/metrics exports, so the two surfaces agree by
 	// construction.
 	Observability *obsRollup `json:"observability,omitempty"`
+	// QoS is the admission-control rollup (nil when EnableQoS was not
+	// called): current pressure plus per-tenant admit/shed/tier counters,
+	// read from the same atomics the /v1/metrics bridges export.
+	QoS *qos.Report `json:"qos,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -428,6 +460,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		st := lifecycle.Status()
 		out.Lifecycle = &st
 	}
+	if s.qosCtl != nil {
+		out.QoS = s.qosCtl.Report()
+	}
 	if last, ok := s.collector.LastReport(); ok {
 		age := s.clock.Since(last)
 		out.LastReportAgeSec = age.Seconds()
@@ -457,6 +492,17 @@ type estimateResponse struct {
 	// WarmStarted: this propagation was seeded from the slot's previous
 	// estimate (incremental GSP) instead of running cold.
 	WarmStarted bool `json:"warm_started,omitempty"`
+	// Quality labels the QoS service tier the answer was served at ("full",
+	// "batched", "cached", "prior") when admission control is enabled. A
+	// degraded tier is always visible here — never silent.
+	Quality string `json:"quality,omitempty"`
+	// VarianceInflation is the factor SD carries over the full-pipeline
+	// uncertainty (1.0 at full tier) — a cheaper answer is honestly wider,
+	// not just flagged.
+	VarianceInflation float64 `json:"variance_inflation,omitempty"`
+	// SD maps each requested road to its (tier-inflated) standard deviation.
+	// Present only when admission control is enabled.
+	SD map[string]float64 `json:"sd,omitempty"`
 }
 
 // estimateRequest is the POST /v1/estimate body — the same shape as
@@ -547,22 +593,47 @@ func (s *Server) estimateOne(ctx context.Context, req estimateRequest) (*estimat
 		observed[id] = v
 	}
 
-	res, err := s.batcher.Estimate(ctx, slot, observed)
+	// The admission decision (when QoS is enabled) picks the service tier;
+	// without it every request runs the full pipeline, exactly as pre-QoS.
+	tier := qos.TierFull
+	ai := admissionFrom(ctx)
+	if ai != nil {
+		tier = ai.Decision.Tier
+	}
+	res, err := s.batcher.EstimateTier(ctx, tier, slot, observed)
 	if err != nil {
 		return nil, http.StatusInternalServerError, err
 	}
+	if ai != nil && s.qosCtl != nil {
+		// Record the served tier when execution degraded past the decision
+		// (cached → prior fallthrough on a cold slot).
+		s.qosCtl.Observe(ai.Tenant, ai.Decision.Tier, res.Tier)
+	}
+	// A prior-tier answer is the periodicity prior regardless of how many
+	// observations arrived — it is degraded by construction.
+	degraded := len(observed) == 0 || res.Tier == qos.TierPrior
 	out := &estimateResponse{
 		Slot:          req.Slot,
 		Observed:      len(observed),
 		Estimates:     make(map[string]float64, len(roads)),
 		Converged:     res.Converged,
-		Degraded:      len(observed) == 0,
-		FallbackPrior: len(observed) == 0,
+		Degraded:      degraded,
+		FallbackPrior: degraded,
 		Aborted:       res.Aborted,
 		WarmStarted:   res.WarmStarted,
 	}
 	for _, id := range roads {
 		out.Estimates[strconv.Itoa(id)] = res.Speeds[id]
+	}
+	if ai != nil {
+		out.Quality = res.Tier.String()
+		out.VarianceInflation = res.VarianceInflation
+		out.SD = make(map[string]float64, len(roads))
+		for _, id := range roads {
+			if id < len(res.SD) {
+				out.SD[strconv.Itoa(id)] = res.SD[id]
+			}
+		}
 	}
 	return out, http.StatusOK, nil
 }
@@ -582,6 +653,10 @@ type alertsResponse struct {
 	// Degraded: no observations backed this scan — alerts on a pure-prior
 	// field are vacuous and the empty list must not be read as "all clear".
 	Degraded bool `json:"degraded"`
+	// Quality labels the QoS tier the scanned field was served at (set when
+	// admission control is enabled). An alerting-class tenant under the
+	// default ladder keeps "full" deep into overload.
+	Quality string `json:"quality,omitempty"`
 }
 
 // handleAlerts runs GSP over the slot's reports and scans the estimates for
@@ -602,18 +677,29 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	observed := s.collector.Observations(slot)
-	res, err := s.batcher.Estimate(r.Context(), slot, observed)
+	tier := qos.TierFull
+	ai := admissionFrom(r.Context())
+	if ai != nil {
+		tier = ai.Decision.Tier
+	}
+	res, err := s.batcher.EstimateTier(r.Context(), tier, slot, observed)
 	if err != nil {
 		writeErr(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	alerts, err := detect.Scan(s.sys.Model().At(slot), res, detect.DefaultConfig())
+	if ai != nil && s.qosCtl != nil {
+		s.qosCtl.Observe(ai.Tenant, ai.Decision.Tier, res.Tier)
+	}
+	alerts, err := detect.Scan(s.sys.Model().At(slot), res.Result, detect.DefaultConfig())
 	if err != nil {
 		writeErr(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	out := alertsResponse{Slot: slotN, Observed: len(observed), Alerts: []alertJSON{},
-		Degraded: len(observed) == 0}
+		Degraded: len(observed) == 0 || res.Tier == qos.TierPrior}
+	if ai != nil {
+		out.Quality = res.Tier.String()
+	}
 	for _, a := range alerts {
 		out.Alerts = append(out.Alerts, alertJSON{
 			Road: a.Road, Estimate: a.Estimate, Expected: a.Expected, Drop: a.Drop, Z: a.Z,
