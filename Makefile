@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fault-determinism race-hotpath race-suite fuzz-seed fuzz-snapshot refit-drill benchguard check bench bench-concurrent bench-all qps bench-lifecycle bench-batch bench-load
+.PHONY: all build vet test race fault-determinism race-hotpath race-suite fuzz-seed fuzz-snapshot refit-drill benchguard check bench bench-concurrent bench-all qps bench-lifecycle bench-batch bench-load bench-metro
 
 all: build
 
@@ -56,9 +56,11 @@ race-suite:
 # ratio below the ≥2× coalescing target, coalesced estimates that diverge
 # from independent ones beyond the GSP epsilon, any alerting-class shed, a
 # broken QoS class order, a batch surge shed rate above the pinned ceiling,
-# or >25% alerting-p99 regression.
+# or >25% alerting-p99 regression. The -pr7 gate validates the recorded
+# metropolitan baseline (100k-road e2e query under the 1s budget, multi-shard
+# sweep present) and re-runs a 5k-road sharded-pipeline smoke.
 benchguard:
-	$(GO) run ./cmd/benchguard -pr2 BENCH_PR2.json -pr3 BENCH_PR3.json -pr5 BENCH_PR5.json -pr6 BENCH_PR6.json
+	$(GO) run ./cmd/benchguard -pr2 BENCH_PR2.json -pr3 BENCH_PR3.json -pr5 BENCH_PR5.json -pr6 BENCH_PR6.json -pr7 BENCH_PR7.json
 
 # End-to-end lifecycle drill under the race detector: streamed reports are
 # folded into a refit, gated, published and hot-swapped; a corrupted
@@ -102,6 +104,14 @@ bench-batch:
 bench-load:
 	$(GO) run ./cmd/rtsebench -load -out BENCH_PR6.json
 
+# The PR-7 metropolitan-scale suite: a synthetic 100k-road metro network with
+# a phase-aliased model, the end-to-end sharded query latency vs the 1s
+# budget, and the shards × clients throughput sweep, recorded as
+# BENCH_PR7.json. Takes ~1 min; `make check` validates the recorded baseline
+# via benchguard instead of re-running this.
+bench-metro:
+	$(GO) run ./cmd/rtsebench -metro -out BENCH_PR7.json
+
 BENCH_PR2.json: qps
 
 BENCH_PR3.json: bench-lifecycle
@@ -109,3 +119,5 @@ BENCH_PR3.json: bench-lifecycle
 BENCH_PR5.json: bench-batch
 
 BENCH_PR6.json: bench-load
+
+BENCH_PR7.json: bench-metro

@@ -163,7 +163,10 @@ func BenchmarkFig4a_OCSObjective(b *testing.B) {
 func benchObserved(b *testing.B) map[int]float64 {
 	e := env(b)
 	pool := crowd.PlaceEverywhere(e.Net)
-	sol, err := e.Sys.SelectRoads(e.Slot, e.Query, pool.Roads(), 20, 0.92, core.Hybrid, 1)
+	sol, err := e.Sys.Select(core.SelectRequest{
+		Slot: e.Slot, Roads: e.Query, WorkerRoads: pool.Roads(),
+		Budget: 20, Theta: 0.92, Selector: core.Hybrid, Seed: 1,
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -394,7 +397,10 @@ func concurrentQueryBench(b *testing.B, sys *core.System, query, workerRoads []i
 					return
 				}
 				slot := tslot.Slot(int(i/benchSlotGroup) % benchSlotCount * 6)
-				if _, err := sys.SelectRoads(slot, query, workerRoads, 20, 0.92, core.Hybrid, i); err != nil {
+				if _, err := sys.Select(core.SelectRequest{
+					Slot: slot, Roads: query, WorkerRoads: workerRoads,
+					Budget: 20, Theta: 0.92, Selector: core.Hybrid, Seed: i,
+				}); err != nil {
 					failed.Store(true)
 					b.Error(err)
 					return

@@ -55,6 +55,7 @@ func main() {
 		pr3Path   = flag.String("pr3", "BENCH_PR3.json", "lifecycle latency baseline")
 		pr5Path   = flag.String("pr5", "BENCH_PR5.json", "batch-coalescing sweep-ratio baseline")
 		pr6Path   = flag.String("pr6", "", "admission-control load baseline (BENCH_PR6.json); empty skips the load gate")
+		pr7Path   = flag.String("pr7", "", "metropolitan-scale baseline (BENCH_PR7.json); empty skips the metro gate")
 		p99Tol    = flag.Float64("p99-tol", 0.25, "max tolerated fractional alerting-p99 regression in the load gate")
 		tol       = flag.Float64("tol", 0.25, "max tolerated fractional throughput loss")
 		latFactor = flag.Float64("lat-factor", 5.0, "max tolerated latency blowup factor")
@@ -65,13 +66,13 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*pr2Path, *pr3Path, *pr5Path, *pr6Path, *tol, *latFactor, *p99Tol, *duration, *runs, *clients, *iters); err != nil {
+	if err := run(*pr2Path, *pr3Path, *pr5Path, *pr6Path, *pr7Path, *tol, *latFactor, *p99Tol, *duration, *runs, *clients, *iters); err != nil {
 		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(pr2Path, pr3Path, pr5Path, pr6Path string, tol, latFactor, p99Tol float64, duration time.Duration, runs, clients, iters int) error {
+func run(pr2Path, pr3Path, pr5Path, pr6Path, pr7Path string, tol, latFactor, p99Tol float64, duration time.Duration, runs, clients, iters int) error {
 	pr2, err := loadPR2(pr2Path)
 	if err != nil {
 		return err
@@ -157,6 +158,13 @@ func run(pr2Path, pr3Path, pr5Path, pr6Path string, tol, latFactor, p99Tol float
 	// --- Admission-control load gate --------------------------------------
 	if pr6Path != "" {
 		if err := gatePR6(pr6Path, p99Tol); err != nil {
+			return err
+		}
+	}
+
+	// --- Metropolitan-scale gate ------------------------------------------
+	if pr7Path != "" {
+		if err := gatePR7(pr7Path); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,123 @@
+// The PR-7 metropolitan-scale gate: validate the recorded BENCH_PR7.json
+// invariants (the 100k-road end-to-end query met its 1-second budget, the
+// full shards × clients sweep is present with live throughput numbers), then
+// re-run a small fresh metro smoke — a 5k-road network through the full
+// sharded pipeline — so a regression in the CSR substrate, the partitioner or
+// the halo-stitched merge fails CI even without re-running the 100k
+// benchmark.
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/crowd"
+	"repro/internal/network"
+	"repro/internal/shard"
+	"repro/internal/speedgen"
+	"repro/internal/tslot"
+)
+
+const (
+	// metroMinRoads is the scale the baseline must have been recorded at.
+	metroMinRoads = 100000
+	// metroSmokeRoads is the fresh-run scale: 20× smaller than the baseline,
+	// a few hundred milliseconds end to end.
+	metroSmokeRoads = 5000
+	// metroSmokeCeiling bounds the fresh 5k smoke query. The baseline budget
+	// is 1s at 100k roads; a 5k query that cannot finish inside the same
+	// second on any machine signals a pipeline regression, not noise.
+	metroSmokeCeiling = time.Second
+)
+
+// pr7Report is the subset of the BENCH_PR7.json schema the gate reads.
+type pr7Report struct {
+	Roads int `json:"roads"`
+	E2E   struct {
+		Shards        int     `json:"shards"`
+		MaxSeconds    float64 `json:"max_seconds"`
+		BudgetSeconds float64 `json:"budget_seconds"`
+		WithinBudget  bool    `json:"within_budget"`
+	} `json:"e2e"`
+	Sweep []struct {
+		Shards    int     `json:"shards"`
+		Clients   int     `json:"clients"`
+		QueriesPS float64 `json:"queries_per_s"`
+	} `json:"sweep"`
+}
+
+// gatePR7 checks the recorded metro baseline and runs the fresh 5k smoke.
+func gatePR7(path string) error {
+	var base pr7Report
+	if err := loadJSON(path, &base); err != nil {
+		return err
+	}
+	if base.Roads < metroMinRoads {
+		return fmt.Errorf("%s: recorded at %d roads, want ≥ %d", path, base.Roads, metroMinRoads)
+	}
+	if !base.E2E.WithinBudget || base.E2E.MaxSeconds >= base.E2E.BudgetSeconds {
+		return fmt.Errorf("%s: e2e max %.3fs violates the %.1fs budget", path, base.E2E.MaxSeconds, base.E2E.BudgetSeconds)
+	}
+	shardCounts := map[int]bool{}
+	for _, cell := range base.Sweep {
+		if cell.QueriesPS <= 0 {
+			return fmt.Errorf("%s: sweep cell shards=%d clients=%d has no throughput", path, cell.Shards, cell.Clients)
+		}
+		shardCounts[cell.Shards] = true
+	}
+	if len(shardCounts) < 2 {
+		return fmt.Errorf("%s: sweep covers %d shard counts, want a multi-shard sweep", path, len(shardCounts))
+	}
+	fmt.Printf("benchguard: metro baseline %d roads, e2e max %.3fs < %.1fs budget, %d sweep cells — ok\n",
+		base.Roads, base.E2E.MaxSeconds, base.E2E.BudgetSeconds, len(base.Sweep))
+
+	elapsed, err := metroSmoke()
+	if err != nil {
+		return fmt.Errorf("metro smoke: %w", err)
+	}
+	verdict := elapsed < metroSmokeCeiling
+	fmt.Printf("benchguard: metro smoke %dk roads e2e %.3fs, ceiling %.1fs — %s\n",
+		metroSmokeRoads/1000, elapsed.Seconds(), metroSmokeCeiling.Seconds(), passFail(verdict))
+	if !verdict {
+		return fmt.Errorf("metro smoke query took %.3fs, ceiling %.1fs", elapsed.Seconds(), metroSmokeCeiling.Seconds())
+	}
+	return nil
+}
+
+// metroSmoke builds a 5k-road metro substrate and times one full sharded
+// query (per-shard OCS → crowd probe → halo-stitched GSP). The build is
+// outside the timed window: the gate watches the online path.
+func metroSmoke() (time.Duration, error) {
+	net := network.Metro(network.MetroOptions{Roads: metroSmokeRoads, Seed: 7})
+	model, profiles, err := speedgen.MetroModel(net, speedgen.MetroConfig{Seed: 8})
+	if err != nil {
+		return 0, err
+	}
+	eng, err := shard.New(net, model, shard.Config{Shards: 4, Seed: 11})
+	if err != nil {
+		return 0, err
+	}
+	pool := crowd.PlaceUniform(net, 500, rand.New(rand.NewSource(9)))
+	query := make([]int, 33)
+	for i := range query {
+		query[i] = i * net.N() / len(query)
+	}
+	slot := tslot.Slot(96)
+	truth := func(r int) float64 { return profiles[r].Speed(slot) * 0.93 }
+	t0 := time.Now()
+	res, err := eng.Query(context.Background(), shard.QueryRequest{
+		Slot: slot, Roads: query, Budget: 30, Theta: 0.92,
+		Workers: pool, Truth: truth, Seed: 1,
+		Probe: crowd.ProbeConfig{NoiseSD: 0.02},
+	})
+	if err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(t0)
+	if len(res.Speeds) != net.N() {
+		return 0, fmt.Errorf("%d speeds for %d roads", len(res.Speeds), net.N())
+	}
+	return elapsed, nil
+}

@@ -28,7 +28,10 @@
 //	    any -tenant) multi-tenant admission control is active: API keys
 //	    resolve to tenants with token-bucket rate limits, probe-budget
 //	    quotas and priority classes, and under pressure requests step down
-//	    the QoS degradation ladder or shed with 429 + Retry-After
+//	    the QoS degradation ladder or shed with 429 + Retry-After; with
+//	    -shards N the network is partitioned into N halo-stitched shards
+//	    whose per-shard oracle-cache state shows up on /v1/healthz and
+//	    /v1/metrics
 //	crowdrtse model <save|load|list|rollback> [flags]
 //	    manage the versioned snapshot store directly:
 //	    save -data DIR -model model.gob -store DIR [-note TEXT]
@@ -64,6 +67,7 @@ import (
 	"repro/internal/qos"
 	"repro/internal/rtf"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/speedgen"
 	"repro/internal/tslot"
 )
@@ -398,6 +402,8 @@ func cmdServe(args []string) error {
 	maxInFlight := fs.Int("max-inflight", 0, "concurrent requests treated as saturation (0 = qos default)")
 	latencyTarget := fs.Duration("latency-target", 0, "p95 request latency the QoS ladder aims for (0 = qos default)")
 	noAnon := fs.Bool("no-anonymous", false, "reject keyless requests with 401 instead of admitting them as the anonymous batch tenant")
+	shardN := fs.Int("shards", 0, "partition the network into N halo-stitched shards and surface per-shard state on /v1/healthz and /v1/metrics (0 = unsharded)")
+	shardSeed := fs.Int64("shard-seed", 1, "partitioner seed (with -shards)")
 	var tenants []qos.TenantConfig
 	fs.Func("tenant", "tenant spec `key=K[,name=N,class=C,maxclass=C,rps=R,burst=B,quota=Q]` (repeatable; implies -qos)", func(spec string) error {
 		tc, err := qos.ParseTenant(spec)
@@ -464,6 +470,21 @@ func cmdServe(args []string) error {
 		}
 		fmt.Printf("admission control on: %d tenant key(s), anonymous %s\n",
 			len(tenants), map[bool]string{true: "rejected", false: "admitted as batch"}[*noAnon])
+	}
+
+	if *shardN > 0 {
+		eng, err := shard.New(net, sys.Model(), shard.Config{Shards: *shardN, Seed: *shardSeed})
+		if err != nil {
+			return fmt.Errorf("serve: shards: %w", err)
+		}
+		srv.AttachShards(eng)
+		reports := eng.Reports()
+		halo := 0
+		for _, r := range reports {
+			halo += r.HaloRoads
+		}
+		fmt.Printf("sharded engine on: %d shards, %d halo road slots (seed %d)\n",
+			len(reports), halo, *shardSeed)
 	}
 
 	if store != nil {

@@ -30,6 +30,14 @@
 // BENCH_PR6.json for the benchguard -pr6 gate:
 //
 //	rtsebench -load [-load-steps 16] [-load-inflight 8] [-load-surge 3] [-out BENCH_PR6.json]
+//
+// The -metro flag runs the PR-7 metropolitan-scale harness instead: it
+// synthesizes a 100k-road metro network with a phase-aliased model, measures
+// the end-to-end sharded query latency against the 1-second budget, and
+// sweeps shard counts × client counts over the partitioned engine, written as
+// BENCH_PR7.json for the benchguard -pr7 gate:
+//
+//	rtsebench -metro [-metro-roads 100000] [-metro-shards 1,2,4] [-metro-clients 1,4,16] [-metro-duration 2s] [-out BENCH_PR7.json]
 package main
 
 import (
@@ -59,8 +67,32 @@ func main() {
 	loadSteps := flag.Int("load-steps", 16, "diurnal steps in the -load replay")
 	loadInflight := flag.Int("load-inflight", 8, "server admission capacity (MaxInFlight) for -load")
 	loadSurge := flag.Float64("load-surge", 3, "peak offered concurrency as a multiple of MaxInFlight for -load")
-	out := flag.String("out", "", "output path for the -qps / -lifecycle / -batch / -load JSON report (defaults per mode)")
+	metro := flag.Bool("metro", false, "run the metropolitan-scale shard harness instead of the experiment suite")
+	metroRoads := flag.Int("metro-roads", 100000, "road count for the -metro network")
+	metroShards := flag.String("metro-shards", "1,2,4", "comma-separated shard counts for the -metro sweep")
+	metroClients := flag.String("metro-clients", "1,4,16", "comma-separated client counts for the -metro sweep")
+	metroDuration := flag.Duration("metro-duration", 2*time.Second, "wall-clock length of each -metro sweep cell")
+	out := flag.String("out", "", "output path for the -qps / -lifecycle / -batch / -load / -metro JSON report (defaults per mode)")
 	flag.Parse()
+	if *metro {
+		path := *out
+		if path == "" {
+			path = "BENCH_PR7.json"
+		}
+		shardCounts, err := parseClients(*metroShards)
+		if err == nil {
+			var clients []int
+			clients, err = parseClients(*metroClients)
+			if err == nil {
+				err = runMetro(*metroRoads, *metroDuration, shardCounts, clients, path)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtsebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *load {
 		path := *out
 		if path == "" {

@@ -219,6 +219,7 @@ func (s *System) oracleAt(st *modelState, t tslot.Slot) corr.Source {
 		}
 		pipe := s.Obs()
 		return corr.NewOracle(s.net.Graph(), view, s.cfg.Transform,
+			corr.WithCSR(s.net.CSR()),
 			corr.WithRowObs(pipe.CorrRowCompute, pipe.Clock))
 	})
 }
@@ -273,9 +274,8 @@ func (s Selector) String() string {
 	}
 }
 
-// SelectRequest is one OCS road-selection request — the struct form of the
-// legacy positional SelectRoads signature, mirroring QueryRequest so the two
-// public entry points read the same.
+// SelectRequest is one OCS road-selection request, mirroring QueryRequest so
+// the two public entry points read the same.
 type SelectRequest struct {
 	Slot  tslot.Slot
 	Roads []int // R^q, the queried roads
@@ -303,17 +303,6 @@ func (s *System) Select(req SelectRequest) (ocs.Solution, error) {
 // "ocs_select" span.
 func (s *System) SelectCtx(ctx context.Context, req SelectRequest) (ocs.Solution, error) {
 	return s.selectState(ctx, s.current(), req)
-}
-
-// SelectRoads solves OCS with positional arguments.
-//
-// Deprecated: use Select / SelectCtx with a SelectRequest. This wrapper is
-// kept so pre-PR-5 callers compile unchanged; it forwards verbatim.
-func (s *System) SelectRoads(t tslot.Slot, query, workerRoads []int, budget int, theta float64, sel Selector, seed int64) (ocs.Solution, error) {
-	return s.Select(SelectRequest{
-		Slot: t, Roads: query, WorkerRoads: workerRoads,
-		Budget: budget, Theta: theta, Selector: sel, Seed: seed,
-	})
 }
 
 // selectState is SelectCtx pinned to one model state, so a query's OCS solve

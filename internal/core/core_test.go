@@ -148,7 +148,7 @@ func TestQueryValidation(t *testing.T) {
 	if _, err := f.sys.Query(QueryRequest{Slot: 0, Roads: []int{1}, Budget: 0, Theta: 1, Workers: pool, Truth: truth}); err == nil {
 		t.Error("zero budget accepted")
 	}
-	if _, err := f.sys.SelectRoads(0, []int{1}, pool.Roads(), 5, 1, Selector(42), 0); err == nil {
+	if _, err := f.sys.Select(SelectRequest{Slot: 0, Roads: []int{1}, WorkerRoads: pool.Roads(), Budget: 5, Theta: 1, Selector: Selector(42)}); err == nil {
 		t.Error("unknown selector accepted")
 	}
 }

@@ -46,10 +46,26 @@ func TestOracleLRUEviction(t *testing.T) {
 }
 
 // TestOracleLRUByteBudget forces evictions through the resident-byte budget.
+// The budget is derived from one oracle's exact measured footprint (rows plus
+// the oracle's flat half-edge weight array), so the test tracks the
+// byte-accurate accounting instead of assuming rows-only estimates.
 func TestOracleLRUByteBudget(t *testing.T) {
 	f := newFixture(t, 30, 4, 4)
+	// Measure the exact footprint of a single oracle holding two rows.
+	probe, err := NewFromModel(f.net, f.sys.Model(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := probe.Oracle(0)
+	po.CorrRow(0)
+	po.CorrRow(1)
+	one := probe.OracleCacheReport().ResidentBytes
+	if one <= 0 {
+		t.Fatalf("probe oracle footprint = %d", one)
+	}
+
 	cfg := DefaultConfig()
-	cfg.OracleCacheBytes = int64(30 * 8 * 3) // room for ~3 rows total
+	cfg.OracleCacheBytes = one + one/2 // room for one oracle, not two
 	sys, err := NewFromModel(f.net, f.sys.Model(), cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -57,13 +73,13 @@ func TestOracleLRUByteBudget(t *testing.T) {
 	for slot := tslot.Slot(0); slot < 6; slot++ {
 		o := sys.Oracle(slot)
 		o.CorrRow(0)
-		o.CorrRow(1) // 2 rows per slot oracle > byte budget for 2 oracles
+		o.CorrRow(1)
 	}
 	rep := sys.OracleCacheReport()
 	if rep.Evictions == 0 {
 		t.Fatalf("byte budget never evicted: %+v", rep)
 	}
-	if rep.ResidentBytes > cfg.OracleCacheBytes+int64(30*8*2) {
+	if rep.ResidentBytes > cfg.OracleCacheBytes+one {
 		// The MRU entry is always kept, so the budget can overshoot by at
 		// most one oracle's footprint.
 		t.Errorf("resident bytes %d far above budget %d", rep.ResidentBytes, cfg.OracleCacheBytes)
@@ -167,11 +183,15 @@ func TestQueryDeterministicAcrossOracleEngines(t *testing.T) {
 	}
 	pool := crowd.PlaceEverywhere(f.net)
 	query := []int{2, 7, 11, 19}
-	a, err := f.sys.SelectRoads(30, query, pool.Roads(), 10, 0.92, Hybrid, 1)
+	sreq := SelectRequest{
+		Slot: 30, Roads: query, WorkerRoads: pool.Roads(),
+		Budget: 10, Theta: 0.92, Selector: Hybrid, Seed: 1,
+	}
+	a, err := f.sys.Select(sreq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := legacy.SelectRoads(30, query, pool.Roads(), 10, 0.92, Hybrid, 1)
+	b, err := legacy.Select(sreq)
 	if err != nil {
 		t.Fatal(err)
 	}

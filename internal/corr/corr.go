@@ -128,6 +128,13 @@ func WithWarmWorkers(n int) Option {
 	return func(o *Oracle) { o.warmWorkers = n }
 }
 
+// WithCSR supplies a prebuilt packed topology (network.Network.CSR()), so
+// the oracle skips its own packing pass. The CSR must describe exactly the
+// same graph the oracle was constructed over.
+func WithCSR(c *graph.CSR) Option {
+	return func(o *Oracle) { o.csr = c }
+}
+
 // WithRowObs instruments the miss path: every Dijkstra row computation's
 // latency is observed into h on clock c. The lock-free hit path is
 // untouched — hits and misses are already counted by the oracle's own
@@ -176,11 +183,34 @@ type Oracle struct {
 	rowLatency *obs.Histogram
 	rowClock   obs.Clock
 
+	// csr is the packed topology the miss path runs Dijkstra on; injected
+	// via WithCSR or built lazily on the first miss. hw is the per-half-edge
+	// transformed weight array (−log ρ or 1/ρ), materialized once per oracle
+	// so every row computation is flat-array arithmetic — the map[int64]int
+	// edge lookup of the pre-CSR WeightFunc path is gone.
+	csr    *graph.CSR
+	hwOnce sync.Once
+	hw     []float64
+
 	hits     atomic.Uint64
 	misses   atomic.Uint64
 	waits    atomic.Uint64
 	resident atomic.Int64
+	// rowBytes is the exact heap footprint of the published rows: 8 bytes
+	// per float64 plus the slice header, accumulated at publication time so
+	// Stats never walks the rows.
+	rowBytes atomic.Int64
+	// fixedBytes is the footprint of the per-oracle flat structures (the
+	// half-edge weight array and the row-pointer table), added when they
+	// materialize. Together with rowBytes this makes ResidentBytes
+	// byte-accurate, which the core oracle-cache byte budget enforces on.
+	fixedBytes atomic.Int64
 }
+
+// rowOverheadBytes is the per-row bookkeeping the exact accounting charges
+// beyond the float64 payload: the slice header published into the pointer
+// table.
+const rowOverheadBytes = 24
 
 // NewOracle builds an oracle over the topology g and slot parameters view.
 func NewOracle(g *graph.Graph, view rtf.View, tf Transform, opts ...Option) *Oracle {
@@ -202,7 +232,42 @@ func NewOracle(g *graph.Graph, view rtf.View, tf Transform, opts ...Option) *Ora
 		o.shards[i].pending = make(map[int]*inflight)
 	}
 	o.rows = make([]atomic.Pointer[[]float64], g.N())
+	o.fixedBytes.Store(int64(g.N()) * 8) // the row-pointer table
 	return o
+}
+
+// flatWeights returns the per-half-edge transformed weight array, building
+// the CSR packing and the weights on first use (one O(2M) pass per oracle,
+// amortized over every row the oracle ever computes).
+func (o *Oracle) flatWeights() ([]float64, *graph.CSR) {
+	o.hwOnce.Do(func() {
+		if o.csr == nil {
+			o.csr = o.g.BuildCSR()
+			o.fixedBytes.Add(o.csr.Bytes())
+		}
+		c := o.csr
+		hw := make([]float64, c.NumHalfEdges())
+		n := c.N()
+		for u := 0; u < n; u++ {
+			lo, hi := c.Row(u)
+			for k := lo; k < hi; k++ {
+				_, eid := c.At(k)
+				rho := o.view.Rho[eid]
+				switch {
+				case rho <= 0:
+					// Non-edges never reach here; a zero ρ means an unfitted model.
+					hw[k] = math.Inf(1)
+				case o.tf == Reciprocal:
+					hw[k] = 1 / rho
+				default:
+					hw[k] = -math.Log(rho)
+				}
+			}
+		}
+		o.hw = hw
+		o.fixedBytes.Add(int64(len(hw)) * 8)
+	})
+	return o.hw, o.csr
 }
 
 // CorrRow returns corr^t(src, j) for every road j. The returned slice is the
@@ -249,13 +314,15 @@ func (o *Oracle) corrRowSlow(src int) []float64 {
 	if o.rowLatency != nil && o.rowClock != nil {
 		rowStart = o.rowClock.Now()
 	}
-	row := computeRow(o.g, o.view, o.tf, src)
+	hw, c := o.flatWeights()
+	row := computeRowCSR(c, o.view, hw, src)
 	if o.rowLatency != nil && o.rowClock != nil {
 		o.rowLatency.Observe(o.rowClock.Since(rowStart))
 	}
 	fl.row = row
 	o.rows[src].Store(&row)
 	o.resident.Add(1)
+	o.rowBytes.Add(int64(len(row))*8 + rowOverheadBytes)
 	close(fl.done)
 
 	sh.mu.Lock()
@@ -317,15 +384,19 @@ func (o *Oracle) Warm(roads []int) {
 
 // Stats reports the cache counters: hits (lock-free fast path), misses
 // (Dijkstra executions), inflight waits (collapsed duplicate computations),
-// and the resident row footprint.
+// and the resident footprint. ResidentBytes is exact, not estimated: the
+// published rows' payload plus slice headers (accumulated at publication)
+// plus the oracle's flat structures — the row-pointer table, and once the
+// first miss materializes them, the CSR packing and the half-edge weight
+// array. The core oracle-cache byte budget enforces on this number, so what
+// it evicts matches what the heap actually frees.
 func (o *Oracle) Stats() CacheStats {
-	rows := int(o.resident.Load())
 	return CacheStats{
 		Hits:          o.hits.Load(),
 		Misses:        o.misses.Load(),
 		InflightWaits: o.waits.Load(),
-		ResidentRows:  rows,
-		ResidentBytes: int64(rows) * int64(o.g.N()) * 8,
+		ResidentRows:  int(o.resident.Load()),
+		ResidentBytes: o.rowBytes.Load() + o.fixedBytes.Load(),
 	}
 }
 
@@ -393,6 +464,56 @@ func computeRow(g *graph.Graph, view rtf.View, tf Transform, src int) []float64 
 	// Eq. (7): adjacency overrides the path value.
 	for _, nb := range g.Neighbors(src) {
 		row[nb] = view.RhoEdge(src, int(nb))
+	}
+	return row
+}
+
+// computeRowCSR is the packed-substrate variant of computeRow: Dijkstra runs
+// over the flat half-edge weight array (no WeightFunc closure, no map edge
+// lookup) and the ρ-product along each tree path reads view.Rho by the
+// undirected edge id the search recorded — one indexed load per hop.
+func computeRowCSR(c *graph.CSR, view rtf.View, hw []float64, src int) []float64 {
+	n := c.N()
+	_, parent, parentEdge := c.DijkstraFlat(src, hw)
+	row := make([]float64, n)
+	const unset = -1.0
+	for i := range row {
+		row[i] = unset
+	}
+	row[src] = 1
+	stack := make([]int32, 0, 64)
+	for v := int32(0); v < int32(n); v++ {
+		if row[v] != unset {
+			continue
+		}
+		if parent[v] < 0 {
+			row[v] = 0 // unreachable
+			continue
+		}
+		stack = stack[:0]
+		u := v
+		for row[u] == unset && parent[u] >= 0 {
+			stack = append(stack, u)
+			u = parent[u]
+		}
+		if row[u] == unset { // orphan chain (disconnected): all zero
+			row[u] = 0
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			p := parent[w]
+			if row[p] == 0 {
+				row[w] = 0
+				continue
+			}
+			row[w] = row[p] * view.Rho[parentEdge[w]]
+		}
+	}
+	// Eq. (7): adjacency overrides the path value.
+	lo, hi := c.Row(src)
+	for k := lo; k < hi; k++ {
+		v, eid := c.At(k)
+		row[v] = view.Rho[eid]
 	}
 	return row
 }

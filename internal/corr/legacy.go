@@ -95,12 +95,15 @@ func (o *MutexOracle) Warm(roads []int) {}
 func (o *MutexOracle) Stats() CacheStats {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	rows := len(o.rows)
+	var bytes int64
+	for _, row := range o.rows {
+		bytes += int64(len(row))*8 + rowOverheadBytes
+	}
 	return CacheStats{
 		Hits:          o.hits,
 		Misses:        o.misses,
-		ResidentRows:  rows,
-		ResidentBytes: int64(rows) * int64(o.g.N()) * 8,
+		ResidentRows:  len(o.rows),
+		ResidentBytes: bytes,
 	}
 }
 

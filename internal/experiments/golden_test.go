@@ -44,7 +44,10 @@ func TestGoldenShapeSweep(t *testing.T) {
 	for _, k := range budgets {
 		vo := map[core.Selector]float64{}
 		for _, sel := range selectors {
-			sol, err := env.Sys.SelectRoads(env.Slot, env.Query, pool.Roads(), k, theta, sel, env.Seed)
+			sol, err := env.Sys.Select(core.SelectRequest{
+				Slot: env.Slot, Roads: env.Query, WorkerRoads: pool.Roads(),
+				Budget: k, Theta: theta, Selector: sel, Seed: env.Seed,
+			})
 			if err != nil {
 				t.Fatalf("K=%d sel=%v: %v", k, sel, err)
 			}

@@ -1,0 +1,274 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// CSR is the compressed-sparse-row packing of a frozen Graph: all adjacency
+// lists live in one flat int32 array sliced by an offsets table, and every
+// half-edge carries the id of its undirected edge in EdgeList order. The
+// packing replaces the per-node slice-of-slices layout (one allocation and
+// one pointer chase per node) and, more importantly, the map[int64]int edge
+// lookup on the Dijkstra/GSP hot paths: edge-indexed parameters (ρ, derived
+// pairwise Gaussians, transformed path weights) become flat float64 arrays
+// indexed by the half-edge position — a single bounds-checked load.
+//
+// A CSR is immutable once built; it does not observe later AddEdge calls on
+// the source graph. Build it after the topology is frozen (package network
+// freezes at construction and caches the CSR).
+type CSR struct {
+	offsets []int32 // len N+1; row u is neigh[offsets[u]:offsets[u+1]]
+	neigh   []int32 // len 2M, ascending within each row
+	edge    []int32 // len 2M; edge[k] is the undirected edge id of half-edge k
+	m       int
+}
+
+// BuildCSR packs the graph's current topology. Edge ids follow EdgeList
+// order (ascending lexicographic with u < v), which is also the edge order of
+// rtf.Model's per-slot ρ tensor — so ρ[edge[k]] is the correlation of
+// half-edge k with no translation table.
+func (g *Graph) BuildCSR() *CSR {
+	n := len(g.adj)
+	c := &CSR{offsets: make([]int32, n+1), m: g.edges}
+	total := 0
+	for u := range g.adj {
+		c.offsets[u] = int32(total)
+		total += len(g.adj[u])
+	}
+	c.offsets[n] = int32(total)
+	c.neigh = make([]int32, total)
+	c.edge = make([]int32, total)
+	for u := range g.adj {
+		copy(c.neigh[c.offsets[u]:c.offsets[u+1]], g.adj[u])
+	}
+	// Assign undirected edge ids in EdgeList order on the u<v half-edges,
+	// then mirror each id onto the reverse half-edge by binary search in the
+	// lower endpoint's row.
+	next := int32(0)
+	for u := 0; u < n; u++ {
+		row := c.neigh[c.offsets[u]:c.offsets[u+1]]
+		ids := c.edge[c.offsets[u]:c.offsets[u+1]]
+		for k, v := range row {
+			if int(v) > u {
+				ids[k] = next
+				next++
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		row := c.neigh[c.offsets[u]:c.offsets[u+1]]
+		ids := c.edge[c.offsets[u]:c.offsets[u+1]]
+		for k, v := range row {
+			if int(v) < u {
+				ids[k] = c.lookupEdgeID(int(v), u)
+			}
+		}
+	}
+	return c
+}
+
+// lookupEdgeID returns the edge id stored on the (u,v) half-edge, u's row.
+func (c *CSR) lookupEdgeID(u, v int) int32 {
+	row := c.neigh[c.offsets[u]:c.offsets[u+1]]
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= int32(v) })
+	return c.edge[int(c.offsets[u])+i]
+}
+
+// N returns the number of nodes.
+func (c *CSR) N() int { return len(c.offsets) - 1 }
+
+// M returns the number of undirected edges.
+func (c *CSR) M() int { return c.m }
+
+// Row returns the half-edge index range [lo, hi) of node u. Iterate
+// Neighbors(u) and EdgeIDs(u) in lockstep, or index neigh/edge arrays via
+// At for a single flat loop:
+//
+//	lo, hi := c.Row(u)
+//	for k := lo; k < hi; k++ {
+//		v, e := c.At(k) // neighbor node, undirected edge id
+//	}
+func (c *CSR) Row(u int) (lo, hi int32) { return c.offsets[u], c.offsets[u+1] }
+
+// At returns the neighbor node and undirected edge id of half-edge k.
+func (c *CSR) At(k int32) (v, e int32) { return c.neigh[k], c.edge[k] }
+
+// Neighbors returns node u's adjacency as a zero-copy view into the packed
+// array, ascending. Must not be modified.
+func (c *CSR) Neighbors(u int) []int32 { return c.neigh[c.offsets[u]:c.offsets[u+1]] }
+
+// EdgeIDs returns the undirected edge ids aligned with Neighbors(u).
+// Must not be modified.
+func (c *CSR) EdgeIDs(u int) []int32 { return c.edge[c.offsets[u]:c.offsets[u+1]] }
+
+// Degree returns the number of neighbors of u.
+func (c *CSR) Degree(u int) int { return int(c.offsets[u+1] - c.offsets[u]) }
+
+// NumHalfEdges returns the length of the packed half-edge arrays (2M) —
+// the size callers use to allocate edge-aligned parameter arrays.
+func (c *CSR) NumHalfEdges() int { return len(c.neigh) }
+
+// Bytes returns the exact heap footprint of the packed arrays (offsets +
+// neighbors + edge ids), for byte-budget accounting.
+func (c *CSR) Bytes() int64 {
+	return int64(len(c.offsets))*4 + int64(len(c.neigh))*4 + int64(len(c.edge))*4
+}
+
+// HalfEdgeWeights materializes a flat per-half-edge weight array from a
+// per-undirected-edge table: out[k] = edgeWeights[edge[k]]. The result is
+// what DijkstraFlat consumes — one contiguous float64 load per relaxation, no
+// closure call, no map.
+func (c *CSR) HalfEdgeWeights(edgeWeights []float64) []float64 {
+	out := make([]float64, len(c.edge))
+	for k, e := range c.edge {
+		out[k] = edgeWeights[e]
+	}
+	return out
+}
+
+// DijkstraFlat computes single-source shortest paths under non-negative
+// per-half-edge weights w (aligned with the packed neighbor array, e.g. from
+// HalfEdgeWeights). It returns the distance array, parent pointers (-1 for
+// src and unreachable nodes) and the undirected edge id used to reach each
+// node (-1 where parent is -1).
+//
+// This is the CSR replacement of Graph.DijkstraTree on the correlation-oracle
+// miss path: the per-relaxation WeightFunc closure (which cost a map lookup
+// per edge in the ρ table) becomes a single indexed load.
+func (c *CSR) DijkstraFlat(src int, w []float64) (dist []float64, parent, parentEdge []int32) {
+	n := c.N()
+	dist = make([]float64, n)
+	parent = make([]int32, n)
+	parentEdge = make([]int32, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+		parentEdge[i] = -1
+	}
+	if src < 0 || src >= n {
+		return dist, parent, parentEdge
+	}
+	dist[src] = 0
+	done := make([]bool, n)
+	// Inline binary heap: container/heap boxes every pqItem into an
+	// interface{} on Push/Pop — one allocation per relaxation, which at metro
+	// scale is millions of allocations per oracle row. The hand-rolled heap
+	// keeps items in one growing slice and allocates only on capacity growth.
+	h := make(flatHeap, 1, 64)
+	h[0] = pqItem{int32(src), 0}
+	for len(h) > 0 {
+		it := h.pop()
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		du := dist[u]
+		lo, hi := c.offsets[u], c.offsets[u+1]
+		for k := lo; k < hi; k++ {
+			v := c.neigh[k]
+			if done[v] {
+				continue
+			}
+			wt := w[k]
+			if wt < 0 {
+				panic("graph: negative half-edge weight in DijkstraFlat")
+			}
+			if nd := du + wt; nd < dist[v] {
+				dist[v] = nd
+				parent[v] = u
+				parentEdge[v] = c.edge[k]
+				h.push(pqItem{v, nd})
+			}
+		}
+	}
+	return dist, parent, parentEdge
+}
+
+// flatHeap is a min-heap of pqItems with non-boxing push/pop (compare
+// distHeap, which goes through container/heap's interface{} API and pays an
+// allocation per operation).
+type flatHeap []pqItem
+
+func (h *flatHeap) push(it pqItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].dist <= s[i].dist {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *flatHeap) pop() pqItem {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(s) && s[l].dist < s[small].dist {
+			small = l
+		}
+		if r < len(s) && s[r].dist < s[small].dist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
+}
+
+// Layers is the CSR variant of Graph.Layers: multi-source BFS partitioning
+// reachable non-source nodes into rings by hop distance.
+func (c *CSR) Layers(sources []int) (layers [][]int, unreachable []int) {
+	const unvisited = -1
+	n := c.N()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = unvisited
+	}
+	queue := make([]int32, 0, len(sources))
+	for _, s := range sources {
+		if s < 0 || s >= n || dist[s] == 0 {
+			continue
+		}
+		dist[s] = 0
+		queue = append(queue, int32(s))
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := dist[u]
+		lo, hi := c.offsets[u], c.offsets[u+1]
+		for k := lo; k < hi; k++ {
+			v := c.neigh[k]
+			if dist[v] == unvisited {
+				dist[v] = du + 1
+				for len(layers) < int(du)+1 {
+					layers = append(layers, nil)
+				}
+				layers[du] = append(layers[du], int(v))
+				queue = append(queue, v)
+			}
+		}
+	}
+	for u := int32(0); u < int32(n); u++ {
+		if dist[u] == unvisited {
+			unreachable = append(unreachable, int(u))
+		}
+	}
+	return layers, unreachable
+}

@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Partition splits the graph's nodes into k connected-ish, size-balanced
+// parts by deterministic BFS growth — the region decomposition behind the
+// shard engine (metropolitan-scale estimation à la Li et al. partitions the
+// city into districts and stitches the boundaries).
+//
+// Seeding: the first seed is drawn from the rng; each further seed is the
+// node farthest (in hops) from all seeds chosen so far, ties broken by the
+// smallest id — the classic k-center spread, which puts seeds in distinct
+// districts rather than adjacent blocks. Growth: the parts expand one BFS
+// ring at a time, always advancing the currently smallest part first, so
+// sizes stay balanced even when seeds land in differently-sized regions.
+// Nodes unreachable from every seed are appended to the smallest part last.
+//
+// The result is a function of (topology, k, seed) only: iteration orders are
+// fixed (ascending adjacency, FIFO frontiers, index-order tie-breaks), so a
+// fixed seed always yields the identical partition — the shard layout is
+// reproducible across restarts, which the shard engine's determinism tests
+// pin.
+//
+// Every part is sorted ascending; parts are ordered by their seed's
+// discovery. k must be in [1, N] for a non-empty graph.
+func (g *Graph) Partition(k int, seed int64) ([][]int, error) {
+	n := len(g.adj)
+	if n == 0 {
+		return nil, fmt.Errorf("graph: partition of empty graph")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("graph: partition into %d parts of %d nodes", k, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seeds := make([]int, 1, k)
+	seeds[0] = rng.Intn(n)
+	for len(seeds) < k {
+		dist := g.HopDistances(seeds)
+		best, bestD := -1, -1
+		for u, d := range dist {
+			if d < 0 {
+				// Unreachable from every current seed: infinitely far, the
+				// best possible next seed (covers disconnected components).
+				d = n + 1
+			}
+			if d > bestD {
+				best, bestD = u, d
+			}
+		}
+		if bestD == 0 {
+			// Fewer distinct positions than parts (complete graph edge case):
+			// fall back to the smallest unused id.
+			used := make(map[int]bool, len(seeds))
+			for _, s := range seeds {
+				used[s] = true
+			}
+			best = -1
+			for u := 0; u < n; u++ {
+				if !used[u] {
+					best = u
+					break
+				}
+			}
+		}
+		seeds = append(seeds, best)
+	}
+
+	owner := make([]int32, n)
+	for i := range owner {
+		owner[i] = -1
+	}
+	frontiers := make([][]int32, k)
+	sizes := make([]int, k)
+	for p, s := range seeds {
+		owner[s] = int32(p)
+		frontiers[p] = []int32{int32(s)}
+		sizes[p] = 1
+	}
+	remaining := n - k
+	for remaining > 0 {
+		// Advance the smallest part that still has a frontier; index order
+		// breaks ties, keeping the growth deterministic.
+		p := -1
+		for q := 0; q < k; q++ {
+			if len(frontiers[q]) == 0 {
+				continue
+			}
+			if p < 0 || sizes[q] < sizes[p] {
+				p = q
+			}
+		}
+		if p < 0 {
+			break // only unreachable nodes remain
+		}
+		cur := frontiers[p]
+		var next []int32
+		claimed := 0
+		for _, u := range cur {
+			for _, v := range g.adj[u] {
+				if owner[v] == -1 {
+					owner[v] = int32(p)
+					next = append(next, v)
+					claimed++
+				}
+			}
+		}
+		frontiers[p] = next
+		sizes[p] += claimed
+		remaining -= claimed
+	}
+	// Orphans (disconnected from every seed): assign each to the currently
+	// smallest part, ascending id order.
+	for u := 0; u < n; u++ {
+		if owner[u] != -1 {
+			continue
+		}
+		p := 0
+		for q := 1; q < k; q++ {
+			if sizes[q] < sizes[p] {
+				p = q
+			}
+		}
+		owner[u] = int32(p)
+		sizes[p]++
+	}
+
+	parts := make([][]int, k)
+	for p := range parts {
+		parts[p] = make([]int, 0, sizes[p])
+	}
+	for u := 0; u < n; u++ {
+		parts[owner[u]] = append(parts[owner[u]], u)
+	}
+	for p := range parts {
+		sort.Ints(parts[p]) // already ascending by construction, but pin it
+	}
+	return parts, nil
+}
+
+// CutEdges counts the undirected edges whose endpoints fall in different
+// parts — the partition quality metric (smaller cut ⇒ less halo traffic).
+// parts must cover every node exactly once.
+func (g *Graph) CutEdges(parts [][]int) int {
+	owner := make([]int32, len(g.adj))
+	for i := range owner {
+		owner[i] = -1
+	}
+	for p, part := range parts {
+		for _, u := range part {
+			owner[u] = int32(p)
+		}
+	}
+	cut := 0
+	g.Edges(func(u, v int) bool {
+		if owner[u] != owner[v] {
+			cut++
+		}
+		return true
+	})
+	return cut
+}

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/graph"
 	"repro/internal/network"
 	"repro/internal/obs"
 	"repro/internal/rtf"
@@ -190,8 +191,9 @@ func PropagateCtx(ctx context.Context, net *network.Network, view rtf.View, obse
 		speeds[r] = v
 	}
 
-	// BFT scheduling (Alg. 5 line 3).
-	layers, _ := net.Graph().Layers(sources)
+	// BFT scheduling (Alg. 5 line 3), over the packed topology.
+	csr := net.CSR()
+	layers, _ := csr.Layers(sources)
 	if warm != nil {
 		// Roads no sweep can reach from the new observation set would keep
 		// stale warm values forever (they are outside every layer); a cold
@@ -213,15 +215,16 @@ func PropagateCtx(ctx context.Context, net *network.Network, view rtf.View, obse
 		}
 	}
 	res := Result{Speeds: speeds, WarmStarted: warm != nil, Observed: copyObserved(observed)}
+	eng := engine{view: view, speeds: speeds, csr: csr}
+	eng.prepareEdges()
 	if len(layers) == 0 {
 		// No propagation targets: everything is either probed or unreachable.
 		res.Converged = true
-		res.SD = computeSD(net, view, observed, nil)
+		res.SD = eng.computeSD(observed, nil)
 		observeGSP(m, tr, clock, start, &res, len(observed))
 		return res, nil
 	}
 
-	eng := engine{net: net, view: view, speeds: speeds}
 	if opt.Parallel {
 		eng.prepareParallel(layers, opt.Workers)
 	}
@@ -282,7 +285,7 @@ func PropagateCtx(ctx context.Context, net *network.Network, view rtf.View, obse
 			res.SweepsSaved = saved
 		}
 	}
-	res.SD = computeSD(net, view, observed, layers)
+	res.SD = eng.computeSD(observed, layers)
 	observeGSP(m, tr, clock, start, &res, len(observed))
 	return res, nil
 }
@@ -328,16 +331,89 @@ func observeGSP(m *obs.GSPMetrics, tr *obs.Trace, clock obs.Clock, start time.Ti
 	}
 }
 
+// engine holds the propagation state shared by both sweep strategies. The
+// topology is consumed exclusively through the network's packed CSR view:
+// the pairwise Gaussian parameters of Eq. (2) are materialized once per run
+// into flat half-edge arrays (emu, einvq), so the inner update loop is pure
+// indexed float64 arithmetic — no map[int64]int edge lookup, no per-neighbor
+// EdgeParams call, zero allocation per sweep.
+type engine struct {
+	view   rtf.View
+	speeds []float64
+	csr    *graph.CSR
+
+	// emu[k] = μ_ij and einvq[k] = 1/σ_ij² for half-edge k = (i→j),
+	// aligned with the CSR half-edge array.
+	emu   []float64
+	einvq []float64
+
+	// Parallel-mode structures: per layer, the independent color classes,
+	// plus the worker count.
+	classes [][][]int
+	workers int
+}
+
+// prepareEdges materializes Eq. (2)'s derived parameters per half-edge:
+// μ_ij = μ_i − μ_j and σ_ij² = σ_i² + σ_j² − 2ρ_ij·σ_i·σ_j (floored like
+// rtf.View.EdgeParams). One O(2M) pass replaces a map lookup per neighbor
+// per sweep.
+func (e *engine) prepareEdges() {
+	c := e.csr
+	n := c.N()
+	total := c.NumHalfEdges()
+	e.emu = make([]float64, total)
+	e.einvq = make([]float64, total)
+	const eps = 1e-6
+	for i := 0; i < n; i++ {
+		si := e.view.Sigma[i]
+		mi := e.view.Mu[i]
+		lo, hi := c.Row(i)
+		for k := lo; k < hi; k++ {
+			j, eid := c.At(k)
+			rho := e.view.Rho[eid]
+			sj := e.view.Sigma[j]
+			q := si*si + sj*sj - 2*rho*si*sj
+			if q < eps {
+				q = eps
+			}
+			e.emu[k] = mi - e.view.Mu[j]
+			e.einvq[k] = 1 / q
+		}
+	}
+}
+
+// update applies Eq. (18) to road i and returns |Δv|.
+func (e *engine) update(i int) float64 {
+	si := e.view.Sigma[i]
+	num := e.view.Mu[i] / (si * si)
+	den := 1 / (si * si)
+	lo, hi := e.csr.Row(i)
+	for k := lo; k < hi; k++ {
+		j, _ := e.csr.At(k)
+		iq := e.einvq[k]
+		num += (e.speeds[j] + e.emu[k]) * iq
+		den += iq
+	}
+	v := num / den
+	if v < 0 {
+		v = 0 // speeds are physical; Eq. (3) integrates over v ≥ 0
+	}
+	d := math.Abs(v - e.speeds[i])
+	e.speeds[i] = v
+	return d
+}
+
 // computeSD propagates a certainty field outward from the observations and
 // converts it to per-road standard deviations (see Result.SD). certainty is
 // 1 for probed roads and, elsewhere, the fraction of conditional precision
-// in excess of the prior: c_i = 1 − prior-variance-ratio.
-func computeSD(net *network.Network, view rtf.View, observed map[int]float64, layers [][]int) []float64 {
-	n := net.N()
+// in excess of the prior: c_i = 1 − prior-variance-ratio. It reuses the
+// engine's half-edge 1/σ_ij² array.
+func (e *engine) computeSD(observed map[int]float64, layers [][]int) []float64 {
+	n := e.csr.N()
 	certainty := make([]float64, n)
 	sd := make([]float64, n)
 	for i := 0; i < n; i++ {
-		sd[i] = view.Sigma[i]
+		sd[i] = e.view.Sigma[i]
 	}
 	for r := range observed {
 		certainty[r] = 1
@@ -351,12 +427,12 @@ func computeSD(net *network.Network, view rtf.View, observed map[int]float64, la
 		var maxDelta float64
 		for _, layer := range layers {
 			for _, i := range layer {
-				si := view.Sigma[i]
+				si := e.view.Sigma[i]
 				precision := 1 / (si * si)
-				for _, nb := range net.Neighbors(i) {
-					j := int(nb)
-					_, q := view.EdgeParams(i, j)
-					precision += certainty[j] / q
+				lo, hi := e.csr.Row(i)
+				for k := lo; k < hi; k++ {
+					j, _ := e.csr.At(k)
+					precision += certainty[j] * e.einvq[k]
 				}
 				variance := 1 / precision
 				c := 1 - variance/(si*si)
@@ -377,38 +453,6 @@ func computeSD(net *network.Network, view rtf.View, observed map[int]float64, la
 	return sd
 }
 
-// engine holds the propagation state shared by both sweep strategies.
-type engine struct {
-	net    *network.Network
-	view   rtf.View
-	speeds []float64
-
-	// Parallel-mode structures: per layer, the independent color classes,
-	// plus the worker count.
-	classes [][][]int
-	workers int
-}
-
-// update applies Eq. (18) to road i and returns |Δv|.
-func (e *engine) update(i int) float64 {
-	si := e.view.Sigma[i]
-	num := e.view.Mu[i] / (si * si)
-	den := 1 / (si * si)
-	for _, nb := range e.net.Neighbors(i) {
-		j := int(nb)
-		muIJ, q := e.view.EdgeParams(i, j)
-		num += (e.speeds[j] + muIJ) / q
-		den += 1 / q
-	}
-	v := num / den
-	if v < 0 {
-		v = 0 // speeds are physical; Eq. (3) integrates over v ≥ 0
-	}
-	d := math.Abs(v - e.speeds[i])
-	e.speeds[i] = v
-	return d
-}
-
 // activate seeds the dirty frontier of a warm-started run: every road whose
 // observation appeared, changed, or disappeared relative to the previous run
 // is marked, along with its immediate neighbors (their coordinate maximizers
@@ -427,7 +471,7 @@ func (e *engine) activate(prev, cur map[int]float64) (active []bool, any bool) {
 			active[r] = true
 			any = true
 		}
-		for _, nb := range e.net.Neighbors(r) {
+		for _, nb := range e.csr.Neighbors(r) {
 			if j := int(nb); !active[j] {
 				active[j] = true
 				any = true
@@ -469,7 +513,7 @@ func (e *engine) sweepFrontier(layers [][]int, active []bool, eps float64) float
 				maxDelta = d
 			}
 			if d >= eps {
-				for _, nb := range e.net.Neighbors(i) {
+				for _, nb := range e.csr.Neighbors(i) {
 					active[int(nb)] = true
 				}
 			}
@@ -507,7 +551,7 @@ func (e *engine) prepareParallel(layers [][]int, workers int) {
 		var classes [][]int
 		for _, u := range layer {
 			used := map[int]bool{}
-			for _, v := range e.net.Neighbors(u) {
+			for _, v := range e.csr.Neighbors(u) {
 				if c, ok := inLayer[int(v)]; ok && c >= 0 {
 					used[c] = true
 				}

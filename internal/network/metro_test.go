@@ -1,0 +1,65 @@
+package network
+
+import (
+	"testing"
+)
+
+// TestMetroShape checks the district-of-grids generator delivers at least the
+// requested scale, a connected topology, and the expected class mix.
+func TestMetroShape(t *testing.T) {
+	net := Metro(MetroOptions{Roads: 5000, Seed: 3})
+	if net.N() < 5000 {
+		t.Fatalf("N = %d, want ≥ 5000", net.N())
+	}
+	if net.M() < net.N() {
+		t.Errorf("M = %d below N = %d — grids should exceed tree density", net.M(), net.N())
+	}
+	// Connectivity: a BFS from road 0 must reach every road (bridges join the
+	// districts).
+	reach := net.Graph().BFSOrder(0)
+	if len(reach) != net.N() {
+		t.Errorf("BFS from 0 reaches %d of %d roads — metro not connected", len(reach), net.N())
+	}
+	classes := map[Class]int{}
+	for r := 0; r < net.N(); r++ {
+		classes[net.Road(r).Class]++
+	}
+	if classes[Highway] == 0 || classes[Arterial] == 0 || classes[Secondary] == 0 || classes[Local] == 0 {
+		t.Errorf("class mix incomplete: %v", classes)
+	}
+	if classes[Local] < classes[Highway] {
+		t.Errorf("locals (%d) should dominate highways (%d)", classes[Local], classes[Highway])
+	}
+}
+
+// TestMetroDeterminism pins the generator as a pure function of its options.
+func TestMetroDeterminism(t *testing.T) {
+	a := Metro(MetroOptions{Roads: 2000, Seed: 5})
+	b := Metro(MetroOptions{Roads: 2000, Seed: 5})
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatalf("sizes differ: (%d,%d) vs (%d,%d)", a.N(), a.M(), b.N(), b.M())
+	}
+	for r := 0; r < a.N(); r++ {
+		if a.Road(r).Class != b.Road(r).Class || a.Road(r).LengthKM != b.Road(r).LengthKM {
+			t.Fatalf("road %d differs across identical builds", r)
+		}
+	}
+	ae, be := a.Graph().EdgeList(), b.Graph().EdgeList()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ae[i], be[i])
+		}
+	}
+	// A different seed must shuffle something observable.
+	c := Metro(MetroOptions{Roads: 2000, Seed: 6})
+	same := true
+	for r := 0; r < a.N() && r < c.N(); r++ {
+		if a.Road(r).LengthKM != c.Road(r).LengthKM {
+			same = false
+			break
+		}
+	}
+	if same && a.N() == c.N() {
+		t.Error("seed change left every road length identical")
+	}
+}

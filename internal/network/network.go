@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -69,6 +70,9 @@ type Road struct {
 type Network struct {
 	g     *graph.Graph
 	roads []Road
+
+	csrOnce sync.Once
+	csr     *graph.CSR
 }
 
 // New builds a network from a topology and matching metadata. The roads
@@ -106,6 +110,16 @@ func (n *Network) M() int { return n.g.M() }
 // Graph returns the underlying topology. The returned graph is shared with
 // the network and must not be mutated; clone it first if needed.
 func (n *Network) Graph() *graph.Graph { return n.g }
+
+// CSR returns the packed (compressed-sparse-row) view of the topology,
+// built once on first use and shared thereafter. The network is immutable,
+// so the CSR never goes stale; the GSP and correlation hot paths iterate it
+// instead of the per-node adjacency slices, and index edge-aligned parameter
+// arrays by its half-edge edge ids (EdgeList order, matching rtf.Model).
+func (n *Network) CSR() *graph.CSR {
+	n.csrOnce.Do(func() { n.csr = n.g.BuildCSR() })
+	return n.csr
+}
 
 // Road returns the metadata of road i.
 func (n *Network) Road(i int) Road { return n.roads[i] }

@@ -161,6 +161,30 @@ func (m *Model) At(t tslot.Slot) View {
 	return View{Slot: t, Mu: m.mu[t], Sigma: m.sigma[t], Rho: m.rho[t], model: m}
 }
 
+// ApproxBytes reports the parameter-tensor footprint, counting each distinct
+// backing array once: a phase-aliased metro model (speedgen.MetroModel)
+// reports its true Phases×(2N+M) size, a dense fitted model the full
+// 288×(2N+M) one. Topology (edge list, index) is excluded.
+func (m *Model) ApproxBytes() int64 {
+	seen := make(map[*float64]bool, 3*tslot.PerDay)
+	var total int64
+	count := func(rows [][]float64) {
+		for _, row := range rows {
+			if len(row) == 0 {
+				continue
+			}
+			if p := &row[0]; !seen[p] {
+				seen[p] = true
+				total += int64(len(row)) * 8
+			}
+		}
+	}
+	count(m.mu)
+	count(m.sigma)
+	count(m.rho)
+	return total
+}
+
 // RhoEdge returns ρ for adjacent roads (0 for non-edges).
 func (v View) RhoEdge(i, j int) float64 {
 	e := v.model.EdgeIndex(i, j)

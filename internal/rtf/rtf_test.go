@@ -1,8 +1,9 @@
-package rtf
+package rtf_test
 
 import (
 	"bytes"
 	"math"
+	. "repro/internal/rtf"
 	"testing"
 
 	"repro/internal/network"

@@ -1,8 +1,9 @@
-package rtf
+package rtf_test
 
 import (
 	"math"
 	"math/rand"
+	. "repro/internal/rtf"
 	"testing"
 
 	"repro/internal/tslot"

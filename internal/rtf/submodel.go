@@ -1,0 +1,75 @@
+package rtf
+
+import (
+	"fmt"
+
+	"repro/internal/tslot"
+)
+
+// Submodel restricts the model to a road subset renumbered 0..len(orig)-1:
+// orig[i] is the original id of sub-road i, and edges is the sub-indexed
+// edge list of the induced subgraph (u < v, ascending — graph.Subgraph's
+// EdgeList order). Every sub-edge must exist in the parent model.
+//
+// Slot aliasing is preserved: slots of the parent that share one backing
+// array (speedgen.MetroModel's phase arrays) share one sliced array in the
+// submodel, keyed by backing-array identity — so sharding a slot-aliased
+// metro model multiplies memory by the phase count, not by tslot.PerDay.
+func (m *Model) Submodel(orig []int, edges [][2]int) (*Model, error) {
+	n := len(orig)
+	for i, o := range orig {
+		if o < 0 || o >= m.n {
+			return nil, fmt.Errorf("rtf: submodel road %d maps to out-of-range %d", i, o)
+		}
+	}
+	edgeOrig := make([]int, len(edges))
+	for i, e := range edges {
+		if e[0] < 0 || e[1] >= n || e[0] >= e[1] {
+			return nil, fmt.Errorf("rtf: submodel bad edge %v", e)
+		}
+		idx, ok := m.eidx[packEdge(orig[e[0]], orig[e[1]])]
+		if !ok {
+			return nil, fmt.Errorf("rtf: submodel edge %v not in parent model", e)
+		}
+		edgeOrig[i] = idx
+	}
+
+	sub := &Model{
+		n:     n,
+		edges: append([][2]int(nil), edges...),
+		eidx:  make(map[int64]int, len(edges)),
+		mu:    make([][]float64, tslot.PerDay),
+		sigma: make([][]float64, tslot.PerDay),
+		rho:   make([][]float64, tslot.PerDay),
+	}
+	for i, e := range sub.edges {
+		sub.eidx[packEdge(e[0], e[1])] = i
+	}
+	// Dedup by the source slice's backing identity so aliased slots stay
+	// aliased. The key is the address of the first element; zero-length
+	// sources all map to one shared empty slice.
+	muCache := make(map[*float64][]float64)
+	sigmaCache := make(map[*float64][]float64)
+	rhoCache := make(map[*float64][]float64)
+	gather := func(cache map[*float64][]float64, src []float64, idx []int) []float64 {
+		if len(src) == 0 {
+			return []float64{}
+		}
+		key := &src[0]
+		if s, ok := cache[key]; ok {
+			return s
+		}
+		out := make([]float64, len(idx))
+		for i, o := range idx {
+			out[i] = src[o]
+		}
+		cache[key] = out
+		return out
+	}
+	for t := 0; t < tslot.PerDay; t++ {
+		sub.mu[t] = gather(muCache, m.mu[t], orig)
+		sub.sigma[t] = gather(sigmaCache, m.sigma[t], orig)
+		sub.rho[t] = gather(rhoCache, m.rho[t], edgeOrig)
+	}
+	return sub, nil
+}

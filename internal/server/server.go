@@ -59,6 +59,7 @@ import (
 	"repro/internal/modelstore"
 	"repro/internal/obs"
 	"repro/internal/qos"
+	"repro/internal/shard"
 	"repro/internal/stream"
 	"repro/internal/tslot"
 )
@@ -126,6 +127,11 @@ type Server struct {
 	// qosCtl is the admission controller (EnableQoS); nil serves every
 	// request at full fidelity with no tenancy.
 	qosCtl *qos.Controller
+
+	// shards is the optional graph-partitioned engine (AttachShards); it only
+	// feeds the observability surfaces — request routing through the engine
+	// stays with the embedder that built it.
+	shards *shard.Engine
 }
 
 // New wraps a trained system. The worker pool starts empty. Construction
@@ -205,6 +211,19 @@ func (s *Server) AttachLifecycle(mgr *modelstore.Manager, refitter *modelstore.R
 // Collector exposes the server's report collector so the serve command can
 // wire it into a background refitter and configure the eviction horizon.
 func (s *Server) Collector() *stream.Collector { return s.collector }
+
+// AttachShards wires a graph-partitioned engine into the observability
+// surfaces: /v1/metrics gains the shard-labeled oracle-cache series and
+// /v1/healthz reports per-shard ownership/halo sizes and cache counters.
+func (s *Server) AttachShards(eng *shard.Engine) {
+	s.mu.Lock()
+	s.shards = eng
+	s.mu.Unlock()
+	if eng != nil {
+		eng.Instrument(s.pipe)
+		eng.RegisterMetrics(s.reg)
+	}
+}
 
 // withRecovery converts a handler panic into a 500 JSON error. A degraded
 // crowd (or a bug) must never take the estimation service down with it.
@@ -430,6 +449,9 @@ type healthResponse struct {
 	// called): current pressure plus per-tenant admit/shed/tier counters,
 	// read from the same atomics the /v1/metrics bridges export.
 	QoS *qos.Report `json:"qos,omitempty"`
+	// Shards is the per-shard layout and oracle-cache block (empty when no
+	// shard engine is attached via AttachShards).
+	Shards []shard.ShardReport `json:"shards,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -440,6 +462,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	workers := s.pool.Size()
 	lifecycle := s.lifecycle
+	shardEng := s.shards
 	s.mu.RUnlock()
 	evictedSlots, _ := s.collector.Evicted()
 	out := healthResponse{
@@ -462,6 +485,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.qosCtl != nil {
 		out.QoS = s.qosCtl.Report()
+	}
+	if shardEng != nil {
+		out.Shards = shardEng.Reports()
 	}
 	if last, ok := s.collector.LastReport(); ok {
 		age := s.clock.Since(last)

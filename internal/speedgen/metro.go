@@ -1,0 +1,129 @@
+package speedgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/network"
+	"repro/internal/rtf"
+	"repro/internal/tslot"
+)
+
+// MetroConfig controls MetroModel.
+type MetroConfig struct {
+	Seed int64
+	// Phases is the number of distinct parameter phases across the day;
+	// the 288 slots alias these phase arrays. Default 16 (90-minute phases).
+	Phases int
+	// WeakFrac is the fraction of roads promoted to weak periodicity, as in
+	// Config. Default 0.25.
+	WeakFrac float64
+}
+
+// MetroModel synthesizes a fitted RTF model at metropolitan scale without
+// generating (or fitting on) a multi-day history: per-road μ/σ come from the
+// same class-driven daily profiles the history generator uses, per-edge ρ
+// from class affinity plus stable per-edge structure.
+//
+// The trick that makes 100k roads affordable is slot aliasing: a dense model
+// stores 288 × (N + N + M) float64s (~1 GB at 100k roads), but traffic
+// parameters drift on a scale of an hour, not five minutes — so MetroModel
+// materializes only Phases distinct parameter arrays and aliases each slot's
+// slice to its phase (~50 MB at the default 16 phases). rtf.FromParams takes
+// ownership of the slices without copying, which preserves the aliasing; the
+// model must therefore be treated as read-only (no SetMu/SetRho), which every
+// online path already honors.
+//
+// The returned profiles are the generator's ground truth: benchmarks draw
+// probe observations from Profile.Speed plus volatility noise.
+func MetroModel(net *network.Network, cfg MetroConfig) (*rtf.Model, []Profile, error) {
+	if cfg.Phases <= 0 {
+		cfg.Phases = 16
+	}
+	if cfg.Phases > tslot.PerDay {
+		cfg.Phases = tslot.PerDay
+	}
+	if cfg.WeakFrac == 0 {
+		cfg.WeakFrac = 0.25
+	}
+	if cfg.WeakFrac < 0 || cfg.WeakFrac > 1 {
+		return nil, nil, fmt.Errorf("speedgen: WeakFrac %v outside [0,1]", cfg.WeakFrac)
+	}
+	n := net.N()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	profiles := makeProfiles(net, Config{WeakFrac: cfg.WeakFrac}, rng)
+	edges := net.Graph().EdgeList()
+	m := len(edges)
+
+	// Stable per-edge correlation structure: class affinity (same-class
+	// neighbors move together; trunk links couple strongly) plus a per-edge
+	// offset that persists across phases.
+	edgeBase := make([]float64, m)
+	for e, pair := range edges {
+		ca, cb := net.Road(pair[0]).Class, net.Road(pair[1]).Class
+		b := 0.45
+		if ca == cb {
+			b += 0.15
+		}
+		if ca <= network.Arterial && cb <= network.Arterial {
+			b += 0.10
+		}
+		edgeBase[e] = b + 0.20*rng.Float64()
+	}
+
+	phaseLen := (tslot.PerDay + cfg.Phases - 1) / cfg.Phases
+	phaseMu := make([][]float64, cfg.Phases)
+	phaseSigma := make([][]float64, cfg.Phases)
+	phaseRho := make([][]float64, cfg.Phases)
+	for p := 0; p < cfg.Phases; p++ {
+		mid := tslot.Slot(p*phaseLen + phaseLen/2)
+		if mid >= tslot.PerDay {
+			mid = tslot.PerDay - 1
+		}
+		mu := make([]float64, n)
+		sigma := make([]float64, n)
+		for r := 0; r < n; r++ {
+			mu[r] = profiles[r].Speed(mid)
+			s := profiles[r].Volatility * mu[r]
+			if s < rtf.SigmaMin {
+				s = rtf.SigmaMin
+			}
+			if s > rtf.SigmaMax {
+				s = rtf.SigmaMax
+			}
+			sigma[r] = s
+		}
+		rho := make([]float64, m)
+		for e := range rho {
+			v := edgeBase[e] + 0.05*rng.NormFloat64()
+			if v < rtf.RhoMin {
+				v = rtf.RhoMin
+			}
+			if v > rtf.RhoMax {
+				v = rtf.RhoMax
+			}
+			rho[e] = v
+		}
+		phaseMu[p] = mu
+		phaseSigma[p] = sigma
+		phaseRho[p] = rho
+	}
+
+	mu := make([][]float64, tslot.PerDay)
+	sigma := make([][]float64, tslot.PerDay)
+	rho := make([][]float64, tslot.PerDay)
+	for t := 0; t < tslot.PerDay; t++ {
+		p := t / phaseLen
+		if p >= cfg.Phases {
+			p = cfg.Phases - 1
+		}
+		mu[t] = phaseMu[p]
+		sigma[t] = phaseSigma[p]
+		rho[t] = phaseRho[p]
+	}
+	model, err := rtf.FromParams(n, edges, mu, sigma, rho)
+	if err != nil {
+		return nil, nil, fmt.Errorf("speedgen: metro model: %w", err)
+	}
+	return model, profiles, nil
+}

@@ -1,0 +1,80 @@
+package speedgen
+
+import (
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/rtf"
+	"repro/internal/tslot"
+)
+
+// TestMetroModelBoundsAndDeterminism checks the synthesized model respects
+// the rtf parameter ranges everywhere and is a pure function of its seed.
+func TestMetroModelBoundsAndDeterminism(t *testing.T) {
+	net := network.Metro(network.MetroOptions{Roads: 1200, Seed: 4})
+	m1, prof1, err := MetroModel(net, MetroConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.N() != net.N() || len(prof1) != net.N() {
+		t.Fatalf("model covers %d roads, profiles %d, network %d", m1.N(), len(prof1), net.N())
+	}
+	for _, slot := range []tslot.Slot{0, 71, 287} {
+		v := m1.At(slot)
+		for i := 0; i < net.N(); i += 97 {
+			if v.Mu[i] <= 0 {
+				t.Fatalf("slot %d road %d: μ = %v", slot, i, v.Mu[i])
+			}
+			if v.Sigma[i] < rtf.SigmaMin || v.Sigma[i] > rtf.SigmaMax {
+				t.Fatalf("slot %d road %d: σ = %v outside bounds", slot, i, v.Sigma[i])
+			}
+		}
+		for e := 0; e < len(v.Rho); e += 53 {
+			if v.Rho[e] < rtf.RhoMin || v.Rho[e] > rtf.RhoMax {
+				t.Fatalf("slot %d edge %d: ρ = %v outside bounds", slot, e, v.Rho[e])
+			}
+		}
+	}
+	m2, _, err := MetroModel(net, MetroConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, slot := range []tslot.Slot{13, 144} {
+		a, b := m1.At(slot), m2.At(slot)
+		for i := range a.Mu {
+			if a.Mu[i] != b.Mu[i] || a.Sigma[i] != b.Sigma[i] {
+				t.Fatalf("slot %d road %d differs across identical builds", slot, i)
+			}
+		}
+	}
+}
+
+// TestMetroModelPhaseAliasing pins the memory trick that makes 100k roads
+// affordable: slots within one phase share backing arrays (ApproxBytes sees
+// Phases distinct tensors, not 288), while slots in different phases differ.
+func TestMetroModelPhaseAliasing(t *testing.T) {
+	net := network.Metro(network.MetroOptions{Roads: 800, Seed: 6})
+	const phases = 8
+	m, _, err := MetroModel(net, MetroConfig{Seed: 7, Phases: phases})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slotsPerPhase := tslot.PerDay / phases
+	a, b := m.At(0), m.At(tslot.Slot(slotsPerPhase-1)) // same phase
+	if &a.Mu[0] != &b.Mu[0] || &a.Rho[0] != &b.Rho[0] {
+		t.Error("slots of one phase do not alias the same backing arrays")
+	}
+	c := m.At(tslot.Slot(slotsPerPhase)) // next phase
+	if &a.Mu[0] == &c.Mu[0] {
+		t.Error("distinct phases share a μ array")
+	}
+
+	aliased := m.ApproxBytes()
+	densePerPhaseTensors := int64(tslot.PerDay / phases)
+	// 8 phases of (2N + M) float64s, not 288 of them.
+	want := int64(phases) * int64(2*net.N()+net.M()) * 8
+	if aliased != want {
+		t.Errorf("ApproxBytes = %d, want %d (phase-aliased); dense would be %d×",
+			aliased, want, densePerPhaseTensors)
+	}
+}

@@ -389,6 +389,33 @@ func makeProfiles(net *network.Network, cfg Config, rng *rand.Rand) []Profile {
 	target := int(cfg.WeakFrac * float64(n))
 	weak := 0
 	g := net.Graph()
+	// Bounded BFS with an epoch-marked scratch array: identical prefix to
+	// g.ConnectedSubset(seed, size) (same FIFO + ascending-neighbor order,
+	// nil when the component is smaller than size) but O(size) per call
+	// instead of O(component) — at metro scale the full-component walk made
+	// profile generation quadratic.
+	mark := make([]int, n)
+	epoch := 0
+	boundedSubset := func(seed, size int) []int {
+		epoch++
+		mark[seed] = epoch
+		out := []int{seed}
+		for i := 0; i < len(out) && len(out) < size; i++ {
+			for _, v := range g.Neighbors(out[i]) {
+				if mark[v] != epoch {
+					mark[v] = epoch
+					out = append(out, int(v))
+					if len(out) == size {
+						break
+					}
+				}
+			}
+		}
+		if len(out) < size {
+			return nil
+		}
+		return out
+	}
 	for _, seed := range rng.Perm(n) {
 		if weak >= target {
 			break
@@ -397,7 +424,7 @@ func makeProfiles(net *network.Network, cfg Config, rng *rand.Rand) []Profile {
 			continue
 		}
 		size := 4 + rng.Intn(5)
-		patch := g.ConnectedSubset(seed, size)
+		patch := boundedSubset(seed, size)
 		if patch == nil {
 			patch = []int{seed}
 		}
