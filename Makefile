@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fault-determinism race-hotpath race-suite fuzz-seed fuzz-snapshot refit-drill benchguard check bench bench-concurrent bench-all qps bench-lifecycle bench-batch bench-load bench-metro
+.PHONY: all build vet test race fault-determinism race-hotpath race-suite fuzz-seed fuzz-snapshot refit-drill benchguard check bench bench-concurrent bench-all qps bench-lifecycle bench-batch bench-load bench-metro bench-temporal
 
 all: build
 
@@ -58,9 +58,13 @@ race-suite:
 # broken QoS class order, a batch surge shed rate above the pinned ceiling,
 # or >25% alerting-p99 regression. The -pr7 gate validates the recorded
 # metropolitan baseline (100k-road e2e query under the 1s budget, multi-shard
-# sweep present) and re-runs a 5k-road sharded-pipeline smoke.
+# sweep present) and re-runs a 5k-road sharded-pipeline smoke. The -pr8 gate
+# validates the recorded temporal baseline (the Kalman filter strictly beats
+# per-slot GSP under the sparsest probe level, every forecast SD fan widens
+# monotonically with the horizon) and re-runs the deterministic sparse
+# ablation cell fresh.
 benchguard:
-	$(GO) run ./cmd/benchguard -pr2 BENCH_PR2.json -pr3 BENCH_PR3.json -pr5 BENCH_PR5.json -pr6 BENCH_PR6.json -pr7 BENCH_PR7.json
+	$(GO) run ./cmd/benchguard -pr2 BENCH_PR2.json -pr3 BENCH_PR3.json -pr5 BENCH_PR5.json -pr6 BENCH_PR6.json -pr7 BENCH_PR7.json -pr8 BENCH_PR8.json
 
 # End-to-end lifecycle drill under the race detector: streamed reports are
 # folded into a refit, gated, published and hot-swapped; a corrupted
@@ -112,6 +116,12 @@ bench-load:
 bench-metro:
 	$(GO) run ./cmd/rtsebench -metro -out BENCH_PR7.json
 
+# The PR-8 cross-slot temporal suite: the sparsity ablation (per-slot GSP vs
+# the state-space filter), the forecast-vs-realized horizon curve, and the
+# filter step/fan micro-benchmark, recorded as BENCH_PR8.json.
+bench-temporal:
+	$(GO) run ./cmd/rtsebench -temporal -out BENCH_PR8.json
+
 BENCH_PR2.json: qps
 
 BENCH_PR3.json: bench-lifecycle
@@ -121,3 +131,5 @@ BENCH_PR5.json: bench-batch
 BENCH_PR6.json: bench-load
 
 BENCH_PR7.json: bench-metro
+
+BENCH_PR8.json: bench-temporal

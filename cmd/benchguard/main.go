@@ -56,6 +56,7 @@ func main() {
 		pr5Path   = flag.String("pr5", "BENCH_PR5.json", "batch-coalescing sweep-ratio baseline")
 		pr6Path   = flag.String("pr6", "", "admission-control load baseline (BENCH_PR6.json); empty skips the load gate")
 		pr7Path   = flag.String("pr7", "", "metropolitan-scale baseline (BENCH_PR7.json); empty skips the metro gate")
+		pr8Path   = flag.String("pr8", "", "cross-slot temporal baseline (BENCH_PR8.json); empty skips the temporal gate")
 		p99Tol    = flag.Float64("p99-tol", 0.25, "max tolerated fractional alerting-p99 regression in the load gate")
 		tol       = flag.Float64("tol", 0.25, "max tolerated fractional throughput loss")
 		latFactor = flag.Float64("lat-factor", 5.0, "max tolerated latency blowup factor")
@@ -66,13 +67,13 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*pr2Path, *pr3Path, *pr5Path, *pr6Path, *pr7Path, *tol, *latFactor, *p99Tol, *duration, *runs, *clients, *iters); err != nil {
+	if err := run(*pr2Path, *pr3Path, *pr5Path, *pr6Path, *pr7Path, *pr8Path, *tol, *latFactor, *p99Tol, *duration, *runs, *clients, *iters); err != nil {
 		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(pr2Path, pr3Path, pr5Path, pr6Path, pr7Path string, tol, latFactor, p99Tol float64, duration time.Duration, runs, clients, iters int) error {
+func run(pr2Path, pr3Path, pr5Path, pr6Path, pr7Path, pr8Path string, tol, latFactor, p99Tol float64, duration time.Duration, runs, clients, iters int) error {
 	pr2, err := loadPR2(pr2Path)
 	if err != nil {
 		return err
@@ -165,6 +166,13 @@ func run(pr2Path, pr3Path, pr5Path, pr6Path, pr7Path string, tol, latFactor, p99
 	// --- Metropolitan-scale gate ------------------------------------------
 	if pr7Path != "" {
 		if err := gatePR7(pr7Path); err != nil {
+			return err
+		}
+	}
+
+	// --- Cross-slot temporal gate -----------------------------------------
+	if pr8Path != "" {
+		if err := gatePR8(env, pr8Path); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,88 @@
+// The PR-8 cross-slot temporal gate: validate the recorded BENCH_PR8.json
+// invariants (the filter strictly beats independent per-slot GSP at the
+// sparsest probe level, every forecast SD curve widens monotonically with
+// the horizon, short-horizon forecasts carry positive skill over the prior),
+// then re-run the sparse ablation cell fresh — MAPE numbers are fully
+// seeded, so a drifted filter or a broken feed order fails CI exactly, not
+// statistically.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+// pr8Report is the subset of the BENCH_PR8.json schema the gate reads.
+type pr8Report struct {
+	WalkSlots int `json:"walk_slots"`
+	Ablation  []struct {
+		Probes     int       `json:"probes"`
+		GSPMAPE    float64   `json:"gsp_mape"`
+		FilterMAPE float64   `json:"filter_mape"`
+		WinPct     float64   `json:"win_pct"`
+		ForecastSD []float64 `json:"forecast_sd"`
+	} `json:"ablation"`
+	Forecast []struct {
+		Horizon int     `json:"horizon"`
+		Skill   float64 `json:"skill"`
+		MeanSD  float64 `json:"mean_sd"`
+	} `json:"forecast"`
+}
+
+// gatePR8 checks the recorded temporal baseline and re-runs the sparse cell.
+func gatePR8(env *experiments.Env, path string) error {
+	var base pr8Report
+	if err := loadJSON(path, &base); err != nil {
+		return err
+	}
+	if len(base.Ablation) < 2 {
+		return fmt.Errorf("%s: %d ablation levels recorded, want ≥ 2", path, len(base.Ablation))
+	}
+	sparse := base.Ablation[0]
+	if sparse.FilterMAPE >= sparse.GSPMAPE {
+		return fmt.Errorf("%s: recorded sparse level (%d probes) has filter MAPE %.4f ≥ GSP %.4f",
+			path, sparse.Probes, sparse.FilterMAPE, sparse.GSPMAPE)
+	}
+	for _, a := range base.Ablation {
+		for k := 1; k < len(a.ForecastSD); k++ {
+			if a.ForecastSD[k]+1e-12 < a.ForecastSD[k-1] {
+				return fmt.Errorf("%s: probes=%d forecast SD shrinks at horizon %d (%.4f < %.4f)",
+					path, a.Probes, k+1, a.ForecastSD[k], a.ForecastSD[k-1])
+			}
+		}
+	}
+	if len(base.Forecast) < 2 {
+		return fmt.Errorf("%s: %d forecast horizons recorded, want ≥ 2", path, len(base.Forecast))
+	}
+	if base.Forecast[0].Skill <= 0 {
+		return fmt.Errorf("%s: recorded 1-step forecast skill %.4f not positive", path, base.Forecast[0].Skill)
+	}
+	for k := 1; k < len(base.Forecast); k++ {
+		if base.Forecast[k].MeanSD+1e-12 < base.Forecast[k-1].MeanSD {
+			return fmt.Errorf("%s: forecast mean SD shrinks at horizon %d", path, base.Forecast[k].Horizon)
+		}
+	}
+	fmt.Printf("benchguard: temporal baseline sparse win %.1f%% (%d probes), %d SD curves monotone — ok\n",
+		sparse.WinPct, sparse.Probes, len(base.Ablation)+1)
+
+	// Fresh sparse cell on the current tree: deterministic, so any drift in
+	// the filter math or the feed order shows up as a hard failure.
+	rows, err := experiments.TemporalAblation(env, []int{sparse.Probes}, base.WalkSlots)
+	if err != nil {
+		return fmt.Errorf("temporal smoke: %w", err)
+	}
+	fresh := rows[0]
+	verdict := fresh.FilterMAPE < fresh.GSPMAPE
+	fmt.Printf("benchguard: temporal smoke probes=%d GSP %.4f vs filter %.4f (win %.1f%%) — %s\n",
+		fresh.Probes, fresh.GSPMAPE, fresh.FilterMAPE, fresh.WinPct, passFail(verdict))
+	if !verdict {
+		return fmt.Errorf("fresh sparse ablation: filter MAPE %.4f ≥ GSP %.4f", fresh.FilterMAPE, fresh.GSPMAPE)
+	}
+	for k := 1; k < len(fresh.ForecastSD); k++ {
+		if fresh.ForecastSD[k]+1e-12 < fresh.ForecastSD[k-1] {
+			return fmt.Errorf("fresh sparse ablation: forecast SD shrinks at horizon %d", k+1)
+		}
+	}
+	return nil
+}

@@ -38,6 +38,13 @@
 // BENCH_PR7.json for the benchguard -pr7 gate:
 //
 //	rtsebench -metro [-metro-roads 100000] [-metro-shards 1,2,4] [-metro-clients 1,4,16] [-metro-duration 2s] [-out BENCH_PR7.json]
+//
+// The -temporal flag runs the PR-8 cross-slot state-space harness instead: a
+// sparsity sweep of per-slot GSP vs the Kalman filter, the forecast horizon
+// curve against realized truth, and the filter step/fan micro-benchmark,
+// written as BENCH_PR8.json for the benchguard -pr8 gate:
+//
+//	rtsebench -temporal [-temporal-slots 12] [-temporal-probes 4,12,24] [-temporal-horizon 4] [-out BENCH_PR8.json]
 package main
 
 import (
@@ -72,8 +79,27 @@ func main() {
 	metroShards := flag.String("metro-shards", "1,2,4", "comma-separated shard counts for the -metro sweep")
 	metroClients := flag.String("metro-clients", "1,4,16", "comma-separated client counts for the -metro sweep")
 	metroDuration := flag.Duration("metro-duration", 2*time.Second, "wall-clock length of each -metro sweep cell")
-	out := flag.String("out", "", "output path for the -qps / -lifecycle / -batch / -load / -metro JSON report (defaults per mode)")
+	temporalMode := flag.Bool("temporal", false, "run the cross-slot state-space harness instead of the experiment suite")
+	temporalSlots := flag.Int("temporal-slots", 12, "consecutive slots walked per evaluation day for -temporal")
+	temporalProbes := flag.String("temporal-probes", "4,12,24", "comma-separated probe-sparsity levels for -temporal (sparsest first)")
+	temporalHorizon := flag.Int("temporal-horizon", 4, "forecast fan depth for -temporal")
+	out := flag.String("out", "", "output path for the -qps / -lifecycle / -batch / -load / -metro / -temporal JSON report (defaults per mode)")
 	flag.Parse()
+	if *temporalMode {
+		path := *out
+		if path == "" {
+			path = "BENCH_PR8.json"
+		}
+		probes, err := parseClients(*temporalProbes)
+		if err == nil {
+			err = runTemporal(*paper, *temporalSlots, *temporalHorizon, probes, path)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtsebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *metro {
 		path := *out
 		if path == "" {

@@ -1,0 +1,188 @@
+// Temporal mode: the PR-8 cross-slot state-space harness. It runs the
+// experiments.TemporalAblation sparsity sweep (per-slot GSP vs the filter),
+// the forecast-vs-realized horizon curve, and a filter micro-benchmark
+// (predict+update step latency, forecast-fan latency), and writes the result
+// as BENCH_PR8.json for the benchguard -pr8 gate. The MAPE numbers are fully
+// seeded, so the gate can re-derive them on any machine; only the latencies
+// are wall-clock.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/network"
+	"repro/internal/temporal"
+)
+
+const temporalBenchIters = 2000
+
+// temporalAblationJSON is one sparsity level in the BENCH_PR8.json schema.
+type temporalAblationJSON struct {
+	Probes     int       `json:"probes"`
+	GSPMAPE    float64   `json:"gsp_mape"`
+	FilterMAPE float64   `json:"filter_mape"`
+	WinPct     float64   `json:"win_pct"`
+	ForecastSD []float64 `json:"forecast_sd"`
+}
+
+// temporalForecastJSON is one horizon in the BENCH_PR8.json schema.
+type temporalForecastJSON struct {
+	Horizon   int     `json:"horizon"`
+	MAPE      float64 `json:"mape"`
+	PriorMAPE float64 `json:"prior_mape"`
+	Skill     float64 `json:"skill"`
+	MeanSD    float64 `json:"mean_sd"`
+}
+
+// temporalReport is the BENCH_PR8.json schema.
+type temporalReport struct {
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Roads     int   `json:"roads"`
+	Days      int   `json:"days"`
+	Slot      int   `json:"slot"`
+	QuerySize int   `json:"query_size"`
+	WalkSlots int   `json:"walk_slots"`
+	Probes    []int `json:"probe_levels"`
+	Horizon   int   `json:"horizon"`
+
+	Ablation []temporalAblationJSON `json:"ablation"`
+	Forecast []temporalForecastJSON `json:"forecast"`
+
+	// Micro-benchmark: one predict+update step and one full forecast fan,
+	// mean over temporalBenchIters iterations.
+	StepMicros     float64 `json:"filter_step_micros"`
+	ForecastMicros float64 `json:"forecast_fan_micros"`
+
+	// Gate summary: the filter strictly beats per-slot GSP at the sparsest
+	// level, and every forecast SD curve is monotone in the horizon.
+	SparseWinPct   float64 `json:"sparse_win_pct"`
+	TargetAchieved bool    `json:"target_achieved"`
+}
+
+// runTemporal executes the PR-8 measurement and writes the JSON report.
+func runTemporal(paper bool, slots, horizon int, probeLevels []int, outPath string) error {
+	opt := experiments.Small()
+	if paper {
+		opt = experiments.Paper()
+	}
+	env, err := experiments.NewEnv(opt)
+	if err != nil {
+		return err
+	}
+	rep := temporalReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Roads:      opt.Roads,
+		Days:       opt.Days,
+		Slot:       int(env.Slot),
+		QuerySize:  len(env.Query),
+		WalkSlots:  slots,
+		Probes:     probeLevels,
+		Horizon:    horizon,
+	}
+
+	ablation, err := experiments.TemporalAblation(env, probeLevels, slots)
+	if err != nil {
+		return err
+	}
+	experiments.RenderTemporalAblation(os.Stdout, ablation)
+	fmt.Println()
+	for _, r := range ablation {
+		rep.Ablation = append(rep.Ablation, temporalAblationJSON{
+			Probes: r.Probes, GSPMAPE: r.GSPMAPE, FilterMAPE: r.FilterMAPE,
+			WinPct: r.WinPct, ForecastSD: r.ForecastSD,
+		})
+	}
+
+	forecast, err := experiments.TemporalForecast(env, probeLevels[len(probeLevels)/2], slots, horizon)
+	if err != nil {
+		return err
+	}
+	experiments.RenderTemporalForecast(os.Stdout, forecast)
+	fmt.Println()
+	for _, r := range forecast {
+		rep.Forecast = append(rep.Forecast, temporalForecastJSON{
+			Horizon: r.Horizon, MAPE: r.MAPE, PriorMAPE: r.PriorMAPE,
+			Skill: r.Skill, MeanSD: r.MeanSD,
+		})
+	}
+
+	if rep.StepMicros, rep.ForecastMicros, err = benchFilter(env, horizon); err != nil {
+		return err
+	}
+	fmt.Printf("temporal: filter step %.2fµs  forecast fan (k=%d) %.2fµs  (%d roads)\n",
+		rep.StepMicros, horizon, rep.ForecastMicros, env.Net.N())
+
+	rep.SparseWinPct = rep.Ablation[0].WinPct
+	rep.TargetAchieved = rep.Ablation[0].FilterMAPE < rep.Ablation[0].GSPMAPE
+	for _, a := range rep.Ablation {
+		for k := 1; k < len(a.ForecastSD); k++ {
+			if a.ForecastSD[k]+1e-12 < a.ForecastSD[k-1] {
+				rep.TargetAchieved = false
+			}
+		}
+	}
+	if !rep.TargetAchieved {
+		fmt.Println("temporal: WARNING target not achieved")
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("temporal: wrote %s\n", outPath)
+	return nil
+}
+
+// benchFilter times one predict+update step and one forecast fan over the
+// environment-sized network.
+func benchFilter(env *experiments.Env, horizon int) (stepMicros, fanMicros float64, err error) {
+	classes := make([]network.Class, env.Net.N())
+	for i := range classes {
+		classes[i] = env.Net.Road(i).Class
+	}
+	filt, err := temporal.New(env.Sys.Model(), env.Slot, temporal.DefaultParams(), classes, temporal.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	rng := rand.New(rand.NewSource(env.Seed))
+	observed := map[int]float64{}
+	for _, r := range rng.Perm(env.Net.N())[:8] {
+		observed[r] = env.Sys.Model().Mu(env.Slot, r) * (1 + 0.02*rng.NormFloat64())
+	}
+	t := env.Slot
+	start := time.Now()
+	for i := 0; i < temporalBenchIters; i++ {
+		t = t.Next()
+		if _, err := filt.Advance(t); err != nil {
+			return 0, 0, err
+		}
+		if err := filt.Update(observed, nil); err != nil {
+			return 0, 0, err
+		}
+	}
+	stepMicros = float64(time.Since(start).Microseconds()) / temporalBenchIters
+
+	start = time.Now()
+	for i := 0; i < temporalBenchIters; i++ {
+		if _, err := filt.Forecast(horizon); err != nil {
+			return 0, 0, err
+		}
+	}
+	fanMicros = float64(time.Since(start).Microseconds()) / temporalBenchIters
+	return stepMicros, fanMicros, nil
+}

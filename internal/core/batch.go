@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/gsp"
 	"repro/internal/ocs"
+	"repro/internal/temporal"
 	"repro/internal/tslot"
 )
 
@@ -73,6 +74,11 @@ type Batcher struct {
 	prevMu  sync.Mutex
 	prev    map[tslot.Slot]*prevEntry
 	prevSeq uint64
+
+	// temporal is the attached cross-slot filter (PR 8), nil until
+	// AttachTemporal. See temporal.go.
+	temporalMu sync.Mutex
+	temporal   *temporal.Filter
 }
 
 // NewBatcher wraps a trained system in a coalescing engine.
@@ -181,9 +187,10 @@ func (b *Batcher) Estimate(ctx context.Context, t tslot.Slot, observed map[int]f
 	b.flightMu.Unlock()
 
 	st := b.sys.current()
-	f.res, f.err = b.sys.estimateStateWarm(ctx, st, t, observed, b.lastResult(t))
+	f.res, f.err = b.sys.estimateStateWarm(ctx, st, t, observed, b.warmSeed(t))
 	if f.err == nil {
 		b.storeResult(t, f.res)
+		b.feedTemporal(t, observed, &f.res)
 	}
 	b.flightMu.Lock()
 	delete(b.estimate, key)
@@ -347,9 +354,10 @@ func (b *Batcher) run(g *batchGroup) {
 	// The shared pass runs under its own context: one member's deadline must
 	// not cancel the answer every other member is waiting for.
 	st := b.sys.current()
-	g.shared, g.err = b.sys.querySharedState(context.Background(), st, merged, b.lastResult(merged.Slot))
+	g.shared, g.err = b.sys.querySharedState(context.Background(), st, merged, b.warmSeed(merged.Slot))
 	if g.err == nil {
 		b.storeResult(merged.Slot, g.shared.Propagation)
+		b.feedTemporal(merged.Slot, g.shared.Propagation.Observed, &g.shared.Propagation)
 	}
 }
 

@@ -62,6 +62,7 @@ type Subscription struct {
 
 	mu      sync.Mutex
 	last    map[int]float64 // observations behind the latest estimate
+	lastUp  SubscriptionUpdate
 	seq     uint64
 	closed  bool
 	updates chan SubscriptionUpdate
@@ -118,7 +119,11 @@ func (s *Subscription) Updates() <-chan SubscriptionUpdate { return s.updates }
 
 // Refresh re-estimates the standing query now. When the source's observations
 // for the slot are unchanged since the last refresh and force is false, no
-// propagation runs and ok is false. Otherwise the estimate re-runs through
+// propagation runs: the cached posterior of the previous refresh is returned
+// with ok=false and the short-circuit is counted
+// (crowdrtse_subscription_noop_refreshes_total). The subscription's slot is
+// fixed, so "unchanged digest" alone proves the cached field is still the
+// answer — no predict step is owed. Otherwise the estimate re-runs through
 // the Batcher's warm-started path and the fresh update is returned (and, in
 // Interval mode, also delivered on Updates).
 func (s *Subscription) Refresh(ctx context.Context, force bool) (SubscriptionUpdate, bool, error) {
@@ -130,8 +135,10 @@ func (s *Subscription) Refresh(ctx context.Context, force bool) (SubscriptionUpd
 		return SubscriptionUpdate{}, false, fmt.Errorf("core: subscription closed")
 	}
 	if !force && sameObservations(s.last, obs) && s.seq > 0 {
+		cached := s.lastUp
 		s.mu.Unlock()
-		return SubscriptionUpdate{}, false, nil
+		s.b.sys.Obs().Batch.NoopRefreshes.Inc()
+		return cached, false, nil
 	}
 	s.mu.Unlock()
 
@@ -158,6 +165,7 @@ func (s *Subscription) Refresh(ctx context.Context, force bool) (SubscriptionUpd
 		Observed: len(obs),
 		Result:   res,
 	}
+	s.lastUp = up
 	s.mu.Unlock()
 	return up, true, nil
 }

@@ -1,0 +1,113 @@
+// Temporal-filter integration (PR 8). The Batcher owns the cross-slot
+// state-space filter: every successful estimate feeds it (probe updates, or a
+// GSP pseudo-observation on probe-less slots), and when a slot's warm-start
+// LRU entry is missing, the filtered posterior — predicted forward to the
+// requested slot — stands in as the GSP seed, so the first query of a new
+// slot inherits the previous slot's evidence instead of starting cold at the
+// prior.
+package core
+
+import (
+	"repro/internal/gsp"
+	"repro/internal/temporal"
+	"repro/internal/tslot"
+)
+
+// maxTemporalAdvance bounds how many predict steps the attached filter takes
+// to chase an estimate's slot. Requests farther ahead (or behind — a
+// backward request is a near-full-day forward wrap) are treated as
+// out-of-band historical work and don't move the filter.
+const maxTemporalAdvance = 12
+
+// AttachTemporal hands the batcher the cross-slot filter. Estimates then feed
+// the filter and probe-less warm starts seed from its forecasts. Pass nil to
+// detach. Safe to call concurrently with queries.
+func (b *Batcher) AttachTemporal(f *temporal.Filter) {
+	b.temporalMu.Lock()
+	b.temporal = f
+	b.temporalMu.Unlock()
+}
+
+// Temporal returns the attached filter, or nil.
+func (b *Batcher) Temporal() *temporal.Filter {
+	b.temporalMu.Lock()
+	defer b.temporalMu.Unlock()
+	return b.temporal
+}
+
+// temporalSteps returns the forward predict distance from the filter's slot
+// to t, and whether the filter should chase it.
+func temporalSteps(from, to tslot.Slot) (int, bool) {
+	steps := (int(to) - int(from) + tslot.PerDay) % tslot.PerDay
+	return steps, steps <= maxTemporalAdvance
+}
+
+// feedTemporal folds a finished estimate into the filter: advance to the
+// slot, then fuse the probes — or, when the slot had none, the GSP field as
+// an inflated-noise pseudo-observation.
+func (b *Batcher) feedTemporal(t tslot.Slot, observed map[int]float64, res *gsp.Result) {
+	f := b.Temporal()
+	if f == nil {
+		return
+	}
+	if _, ok := temporalSteps(f.Slot(), t); !ok {
+		return
+	}
+	// Advance re-checks the distance under the filter's own lock via the slot
+	// loop; a concurrent advance past t simply makes this a no-op feed.
+	if _, err := f.Advance(t); err != nil {
+		return
+	}
+	if f.Slot() != t {
+		return // another feeder moved the filter ahead; don't fuse stale data
+	}
+	if len(observed) > 0 {
+		_ = f.Update(observed, nil)
+		return
+	}
+	_ = f.PseudoObserve(res.Speeds, res.SD)
+}
+
+// temporalSeed synthesizes a warm-start seed for slot t from the filtered
+// posterior when the warm-start LRU has no entry: the filter's state (or its
+// k-step forecast when t is ahead of the filter) becomes Initial.Speeds. The
+// seed carries no Observed map, so the incremental engine treats every new
+// observation as dirty — correct, since the seed is a prediction, not a
+// previous propagation.
+func (b *Batcher) temporalSeed(t tslot.Slot) *gsp.Result {
+	f := b.Temporal()
+	if f == nil || f.Fused() == 0 {
+		// A virgin filter still sits at the prior — seeding from it would
+		// label a cold run warm without saving any sweeps.
+		return nil
+	}
+	steps, ok := temporalSteps(f.Slot(), t)
+	if !ok {
+		return nil
+	}
+	if steps == 0 {
+		est := f.Now()
+		if est.Slot != t {
+			return nil
+		}
+		return &gsp.Result{Speeds: est.Speeds, SD: est.SD}
+	}
+	fan, err := f.Forecast(steps)
+	if err != nil || len(fan) == 0 {
+		return nil
+	}
+	last := fan[len(fan)-1]
+	if last.Slot != t {
+		return nil // filter moved concurrently; seed would describe the wrong slot
+	}
+	return &gsp.Result{Speeds: last.Speeds, SD: last.SD}
+}
+
+// warmSeed resolves the GSP seed for slot t: the slot's previous estimate
+// when the LRU still holds it, else the filtered posterior predicted to t.
+func (b *Batcher) warmSeed(t tslot.Slot) *gsp.Result {
+	if prev := b.lastResult(t); prev != nil {
+		return prev
+	}
+	return b.temporalSeed(t)
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import "testing"
+
+// goldenProbeLevels are the sparsity levels the PR-8 golden shape is pinned
+// at (on the Small() 80-road environment): sparse, medium, dense.
+var goldenProbeLevels = []int{4, 12, 24}
+
+// TestGoldenTemporalAblation pins the PR-8 qualitative claims:
+//
+//  1. at the sparsest probe level the cross-slot filter strictly beats
+//     independent per-slot GSP on query-road MAPE,
+//  2. the filter's relative win shrinks as probes densify (sparser →
+//     bigger win) — the memory advantage is a sparse-data effect,
+//  3. the forecast fan's claimed SD is monotone non-decreasing in the
+//     horizon at every level (the filter never claims to know more about
+//     a farther future).
+//
+// The walk is fully seeded, so these are deterministic shape checks, not
+// statistical ones.
+func TestGoldenTemporalAblation(t *testing.T) {
+	env, err := NewEnv(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := TemporalAblation(env, goldenProbeLevels, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(goldenProbeLevels) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(goldenProbeLevels))
+	}
+	for _, r := range rows {
+		t.Logf("probes=%d gsp=%.4f filter=%.4f win=%.1f%%", r.Probes, r.GSPMAPE, r.FilterMAPE, r.WinPct)
+	}
+
+	// Shape 1: strict win at the sparsest level.
+	sparse := rows[0]
+	if sparse.FilterMAPE >= sparse.GSPMAPE {
+		t.Errorf("sparsest level (%d probes): filter MAPE %.4f not strictly below GSP %.4f",
+			sparse.Probes, sparse.FilterMAPE, sparse.GSPMAPE)
+	}
+
+	// Shape 2: the win shrinks monotonically as probes densify.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].WinPct >= rows[i-1].WinPct {
+			t.Errorf("win did not shrink with density: %d probes %.1f%% -> %d probes %.1f%%",
+				rows[i-1].Probes, rows[i-1].WinPct, rows[i].Probes, rows[i].WinPct)
+		}
+	}
+
+	// Shape 3: forecast SD monotone non-decreasing in horizon, every level.
+	for _, r := range rows {
+		if len(r.ForecastSD) != temporalForecastHorizon {
+			t.Fatalf("probes=%d: forecast SD has %d horizons, want %d",
+				r.Probes, len(r.ForecastSD), temporalForecastHorizon)
+		}
+		for k := 1; k < len(r.ForecastSD); k++ {
+			if r.ForecastSD[k]+1e-12 < r.ForecastSD[k-1] {
+				t.Errorf("probes=%d: forecast SD shrank at horizon %d (%.4f < %.4f)",
+					r.Probes, k+1, r.ForecastSD[k], r.ForecastSD[k-1])
+			}
+		}
+	}
+}
+
+// TestGoldenTemporalForecastHorizon pins the forecast honesty curve: the fan
+// carries real skill over the periodicity prior at short horizons, that
+// skill fades as the horizon deepens, and the claimed SD widens alongside.
+func TestGoldenTemporalForecastHorizon(t *testing.T) {
+	env, err := NewEnv(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := TemporalForecast(env, 8, 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("k=%d mape=%.4f prior=%.4f skill=%.4f sd=%.3f",
+			r.Horizon, r.MAPE, r.PriorMAPE, r.Skill, r.MeanSD)
+	}
+	for k := 1; k < len(rows); k++ {
+		if rows[k].MeanSD+1e-12 < rows[k-1].MeanSD {
+			t.Errorf("claimed SD shrank with horizon: k=%d %.4f < k=%d %.4f",
+				rows[k].Horizon, rows[k].MeanSD, rows[k-1].Horizon, rows[k-1].MeanSD)
+		}
+	}
+	// 1-step forecasts must strictly beat the periodicity prior on the same
+	// target slots — otherwise the filter state carries no realtime signal
+	// and the fan is decoration.
+	if rows[0].Skill <= 0 {
+		t.Errorf("1-step skill %.4f not positive (MAPE %.4f vs prior %.4f)",
+			rows[0].Skill, rows[0].MAPE, rows[0].PriorMAPE)
+	}
+	// Skill fades with depth: the deepest horizon retains less edge than the
+	// first (mean reversion pulls the fan back onto the prior).
+	if rows[len(rows)-1].Skill >= rows[0].Skill {
+		t.Errorf("skill did not fade with horizon: k=1 %.4f vs k=%d %.4f",
+			rows[0].Skill, rows[len(rows)-1].Horizon, rows[len(rows)-1].Skill)
+	}
+	// Validation.
+	if _, err := TemporalForecast(env, 0, 12, 4); err == nil {
+		t.Error("probes=0 accepted")
+	}
+	if _, err := TemporalForecast(env, 8, 2, 4); err == nil {
+		t.Error("slots below warmup accepted")
+	}
+	if _, err := TemporalAblation(env, []int{4}, 1); err == nil {
+		t.Error("1-slot ablation accepted")
+	}
+}

@@ -49,6 +49,18 @@ const (
 	MStreamReports         = "crowdrtse_stream_reports_total"
 	MStreamReportsRejected = "crowdrtse_stream_reports_rejected_total"
 
+	// Temporal-filter counters (PR 8): predict steps over slot transitions,
+	// probe-measurement updates, GSP pseudo-observation fallbacks on
+	// probe-less slots, and the forecast horizon-depth histogram (bucket
+	// bounds are slots, recorded as integer seconds). SubscriptionNoop counts
+	// standing-query refreshes short-circuited to the cached posterior
+	// because the slot's observation digest was unchanged.
+	MTemporalPredicts  = "crowdrtse_temporal_predicts_total"
+	MTemporalUpdates   = "crowdrtse_temporal_updates_total"
+	MTemporalPseudoObs = "crowdrtse_temporal_pseudo_obs_total"
+	MForecastDepth     = "crowdrtse_forecast_depth_slots"
+	MSubscriptionNoop  = "crowdrtse_subscription_noop_refreshes_total"
+
 	// Admission-control names (PR 6). The per-tenant counters are registered
 	// with label-in-name constants by qos.Controller.RegisterMetrics through
 	// the CounterFunc/GaugeFunc bridges, reading the same atomics the healthz
@@ -98,7 +110,25 @@ type BatchMetrics struct {
 	Groups    *Counter
 	Members   *Counter
 	Coalesced *Counter
+
+	// NoopRefreshes counts Subscription refreshes answered from the cached
+	// posterior because the slot's observations were unchanged (PR 8).
+	NoopRefreshes *Counter
 }
+
+// TemporalMetrics is the instrument handle of the state-space filter
+// (package temporal): predict steps, measurement updates, pseudo-observation
+// fallbacks, and the forecast-depth histogram (horizons in slots, recorded
+// as integer seconds — see ForecastDepthBuckets).
+type TemporalMetrics struct {
+	Predicts      *Counter
+	Updates       *Counter
+	PseudoObs     *Counter
+	ForecastDepth *Histogram
+}
+
+// ForecastDepthBuckets are the forecast-depth histogram bounds, in slots.
+var ForecastDepthBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 24}
 
 // StreamMetrics is the instrument handle the stream collector accepts:
 // accepted and rejected report counts.
@@ -130,6 +160,9 @@ type Pipeline struct {
 
 	// Batch is the coalescing-engine instrument block (core.Batcher).
 	Batch BatchMetrics
+
+	// Temporal is the state-space filter instrument block (package temporal).
+	Temporal TemporalMetrics
 
 	ProbeRounds  *Counter
 	ProbeAnswers *Counter
@@ -178,9 +211,16 @@ func NewPipeline(reg *Registry, clock Clock) *Pipeline {
 			SweepsSaved: reg.Counter(MWarmSweepSaved, "GSP sweeps saved by warm-starting vs the seeding estimate"),
 		},
 		Batch: BatchMetrics{
-			Groups:    reg.Counter(MBatchGroups, "shared batch passes executed by the coalescing engine"),
-			Members:   reg.Counter(MBatchMembers, "member queries folded into shared batch passes"),
-			Coalesced: reg.Counter(MCoalescedQueries, "queries answered by a pass another caller paid for"),
+			Groups:        reg.Counter(MBatchGroups, "shared batch passes executed by the coalescing engine"),
+			Members:       reg.Counter(MBatchMembers, "member queries folded into shared batch passes"),
+			Coalesced:     reg.Counter(MCoalescedQueries, "queries answered by a pass another caller paid for"),
+			NoopRefreshes: reg.Counter(MSubscriptionNoop, "subscription refreshes served from the cached posterior (unchanged observations)"),
+		},
+		Temporal: TemporalMetrics{
+			Predicts:      reg.Counter(MTemporalPredicts, "temporal-filter predict steps over slot transitions"),
+			Updates:       reg.Counter(MTemporalUpdates, "temporal-filter probe measurement updates"),
+			PseudoObs:     reg.Counter(MTemporalPseudoObs, "temporal-filter GSP pseudo-observation fallbacks"),
+			ForecastDepth: reg.Histogram(MForecastDepth, "forecast horizon depth in slots (recorded as seconds)", ForecastDepthBuckets),
 		},
 		ProbeRounds:    reg.Counter(MProbeRounds, "crowd probe/campaign rounds executed"),
 		ProbeAnswers:   reg.Counter(MProbeAnswers, "raw worker answers collected"),

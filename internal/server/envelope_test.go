@@ -60,6 +60,10 @@ var envelopeCases = []envelopeCase{
 	{route: "query", method: http.MethodGet, path: "/v1/query", status: http.StatusMethodNotAllowed, code: "method_not_allowed"},
 	{route: "query", method: http.MethodPost, path: "/v1/query", body: `{"queries":[]}`, status: http.StatusBadRequest, code: "bad_request"},
 	{route: "query", method: http.MethodPost, path: "/v1/query", body: `{"queries":[{"slot":10},{"slot":999999}]}`, status: http.StatusBadRequest, code: "bad_request"},
+	{route: "forecast", method: http.MethodGet, path: "/v1/forecast", status: http.StatusMethodNotAllowed, code: "method_not_allowed"},
+	{route: "forecast", method: http.MethodPost, path: "/v1/forecast", body: `{"slot":999999,"horizon":2}`, status: http.StatusBadRequest, code: "bad_request"},
+	{route: "forecast", method: http.MethodPost, path: "/v1/forecast", body: `{"slot":10,"horizon":99}`, status: http.StatusBadRequest, code: "bad_request"},
+	{route: "forecast", method: http.MethodPost, path: "/v1/forecast", body: `{"slot":10,"horizon":2,"roads":[99999]}`, status: http.StatusBadRequest, code: "bad_request"},
 	{route: "subscribe", method: http.MethodPost, path: "/v1/subscribe", body: `{}`, status: http.StatusMethodNotAllowed, code: "method_not_allowed"},
 	{route: "subscribe", method: http.MethodGet, path: "/v1/subscribe?slot=999999", status: http.StatusBadRequest, code: "bad_request"},
 	{route: "subscribe", method: http.MethodGet, path: "/v1/subscribe?slot=10&wait=forever", status: http.StatusBadRequest, code: "bad_request"},

@@ -1,0 +1,151 @@
+// POST /v1/forecast (PR 8): the forward-looking query type the per-slot
+// pipeline cannot serve. The cross-slot state-space filter is synced to the
+// requested base slot (advanced, then updated with the slot's current crowd
+// aggregates), and its predict step is iterated k times — one step per
+// horizon slot, mean reverting toward the periodicity prior, variance
+// honestly widening (clamped monotone non-decreasing in k).
+//
+// The route is admission-gated like the other work routes, with one twist: a
+// forecast is capped at interactive class on the QoS ladder. Forecasting is a
+// planning aid, never incident response, so it must not ride the
+// never-pressure-shed alerting lane.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/tslot"
+)
+
+// maxForecastHorizon is K: the farthest slot ahead a forecast may reach
+// (12 slots = one hour). Beyond that the fan has reverted to the prior band
+// and the answer is the RTF model, not a forecast.
+const maxForecastHorizon = 12
+
+// defaultForecastHorizon is used when the request omits the horizon.
+const defaultForecastHorizon = 3
+
+type forecastRequest struct {
+	Slot  int   `json:"slot"`
+	Roads []int `json:"roads"`
+	// Horizon is the number of slots to forecast ahead (1..12, default 3).
+	Horizon int `json:"horizon"`
+}
+
+// forecastStepJSON is one horizon step of the fan: per-road mean and SD.
+type forecastStepJSON struct {
+	Step   int                `json:"step"`
+	Slot   int                `json:"slot"`
+	Speeds map[string]float64 `json:"speeds"`
+	SD     map[string]float64 `json:"sd"`
+}
+
+type forecastResponse struct {
+	Slot     int                `json:"slot"`
+	Horizon  int                `json:"horizon"`
+	Observed int                `json:"observed_roads"`
+	Steps    []forecastStepJSON `json:"steps"`
+	// Degraded: no crowd reports backed the base state — the fan starts from
+	// the filter's carried-over state (or the prior) instead of fresh signal.
+	Degraded bool `json:"degraded"`
+	// Quality labels the QoS class the request was admitted at (set when
+	// admission control is enabled); forecasts are clamped to interactive.
+	Quality string `json:"quality,omitempty"`
+}
+
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, r, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req forecastRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, r, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	out, status, err := s.forecastOne(req)
+	if err != nil {
+		writeErr(w, r, status, "%v", err)
+		return
+	}
+	if ai := admissionFrom(r.Context()); ai != nil {
+		out.Quality = ai.Decision.Class.String()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// forecastOne validates and answers one forecast request against the live
+// filter. On error the returned status is the HTTP code to report.
+func (s *Server) forecastOne(req forecastRequest) (*forecastResponse, int, error) {
+	slot := tslot.Slot(req.Slot)
+	if !slot.Valid() {
+		return nil, http.StatusBadRequest, fmt.Errorf("slot %d out of range", req.Slot)
+	}
+	k := req.Horizon
+	if k == 0 {
+		k = defaultForecastHorizon
+	}
+	if k < 1 || k > maxForecastHorizon {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("horizon %d out of range (1..%d slots)", req.Horizon, maxForecastHorizon)
+	}
+	n := s.sys.Network().N()
+	roads := req.Roads
+	for _, id := range roads {
+		if id < 0 || id >= n {
+			return nil, http.StatusBadRequest, fmt.Errorf("road %d out of range", id)
+		}
+	}
+	if len(roads) == 0 {
+		roads = make([]int, n)
+		for i := range roads {
+			roads[i] = i
+		}
+	}
+	filt := s.batcher.Temporal()
+	if filt == nil {
+		return nil, http.StatusConflict, fmt.Errorf("no temporal filter attached")
+	}
+
+	// Sync the filter to the base slot: advance (cyclically — the forecast
+	// base is "now") and fuse whatever the crowd reported for this slot.
+	observed := s.collector.Observations(slot)
+	if _, err := filt.Advance(slot); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if len(observed) > 0 {
+		if err := filt.Update(observed, nil); err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+	}
+	fan, err := filt.Forecast(k)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+
+	out := &forecastResponse{
+		Slot:     req.Slot,
+		Horizon:  k,
+		Observed: len(observed),
+		Steps:    make([]forecastStepJSON, 0, len(fan)),
+		Degraded: len(observed) == 0,
+	}
+	for _, st := range fan {
+		sj := forecastStepJSON{
+			Step:   st.Step,
+			Slot:   int(st.Slot),
+			Speeds: make(map[string]float64, len(roads)),
+			SD:     make(map[string]float64, len(roads)),
+		}
+		for _, id := range roads {
+			key := strconv.Itoa(id)
+			sj.Speeds[key] = st.Speeds[id]
+			sj.SD[key] = st.SD[id]
+		}
+		out.Steps = append(out.Steps, sj)
+	}
+	return out, http.StatusOK, nil
+}

@@ -23,7 +23,7 @@ const (
 // a closed set.
 var routes = []string{
 	"network", "workers", "report", "select", "estimate", "query",
-	"subscribe", "alerts", "healthz", "model", "metrics", "pprof",
+	"forecast", "subscribe", "alerts", "healthz", "model", "metrics", "pprof",
 }
 
 // httpMetrics is the request-level instrument block: per-route request

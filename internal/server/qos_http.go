@@ -36,6 +36,7 @@ import (
 // controller.
 var qosRoutes = map[string]bool{
 	"select": true, "estimate": true, "query": true, "subscribe": true, "alerts": true,
+	"forecast": true,
 }
 
 // admissionInfo travels with an admitted request through the context.
@@ -114,6 +115,11 @@ func (s *Server) withAdmission(next http.Handler) http.Handler {
 				return
 			}
 			class = c // Admit clamps to the tenant's MaxClass
+		}
+		// Forecasts are planning aids, never incident response: cap them at
+		// interactive so they can't ride the never-pressure-shed alerting lane.
+		if routeName(r.URL.Path) == "forecast" && class > qos.ClassInteractive {
+			class = qos.ClassInteractive
 		}
 		ai := &admissionInfo{Tenant: tenant}
 		if routeName(r.URL.Path) == "query" {

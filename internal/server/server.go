@@ -10,6 +10,7 @@
 //	POST /v1/estimate                run GSP over current reports       {"slot":102,"roads":[1,2],"observed":{"3":47.5}}
 //	GET  /v1/estimate?slot=102&roads=1,2,3   deprecated alias of POST /v1/estimate (Deprecation header)
 //	POST /v1/query                   batch estimate: coalesces entries  {"queries":[{"slot":102,"roads":[1,2]}, ...]}
+//	POST /v1/forecast                k-slot-ahead forecast fan          {"slot":102,"roads":[1,2],"horizon":3}
 //	GET  /v1/subscribe?slot=102&roads=1,2    standing query: long-poll (digest=...) or SSE (stream=sse)
 //	GET  /v1/alerts?slot=102         scan the slot's estimates for incidents
 //	GET  /v1/healthz                 liveness + degraded-state report
@@ -57,10 +58,12 @@ import (
 	"repro/internal/crowd"
 	"repro/internal/detect"
 	"repro/internal/modelstore"
+	"repro/internal/network"
 	"repro/internal/obs"
 	"repro/internal/qos"
 	"repro/internal/shard"
 	"repro/internal/stream"
+	"repro/internal/temporal"
 	"repro/internal/tslot"
 )
 
@@ -164,6 +167,19 @@ func New(sys *core.System) *Server {
 	// The batcher reads the pipeline through sys.Obs(), so SetClock's pipeline
 	// rebuild is picked up automatically.
 	s.batcher, _ = core.NewBatcher(sys, core.BatcherOptions{})
+	// The cross-slot filter (PR 8): estimates feed it, probe-less warm starts
+	// seed from it, and /v1/forecast iterates its predict step. Default AR(1)
+	// parameters; embedders with history can refit via temporal.FitAR1 and
+	// re-attach.
+	net := sys.Network()
+	classes := make([]network.Class, net.N())
+	for i := range classes {
+		classes[i] = net.Road(i).Class
+	}
+	if filt, err := temporal.New(sys.Model(), 0, temporal.DefaultParams(), classes,
+		temporal.Options{Metrics: pipe.Temporal}); err == nil {
+		s.batcher.AttachTemporal(filt)
+	}
 	return s
 }
 
@@ -180,6 +196,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/select", s.handleSelect)
 	mux.HandleFunc("/v1/estimate", s.handleEstimate)
 	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/forecast", s.handleForecast)
 	mux.HandleFunc("/v1/subscribe", s.handleSubscribe)
 	mux.HandleFunc("/v1/alerts", s.handleAlerts)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)

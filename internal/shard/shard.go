@@ -35,6 +35,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/ocs"
 	"repro/internal/rtf"
+	"repro/internal/temporal"
 	"repro/internal/tslot"
 )
 
@@ -88,6 +89,10 @@ type Engine struct {
 	owner  []int32   // global road -> owning shard
 	local  [][]int32 // [shard][global road] -> local id, -1 if absent
 	shards []*Shard
+
+	// filters holds one temporal filter per shard once EnableTemporal runs;
+	// nil until then. See temporal.go for the owner-only update rule.
+	filters []*temporal.Filter
 }
 
 // New partitions the network, slices the model, and builds one core.System

@@ -1,0 +1,129 @@
+// Sharded temporal layer (PR 8). Each shard gets its own cross-slot
+// state-space filter over its submodel, and the engine drives them together
+// through one slot-advance path. The ownership rule mirrors estimation:
+// an observation updates ONLY its owner shard's filter. Halo carriers see
+// boundary observations during GSP estimation (that is what stitches the
+// cut), but their *filters* must not fuse the same measurement a second
+// time — a probe answer is one piece of evidence, and double-counting it
+// across shards would make the merged posterior overconfident exactly at
+// the boundaries, where the sharded engine is already weakest.
+//
+// The corollary is a documented limitation: a shard's halo-local filter
+// entries never receive direct measurement updates, so they revert toward
+// the prior between GSP passes. That is safe — halo roads are never
+// reported by their carrier (ownership is a partition), so the reverted
+// halo state is only ever a warm-start seed for the carrier's own interior.
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/temporal"
+	"repro/internal/tslot"
+)
+
+// EnableTemporal builds one filter per shard over its submodel, all starting
+// at the given slot. Per-road classes come from each shard's subnetwork.
+// Metrics in opt are shared by every shard's filter (the counters aggregate).
+func (e *Engine) EnableTemporal(start tslot.Slot, params temporal.Params, opt temporal.Options) error {
+	filters := make([]*temporal.Filter, len(e.shards))
+	for p, sh := range e.shards {
+		classes := make([]network.Class, sh.sub.N())
+		for i := range classes {
+			classes[i] = sh.sub.Road(i).Class
+		}
+		f, err := temporal.New(sh.sys.Model(), start, params, classes, opt)
+		if err != nil {
+			return fmt.Errorf("shard %d: temporal filter: %w", p, err)
+		}
+		filters[p] = f
+	}
+	e.filters = filters
+	// The per-shard batchers also seed from and feed their own filter, so
+	// the estimation path and the slot-advance path stay one state.
+	for p, sh := range e.shards {
+		sh.batch.AttachTemporal(filters[p])
+	}
+	return nil
+}
+
+// Temporal returns shard p's filter (nil before EnableTemporal).
+func (e *Engine) Temporal(p int) *temporal.Filter {
+	if e.filters == nil {
+		return nil
+	}
+	return e.filters[p]
+}
+
+// AdvanceSlot is the sharded slot-advance path: every shard's filter predicts
+// forward to slot t, then each observation is fused into its OWNER shard's
+// filter only — halo carriers do not double-update (see the package note on
+// ownership). Returns the total predict steps taken across shards.
+func (e *Engine) AdvanceSlot(t tslot.Slot, observed map[int]float64) (int, error) {
+	if e.filters == nil {
+		return 0, fmt.Errorf("shard: temporal layer not enabled")
+	}
+	total := 0
+	for p, f := range e.filters {
+		steps, err := f.Advance(t)
+		if err != nil {
+			return total, fmt.Errorf("shard %d: advance: %w", p, err)
+		}
+		total += steps
+	}
+	// Owner-only routing: one local observation map per shard.
+	perShard := make([]map[int]float64, len(e.shards))
+	for gid, v := range observed {
+		if gid < 0 || gid >= len(e.owner) {
+			return total, fmt.Errorf("shard: observed road %d out of range", gid)
+		}
+		p := int(e.owner[gid])
+		li := e.local[p][gid]
+		if li < 0 {
+			return total, fmt.Errorf("shard: road %d not mapped in its owner shard %d", gid, p)
+		}
+		if perShard[p] == nil {
+			perShard[p] = make(map[int]float64)
+		}
+		perShard[p][int(li)] = v
+	}
+	for p, obs := range perShard {
+		if len(obs) == 0 {
+			continue
+		}
+		if err := e.filters[p].Update(obs, nil); err != nil {
+			return total, fmt.Errorf("shard %d: update: %w", p, err)
+		}
+	}
+	return total, nil
+}
+
+// Filtered merges the per-shard filtered posteriors into one global field,
+// taking each road from its owner shard (halo copies are never reported —
+// same ownership-partition rule as Estimate). All filters must sit at the
+// same slot; AdvanceSlot guarantees that.
+func (e *Engine) Filtered() (temporal.Estimate, error) {
+	if e.filters == nil {
+		return temporal.Estimate{}, fmt.Errorf("shard: temporal layer not enabled")
+	}
+	out := temporal.Estimate{
+		Slot:   e.filters[0].Slot(),
+		Speeds: make([]float64, e.net.N()),
+		SD:     make([]float64, e.net.N()),
+	}
+	for p, sh := range e.shards {
+		est := e.filters[p].Now()
+		if est.Slot != out.Slot {
+			return temporal.Estimate{}, fmt.Errorf(
+				"shard %d filter at slot %d, shard 0 at %d (advance them through AdvanceSlot)",
+				p, est.Slot, out.Slot)
+		}
+		local := e.local[p]
+		for _, gid := range sh.owned {
+			out.Speeds[gid] = est.Speeds[local[gid]]
+			out.SD[gid] = est.SD[local[gid]]
+		}
+	}
+	return out, nil
+}

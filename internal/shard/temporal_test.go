@@ -1,0 +1,158 @@
+package shard
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/temporal"
+	"repro/internal/tslot"
+)
+
+func temporalEngine(tb testing.TB, start tslot.Slot) *Engine {
+	tb.Helper()
+	net, model, _ := metroFixture(tb, 300, 4)
+	eng, err := New(net, model, Config{Shards: 3, Seed: 7, Core: core.DefaultConfig()})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := eng.EnableTemporal(start, temporal.DefaultParams(), temporal.Options{}); err != nil {
+		tb.Fatal(err)
+	}
+	return eng
+}
+
+// haloRoad finds a (carrier, owner, gid) triple: a road carried in carrier's
+// halo but owned by a different shard — the configuration where double-update
+// would happen if observations were routed like GSP evidence.
+func haloRoad(tb testing.TB, e *Engine) (carrier, owner, gid int) {
+	tb.Helper()
+	for p := 0; p < e.Shards(); p++ {
+		for _, g := range e.Shard(p).Halo() {
+			if o := e.Owner(g); o != p {
+				return p, o, g
+			}
+		}
+	}
+	tb.Fatal("no halo road found (halo hops too small?)")
+	return 0, 0, 0
+}
+
+// TestOwnerOnlyUpdate is the satellite's contract: an observation on a road
+// that sits in shard A's halo but is owned by shard B updates B's filter
+// only. A's halo-local copy of the road must stay exactly at its prior.
+func TestOwnerOnlyUpdate(t *testing.T) {
+	start := tslot.Slot(100)
+	eng := temporalEngine(t, start)
+	carrier, owner, gid := haloRoad(t, eng)
+
+	ownerLocal := int(eng.local[owner][gid])
+	carrierLocal := int(eng.local[carrier][gid])
+	if ownerLocal < 0 || carrierLocal < 0 {
+		t.Fatalf("road %d not mapped in both shards (owner li=%d carrier li=%d)",
+			gid, ownerLocal, carrierLocal)
+	}
+
+	priorOwner := eng.Temporal(owner).Now()
+	priorCarrier := eng.Temporal(carrier).Now()
+
+	obs := map[int]float64{gid: priorOwner.Speeds[ownerLocal] + 12}
+	if _, err := eng.AdvanceSlot(start, obs); err != nil {
+		t.Fatal(err)
+	}
+
+	afterOwner := eng.Temporal(owner).Now()
+	afterCarrier := eng.Temporal(carrier).Now()
+
+	if afterOwner.Speeds[ownerLocal] == priorOwner.Speeds[ownerLocal] {
+		t.Error("owner shard's filter ignored the observation")
+	}
+	if afterOwner.SD[ownerLocal] >= priorOwner.SD[ownerLocal] {
+		t.Error("owner shard's posterior SD did not shrink after the update")
+	}
+	if afterCarrier.Speeds[carrierLocal] != priorCarrier.Speeds[carrierLocal] {
+		t.Errorf("halo carrier's filter moved (%.6f -> %.6f): observation was double-routed",
+			priorCarrier.Speeds[carrierLocal], afterCarrier.Speeds[carrierLocal])
+	}
+	if afterCarrier.SD[carrierLocal] != priorCarrier.SD[carrierLocal] {
+		t.Error("halo carrier's SD changed without an update")
+	}
+}
+
+// TestAdvanceSlotPredictsEveryShard: a forward step advances each shard's
+// filter in lockstep and reports the summed predict steps.
+func TestAdvanceSlotPredictsEveryShard(t *testing.T) {
+	start := tslot.Slot(50)
+	eng := temporalEngine(t, start)
+	steps, err := eng.AdvanceSlot(start.Next(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := eng.Shards(); steps != want {
+		t.Errorf("total predict steps = %d, want %d (one per shard)", steps, want)
+	}
+	for p := 0; p < eng.Shards(); p++ {
+		if got := eng.Temporal(p).Slot(); got != start.Next() {
+			t.Errorf("shard %d filter at slot %d, want %d", p, got, start.Next())
+		}
+	}
+}
+
+// TestFilteredMergesByOwnership: the merged field takes each road from its
+// owner shard, and every road is covered.
+func TestFilteredMergesByOwnership(t *testing.T) {
+	start := tslot.Slot(120)
+	eng := temporalEngine(t, start)
+	_, owner, gid := haloRoad(t, eng)
+
+	obs := map[int]float64{gid: 55.5}
+	if _, err := eng.AdvanceSlot(start, obs); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := eng.Filtered()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Slot != start {
+		t.Fatalf("merged slot = %d, want %d", merged.Slot, start)
+	}
+	ownerEst := eng.Temporal(owner).Now()
+	li := int(eng.local[owner][gid])
+	if merged.Speeds[gid] != ownerEst.Speeds[li] {
+		t.Errorf("merged road %d = %.6f, owner shard says %.6f",
+			gid, merged.Speeds[gid], ownerEst.Speeds[li])
+	}
+	for r := range merged.Speeds {
+		if merged.Speeds[r] <= 0 || math.IsNaN(merged.Speeds[r]) {
+			t.Fatalf("road %d missing from the merged field (%.4f)", r, merged.Speeds[r])
+		}
+		if merged.SD[r] <= 0 {
+			t.Fatalf("road %d SD not positive (%.4f)", r, merged.SD[r])
+		}
+	}
+}
+
+// TestTemporalDisabledErrors: the slot-advance path refuses to run before
+// EnableTemporal, and bad observations are rejected.
+func TestTemporalDisabledErrors(t *testing.T) {
+	net, model, _ := metroFixture(t, 200, 4)
+	eng, err := New(net, model, Config{Shards: 2, Seed: 3, Core: core.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.AdvanceSlot(10, nil); err == nil {
+		t.Error("AdvanceSlot succeeded without EnableTemporal")
+	}
+	if _, err := eng.Filtered(); err == nil {
+		t.Error("Filtered succeeded without EnableTemporal")
+	}
+	if eng.Temporal(0) != nil {
+		t.Error("Temporal(0) non-nil before EnableTemporal")
+	}
+	if err := eng.EnableTemporal(10, temporal.DefaultParams(), temporal.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.AdvanceSlot(10, map[int]float64{net.N() + 5: 30}); err == nil {
+		t.Error("out-of-range observation accepted")
+	}
+}
