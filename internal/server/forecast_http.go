@@ -1,9 +1,13 @@
 // POST /v1/forecast (PR 8): the forward-looking query type the per-slot
-// pipeline cannot serve. The cross-slot state-space filter is synced to the
-// requested base slot (advanced, then updated with the slot's current crowd
-// aggregates), and its predict step is iterated k times — one step per
-// horizon slot, mean reverting toward the periodicity prior, variance
-// honestly widening (clamped monotone non-decreasing in k).
+// pipeline cannot serve. The request is answered read-only over the shared
+// cross-slot filter (temporal.ForecastFrom): a snapshot of the state is
+// synced to the requested base slot, the slot's current crowd aggregates are
+// fused into the snapshot only, and the predict step is iterated k times —
+// one step per horizon slot, mean reverting toward the periodicity prior,
+// variance honestly widening (clamped monotone non-decreasing in k). The
+// shared filter never moves: feeding it stays the batcher's job, so a
+// forecast can neither decay the warm-start state by asking about a distant
+// base slot nor double-count a slot's evidence when a dashboard polls.
 //
 // The route is admission-gated like the other work routes, with one twist: a
 // forecast is capped at interactive class on the QoS ladder. Forecasting is a
@@ -110,18 +114,12 @@ func (s *Server) forecastOne(req forecastRequest) (*forecastResponse, int, error
 		return nil, http.StatusConflict, fmt.Errorf("no temporal filter attached")
 	}
 
-	// Sync the filter to the base slot: advance (cyclically — the forecast
-	// base is "now") and fuse whatever the crowd reported for this slot.
+	// Answer read-only over the shared filter: a snapshot is synced to the
+	// base slot and the slot's current crowd aggregates are fused into the
+	// snapshot only. Slot, horizon and roads were validated above, so any
+	// error here is internal.
 	observed := s.collector.Observations(slot)
-	if _, err := filt.Advance(slot); err != nil {
-		return nil, http.StatusBadRequest, err
-	}
-	if len(observed) > 0 {
-		if err := filt.Update(observed, nil); err != nil {
-			return nil, http.StatusInternalServerError, err
-		}
-	}
-	fan, err := filt.Forecast(k)
+	fan, err := filt.ForecastFrom(slot, k, observed, nil)
 	if err != nil {
 		return nil, http.StatusInternalServerError, err
 	}

@@ -3,10 +3,14 @@ package server
 import (
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/network"
 	"repro/internal/qos"
+	"repro/internal/speedgen"
 )
 
 // TestForecastEndpoint: a forecast fan over reported roads — correct shape,
@@ -76,6 +80,58 @@ func TestForecastEndpoint(t *testing.T) {
 	}
 	if !out2.Degraded {
 		t.Error("report-less base slot not flagged degraded")
+	}
+}
+
+// TestForecastReadOnlyFilter: /v1/forecast must never move or re-weight the
+// shared filter. A base slot far from the filter's slot must not advance it
+// (an unbounded Advance would decay all fused evidence and desynchronize the
+// batcher's warm starts), and a dashboard polling the same slot must get the
+// identical fan back — re-fusing the same aggregates into the live state
+// would shrink P and make every reported SD progressively overconfident.
+func TestForecastReadOnlyFilter(t *testing.T) {
+	net := network.Synthetic(network.SyntheticOptions{Roads: 50, Seed: 3})
+	h, err := speedgen.Generate(net, speedgen.Default(6, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.Train(net, h, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sys)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	filt := srv.Batcher().Temporal()
+	if filt == nil {
+		t.Fatal("server built without a temporal filter")
+	}
+	slot0, fused0 := filt.Slot(), filt.Fused()
+
+	for _, road := range []int{2, 5} {
+		resp := postJSON(t, ts.URL+"/v1/report", map[string]interface{}{
+			"road": road, "slot": 100, "speed": h.At(0, 100, road),
+		})
+		resp.Body.Close()
+	}
+	body := map[string]interface{}{"slot": 100, "roads": []int{2, 5}, "horizon": 4}
+	var out1 forecastResponse
+	decode(t, postJSON(t, ts.URL+"/v1/forecast", body), &out1)
+	if filt.Slot() != slot0 || filt.Fused() != fused0 {
+		t.Fatalf("forecast mutated the shared filter: slot %v→%v fused %d→%d",
+			slot0, filt.Slot(), fused0, filt.Fused())
+	}
+	var out2 forecastResponse
+	decode(t, postJSON(t, ts.URL+"/v1/forecast", body), &out2)
+	for i := range out1.Steps {
+		for _, road := range []string{"2", "5"} {
+			if out2.Steps[i].SD[road] != out1.Steps[i].SD[road] ||
+				out2.Steps[i].Speeds[road] != out1.Steps[i].Speeds[road] {
+				t.Fatalf("repeated poll changed the fan at step %d road %s: SD %v→%v",
+					i+1, road, out1.Steps[i].SD[road], out2.Steps[i].SD[road])
+			}
+		}
 	}
 }
 

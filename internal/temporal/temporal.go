@@ -325,11 +325,12 @@ func (f *Filter) predictLocked() {
 func (f *Filter) Update(observed map[int]float64, noiseVar func(road int) float64) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	n := len(f.x)
+	// Validate every key before fusing any: map iteration order is random, so
+	// bailing mid-loop would leave a partially-updated field behind an error.
+	if err := f.checkRoads(observed); err != nil {
+		return err
+	}
 	for r, v := range observed {
-		if r < 0 || r >= n {
-			return fmt.Errorf("temporal: observed road %d out of range", r)
-		}
 		rv := f.opt.MeasurementVar
 		if noiseVar != nil {
 			if w := noiseVar(r); w > 0 {
@@ -340,6 +341,17 @@ func (f *Filter) Update(observed map[int]float64, noiseVar func(road int) float6
 	}
 	f.fused += len(observed)
 	f.opt.Metrics.Updates.Add(len(observed))
+	return nil
+}
+
+// checkRoads verifies every observed road id is in range.
+func (f *Filter) checkRoads(observed map[int]float64) error {
+	n := len(f.x)
+	for r := range observed {
+		if r < 0 || r >= n {
+			return fmt.Errorf("temporal: observed road %d out of range", r)
+		}
+	}
 	return nil
 }
 
@@ -369,12 +381,19 @@ func (f *Filter) PseudoObserve(speeds, sd []float64) error {
 // updateOneLocked is the scalar Kalman update of one road: z is the observed
 // deviation, rv the measurement variance.
 func (f *Filter) updateOneLocked(r int, z, rv float64) {
-	k := f.p[r] / (f.p[r] + rv)
-	f.x[r] += k * (z - f.x[r])
-	f.p[r] *= 1 - k
-	if f.p[r] < 1e-9 {
-		f.p[r] = 1e-9
+	f.x[r], f.p[r] = kalman1(f.x[r], f.p[r], z, rv)
+}
+
+// kalman1 is the scalar Kalman update: deviation mean x and variance p fused
+// with observed deviation z under measurement variance rv.
+func kalman1(x, p, z, rv float64) (float64, float64) {
+	k := p / (p + rv)
+	x += k * (z - x)
+	p *= 1 - k
+	if p < 1e-9 {
+		p = 1e-9
 	}
+	return x, p
 }
 
 // Fused reports how many measurements and pseudo-observations the filter has
@@ -422,13 +441,69 @@ func (f *Filter) Forecast(k int) ([]ForecastStep, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("temporal: forecast horizon %d < 1", k)
 	}
+	slot, x, v := f.snapshot()
+	return f.rollout(slot, x, v, k), nil
+}
+
+// ForecastFrom answers a forecast fan whose base is slot `base` without
+// mutating the filter — the /v1/forecast path. The state is snapshotted under
+// one lock, the *snapshot* is predicted forward to the base slot (cyclically;
+// a base behind the filter's slot is the next day's occurrence of that
+// time-of-day, by which point the state has reverted to the prior band), the
+// supplied observations are fused into the snapshot only, and the fan is
+// rolled out k steps. Because the shared state never moves, a client cannot
+// decay the filter by asking about a distant base, concurrent feeders (the
+// batcher's estimate path) cannot race the fuse onto the wrong slot's prior,
+// and polling the same slot repeatedly re-fuses the same evidence into a
+// fresh snapshot each time instead of compounding it.
+func (f *Filter) ForecastFrom(base tslot.Slot, k int, observed map[int]float64, noiseVar func(road int) float64) ([]ForecastStep, error) {
+	if !base.Valid() {
+		return nil, fmt.Errorf("temporal: invalid slot %d", base)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("temporal: forecast horizon %d < 1", k)
+	}
+	if err := f.checkRoads(observed); err != nil {
+		return nil, err
+	}
+	slot, x, v := f.snapshot()
+	// Sync the snapshot to the base slot with true (unclamped) predict steps:
+	// this is "where the state would be at base", not yet a forecast claim, so
+	// the variance follows the real transition rather than the monotone bound.
+	for slot != base {
+		for r := range x {
+			x[r] *= f.phi[r]
+			v[r] = f.phi[r]*f.phi[r]*v[r] + f.q[r]
+		}
+		slot = slot.Next()
+	}
+	for r, z := range observed {
+		rv := f.opt.MeasurementVar
+		if noiseVar != nil {
+			if w := noiseVar(r); w > 0 {
+				rv = w
+			}
+		}
+		x[r], v[r] = kalman1(x[r], v[r], z-f.model.Mu(slot, r), rv)
+	}
+	return f.rollout(slot, x, v, k), nil
+}
+
+// snapshot copies the state under the lock: slot, deviation means, variances.
+// phi, q and model are immutable after New, so the copies can be worked on
+// lock-free.
+func (f *Filter) snapshot() (tslot.Slot, []float64, []float64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	n := len(f.x)
-	x := append([]float64(nil), f.x...)
-	v := append([]float64(nil), f.p...)
+	return f.slot, append([]float64(nil), f.x...), append([]float64(nil), f.p...)
+}
+
+// rollout iterates the predict step k times over a state copy, clamping the
+// variance monotone non-decreasing in the horizon, and records the depth
+// histogram. x and v are consumed.
+func (f *Filter) rollout(slot tslot.Slot, x, v []float64, k int) []ForecastStep {
+	n := len(x)
 	steps := make([]ForecastStep, 0, k)
-	slot := f.slot
 	for j := 1; j <= k; j++ {
 		slot = slot.Next()
 		st := ForecastStep{Step: j, Slot: slot, Speeds: make([]float64, n), SD: make([]float64, n)}
@@ -450,7 +525,7 @@ func (f *Filter) Forecast(k int) ([]ForecastStep, error) {
 	// The depth histogram records horizons as integer "seconds" (1 slot ≡ 1s)
 	// so the fixed-bucket latency histogram doubles as a depth histogram.
 	f.opt.Metrics.ForecastDepth.Observe(time.Duration(k) * time.Second)
-	return steps, nil
+	return steps
 }
 
 // Reset re-initializes the state at the prior of the given slot (x = 0,

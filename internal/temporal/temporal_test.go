@@ -208,6 +208,135 @@ func TestForecastVarianceMonotone(t *testing.T) {
 	}
 }
 
+// TestForecastFromReadOnly: ForecastFrom answers from a snapshot — the shared
+// filter never moves or re-weights, a repeated identical call reproduces the
+// fan exactly (no evidence compounding), and at the current slot with no
+// observations it matches Forecast.
+func TestForecastFromReadOnly(t *testing.T) {
+	_, m := testModel(t, 10)
+	f, err := New(m, 10, Params{Default: ClassParams{Phi: 0.8, Q: 2}}, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Update(map[int]float64{3: m.Mu(10, 3) + 6}, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := f.Now()
+	fusedBefore := f.Fused()
+
+	// At the current slot with no observations the two entry points agree.
+	want, err := f.Forecast(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ForecastFrom(10, 4, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if got[j].Slot != want[j].Slot || got[j].Step != want[j].Step {
+			t.Fatalf("step %d header mismatch: %+v vs %+v", j, got[j], want[j])
+		}
+		for r := 0; r < f.N(); r++ {
+			if got[j].Speeds[r] != want[j].Speeds[r] || got[j].SD[r] != want[j].SD[r] {
+				t.Fatalf("step %d road %d: ForecastFrom %v/%v != Forecast %v/%v",
+					j, r, got[j].Speeds[r], got[j].SD[r], want[j].Speeds[r], want[j].SD[r])
+			}
+		}
+	}
+
+	// Fusing observations into the snapshot must leave the filter untouched,
+	// and a second identical call must reproduce the first fan exactly —
+	// polling the same slot cannot shrink the reported SDs.
+	obsAt12 := map[int]float64{2: m.Mu(12, 2) + 9}
+	fan1, err := f.ForecastFrom(12, 3, obsAt12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fan2, err := f.ForecastFrom(12, 3, obsAt12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range fan1 {
+		for r := 0; r < f.N(); r++ {
+			if fan1[j].Speeds[r] != fan2[j].Speeds[r] || fan1[j].SD[r] != fan2[j].SD[r] {
+				t.Fatalf("repeated poll changed the fan at step %d road %d", j, r)
+			}
+		}
+	}
+	if f.Slot() != 10 || f.Fused() != fusedBefore {
+		t.Fatalf("ForecastFrom mutated the filter: slot=%v fused=%d", f.Slot(), f.Fused())
+	}
+	after := f.Now()
+	for r := 0; r < f.N(); r++ {
+		if after.Speeds[r] != before.Speeds[r] || after.SD[r] != before.SD[r] {
+			t.Fatalf("ForecastFrom mutated road %d state", r)
+		}
+	}
+}
+
+// TestForecastFromBaseBehindWraps: a base slot behind the filter is the next
+// day's occurrence of that time-of-day — the snapshot wraps forward
+// cyclically, by which point the deviation has reverted to the prior, and the
+// filter itself stays put.
+func TestForecastFromBaseBehindWraps(t *testing.T) {
+	_, m := testModel(t, 8)
+	f, err := New(m, 10, Params{Default: ClassParams{Phi: 0.8, Q: 2}}, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Update(map[int]float64{2: m.Mu(10, 2) + 8}, nil); err != nil {
+		t.Fatal(err)
+	}
+	fan, err := f.ForecastFrom(9, 2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSlots := []tslot.Slot{10, 11}
+	for j, st := range fan {
+		if st.Slot != wantSlots[j] {
+			t.Errorf("step %d slot = %v, want %v", j+1, st.Slot, wantSlots[j])
+		}
+		// 287 sync steps decay φ^287·8 to nothing: the fan is the prior band.
+		if math.Abs(st.Speeds[2]-m.Mu(st.Slot, 2)) > 1e-9 {
+			t.Errorf("step %d mean %v did not revert to prior %v",
+				j+1, st.Speeds[2], m.Mu(st.Slot, 2))
+		}
+	}
+	if f.Slot() != 10 {
+		t.Fatalf("backward base moved the filter to %v", f.Slot())
+	}
+}
+
+// TestUpdateValidatesBeforeApplying: one out-of-range key rejects the whole
+// batch — no road is fused and no counter moves, so nondeterministic map
+// order can never decide which half of a bad batch landed.
+func TestUpdateValidatesBeforeApplying(t *testing.T) {
+	_, m := testModel(t, 6)
+	met := obs.NewPipeline(obs.NewRegistry(), obs.SystemClock()).Temporal
+	f, err := New(m, 10, DefaultParams(), nil, Options{Metrics: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := f.Now()
+	bad := map[int]float64{0: 40, 1: 41, 2: 42, 3: 43, 4: 44, 99: 1}
+	if err := f.Update(bad, nil); err == nil {
+		t.Fatal("batch with out-of-range road accepted")
+	}
+	after := f.Now()
+	for r := 0; r < f.N(); r++ {
+		if after.Speeds[r] != before.Speeds[r] || after.SD[r] != before.SD[r] {
+			t.Fatalf("road %d mutated by a rejected update", r)
+		}
+	}
+	if f.Fused() != 0 {
+		t.Errorf("fused = %d after rejected update, want 0", f.Fused())
+	}
+	if met.Updates.Value() != 0 {
+		t.Errorf("updates counter = %d after rejected update, want 0", met.Updates.Value())
+	}
+}
+
 func TestPseudoObservePullsTowardField(t *testing.T) {
 	_, m := testModel(t, 6)
 	f, err := New(m, 20, DefaultParams(), nil, Options{})
@@ -293,6 +422,15 @@ func TestValidation(t *testing.T) {
 	}
 	if _, err := f.Forecast(0); err == nil {
 		t.Error("zero horizon accepted")
+	}
+	if _, err := f.ForecastFrom(999, 1, nil, nil); err == nil {
+		t.Error("ForecastFrom invalid base slot accepted")
+	}
+	if _, err := f.ForecastFrom(0, 0, nil, nil); err == nil {
+		t.Error("ForecastFrom zero horizon accepted")
+	}
+	if _, err := f.ForecastFrom(0, 1, map[int]float64{99: 1}, nil); err == nil {
+		t.Error("ForecastFrom out-of-range observed road accepted")
 	}
 	if err := f.PseudoObserve(make([]float64, 2), nil); err == nil {
 		t.Error("short pseudo-observation accepted")
