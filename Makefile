@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fault-determinism race-hotpath race-suite fuzz-seed fuzz-snapshot refit-drill benchguard check bench bench-concurrent bench-all qps bench-lifecycle bench-batch bench-load bench-metro bench-temporal
+.PHONY: all build vet test race fault-determinism race-hotpath race-suite fuzz-seed fuzz-snapshot refit-drill benchguard check bench bench-concurrent bench-all qps bench-lifecycle bench-batch bench-load bench-metro bench-temporal bench-calib
 
 all: build
 
@@ -62,9 +62,14 @@ race-suite:
 # validates the recorded temporal baseline (the Kalman filter strictly beats
 # per-slot GSP under the sparsest probe level, every forecast SD fan widens
 # monotonically with the horizon) and re-runs the deterministic sparse
-# ablation cell fresh.
+# ablation cell fresh. The -pr9 gate validates the recorded calibration
+# baseline (at the 90% serving level the full tier's empirical coverage sits
+# within the binomial band of nominal and every degraded tier is
+# conservative, across ≥3 probe densities; the variance-minimizing OCS
+# objective beats the correlation objective on realized posterior variance)
+# and re-runs the coverage sweep and objective ablation fresh.
 benchguard:
-	$(GO) run ./cmd/benchguard -pr2 BENCH_PR2.json -pr3 BENCH_PR3.json -pr5 BENCH_PR5.json -pr6 BENCH_PR6.json -pr7 BENCH_PR7.json -pr8 BENCH_PR8.json
+	$(GO) run ./cmd/benchguard -pr2 BENCH_PR2.json -pr3 BENCH_PR3.json -pr5 BENCH_PR5.json -pr6 BENCH_PR6.json -pr7 BENCH_PR7.json -pr8 BENCH_PR8.json -pr9 BENCH_PR9.json
 
 # End-to-end lifecycle drill under the race detector: streamed reports are
 # folded into a refit, gated, published and hot-swapped; a corrupted
@@ -122,6 +127,13 @@ bench-metro:
 bench-temporal:
 	$(GO) run ./cmd/rtsebench -temporal -out BENCH_PR8.json
 
+# The PR-9 uncertainty-calibration suite: empirical interval coverage across
+# probe densities × service tiers × nominal levels (split-conformal
+# calibrated), plus the variance-minimizing OCS objective ablation, recorded
+# as BENCH_PR9.json.
+bench-calib:
+	$(GO) run ./cmd/rtsebench -calib -out BENCH_PR9.json
+
 BENCH_PR2.json: qps
 
 BENCH_PR3.json: bench-lifecycle
@@ -133,3 +145,5 @@ BENCH_PR6.json: bench-load
 BENCH_PR7.json: bench-metro
 
 BENCH_PR8.json: bench-temporal
+
+BENCH_PR9.json: bench-calib

@@ -1,0 +1,132 @@
+// The PR-9 uncertainty-calibration gate: validate the recorded
+// BENCH_PR9.json invariants — at the 90% serving level the full tier's
+// empirical coverage sits within the binomial tolerance band of nominal and
+// every degraded tier (batched, cached, prior) is conservative (≥ nominal)
+// at every recorded probe density, and the variance-minimizing OCS
+// objective's total realized posterior variance beats the correlation
+// objective's at equal budget — then re-run one coverage cell and the
+// objective ablation fresh. Every number is fully seeded, so a drifted SD
+// path, a broken tier inflation or a mis-wired objective fails CI exactly,
+// not statistically.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/stattest"
+)
+
+// calibGateLevel is the nominal level the gate judges: the serving default.
+const calibGateLevel = 0.9
+
+// pr9Report is the subset of the BENCH_PR9.json schema the gate reads.
+type pr9Report struct {
+	ScoredSlots int       `json:"scored_slots"`
+	Densities   []int     `json:"probe_densities"`
+	Levels      []float64 `json:"levels"`
+	Budgets     []int     `json:"budgets"`
+	Cells       []struct {
+		Probes   int     `json:"probes"`
+		Tier     string  `json:"tier"`
+		Level    float64 `json:"level"`
+		Coverage float64 `json:"coverage"`
+		N        int     `json:"n"`
+	} `json:"cells"`
+	VarMin []struct {
+		Budget    int     `json:"budget"`
+		HybridVar float64 `json:"hybrid_var"`
+		VarMinVar float64 `json:"varmin_var"`
+	} `json:"varmin"`
+}
+
+// gatePR9 checks the recorded calibration baseline and re-runs a fresh cell.
+func gatePR9(env *experiments.Env, path string) error {
+	var base pr9Report
+	if err := loadJSON(path, &base); err != nil {
+		return err
+	}
+	if len(base.Densities) < 3 {
+		return fmt.Errorf("%s: %d probe densities recorded, want ≥ 3", path, len(base.Densities))
+	}
+
+	// Recorded coverage at the serving level: full within the band, degraded
+	// tiers conservative, at every density.
+	judged := 0
+	for _, c := range base.Cells {
+		if c.Level != calibGateLevel {
+			continue
+		}
+		judged++
+		if c.Tier == "full" {
+			if err := stattest.CheckCoverage(c.Coverage, c.Level, c.N, false); err != nil {
+				return fmt.Errorf("%s: full tier at %d probes: %w", path, c.Probes, err)
+			}
+		} else if c.Coverage < c.Level {
+			return fmt.Errorf("%s: degraded tier %q at %d probes under-covers: %.4f < %.2f",
+				path, c.Tier, c.Probes, c.Coverage, c.Level)
+		}
+	}
+	if judged < 4*len(base.Densities) {
+		return fmt.Errorf("%s: %d cells recorded at level %.2f, want %d (4 tiers × %d densities)",
+			path, judged, calibGateLevel, 4*len(base.Densities), len(base.Densities))
+	}
+	var hv, vv float64
+	for _, r := range base.VarMin {
+		if r.VarMinVar > r.HybridVar {
+			return fmt.Errorf("%s: budget %d: varmin objective worse than correlation (%.4f > %.4f)",
+				path, r.Budget, r.VarMinVar, r.HybridVar)
+		}
+		hv += r.HybridVar
+		vv += r.VarMinVar
+	}
+	if len(base.VarMin) == 0 || vv >= hv {
+		return fmt.Errorf("%s: varmin objective does not beat correlation in total (%.4f ≥ %.4f)", path, vv, hv)
+	}
+	fmt.Printf("benchguard: calibration baseline %d cells at level %.2f honest, varmin total %.1f < corr %.1f — ok\n",
+		judged, calibGateLevel, vv, hv)
+
+	// Fresh sweep on the current tree at the recorded densities:
+	// deterministic, so any drift in the SD path, the calibration fit or a
+	// tier transform shows up as a hard failure.
+	res, err := experiments.CalibrationAblation(env, base.Densities, []float64{calibGateLevel}, base.ScoredSlots)
+	if err != nil {
+		return fmt.Errorf("calibration smoke: %w", err)
+	}
+	for _, c := range res.Cells {
+		verdict := error(nil)
+		if c.Tier == "full" {
+			verdict = stattest.CheckCoverage(c.Coverage, c.Level, c.N, false)
+		} else if c.Coverage < c.Level {
+			verdict = fmt.Errorf("under-covers nominal %.2f", c.Level)
+		}
+		if c.Probes == base.Densities[0] {
+			fmt.Printf("benchguard: calibration smoke %7s tier at %d probes: coverage %.4f (n=%d) — %s\n",
+				c.Tier, c.Probes, c.Coverage, c.N, passFail(verdict == nil))
+		}
+		if verdict != nil {
+			return fmt.Errorf("fresh calibration: %s tier at %d probes: %v", c.Tier, c.Probes, verdict)
+		}
+	}
+	budgets := base.Budgets
+	if len(budgets) == 0 {
+		for _, r := range base.VarMin {
+			budgets = append(budgets, r.Budget)
+		}
+	}
+	rows, err := experiments.VarMinAblation(env, budgets, theta)
+	if err != nil {
+		return fmt.Errorf("varmin smoke: %w", err)
+	}
+	hv, vv = 0, 0
+	for _, r := range rows {
+		hv += r.HybridVar
+		vv += r.VarMinVar
+	}
+	verdict := vv < hv
+	fmt.Printf("benchguard: varmin smoke total Σ SD² corr %.2f vs varmin %.2f — %s\n", hv, vv, passFail(verdict))
+	if !verdict {
+		return fmt.Errorf("fresh varmin ablation: total posterior variance %.4f ≥ correlation's %.4f", vv, hv)
+	}
+	return nil
+}

@@ -83,8 +83,31 @@ func main() {
 	temporalSlots := flag.Int("temporal-slots", 12, "consecutive slots walked per evaluation day for -temporal")
 	temporalProbes := flag.String("temporal-probes", "4,12,24", "comma-separated probe-sparsity levels for -temporal (sparsest first)")
 	temporalHorizon := flag.Int("temporal-horizon", 4, "forecast fan depth for -temporal")
-	out := flag.String("out", "", "output path for the -qps / -lifecycle / -batch / -load / -metro / -temporal JSON report (defaults per mode)")
+	calib := flag.Bool("calib", false, "run the uncertainty-calibration harness instead of the experiment suite")
+	calibSlots := flag.Int("calib-slots", 6, "scored slots per evaluation day for -calib (twice as many are walked)")
+	calibDensities := flag.String("calib-densities", "4,8,16", "comma-separated probe densities for -calib")
+	calibBudgets := flag.String("calib-budgets", "3,5,8", "comma-separated OCS budgets for the -calib objective ablation")
+	out := flag.String("out", "", "output path for the -qps / -lifecycle / -batch / -load / -metro / -temporal / -calib JSON report (defaults per mode)")
 	flag.Parse()
+	if *calib {
+		path := *out
+		if path == "" {
+			path = "BENCH_PR9.json"
+		}
+		densities, err := parseClients(*calibDensities)
+		if err == nil {
+			var budgets []int
+			budgets, err = parseClients(*calibBudgets)
+			if err == nil {
+				err = runCalib(*paper, *calibSlots, densities, budgets, path)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtsebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *temporalMode {
 		path := *out
 		if path == "" {

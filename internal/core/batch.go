@@ -79,6 +79,13 @@ type Batcher struct {
 	// AttachTemporal. See temporal.go.
 	temporalMu sync.Mutex
 	temporal   *temporal.Filter
+
+	// decayPhi/decayQ is the per-road-class default AR(1) table used to age
+	// cached-tier variance when no temporal filter is attached (tiered.go),
+	// built once on first use.
+	decayOnce sync.Once
+	decayPhi  []float64
+	decayQ    []float64
 }
 
 // NewBatcher wraps a trained system in a coalescing engine.
@@ -116,21 +123,30 @@ func (b *Batcher) System() *System { return b.sys }
 type prevEntry struct {
 	res  gsp.Result
 	used uint64
+	// at is when the entry was stored, on the obs pipeline's clock — the
+	// cached tier's staleness measure (tiered.go).
+	at time.Time
 }
 
 // lastResult returns the slot's most recent estimate for warm-starting, or
 // nil when the slot was never estimated (or was evicted).
 func (b *Batcher) lastResult(t tslot.Slot) *gsp.Result {
+	res, _ := b.lastResultAt(t)
+	return res
+}
+
+// lastResultAt is lastResult plus the entry's store timestamp.
+func (b *Batcher) lastResultAt(t tslot.Slot) (*gsp.Result, time.Time) {
 	b.prevMu.Lock()
 	defer b.prevMu.Unlock()
 	e := b.prev[t]
 	if e == nil {
-		return nil
+		return nil, time.Time{}
 	}
 	b.prevSeq++
 	e.used = b.prevSeq
 	res := e.res
-	return &res
+	return &res, e.at
 }
 
 // storeResult records the slot's latest estimate, evicting the least
@@ -139,7 +155,7 @@ func (b *Batcher) storeResult(t tslot.Slot, res gsp.Result) {
 	b.prevMu.Lock()
 	defer b.prevMu.Unlock()
 	b.prevSeq++
-	b.prev[t] = &prevEntry{res: res, used: b.prevSeq}
+	b.prev[t] = &prevEntry{res: res, used: b.prevSeq, at: b.sys.Obs().Clock.Now()}
 	for len(b.prev) > b.opt.PrevSlots {
 		var victim tslot.Slot
 		oldest := uint64(math.MaxUint64)

@@ -113,6 +113,10 @@ type System struct {
 	// retired accumulates the cache counters of states replaced by swaps so
 	// OracleCacheReport stays monotonic across model generations.
 	retired retiredCounters
+
+	// noiseHolder carries the heteroscedastic uncertainty knobs (PR 9):
+	// the per-road observation-noise vector and the SD calibration scale.
+	noiseHolder
 }
 
 func (s *System) current() *modelState { return s.state.Load() }
@@ -256,6 +260,11 @@ const (
 	Objective
 	// RandomSel is the randomized baseline.
 	RandomSel
+	// VarMin is Hybrid-Greedy under the variance-minimizing objective
+	// (ocs.ObjVarianceMin): spend the probe budget where it shrinks the
+	// queried roads' posterior variance most, instead of where the
+	// periodicity-weighted correlation is highest.
+	VarMin
 )
 
 // String returns the selector name as used in the paper's figures.
@@ -269,6 +278,8 @@ func (s Selector) String() string {
 		return "OBJ"
 	case RandomSel:
 		return "Rand"
+	case VarMin:
+		return "VarMin"
 	default:
 		return fmt.Sprintf("Selector(%d)", int(s))
 	}
@@ -343,6 +354,9 @@ func (s *System) selectState(ctx context.Context, st *modelState, req SelectRequ
 	switch sel {
 	case Hybrid:
 		sol, err = ocs.HybridGreedy(p)
+	case VarMin:
+		p.Mode = ocs.ObjVarianceMin
+		sol, err = ocs.HybridGreedy(p)
 	case Ratio:
 		sol, err = ocs.RatioGreedy(p)
 	case Objective:
@@ -385,6 +399,10 @@ func (s *System) estimateState(ctx context.Context, st *modelState, t tslot.Slot
 func (s *System) estimateStateWarm(ctx context.Context, st *modelState, t tslot.Slot, observed map[int]float64, initial *gsp.Result) (gsp.Result, error) {
 	opt := s.cfg.GSP
 	opt.Metrics = &s.Obs().GSP
+	// Thread the heteroscedastic uncertainty knobs (PR 9) into every run:
+	// per-road observation-noise variances and the empirical SD calibration.
+	opt.ObsNoise = s.ObsNoise()
+	opt.SDScale = s.SDScale()
 	if initial != nil && len(initial.Speeds) == s.net.N() {
 		opt = opt.WithInitial(*initial)
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/crowd"
+	"repro/internal/gsp"
 	"repro/internal/obs"
 	"repro/internal/tslot"
 )
@@ -51,6 +52,11 @@ type ResilientResult struct {
 	// DeadlineHit is set when the context expired before the pipeline
 	// finished (rounds were cut short and/or GSP aborted early).
 	DeadlineHit bool
+	// QueryProvenance labels each queried road's answer — observed (a probe
+	// landed on the road itself), fused (propagated from correlated probes),
+	// or prior (no realtime signal reached it). Degraded answers are partial
+	// by nature; this says *per road* which part of the answer is live.
+	QueryProvenance map[int]gsp.Provenance
 }
 
 // QueryResilient is the fault-tolerant online pipeline: OCS → campaign →
@@ -233,12 +239,17 @@ func (s *System) queryResilient(ctx context.Context, pipe *obs.Pipeline, req Que
 		out.FallbackPrior = true
 	}
 	qs := make(map[int]float64, len(req.Roads))
+	qp := make(map[int]gsp.Provenance, len(req.Roads))
 	for _, r := range req.Roads {
 		if r < 0 || r >= len(prop.Speeds) {
 			return nil, fmt.Errorf("core: queried road %d out of range", r)
 		}
 		qs[r] = prop.Speeds[r]
+		if r < len(prop.Provenance) {
+			qp[r] = prop.Provenance[r]
+		}
 	}
+	out.QueryProvenance = qp
 	out.Probed = observed
 	out.Answers = merged.Answers
 	out.Speeds = prop.Speeds

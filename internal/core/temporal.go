@@ -62,7 +62,10 @@ func (b *Batcher) feedTemporal(t tslot.Slot, observed map[int]float64, res *gsp.
 		return // another feeder moved the filter ahead; don't fuse stale data
 	}
 	if len(observed) > 0 {
-		_ = f.Update(observed, nil)
+		// Probe updates carry the per-road heteroscedastic noise when the
+		// system has a vector installed (nil falls back to the filter's
+		// default measurement variance).
+		_ = f.Update(observed, b.sys.ObsNoiseFunc())
 		return
 	}
 	_ = f.PseudoObserve(res.Speeds, res.SD)

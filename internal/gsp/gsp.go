@@ -65,6 +65,23 @@ type Options struct {
 	// sweeps, convergence/abort outcomes, latency). All obs instruments are
 	// nil-safe, so a partially wired set is fine.
 	Metrics *obs.GSPMetrics
+
+	// ObsNoise, when non-nil, is the per-road heteroscedastic
+	// observation-noise *variance* R_r (speed² units), one entry per road —
+	// typically seeded from workerqual answer dispersion with per-road-class
+	// defaults. It changes only the uncertainty side of the result: a probed
+	// road's served value is still the probe itself, but its SD becomes √R_r
+	// (the probe's honest error) instead of 0, and the certainty it lends its
+	// neighbors is discounted to σ_r²/(σ_r²+R_r). Nil, or R_r = 0, reproduces
+	// the noise-free behavior exactly.
+	ObsNoise []float64
+
+	// SDScale is a global calibration factor multiplied onto the SD of every
+	// *non-observed* road (observed roads are exactly calibrated by √R_r
+	// already). It is fit empirically on held-out days as
+	// √mean(residual²/SD²), so the reported SDs match realized errors —
+	// see experiments.FitSDScale. ≤ 0 means 1 (no scaling).
+	SDScale float64
 }
 
 // DefaultOptions mirrors the experimental setup.
@@ -110,10 +127,44 @@ type Result struct {
 	// neighbor's term discounted by that neighbor's own relative certainty
 	// (an observed neighbor contributes full precision; a neighbor resting
 	// at its prior contributes none beyond the prior). Probed roads get the
-	// probe noise floor ≈ 0. Smaller is more trustworthy; the adaptive
-	// budgeting in package core stops spending when the queried roads'
-	// SDs are low enough.
+	// probe noise floor — exactly 0 without Options.ObsNoise, √R_r with it.
+	// Non-observed roads are additionally multiplied by Options.SDScale.
+	// Smaller is more trustworthy; the adaptive budgeting in package core
+	// stops spending when the queried roads' SDs are low enough.
 	SD []float64
+
+	// Provenance labels, per road, where the served value came from:
+	// ProvObserved (the road was probed and the value is the probe),
+	// ProvFused (the value was propagated from the observations through at
+	// least one sweep layer), or ProvPrior (no observation reaches the road;
+	// the value is the periodicity prior μ). Degraded and partial answers
+	// become interpretable: an interval on a ProvPrior road is the prior
+	// band, not realtime signal.
+	Provenance []Provenance
+}
+
+// Provenance labels one road's value source in a Result.
+type Provenance uint8
+
+const (
+	// ProvPrior: no observation reaches the road; served value is μ.
+	ProvPrior Provenance = iota
+	// ProvFused: the value was propagated from observations (Eq. 18).
+	ProvFused
+	// ProvObserved: the road was probed; the value is the probe itself.
+	ProvObserved
+)
+
+// String returns the wire label used by the HTTP envelope.
+func (p Provenance) String() string {
+	switch p {
+	case ProvObserved:
+		return "observed"
+	case ProvFused:
+		return "fused"
+	default:
+		return "prior"
+	}
 }
 
 // Propagate runs GSP for one slot. observed maps road id → probed speed
@@ -139,6 +190,9 @@ func PropagateCtx(ctx context.Context, net *network.Network, view rtf.View, obse
 	}
 	if opt.MaxIters <= 0 {
 		return Result{}, fmt.Errorf("gsp: MaxIters must be positive, got %d", opt.MaxIters)
+	}
+	if opt.ObsNoise != nil && len(opt.ObsNoise) != n {
+		return Result{}, fmt.Errorf("gsp: ObsNoise covers %d roads, network has %d", len(opt.ObsNoise), n)
 	}
 	// Observability wiring: metrics come from the options, the stage tracer
 	// from the context. Latency needs a clock; the metrics clock wins, a
@@ -215,7 +269,9 @@ func PropagateCtx(ctx context.Context, net *network.Network, view rtf.View, obse
 		}
 	}
 	res := Result{Speeds: speeds, WarmStarted: warm != nil, Observed: copyObserved(observed)}
-	eng := engine{view: view, speeds: speeds, csr: csr}
+	res.Provenance = provenanceOf(n, sources, layers)
+	eng := engine{view: view, speeds: speeds, csr: csr,
+		obsNoise: opt.ObsNoise, sdScale: opt.SDScale}
 	eng.prepareEdges()
 	if len(layers) == 0 {
 		// No propagation targets: everything is either probed or unreachable.
@@ -290,6 +346,22 @@ func PropagateCtx(ctx context.Context, net *network.Network, view rtf.View, obse
 	return res, nil
 }
 
+// provenanceOf labels every road by its value source for this run: the
+// sources are observed, every road inside a BFS sweep layer is fused, and
+// the rest (unreachable from any observation) sit at the prior.
+func provenanceOf(n int, sources []int, layers [][]int) []Provenance {
+	prov := make([]Provenance, n) // zero value: ProvPrior
+	for _, layer := range layers {
+		for _, i := range layer {
+			prov[i] = ProvFused
+		}
+	}
+	for _, r := range sources {
+		prov[r] = ProvObserved
+	}
+	return prov
+}
+
 // copyObserved snapshots the observation map into the Result so a later
 // warm-started run can diff against it even if the caller mutates its map.
 func copyObserved(observed map[int]float64) map[int]float64 {
@@ -346,6 +418,11 @@ type engine struct {
 	// aligned with the CSR half-edge array.
 	emu   []float64
 	einvq []float64
+
+	// obsNoise/sdScale mirror Options.ObsNoise / Options.SDScale (nil / ≤0
+	// when unset); consumed only by computeSD.
+	obsNoise []float64
+	sdScale  float64
 
 	// Parallel-mode structures: per layer, the independent color classes,
 	// plus the worker count.
@@ -408,16 +485,37 @@ func (e *engine) update(i int) float64 {
 // 1 for probed roads and, elsewhere, the fraction of conditional precision
 // in excess of the prior: c_i = 1 − prior-variance-ratio. It reuses the
 // engine's half-edge 1/σ_ij² array.
+//
+// With heteroscedastic observation noise (engine.obsNoise), a probed road r
+// serves the probe itself, so its honest SD is exactly √R_r, and the
+// certainty it lends its neighbors is the posterior precision fraction of a
+// noisy measurement, σ_r²/(σ_r²+R_r) — R_r = 0 degenerates to the exact
+// pin (certainty 1, SD 0). Non-observed roads are scaled by sdScale, the
+// empirical calibration factor (observed roads are calibrated already).
 func (e *engine) computeSD(observed map[int]float64, layers [][]int) []float64 {
 	n := e.csr.N()
+	scale := e.sdScale
+	if scale <= 0 {
+		scale = 1
+	}
 	certainty := make([]float64, n)
 	sd := make([]float64, n)
 	for i := 0; i < n; i++ {
 		sd[i] = e.view.Sigma[i]
 	}
 	for r := range observed {
-		certainty[r] = 1
-		sd[r] = 0
+		var noise float64
+		if e.obsNoise != nil && e.obsNoise[r] > 0 {
+			noise = e.obsNoise[r]
+		}
+		if noise > 0 {
+			s2 := e.view.Sigma[r] * e.view.Sigma[r]
+			certainty[r] = s2 / (s2 + noise)
+			sd[r] = math.Sqrt(noise)
+		} else {
+			certainty[r] = 1
+			sd[r] = 0
+		}
 	}
 	const (
 		sweeps = 20
@@ -443,7 +541,7 @@ func (e *engine) computeSD(observed map[int]float64, layers [][]int) []float64 {
 					maxDelta = d
 				}
 				certainty[i] = c
-				sd[i] = math.Sqrt(variance)
+				sd[i] = scale * math.Sqrt(variance)
 			}
 		}
 		if maxDelta < tol {

@@ -27,6 +27,32 @@ import (
 	"repro/internal/obs"
 )
 
+// Mode selects the objective a solve optimizes. Both modes share the same
+// feasibility constraints (budget, θ-redundancy, R^w membership) and the
+// same greedy machinery — only the per-candidate score changes.
+type Mode uint8
+
+const (
+	// ObjCorrelation is Eq. 13, the paper's objective: maximize the
+	// periodicity-weighted correlation Σ σ_qi · corr(qi, R^c). The default.
+	ObjCorrelation Mode = iota
+	// ObjVarianceMin maximizes the total posterior-variance reduction over
+	// the queried roads, Σ σ_qi² · max_{r∈R^c} corr²(qi, r): under Gaussian
+	// conditioning, observing the best single proxy r shrinks road q's
+	// variance from σ_q² to σ_q²·(1 − ρ²), so this objective picks the probe
+	// set that maximally shrinks Σ posterior variance at equal budget —
+	// uncertainty-first selection for calibrated serving (PR 9).
+	ObjVarianceMin
+)
+
+// String names the mode for logs and reports.
+func (m Mode) String() string {
+	if m == ObjVarianceMin {
+		return "VarianceMin"
+	}
+	return "Correlation"
+}
+
 // Problem is one OCS instance. Sigma is indexed by road id (the RTF view's
 // Sigma slice); Costs likewise. Oracle supplies corr^t.
 type Problem struct {
@@ -37,6 +63,10 @@ type Problem struct {
 	Theta   float64 // θ ∈ (0, 1], redundancy threshold
 	Sigma   []float64
 	Oracle  corr.Source
+
+	// Mode selects the objective: ObjCorrelation (Eq. 13, default) or
+	// ObjVarianceMin (total posterior-variance reduction).
+	Mode Mode
 
 	// Parallel evaluates candidate marginal gains across a goroutine pool
 	// inside each greedy round (gains are independent given the incremental
@@ -92,6 +122,9 @@ func (p *Problem) Validate() error {
 	if p.Theta <= 0 || p.Theta > 1 {
 		return fmt.Errorf("ocs: θ = %v outside (0,1]", p.Theta)
 	}
+	if p.Mode > ObjVarianceMin {
+		return fmt.Errorf("ocs: unknown objective mode %d", p.Mode)
+	}
 	if len(p.Query) == 0 {
 		return fmt.Errorf("ocs: empty query")
 	}
@@ -131,9 +164,34 @@ type Solution struct {
 	Cost  int
 }
 
-// Objective evaluates Eq. (13) for an arbitrary candidate set.
+// Objective evaluates the instance's objective for an arbitrary candidate
+// set: Eq. (13) under ObjCorrelation, total posterior-variance reduction
+// under ObjVarianceMin.
 func (p *Problem) Objective(set []int) float64 {
+	if p.Mode == ObjVarianceMin {
+		return p.VarianceReduction(set)
+	}
 	return p.Oracle.WeightedCorr(p.Query, p.Sigma, set)
+}
+
+// VarianceReduction is the ObjVarianceMin objective for an arbitrary set:
+// Σ_{qi} σ_qi² · max_{r∈set} corr²(qi, r) — how much total prior variance
+// over the queried roads the set's best-proxy conditioning removes.
+// Evaluable under either mode (the calibration ablation scores correlation
+// selections on this axis too).
+func (p *Problem) VarianceReduction(set []int) float64 {
+	var total float64
+	for _, q := range p.Query {
+		row := p.Oracle.CorrRow(q)
+		best := 0.0
+		for _, r := range set {
+			if c2 := row[r] * row[r]; c2 > best {
+				best = c2
+			}
+		}
+		total += p.Sigma[q] * p.Sigma[q] * best
+	}
+	return total
 }
 
 // Feasible reports whether the set satisfies the budget and pairwise
@@ -173,12 +231,18 @@ func (p *Problem) Feasible(set []int) bool {
 }
 
 // greedyState tracks the incremental objective during a greedy run:
-// best[qi] = corr(query[qi], R^c) so far, so a candidate's marginal gain is
-// Σ σ_qi · max(0, corr(qi, r) − best[qi]) in O(|R^q|).
+// best[qi] = the best per-query score achieved by R^c so far — corr(qi, R^c)
+// under ObjCorrelation, corr²(qi, R^c) under ObjVarianceMin — so a
+// candidate's marginal gain is Σ w_qi · max(0, score(qi, r) − best[qi]) in
+// O(|R^q|), where w is σ or σ² to match.
 type greedyState struct {
 	p        *Problem
 	tab      *corr.Table
 	best     []float64
+	// w[qi] is the query road's objective weight: σ under ObjCorrelation,
+	// σ² under ObjVarianceMin.
+	w        []float64
+	varmin   bool
 	selected []int
 	// selRows[i] is the cached correlation row of selected[i], so the θ
 	// check in redundant() is a slice index instead of an oracle call per
@@ -190,19 +254,39 @@ type greedyState struct {
 }
 
 func newGreedyState(p *Problem) *greedyState {
-	return &greedyState{
-		p:    p,
-		tab:  p.Oracle.BuildTable(p.Query),
-		best: make([]float64, len(p.Query)),
+	s := &greedyState{
+		p:      p,
+		tab:    p.Oracle.BuildTable(p.Query),
+		best:   make([]float64, len(p.Query)),
+		w:      make([]float64, len(p.Query)),
+		varmin: p.Mode == ObjVarianceMin,
 	}
+	for qi, q := range p.Query {
+		if s.varmin {
+			s.w[qi] = p.Sigma[q] * p.Sigma[q]
+		} else {
+			s.w[qi] = p.Sigma[q]
+		}
+	}
+	return s
+}
+
+// score is the per-(query, candidate) contribution under the instance's
+// mode: raw correlation, or squared correlation for variance reduction.
+func (s *greedyState) score(qi, r int) float64 {
+	c := s.tab.Corr(qi, r)
+	if s.varmin {
+		return c * c
+	}
+	return c
 }
 
 // gain returns the objective increment of adding road r.
 func (s *greedyState) gain(r int) float64 {
 	var g float64
 	for qi := range s.p.Query {
-		if c := s.tab.Corr(qi, r); c > s.best[qi] {
-			g += s.p.Sigma[s.p.Query[qi]] * (c - s.best[qi])
+		if c := s.score(qi, r); c > s.best[qi] {
+			g += s.w[qi] * (c - s.best[qi])
 		}
 	}
 	return g
@@ -237,7 +321,7 @@ func (s *greedyState) add(r int) {
 	s.cost += s.p.Costs[r]
 	s.value += s.gain(r)
 	for qi := range s.p.Query {
-		if c := s.tab.Corr(qi, r); c > s.best[qi] {
+		if c := s.score(qi, r); c > s.best[qi] {
 			s.best[qi] = c
 		}
 	}
@@ -430,9 +514,14 @@ func HybridGreedy(p *Problem) (Solution, error) {
 		return Solution{}, err
 	}
 	start := p.solveStart()
-	if sol, ok := trivialCase(p); ok {
-		p.observeSolve(start, &sol)
-		return sol, nil
+	// Remark 2's shortcut reasons about raw correlations; under
+	// ObjVarianceMin run the general greedy passes (argmax corr and argmax
+	// corr² disagree when correlations go negative).
+	if p.Mode == ObjCorrelation {
+		if sol, ok := trivialCase(p); ok {
+			p.observeSolve(start, &sol)
+			return sol, nil
+		}
 	}
 	ratio, obj := runHybridPasses(p, runGreedy)
 	sol := obj

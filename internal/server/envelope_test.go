@@ -67,8 +67,13 @@ var envelopeCases = []envelopeCase{
 	{route: "subscribe", method: http.MethodPost, path: "/v1/subscribe", body: `{}`, status: http.StatusMethodNotAllowed, code: "method_not_allowed"},
 	{route: "subscribe", method: http.MethodGet, path: "/v1/subscribe?slot=999999", status: http.StatusBadRequest, code: "bad_request"},
 	{route: "subscribe", method: http.MethodGet, path: "/v1/subscribe?slot=10&wait=forever", status: http.StatusBadRequest, code: "bad_request"},
-	{route: "alerts", method: http.MethodPost, path: "/v1/alerts", body: `{}`, status: http.StatusMethodNotAllowed, code: "method_not_allowed"},
+	{route: "alerts", method: http.MethodDelete, path: "/v1/alerts", status: http.StatusMethodNotAllowed, code: "method_not_allowed"},
 	{route: "alerts", method: http.MethodGet, path: "/v1/alerts?slot=bogus", status: http.StatusBadRequest, code: "bad_request"},
+	{route: "alerts", method: http.MethodPost, path: "/v1/alerts", body: `{}`, status: http.StatusBadRequest, code: "bad_request"},
+	{route: "alerts", method: http.MethodPost, path: "/v1/alerts", body: `{"slot":10,"predicates":[{"road":99999,"speed_below":20}]}`, status: http.StatusBadRequest, code: "bad_request"},
+	{route: "alerts", method: http.MethodPost, path: "/v1/alerts", body: `{"slot":10,"predicates":[{"road":1,"speed_below":20,"confidence":1.5}]}`, status: http.StatusBadRequest, code: "bad_request"},
+	{route: "estimate", method: http.MethodPost, path: "/v1/estimate", body: `{"slot":10,"level":1.2}`, status: http.StatusBadRequest, code: "bad_request"},
+	{route: "forecast", method: http.MethodPost, path: "/v1/forecast", body: `{"slot":10,"horizon":2,"level":-0.5}`, status: http.StatusBadRequest, code: "bad_request"},
 	{route: "healthz", method: http.MethodPost, path: "/v1/healthz", body: `{}`, status: http.StatusMethodNotAllowed, code: "method_not_allowed"},
 	{route: "model", method: http.MethodDelete, path: "/v1/model", status: http.StatusMethodNotAllowed, code: "method_not_allowed"},
 	{route: "model", method: http.MethodPost, path: "/v1/model", body: `{"action":"rollback"}`, status: http.StatusConflict, code: "conflict"},

@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/stattest"
 	"repro/internal/tslot"
 )
 
@@ -37,20 +38,26 @@ type forecastRequest struct {
 	Roads []int `json:"roads"`
 	// Horizon is the number of slots to forecast ahead (1..12, default 3).
 	Horizon int `json:"horizon"`
+	// Level is the credible level for per-road intervals (default 0.9).
+	Level float64 `json:"level,omitempty"`
 }
 
-// forecastStepJSON is one horizon step of the fan: per-road mean and SD.
+// forecastStepJSON is one horizon step of the fan: per-road mean, SD and
+// central credible interval at the requested level. Interval width grows
+// with the step — the fan's variance is clamped monotone in k.
 type forecastStepJSON struct {
-	Step   int                `json:"step"`
-	Slot   int                `json:"slot"`
-	Speeds map[string]float64 `json:"speeds"`
-	SD     map[string]float64 `json:"sd"`
+	Step      int                     `json:"step"`
+	Slot      int                     `json:"slot"`
+	Speeds    map[string]float64      `json:"speeds"`
+	SD        map[string]float64      `json:"sd"`
+	Intervals map[string]intervalJSON `json:"intervals"`
 }
 
 type forecastResponse struct {
 	Slot     int                `json:"slot"`
 	Horizon  int                `json:"horizon"`
 	Observed int                `json:"observed_roads"`
+	Level    float64            `json:"level"`
 	Steps    []forecastStepJSON `json:"steps"`
 	// Degraded: no crowd reports backed the base state — the fan starts from
 	// the filter's carried-over state (or the prior) instead of fresh signal.
@@ -96,6 +103,10 @@ func (s *Server) forecastOne(req forecastRequest) (*forecastResponse, int, error
 		return nil, http.StatusBadRequest,
 			fmt.Errorf("horizon %d out of range (1..%d slots)", req.Horizon, maxForecastHorizon)
 	}
+	level, err := resolveLevel(req.Level)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
 	n := s.sys.Network().N()
 	roads := req.Roads
 	for _, id := range roads {
@@ -118,8 +129,10 @@ func (s *Server) forecastOne(req forecastRequest) (*forecastResponse, int, error
 	// base slot and the slot's current crowd aggregates are fused into the
 	// snapshot only. Slot, horizon and roads were validated above, so any
 	// error here is internal.
+	// The snapshot's measurement updates price probes at the system's
+	// heteroscedastic noise when a vector is installed.
 	observed := s.collector.Observations(slot)
-	fan, err := filt.ForecastFrom(slot, k, observed, nil)
+	fan, err := filt.ForecastFrom(slot, k, observed, s.sys.ObsNoiseFunc())
 	if err != nil {
 		return nil, http.StatusInternalServerError, err
 	}
@@ -128,20 +141,24 @@ func (s *Server) forecastOne(req forecastRequest) (*forecastResponse, int, error
 		Slot:     req.Slot,
 		Horizon:  k,
 		Observed: len(observed),
+		Level:    level,
 		Steps:    make([]forecastStepJSON, 0, len(fan)),
 		Degraded: len(observed) == 0,
 	}
 	for _, st := range fan {
 		sj := forecastStepJSON{
-			Step:   st.Step,
-			Slot:   int(st.Slot),
-			Speeds: make(map[string]float64, len(roads)),
-			SD:     make(map[string]float64, len(roads)),
+			Step:      st.Step,
+			Slot:      int(st.Slot),
+			Speeds:    make(map[string]float64, len(roads)),
+			SD:        make(map[string]float64, len(roads)),
+			Intervals: make(map[string]intervalJSON, len(roads)),
 		}
 		for _, id := range roads {
 			key := strconv.Itoa(id)
 			sj.Speeds[key] = st.Speeds[id]
 			sj.SD[key] = st.SD[id]
+			lo, hi := stattest.Interval(st.Speeds[id], st.SD[id], level)
+			sj.Intervals[key] = intervalJSON{Lo: lo, Hi: hi}
 		}
 		out.Steps = append(out.Steps, sj)
 	}

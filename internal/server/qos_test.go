@@ -243,8 +243,8 @@ func TestQoSDegradedTierLabels(t *testing.T) {
 	if !prior.Degraded || !prior.FallbackPrior {
 		t.Error("prior-tier answer not flagged degraded")
 	}
-	if prior.VarianceInflation != core.TierInflation(qos.TierPrior) {
-		t.Errorf("prior inflation %v", prior.VarianceInflation)
+	if prior.VarianceInflation != 1.0 {
+		t.Errorf("prior inflation %v, want 1.0 (the prior's spread is Σ itself)", prior.VarianceInflation)
 	}
 
 	// Warm the slot at full service...
@@ -264,13 +264,19 @@ func TestQoSDegradedTierLabels(t *testing.T) {
 	if cached.Quality != "cached" {
 		t.Fatalf("warm pressured answer labeled %q, want cached", cached.Quality)
 	}
-	if cached.VarianceInflation != core.TierInflation(qos.TierCached) {
-		t.Errorf("cached inflation %v", cached.VarianceInflation)
+	if cached.VarianceInflation < 1 {
+		t.Errorf("cached inflation %v < 1", cached.VarianceInflation)
 	}
 	for id, sd := range cached.SD {
-		want := fullOut.SD[id] * core.TierInflation(qos.TierCached)
-		if math.Abs(sd-want) > 1e-9 {
-			t.Errorf("road %s: cached sd %v, want %v (full × %v)", id, sd, want, core.TierInflation(qos.TierCached))
+		// The principled cached-tier price: AR(1) aging plus the evidence
+		// gap. The request's evidence matches the stored field (road 3 was
+		// pinned at 22.0 by the full pass) and the cache is milliseconds
+		// old, so the widening is tiny — but never negative.
+		if sd < fullOut.SD[id]-1e-9 {
+			t.Errorf("road %s: cached sd %v narrower than full %v", id, sd, fullOut.SD[id])
+		}
+		if sd > fullOut.SD[id]+0.1 {
+			t.Errorf("road %s: fresh matching cache widened %v -> %v", id, fullOut.SD[id], sd)
 		}
 		if cached.Estimates[id] != fullOut.Estimates[id] {
 			t.Errorf("road %s: cached speed %v != last full %v", id, cached.Estimates[id], fullOut.Estimates[id])

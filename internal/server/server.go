@@ -46,6 +46,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -57,11 +58,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/crowd"
 	"repro/internal/detect"
+	"repro/internal/gsp"
 	"repro/internal/modelstore"
 	"repro/internal/network"
 	"repro/internal/obs"
 	"repro/internal/qos"
 	"repro/internal/shard"
+	"repro/internal/stattest"
 	"repro/internal/stream"
 	"repro/internal/temporal"
 	"repro/internal/tslot"
@@ -375,6 +378,8 @@ func parseSelector(name string) (core.Selector, error) {
 		return core.Objective, nil
 	case "Rand", "Random":
 		return core.RandomSel, nil
+	case "VarMin", "VarianceMin":
+		return core.VarMin, nil
 	default:
 		return 0, fmt.Errorf("unknown selector %q", name)
 	}
@@ -546,7 +551,38 @@ type estimateResponse struct {
 	// SD maps each requested road to its (tier-inflated) standard deviation.
 	// Present only when admission control is enabled.
 	SD map[string]float64 `json:"sd,omitempty"`
+	// Level is the credible level of Intervals (default 0.9).
+	Level float64 `json:"level"`
+	// Intervals maps each requested road to its central credible interval at
+	// Level, derived from the calibrated (tier-inflated) posterior SD.
+	Intervals map[string]intervalJSON `json:"intervals"`
+	// Provenance maps each requested road to how its answer was produced:
+	// "observed" (a probe landed on the road), "fused" (propagated from
+	// correlated probes) or "prior" (no realtime signal reached it).
+	Provenance map[string]string `json:"provenance"`
 }
+
+// intervalJSON is a per-road credible interval: lo ≤ estimate ≤ hi.
+type intervalJSON struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// resolveLevel validates a requested credible level: 0 means the default
+// (0.9); anything else must lie strictly inside (0, 1).
+func resolveLevel(level float64) (float64, error) {
+	if level == 0 {
+		return defaultCredibleLevel, nil
+	}
+	if level <= 0 || level >= 1 || math.IsNaN(level) {
+		return 0, fmt.Errorf("level %v outside (0, 1)", level)
+	}
+	return level, nil
+}
+
+// defaultCredibleLevel is the interval level served when a request doesn't
+// ask for one.
+const defaultCredibleLevel = 0.9
 
 // estimateRequest is the POST /v1/estimate body — the same shape as
 // /v1/select plus per-road observation overrides: values in Observed replace
@@ -557,6 +593,9 @@ type estimateRequest struct {
 	Roads []int `json:"roads"`
 	// Observed maps road id (string, JSON object keys) → speed override.
 	Observed map[string]float64 `json:"observed,omitempty"`
+	// Level is the credible level for the per-road intervals; 0 means the
+	// default 0.9.
+	Level float64 `json:"level,omitempty"`
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -589,6 +628,14 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 				req.Roads = append(req.Roads, id)
 			}
 		}
+		if raw := q.Get("level"); raw != "" {
+			level, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				writeErr(w, r, http.StatusBadRequest, "level: %v", err)
+				return
+			}
+			req.Level = level
+		}
 	default:
 		writeErr(w, r, http.StatusMethodNotAllowed, "GET or POST only")
 		return
@@ -607,6 +654,10 @@ func (s *Server) estimateOne(ctx context.Context, req estimateRequest) (*estimat
 	slot := tslot.Slot(req.Slot)
 	if !slot.Valid() {
 		return nil, http.StatusBadRequest, fmt.Errorf("slot %d out of range", req.Slot)
+	}
+	level, err := resolveLevel(req.Level)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
 	}
 	n := s.sys.Network().N()
 	roads := req.Roads
@@ -664,9 +715,24 @@ func (s *Server) estimateOne(ctx context.Context, req estimateRequest) (*estimat
 		FallbackPrior: degraded,
 		Aborted:       res.Aborted,
 		WarmStarted:   res.WarmStarted,
+		Level:         level,
+		Intervals:     make(map[string]intervalJSON, len(roads)),
+		Provenance:    make(map[string]string, len(roads)),
 	}
 	for _, id := range roads {
-		out.Estimates[strconv.Itoa(id)] = res.Speeds[id]
+		key := strconv.Itoa(id)
+		out.Estimates[key] = res.Speeds[id]
+		var sd float64
+		if id < len(res.SD) {
+			sd = res.SD[id]
+		}
+		lo, hi := stattest.Interval(res.Speeds[id], sd, level)
+		out.Intervals[key] = intervalJSON{Lo: lo, Hi: hi}
+		if id < len(res.Provenance) {
+			out.Provenance[key] = res.Provenance[id].String()
+		} else {
+			out.Provenance[key] = gsp.ProvPrior.String()
+		}
 	}
 	if ai != nil {
 		out.Quality = res.Tier.String()
@@ -702,11 +768,19 @@ type alertsResponse struct {
 	Quality string `json:"quality,omitempty"`
 }
 
-// handleAlerts runs GSP over the slot's reports and scans the estimates for
-// incident-like drops (package detect).
+// handleAlerts serves both alert forms: GET scans the slot's estimates for
+// incident-like drops (package detect); POST evaluates caller-supplied
+// probabilistic predicates ("speed < 20 with ≥90% confidence") against the
+// calibrated posterior.
 func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, r, http.StatusMethodNotAllowed, "GET only")
+	switch r.Method {
+	case http.MethodGet:
+		// fall through to the scan below
+	case http.MethodPost:
+		s.handleAlertPredicates(w, r)
+		return
+	default:
+		writeErr(w, r, http.StatusMethodNotAllowed, "GET or POST only")
 		return
 	}
 	slotN, err := strconv.Atoi(r.URL.Query().Get("slot"))
@@ -746,6 +820,133 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 	for _, a := range alerts {
 		out.Alerts = append(out.Alerts, alertJSON{
 			Road: a.Road, Estimate: a.Estimate, Expected: a.Expected, Drop: a.Drop, Z: a.Z,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// alertPredicateJSON is one probabilistic alert condition: fire when the
+// posterior probability of the road's speed lying below SpeedBelow reaches
+// Confidence (default 0.9).
+type alertPredicateJSON struct {
+	Road       int     `json:"road"`
+	SpeedBelow float64 `json:"speed_below"`
+	Confidence float64 `json:"confidence,omitempty"`
+}
+
+type alertsPredicateRequest struct {
+	Slot       int                  `json:"slot"`
+	Predicates []alertPredicateJSON `json:"predicates"`
+}
+
+// predicateResultJSON reports one evaluated predicate with the posterior it
+// was judged against, so a client can see *why* it fired or held.
+type predicateResultJSON struct {
+	Road        int     `json:"road"`
+	SpeedBelow  float64 `json:"speed_below"`
+	Confidence  float64 `json:"confidence"`
+	Probability float64 `json:"probability"` // P(speed < SpeedBelow | posterior)
+	Estimate    float64 `json:"estimate"`
+	SD          float64 `json:"sd"`
+	Provenance  string  `json:"provenance"`
+	Fired       bool    `json:"fired"`
+}
+
+type alertsPredicateResponse struct {
+	Slot     int                   `json:"slot"`
+	Observed int                   `json:"observed_roads"`
+	Results  []predicateResultJSON `json:"results"`
+	Fired    int                   `json:"fired"`
+	// Degraded: the judged posterior carries no realtime signal (zero
+	// observations, or a prior-tier answer); fired predicates then reflect
+	// the historical prior, not live traffic.
+	Degraded bool   `json:"degraded"`
+	Quality  string `json:"quality,omitempty"`
+}
+
+// handleAlertPredicates is POST /v1/alerts: estimate the slot at the
+// admitted tier, then judge each predicate against the calibrated posterior
+// N(estimate, sd²) — a predicate fires when P(speed < threshold) ≥ the
+// requested confidence. The tier's principled variance inflation flows
+// straight into the decision: a degraded answer needs a larger margin below
+// the threshold to reach the same confidence.
+func (s *Server) handleAlertPredicates(w http.ResponseWriter, r *http.Request) {
+	var req alertsPredicateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, r, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	slot := tslot.Slot(req.Slot)
+	if !slot.Valid() {
+		writeErr(w, r, http.StatusBadRequest, "slot %d out of range", req.Slot)
+		return
+	}
+	if len(req.Predicates) == 0 {
+		writeErr(w, r, http.StatusBadRequest, "no predicates")
+		return
+	}
+	n := s.sys.Network().N()
+	for i := range req.Predicates {
+		p := &req.Predicates[i]
+		if p.Road < 0 || p.Road >= n {
+			writeErr(w, r, http.StatusBadRequest, "predicate road %d out of range", p.Road)
+			return
+		}
+		if p.SpeedBelow <= 0 || math.IsNaN(p.SpeedBelow) {
+			writeErr(w, r, http.StatusBadRequest, "predicate speed_below %v must be positive", p.SpeedBelow)
+			return
+		}
+		if p.Confidence == 0 {
+			p.Confidence = defaultCredibleLevel
+		}
+		if p.Confidence <= 0 || p.Confidence >= 1 || math.IsNaN(p.Confidence) {
+			writeErr(w, r, http.StatusBadRequest, "predicate confidence %v outside (0, 1)", p.Confidence)
+			return
+		}
+	}
+
+	observed := s.collector.Observations(slot)
+	tier := qos.TierFull
+	ai := admissionFrom(r.Context())
+	if ai != nil {
+		tier = ai.Decision.Tier
+	}
+	res, err := s.batcher.EstimateTier(r.Context(), tier, slot, observed)
+	if err != nil {
+		writeErr(w, r, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if ai != nil && s.qosCtl != nil {
+		s.qosCtl.Observe(ai.Tenant, ai.Decision.Tier, res.Tier)
+	}
+
+	out := alertsPredicateResponse{
+		Slot:     req.Slot,
+		Observed: len(observed),
+		Results:  make([]predicateResultJSON, 0, len(req.Predicates)),
+		Degraded: len(observed) == 0 || res.Tier == qos.TierPrior,
+	}
+	if ai != nil {
+		out.Quality = res.Tier.String()
+	}
+	for _, p := range req.Predicates {
+		var sd float64
+		if p.Road < len(res.SD) {
+			sd = res.SD[p.Road]
+		}
+		prov := gsp.ProvPrior
+		if p.Road < len(res.Provenance) {
+			prov = res.Provenance[p.Road]
+		}
+		prob := stattest.ExceedProb(res.Speeds[p.Road], sd, p.SpeedBelow)
+		fired := prob >= p.Confidence
+		if fired {
+			out.Fired++
+		}
+		out.Results = append(out.Results, predicateResultJSON{
+			Road: p.Road, SpeedBelow: p.SpeedBelow, Confidence: p.Confidence,
+			Probability: prob, Estimate: res.Speeds[p.Road], SD: sd,
+			Provenance: prov.String(), Fired: fired,
 		})
 	}
 	writeJSON(w, http.StatusOK, out)

@@ -1,0 +1,133 @@
+package stattest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct {
+		p, z float64
+	}{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.95, 1.644854},
+		{0.025, -1.959964},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.z) > 1e-5 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.z)
+		}
+	}
+}
+
+func TestCDFQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.01, 0.2, 0.5, 0.8, 0.99} {
+		if got := NormalCDF(NormalQuantile(p)); math.Abs(got-p) > 1e-12 {
+			t.Errorf("Φ(Φ⁻¹(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestIntervalZMatchesTwoSided(t *testing.T) {
+	// A central 90% interval uses the 95th percentile.
+	if got, want := IntervalZ(0.9), NormalQuantile(0.95); math.Abs(got-want) > 1e-12 {
+		t.Errorf("IntervalZ(0.9) = %v, want %v", got, want)
+	}
+	if got := IntervalZ(0.95); math.Abs(got-1.959964) > 1e-5 {
+		t.Errorf("IntervalZ(0.95) = %v, want 1.96", got)
+	}
+}
+
+func TestIntervalShape(t *testing.T) {
+	lo, hi := Interval(30, 2, 0.9)
+	if lo >= 30 || hi <= 30 {
+		t.Fatalf("interval [%v,%v] must straddle the mean", lo, hi)
+	}
+	if math.Abs((hi-lo)/2-IntervalZ(0.9)*2) > 1e-12 {
+		t.Fatalf("half-width %v, want %v", (hi-lo)/2, IntervalZ(0.9)*2)
+	}
+	// Point-mass degenerate case.
+	lo, hi = Interval(30, 0, 0.9)
+	if lo != 30 || hi != 30 {
+		t.Fatalf("sd=0 interval = [%v,%v], want point mass", lo, hi)
+	}
+}
+
+func TestExceedProb(t *testing.T) {
+	if got := ExceedProb(20, 5, 20); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P(X<20 | mean 20) = %v, want 0.5", got)
+	}
+	if got := ExceedProb(30, 5, 20); got >= 0.5 {
+		t.Errorf("mean above threshold must give p < 0.5, got %v", got)
+	}
+	if got := ExceedProb(10, 0, 20); got != 1 {
+		t.Errorf("point mass below threshold: got %v, want 1", got)
+	}
+	if got := ExceedProb(25, 0, 20); got != 0 {
+		t.Errorf("point mass above threshold: got %v, want 0", got)
+	}
+}
+
+// TestCoverageCalibratedGaussian draws truths from exactly the posterior the
+// intervals claim and checks empirical coverage lands inside the band at
+// every level — the helpers validate themselves end to end.
+func TestCoverageCalibratedGaussian(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 20000
+	for _, level := range []float64{0.5, 0.8, 0.9, 0.95} {
+		truth := make([]float64, n)
+		lo := make([]float64, n)
+		hi := make([]float64, n)
+		for i := 0; i < n; i++ {
+			mean := 30 + 10*rng.Float64()
+			sd := 0.5 + 2*rng.Float64()
+			truth[i] = mean + sd*rng.NormFloat64()
+			lo[i], hi[i] = Interval(mean, sd, level)
+		}
+		cov, err := Coverage(truth, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckCoverage(cov, level, n, false); err != nil {
+			t.Errorf("level %v: %v", level, err)
+		}
+	}
+}
+
+func TestCheckCoverageRejectsMiscalibration(t *testing.T) {
+	// 80% empirical at 90% nominal over 10k samples is far outside the band.
+	if err := CheckCoverage(0.80, 0.90, 10000, false); err == nil {
+		t.Error("under-coverage must fail")
+	}
+	if err := CheckCoverage(0.99, 0.90, 10000, false); err == nil {
+		t.Error("over-coverage must fail the two-sided check")
+	}
+	if err := CheckCoverage(0.99, 0.90, 10000, true); err != nil {
+		t.Errorf("conservative over-coverage must pass: %v", err)
+	}
+	if err := CheckCoverage(0.80, 0.90, 10000, true); err == nil {
+		t.Error("under-coverage must fail even when conservative")
+	}
+}
+
+func TestBinomialBandEdges(t *testing.T) {
+	if !math.IsInf(BinomialBand(0, 0.9, 3), 1) {
+		t.Error("empty sample must give an infinite band")
+	}
+	b1 := BinomialBand(100, 0.9, 3)
+	b2 := BinomialBand(10000, 0.9, 3)
+	if b2 >= b1 {
+		t.Errorf("band must shrink with n: %v vs %v", b1, b2)
+	}
+}
+
+func TestCoverageErrors(t *testing.T) {
+	if _, err := Coverage(nil, nil, nil); err == nil {
+		t.Error("empty sample must error")
+	}
+	if _, err := Coverage([]float64{1}, []float64{0}, nil); err == nil {
+		t.Error("mismatched slices must error")
+	}
+}

@@ -83,6 +83,11 @@ func (p Params) forClass(c network.Class) ClassParams {
 	return p.Default
 }
 
+// For resolves one class's transition parameters — exported so the tier
+// layer (core.CachedTierResult) and the calibration experiments can price
+// cache age with the same φ/Q the filter itself would use.
+func (p Params) For(c network.Class) ClassParams { return p.forClass(c) }
+
 // FitAR1 fits per-class φ and Q from historical consecutive-slot deviation
 // pairs: for every road of the class and every in-day slot pair (t, t+1),
 // x_t = v(d,t,r) − μ^t_r regressed against x_{t+1}. The closed-form least
@@ -283,6 +288,16 @@ func New(model *rtf.Model, start tslot.Slot, params Params, classes []network.Cl
 
 // N returns the number of roads the filter covers.
 func (f *Filter) N() int { return len(f.x) }
+
+// RoadParams returns road r's fitted transition parameters (φ, Q). The
+// per-road slices are immutable after New, so the read is lock-free; out of
+// range returns (0, 0).
+func (f *Filter) RoadParams(r int) (phi, q float64) {
+	if r < 0 || r >= len(f.phi) {
+		return 0, 0
+	}
+	return f.phi[r], f.q[r]
+}
 
 // Slot returns the slot the state currently describes.
 func (f *Filter) Slot() tslot.Slot {

@@ -1,0 +1,104 @@
+// Per-road observation-noise estimation (PR 9). CalibrateCosts already turns
+// answer dispersion into probe *prices*; ObservationNoise exposes the same
+// debiased dispersion as a per-road measurement-noise *variance* vector, the
+// heteroscedastic R_r that gsp.Options.ObsNoise and the temporal filter
+// consume (Rodrigues & Pereira's heteroscedastic noise model, learned from
+// the crowd instead of assumed).
+package workerqual
+
+import (
+	"fmt"
+	"math"
+)
+
+// ObservationNoise estimates each road's observation-noise variance from
+// historical answers: answers are debiased with TruthInference (single-answer
+// workers dropped, id spaces compacted, exactly like CalibrateCosts), and a
+// road's noise is the variance of its debiased residuals. Roads without
+// usable history fall back to fallback(road) — typically a per-road-class
+// default — as does any road whose residual sample is a single answer (one
+// residual against its own inferred truth is vacuously 0, not evidence of a
+// perfect crowd). A nil fallback means 0 (exact observations).
+//
+// The returned slice has one variance per road and plugs directly into
+// gsp.Options.ObsNoise / core.System.SetObsNoise.
+func ObservationNoise(answers []Answer, nWorkers, nRoads int, fallback func(road int) float64, opt Options) ([]float64, error) {
+	if nRoads <= 0 {
+		return nil, fmt.Errorf("workerqual: nRoads %d must be positive", nRoads)
+	}
+	noise := make([]float64, nRoads)
+	fb := func(road int) float64 {
+		if fallback == nil {
+			return 0
+		}
+		v := fallback(road)
+		if v < 0 || math.IsNaN(v) {
+			return 0
+		}
+		return v
+	}
+	for i := range noise {
+		noise[i] = fb(i)
+	}
+	for _, a := range answers {
+		if a.Worker < 0 || a.Worker >= nWorkers {
+			return nil, fmt.Errorf("workerqual: worker %d out of range", a.Worker)
+		}
+		if a.Item < 0 || a.Item >= nRoads {
+			return nil, fmt.Errorf("workerqual: road %d out of range", a.Item)
+		}
+	}
+	// Drop single-answer workers and compact both id spaces so
+	// TruthInference sees a dense, fully-populated problem.
+	perWorker := make([]int, nWorkers)
+	for _, a := range answers {
+		perWorker[a.Worker]++
+	}
+	workerIdx := make([]int, nWorkers)
+	denseWorkers := 0
+	for w, c := range perWorker {
+		if c >= 2 {
+			workerIdx[w] = denseWorkers
+			denseWorkers++
+		} else {
+			workerIdx[w] = -1
+		}
+	}
+	roadIdx := make([]int, nRoads)
+	for i := range roadIdx {
+		roadIdx[i] = -1
+	}
+	var denseRoads []int // dense id → road id
+	var kept []Answer
+	for _, a := range answers {
+		if workerIdx[a.Worker] < 0 {
+			continue
+		}
+		if roadIdx[a.Item] < 0 {
+			roadIdx[a.Item] = len(denseRoads)
+			denseRoads = append(denseRoads, a.Item)
+		}
+		kept = append(kept, Answer{Worker: workerIdx[a.Worker], Item: roadIdx[a.Item], Value: a.Value})
+	}
+	if len(kept) == 0 {
+		return noise, nil
+	}
+	inf, err := TruthInference(kept, denseWorkers, len(denseRoads), opt)
+	if err != nil {
+		return nil, err
+	}
+	vSum := make([]float64, len(denseRoads))
+	count := make([]int, len(denseRoads))
+	for _, a := range kept {
+		d := a.Value - inf.Truth[a.Item] - inf.Workers[a.Worker].Bias
+		vSum[a.Item] += d * d
+		count[a.Item]++
+	}
+	for di, road := range denseRoads {
+		if count[di] < 2 {
+			continue // one residual against its own truth is not dispersion
+		}
+		noise[road] = vSum[di] / float64(count[di])
+	}
+	return noise, nil
+}

@@ -1,0 +1,94 @@
+package workerqual
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestObservationNoiseRecoversDispersion(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	truths := make([]float64, 30)
+	for i := range truths {
+		truths[i] = 25 + 40*rng.Float64()
+	}
+	biases := []float64{-3, 0, 2, 5, -1, 1}
+	sds := []float64{1, 1, 2, 2, 1.5, 1.2}
+	answers := synthAnswers(rng, truths, biases, sds, 16)
+
+	noise, err := ObservationNoise(answers, len(biases), len(truths), nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noise) != len(truths) {
+		t.Fatalf("noise covers %d roads, want %d", len(noise), len(truths))
+	}
+	// The pooled worker noise SDs average ~1.5; per-road residual variance
+	// should land in the same regime — far from 0 and far from silly.
+	var mean float64
+	for _, v := range noise {
+		if v <= 0 {
+			t.Fatalf("road with 16 answers has non-positive noise %v", v)
+		}
+		mean += v
+	}
+	mean /= float64(len(noise))
+	if mean < 0.5 || mean > 8 {
+		t.Errorf("mean noise variance %v outside the plausible band of the generator", mean)
+	}
+}
+
+func TestObservationNoiseFallback(t *testing.T) {
+	// Only road 0 has history; the rest fall back to the class default.
+	answers := []Answer{
+		{Worker: 0, Item: 0, Value: 30},
+		{Worker: 0, Item: 0, Value: 34},
+		{Worker: 1, Item: 0, Value: 29},
+		{Worker: 1, Item: 0, Value: 33},
+	}
+	fallback := func(road int) float64 { return 9.0 }
+	noise, err := ObservationNoise(answers, 2, 4, fallback, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 4; r++ {
+		if noise[r] != 9.0 {
+			t.Errorf("road %d without history: noise %v, want fallback 9", r, noise[r])
+		}
+	}
+	if noise[0] == 9.0 || noise[0] <= 0 {
+		t.Errorf("road 0 with history should carry estimated dispersion, got %v", noise[0])
+	}
+	if math.IsNaN(noise[0]) {
+		t.Errorf("noise[0] is NaN")
+	}
+}
+
+func TestObservationNoiseEdgeCases(t *testing.T) {
+	if _, err := ObservationNoise(nil, 0, 0, nil, DefaultOptions()); err == nil {
+		t.Error("nRoads 0 must error")
+	}
+	// No usable answers (all single-answer workers): pure fallback.
+	answers := []Answer{{Worker: 0, Item: 1, Value: 30}}
+	noise, err := ObservationNoise(answers, 1, 3, func(int) float64 { return 2.5 }, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range noise {
+		if v != 2.5 {
+			t.Errorf("road %d: %v, want fallback", r, v)
+		}
+	}
+	// Out-of-range ids are rejected.
+	if _, err := ObservationNoise([]Answer{{Worker: 5, Item: 0}}, 2, 2, nil, DefaultOptions()); err == nil {
+		t.Error("out-of-range worker must error")
+	}
+	// Negative fallback values are clamped to 0, not propagated.
+	noise, err = ObservationNoise(nil, 0, 2, func(int) float64 { return -1 }, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noise[0] != 0 || noise[1] != 0 {
+		t.Errorf("negative fallback must clamp to 0, got %v", noise)
+	}
+}
