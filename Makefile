@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fault-determinism race-hotpath race-suite fuzz-seed fuzz-snapshot refit-drill benchguard check bench bench-concurrent bench-all qps bench-lifecycle bench-batch bench-load bench-metro bench-temporal bench-calib
+.PHONY: all build vet test race fault-determinism race-hotpath race-suite fuzz-seed fuzz-snapshot refit-drill benchguard check bench bench-concurrent bench-all qps bench-lifecycle bench-batch bench-load bench-metro bench-temporal bench-calib bench-route
 
 all: build
 
@@ -67,9 +67,14 @@ race-suite:
 # within the binomial band of nominal and every degraded tier is
 # conservative, across ≥3 probe densities; the variance-minimizing OCS
 # objective beats the correlation objective on realized posterior variance)
-# and re-runs the coverage sweep and objective ablation fresh.
+# and re-runs the coverage sweep and objective ablation fresh. The -pr10 gate
+# validates the recorded route baseline (at the 90% serving level the
+# route-level conformal ETA interval's coverage sits within the binomial band
+# at every probe density; the route-aware RouteVar OCS objective's realized
+# ETA variance is strictly below the correlation objective's at every budget)
+# and re-runs the route coverage sweep and route-OCS ablation fresh.
 benchguard:
-	$(GO) run ./cmd/benchguard -pr2 BENCH_PR2.json -pr3 BENCH_PR3.json -pr5 BENCH_PR5.json -pr6 BENCH_PR6.json -pr7 BENCH_PR7.json -pr8 BENCH_PR8.json -pr9 BENCH_PR9.json
+	$(GO) run ./cmd/benchguard -pr2 BENCH_PR2.json -pr3 BENCH_PR3.json -pr5 BENCH_PR5.json -pr6 BENCH_PR6.json -pr7 BENCH_PR7.json -pr8 BENCH_PR8.json -pr9 BENCH_PR9.json -pr10 BENCH_PR10.json
 
 # End-to-end lifecycle drill under the race detector: streamed reports are
 # folded into a refit, gated, published and hot-swapped; a corrupted
@@ -134,6 +139,14 @@ bench-temporal:
 bench-calib:
 	$(GO) run ./cmd/rtsebench -calib -out BENCH_PR9.json
 
+# The PR-10 route-level ETA suite: interval coverage of the delta-method ETA
+# distribution across probe densities × nominal levels over a deterministic
+# OD-pair fleet (route-level conformal scale fitted on interleaved calibration
+# slots), plus the route-aware OCS objective ablation (correlation vs RouteVar
+# on realized ETA variance at equal budget), recorded as BENCH_PR10.json.
+bench-route:
+	$(GO) run ./cmd/rtsebench -route -out BENCH_PR10.json
+
 BENCH_PR2.json: qps
 
 BENCH_PR3.json: bench-lifecycle
@@ -147,3 +160,5 @@ BENCH_PR7.json: bench-metro
 BENCH_PR8.json: bench-temporal
 
 BENCH_PR9.json: bench-calib
+
+BENCH_PR10.json: bench-route

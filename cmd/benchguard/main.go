@@ -58,6 +58,7 @@ func main() {
 		pr7Path   = flag.String("pr7", "", "metropolitan-scale baseline (BENCH_PR7.json); empty skips the metro gate")
 		pr8Path   = flag.String("pr8", "", "cross-slot temporal baseline (BENCH_PR8.json); empty skips the temporal gate")
 		pr9Path   = flag.String("pr9", "", "uncertainty-calibration baseline (BENCH_PR9.json); empty skips the calibration gate")
+		pr10Path  = flag.String("pr10", "", "route-level ETA baseline (BENCH_PR10.json); empty skips the route gate")
 		p99Tol    = flag.Float64("p99-tol", 0.25, "max tolerated fractional alerting-p99 regression in the load gate")
 		tol       = flag.Float64("tol", 0.25, "max tolerated fractional throughput loss")
 		latFactor = flag.Float64("lat-factor", 5.0, "max tolerated latency blowup factor")
@@ -68,13 +69,13 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*pr2Path, *pr3Path, *pr5Path, *pr6Path, *pr7Path, *pr8Path, *pr9Path, *tol, *latFactor, *p99Tol, *duration, *runs, *clients, *iters); err != nil {
+	if err := run(*pr2Path, *pr3Path, *pr5Path, *pr6Path, *pr7Path, *pr8Path, *pr9Path, *pr10Path, *tol, *latFactor, *p99Tol, *duration, *runs, *clients, *iters); err != nil {
 		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(pr2Path, pr3Path, pr5Path, pr6Path, pr7Path, pr8Path, pr9Path string, tol, latFactor, p99Tol float64, duration time.Duration, runs, clients, iters int) error {
+func run(pr2Path, pr3Path, pr5Path, pr6Path, pr7Path, pr8Path, pr9Path, pr10Path string, tol, latFactor, p99Tol float64, duration time.Duration, runs, clients, iters int) error {
 	pr2, err := loadPR2(pr2Path)
 	if err != nil {
 		return err
@@ -181,6 +182,13 @@ func run(pr2Path, pr3Path, pr5Path, pr6Path, pr7Path, pr8Path, pr9Path string, t
 	// --- Uncertainty-calibration gate -------------------------------------
 	if pr9Path != "" {
 		if err := gatePR9(env, pr9Path); err != nil {
+			return err
+		}
+	}
+
+	// --- Route-level ETA gate ---------------------------------------------
+	if pr10Path != "" {
+		if err := gatePR10(env, pr10Path); err != nil {
 			return err
 		}
 	}

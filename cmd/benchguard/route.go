@@ -1,0 +1,116 @@
+// The PR-10 route-level ETA gate: validate the recorded BENCH_PR10.json
+// invariants — at the 90% serving level the route-level conformal interval's
+// empirical coverage sits within the binomial tolerance band of nominal at
+// every recorded probe density, and the route-aware OCS objective's realized
+// ETA variance is strictly below the correlation objective's at every
+// recorded budget — then re-run a fresh coverage sweep and objective
+// ablation on the current tree. Every number is fully seeded, so a drifted
+// delta-method integration, a broken sensitivity weighting or a mis-wired
+// RouteVar selector fails CI exactly, not statistically.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/stattest"
+)
+
+// routeGateLevel is the nominal level the gate judges: the serving default.
+const routeGateLevel = 0.9
+
+// pr10Report is the subset of the BENCH_PR10.json schema the gate reads.
+type pr10Report struct {
+	Pairs       int   `json:"od_pairs"`
+	ScoredSlots int   `json:"scored_slots"`
+	Densities   []int `json:"probe_densities"`
+	Budgets     []int `json:"budgets"`
+	Cells       []struct {
+		Probes   int     `json:"probes"`
+		Level    float64 `json:"level"`
+		Coverage float64 `json:"coverage"`
+		N        int     `json:"n"`
+	} `json:"cells"`
+	RouteOCS []struct {
+		Budget      int     `json:"budget"`
+		HybridVar   float64 `json:"hybrid_var"`
+		RouteVarVar float64 `json:"routevar_var"`
+	} `json:"route_ocs"`
+}
+
+// gatePR10 checks the recorded route baseline and re-runs it fresh.
+func gatePR10(env *experiments.Env, path string) error {
+	var base pr10Report
+	if err := loadJSON(path, &base); err != nil {
+		return err
+	}
+	if len(base.Densities) < 2 {
+		return fmt.Errorf("%s: %d probe densities recorded, want ≥ 2", path, len(base.Densities))
+	}
+	if base.Pairs < 2 {
+		return fmt.Errorf("%s: %d OD pairs recorded, want ≥ 2", path, base.Pairs)
+	}
+
+	// Recorded coverage at the serving level, every density in-band.
+	judged := 0
+	for _, c := range base.Cells {
+		if c.Level != routeGateLevel {
+			continue
+		}
+		judged++
+		if err := stattest.CheckCoverage(c.Coverage, c.Level, c.N, false); err != nil {
+			return fmt.Errorf("%s: route coverage at %d probes: %w", path, c.Probes, err)
+		}
+	}
+	if judged < len(base.Densities) {
+		return fmt.Errorf("%s: %d cells recorded at level %.2f, want %d",
+			path, judged, routeGateLevel, len(base.Densities))
+	}
+	if len(base.RouteOCS) == 0 {
+		return fmt.Errorf("%s: no route-OCS rows recorded", path)
+	}
+	for _, r := range base.RouteOCS {
+		if !(r.RouteVarVar < r.HybridVar) {
+			return fmt.Errorf("%s: budget %d: route-aware objective not strictly better (%.6f ≥ %.6f)",
+				path, r.Budget, r.RouteVarVar, r.HybridVar)
+		}
+	}
+	fmt.Printf("benchguard: route baseline %d coverage cells at level %.2f in-band, routevar beats corr at %d budgets — ok\n",
+		judged, routeGateLevel, len(base.RouteOCS))
+
+	// Fresh runs on the current tree at the recorded configuration:
+	// deterministic, so any drift fails hard.
+	cov, err := experiments.RouteETACoverage(env, base.Pairs, base.Densities,
+		[]float64{routeGateLevel}, base.ScoredSlots)
+	if err != nil {
+		return fmt.Errorf("route coverage smoke: %w", err)
+	}
+	for _, c := range cov.Cells {
+		verdict := stattest.CheckCoverage(c.Coverage, c.Level, c.N, false)
+		fmt.Printf("benchguard: route smoke coverage at %2d probes: %.4f (n=%d) — %s\n",
+			c.Probes, c.Coverage, c.N, passFail(verdict == nil))
+		if verdict != nil {
+			return fmt.Errorf("fresh route coverage at %d probes: %v", c.Probes, verdict)
+		}
+	}
+	budgets := base.Budgets
+	if len(budgets) == 0 {
+		for _, r := range base.RouteOCS {
+			budgets = append(budgets, r.Budget)
+		}
+	}
+	rows, err := experiments.RouteOCSAblation(env, base.Pairs, budgets, theta)
+	if err != nil {
+		return fmt.Errorf("route OCS smoke: %w", err)
+	}
+	for _, r := range rows {
+		verdict := r.RouteVarVar < r.HybridVar
+		fmt.Printf("benchguard: route smoke OCS at budget %2d: corr %.4f vs routevar %.4f — %s\n",
+			r.Budget, r.HybridVar, r.RouteVarVar, passFail(verdict))
+		if !verdict {
+			return fmt.Errorf("fresh route OCS at budget %d: realized ETA variance %.6f ≥ correlation's %.6f",
+				r.Budget, r.RouteVarVar, r.HybridVar)
+		}
+	}
+	return nil
+}

@@ -45,6 +45,20 @@
 // written as BENCH_PR8.json for the benchguard -pr8 gate:
 //
 //	rtsebench -temporal [-temporal-slots 12] [-temporal-probes 4,12,24] [-temporal-horizon 4] [-out BENCH_PR8.json]
+//
+// The -calib flag runs the PR-9 uncertainty-calibration harness instead:
+// the interval-coverage sweep (densities × tiers × levels) plus the
+// variance-minimizing OCS ablation, written as BENCH_PR9.json for the
+// benchguard -pr9 gate:
+//
+//	rtsebench -calib [-calib-slots 6] [-calib-densities 4,8,16] [-calib-budgets 3,5,8] [-out BENCH_PR9.json]
+//
+// The -route flag runs the PR-10 route-level ETA harness instead: the
+// route-coverage sweep (OD-pair fleet, route-level conformal scale,
+// densities × levels) plus the route-aware OCS objective ablation, written
+// as BENCH_PR10.json for the benchguard -pr10 gate:
+//
+//	rtsebench -route [-route-pairs 6] [-route-slots 6] [-route-densities 8,16] [-route-budgets 5,10,20] [-out BENCH_PR10.json]
 package main
 
 import (
@@ -84,11 +98,35 @@ func main() {
 	temporalProbes := flag.String("temporal-probes", "4,12,24", "comma-separated probe-sparsity levels for -temporal (sparsest first)")
 	temporalHorizon := flag.Int("temporal-horizon", 4, "forecast fan depth for -temporal")
 	calib := flag.Bool("calib", false, "run the uncertainty-calibration harness instead of the experiment suite")
+	routeMode := flag.Bool("route", false, "run the route-level ETA harness instead of the experiment suite")
+	routePairs := flag.Int("route-pairs", 6, "OD pairs in the -route fleet")
+	routeSlots := flag.Int("route-slots", 6, "scored slots per evaluation day for -route (twice as many are walked)")
+	routeDensities := flag.String("route-densities", "8,16", "comma-separated probe densities for -route")
+	routeBudgets := flag.String("route-budgets", "5,10,20", "comma-separated OCS budgets for the -route objective ablation")
 	calibSlots := flag.Int("calib-slots", 6, "scored slots per evaluation day for -calib (twice as many are walked)")
 	calibDensities := flag.String("calib-densities", "4,8,16", "comma-separated probe densities for -calib")
 	calibBudgets := flag.String("calib-budgets", "3,5,8", "comma-separated OCS budgets for the -calib objective ablation")
 	out := flag.String("out", "", "output path for the -qps / -lifecycle / -batch / -load / -metro / -temporal / -calib JSON report (defaults per mode)")
 	flag.Parse()
+	if *routeMode {
+		path := *out
+		if path == "" {
+			path = "BENCH_PR10.json"
+		}
+		densities, err := parseClients(*routeDensities)
+		if err == nil {
+			var budgets []int
+			budgets, err = parseClients(*routeBudgets)
+			if err == nil {
+				err = runRoute(*paper, *routePairs, *routeSlots, densities, budgets, path)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtsebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *calib {
 		path := *out
 		if path == "" {

@@ -456,6 +456,10 @@ func selectDigest(req SelectRequest) uint64 {
 	for _, r := range req.WorkerRoads {
 		writeU64(h, uint64(r))
 	}
+	writeU64(h, uint64(len(req.Weights)))
+	for _, w := range req.Weights {
+		writeU64(h, math.Float64bits(w))
+	}
 	return h.Sum64()
 }
 

@@ -265,6 +265,12 @@ const (
 	// queried roads' posterior variance most, instead of where the
 	// periodicity-weighted correlation is highest.
 	VarMin
+	// RouteVar is Hybrid-Greedy under the route-aware weighted-variance
+	// objective (ocs.ObjRouteVar): each queried road carries a travel-time
+	// sensitivity weight from a planned route, so the budget goes where
+	// conditioning most shrinks the route's ETA variance. Requires
+	// SelectRequest.Weights.
+	RouteVar
 )
 
 // String returns the selector name as used in the paper's figures.
@@ -280,6 +286,8 @@ func (s Selector) String() string {
 		return "Rand"
 	case VarMin:
 		return "VarMin"
+	case RouteVar:
+		return "RouteVar"
 	default:
 		return fmt.Sprintf("Selector(%d)", int(s))
 	}
@@ -299,6 +307,10 @@ type SelectRequest struct {
 	Selector Selector
 	// Seed drives the Random selector.
 	Seed int64
+	// Weights is the per-road importance vector of the RouteVar selector
+	// (road-id indexed, length N; see ocs.Problem.Weights). Ignored by the
+	// other selectors.
+	Weights []float64
 }
 
 // Select solves OCS for the request. Before the solve it pre-warms the slot
@@ -356,6 +368,10 @@ func (s *System) selectState(ctx context.Context, st *modelState, req SelectRequ
 		sol, err = ocs.HybridGreedy(p)
 	case VarMin:
 		p.Mode = ocs.ObjVarianceMin
+		sol, err = ocs.HybridGreedy(p)
+	case RouteVar:
+		p.Mode = ocs.ObjRouteVar
+		p.Weights = req.Weights
 		sol, err = ocs.HybridGreedy(p)
 	case Ratio:
 		sol, err = ocs.RatioGreedy(p)

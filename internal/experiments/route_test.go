@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stattest"
+)
+
+// TestRoutePairsDeterministic: the OD fleet is a pure function of the seed.
+func TestRoutePairsDeterministic(t *testing.T) {
+	env := calibEnv(t)
+	a := RoutePairs(env, 6)
+	b := RoutePairs(env, 6)
+	if len(a) != 6 {
+		t.Fatalf("drew %d pairs, want 6", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pair %d differs across draws: %v vs %v", i, a[i], b[i])
+		}
+		if a[i].Src == a[i].Dst {
+			t.Errorf("degenerate pair %v", a[i])
+		}
+	}
+}
+
+// TestRouteETACoverageGolden is the PR 10 honesty claim: at the 90% serving
+// level the route-level conformal interval's empirical coverage sits within
+// the binomial tolerance band of nominal. Fully seeded — an exact
+// regression, not a statistical hope.
+func TestRouteETACoverageGolden(t *testing.T) {
+	env := calibEnv(t)
+	res, err := RouteETACoverage(env, 6, []int{8, 16}, goldenLevels, goldenSlots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RouteScale <= 0 {
+		t.Fatalf("route scale = %v", res.RouteScale)
+	}
+	if want := 2 * len(goldenLevels); len(res.Cells) != want {
+		t.Fatalf("%d cells, want %d", len(res.Cells), want)
+	}
+	for _, c := range res.Cells {
+		if c.N == 0 || c.MeanWidth <= 0 {
+			t.Errorf("cell %d/%.2f: n=%d width=%v", c.Probes, c.Level, c.N, c.MeanWidth)
+		}
+		if c.Level == 0.9 {
+			if err := stattest.CheckCoverage(c.Coverage, c.Level, c.N, false); err != nil {
+				t.Errorf("route coverage at %d probes: %v", c.Probes, err)
+			}
+		}
+	}
+}
+
+// TestRouteOCSAblationGolden: the route-aware objective strictly beats the
+// correlation objective on realized ETA variance at equal budget — the
+// geometric claim of the RouteVar selector.
+func TestRouteOCSAblationGolden(t *testing.T) {
+	env := calibEnv(t)
+	rows, err := RouteOCSAblation(env, 6, []int{5, 10, 20}, 0.92)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.HybridVar <= 0 || r.RouteVarVar <= 0 {
+			t.Fatalf("budget %d: degenerate variances %v / %v", r.Budget, r.HybridVar, r.RouteVarVar)
+		}
+		if r.RouteVarVar >= r.HybridVar {
+			t.Errorf("budget %d: route-aware OCS (%v) not strictly below correlation OCS (%v)",
+				r.Budget, r.RouteVarVar, r.HybridVar)
+		}
+	}
+}
+
+func TestRenderRoute(t *testing.T) {
+	env := calibEnv(t)
+	res, err := RouteETACoverage(env, 4, []int{8}, []float64{0.9}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	RenderRouteCoverage(&sb, res)
+	if !strings.Contains(sb.String(), "Route ETA coverage") {
+		t.Error("coverage render missing header")
+	}
+	rows, err := RouteOCSAblation(env, 4, []int{5}, 0.92)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	RenderRouteOCS(&sb, rows)
+	if !strings.Contains(sb.String(), "routevar") {
+		t.Error("OCS render missing column")
+	}
+}

@@ -43,12 +43,23 @@ const (
 	// set that maximally shrinks Σ posterior variance at equal budget —
 	// uncertainty-first selection for calibrated serving (PR 9).
 	ObjVarianceMin
+	// ObjRouteVar is ObjVarianceMin with per-road importance weights:
+	// Σ w_qi · σ_qi² · max_{r∈R^c} corr²(qi, r). For a route-level ETA the
+	// weight is the squared travel-time sensitivity of the road on the
+	// requested path ((∂τ/∂v)² = (60·L/v²)², delta method), so the greedy
+	// spends probe budget where conditioning most shrinks the ETA variance —
+	// a long, slow, uncertain segment outranks a short certain one even at
+	// equal correlation. Requires Problem.Weights.
+	ObjRouteVar
 )
 
 // String names the mode for logs and reports.
 func (m Mode) String() string {
-	if m == ObjVarianceMin {
+	switch m {
+	case ObjVarianceMin:
 		return "VarianceMin"
+	case ObjRouteVar:
+		return "RouteVar"
 	}
 	return "Correlation"
 }
@@ -64,9 +75,16 @@ type Problem struct {
 	Sigma   []float64
 	Oracle  corr.Source
 
-	// Mode selects the objective: ObjCorrelation (Eq. 13, default) or
-	// ObjVarianceMin (total posterior-variance reduction).
+	// Mode selects the objective: ObjCorrelation (Eq. 13, default),
+	// ObjVarianceMin (total posterior-variance reduction), or ObjRouteVar
+	// (weighted variance reduction; see Weights).
 	Mode Mode
+
+	// Weights holds the per-road importance weights of ObjRouteVar, indexed
+	// by road id like Sigma and Costs. Entries must be non-negative; roads
+	// off the requested route carry weight 0 and contribute nothing to the
+	// objective. Ignored under the other modes.
+	Weights []float64
 
 	// Parallel evaluates candidate marginal gains across a goroutine pool
 	// inside each greedy round (gains are independent given the incremental
@@ -122,8 +140,18 @@ func (p *Problem) Validate() error {
 	if p.Theta <= 0 || p.Theta > 1 {
 		return fmt.Errorf("ocs: θ = %v outside (0,1]", p.Theta)
 	}
-	if p.Mode > ObjVarianceMin {
+	if p.Mode > ObjRouteVar {
 		return fmt.Errorf("ocs: unknown objective mode %d", p.Mode)
+	}
+	if p.Mode == ObjRouteVar {
+		if len(p.Weights) != len(p.Sigma) {
+			return fmt.Errorf("ocs: %d route weights for %d sigmas", len(p.Weights), len(p.Sigma))
+		}
+		for r, w := range p.Weights {
+			if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("ocs: route weight %v for road %d must be finite and non-negative", w, r)
+			}
+		}
 	}
 	if len(p.Query) == 0 {
 		return fmt.Errorf("ocs: empty query")
@@ -168,8 +196,11 @@ type Solution struct {
 // set: Eq. (13) under ObjCorrelation, total posterior-variance reduction
 // under ObjVarianceMin.
 func (p *Problem) Objective(set []int) float64 {
-	if p.Mode == ObjVarianceMin {
+	switch p.Mode {
+	case ObjVarianceMin:
 		return p.VarianceReduction(set)
+	case ObjRouteVar:
+		return p.WeightedVarianceReduction(set, p.Weights)
 	}
 	return p.Oracle.WeightedCorr(p.Query, p.Sigma, set)
 }
@@ -190,6 +221,33 @@ func (p *Problem) VarianceReduction(set []int) float64 {
 			}
 		}
 		total += p.Sigma[q] * p.Sigma[q] * best
+	}
+	return total
+}
+
+// WeightedVarianceReduction is the ObjRouteVar objective for an arbitrary
+// set under explicit per-road weights (indexed by road id):
+// Σ_{qi} w_qi · σ_qi² · max_{r∈set} corr²(qi, r). Like VarianceReduction it
+// is evaluable regardless of the instance's mode, so the route-OCS ablation
+// can score a correlation selection on the ETA-variance axis.
+func (p *Problem) WeightedVarianceReduction(set []int, weights []float64) float64 {
+	var total float64
+	for _, q := range p.Query {
+		wq := 0.0
+		if q < len(weights) {
+			wq = weights[q]
+		}
+		if wq == 0 {
+			continue
+		}
+		row := p.Oracle.CorrRow(q)
+		best := 0.0
+		for _, r := range set {
+			if c2 := row[r] * row[r]; c2 > best {
+				best = c2
+			}
+		}
+		total += wq * p.Sigma[q] * p.Sigma[q] * best
 	}
 	return total
 }
@@ -240,9 +298,10 @@ type greedyState struct {
 	tab      *corr.Table
 	best     []float64
 	// w[qi] is the query road's objective weight: σ under ObjCorrelation,
-	// σ² under ObjVarianceMin.
-	w        []float64
-	varmin   bool
+	// σ² under ObjVarianceMin, w·σ² under ObjRouteVar.
+	w []float64
+	// squared selects the corr² per-candidate score (both variance modes).
+	squared  bool
 	selected []int
 	// selRows[i] is the cached correlation row of selected[i], so the θ
 	// check in redundant() is a slice index instead of an oracle call per
@@ -255,16 +314,19 @@ type greedyState struct {
 
 func newGreedyState(p *Problem) *greedyState {
 	s := &greedyState{
-		p:      p,
-		tab:    p.Oracle.BuildTable(p.Query),
-		best:   make([]float64, len(p.Query)),
-		w:      make([]float64, len(p.Query)),
-		varmin: p.Mode == ObjVarianceMin,
+		p:       p,
+		tab:     p.Oracle.BuildTable(p.Query),
+		best:    make([]float64, len(p.Query)),
+		w:       make([]float64, len(p.Query)),
+		squared: p.Mode != ObjCorrelation,
 	}
 	for qi, q := range p.Query {
-		if s.varmin {
+		switch p.Mode {
+		case ObjVarianceMin:
 			s.w[qi] = p.Sigma[q] * p.Sigma[q]
-		} else {
+		case ObjRouteVar:
+			s.w[qi] = p.Weights[q] * p.Sigma[q] * p.Sigma[q]
+		default:
 			s.w[qi] = p.Sigma[q]
 		}
 	}
@@ -275,7 +337,7 @@ func newGreedyState(p *Problem) *greedyState {
 // mode: raw correlation, or squared correlation for variance reduction.
 func (s *greedyState) score(qi, r int) float64 {
 	c := s.tab.Corr(qi, r)
-	if s.varmin {
+	if s.squared {
 		return c * c
 	}
 	return c
@@ -514,9 +576,10 @@ func HybridGreedy(p *Problem) (Solution, error) {
 		return Solution{}, err
 	}
 	start := p.solveStart()
-	// Remark 2's shortcut reasons about raw correlations; under
-	// ObjVarianceMin run the general greedy passes (argmax corr and argmax
-	// corr² disagree when correlations go negative).
+	// Remark 2's shortcut reasons about raw correlations; under the
+	// variance modes run the general greedy passes (argmax corr and argmax
+	// corr² disagree when correlations go negative, and route weights skew
+	// the per-query best pick).
 	if p.Mode == ObjCorrelation {
 		if sol, ok := trivialCase(p); ok {
 			p.observeSolve(start, &sol)

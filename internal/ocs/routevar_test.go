@@ -1,0 +1,155 @@
+package ocs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWeightedVarianceReduction pins the ObjRouteVar objective on the same
+// hand-checked path as TestVarianceReduction, with weights scaling the query
+// road's contribution.
+func TestWeightedVarianceReduction(t *testing.T) {
+	p, _ := pathProblem(t, []float64{0.8, 0.5})
+	p.Query = []int{0}
+	p.Workers = []int{1, 2}
+	p.Mode = ObjRouteVar
+	p.Weights = []float64{2.5, 0, 0}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c1 := p.Oracle.Corr(0, 1)
+	want := 2.5 * c1 * c1 // w_0 · σ_0² · corr²
+	if got := p.WeightedVarianceReduction([]int{1}, p.Weights); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("WeightedVarianceReduction({1}) = %v, want %v", got, want)
+	}
+	if got := p.Objective([]int{1}); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Objective in routevar mode = %v, want %v", got, want)
+	}
+}
+
+// TestRouteVarValidation: routevar mode demands a weight vector shaped like
+// Sigma with finite non-negative entries.
+func TestRouteVarValidation(t *testing.T) {
+	mk := func() *Problem {
+		p, _ := pathProblem(t, []float64{0.8, 0.5})
+		p.Query = []int{0}
+		p.Workers = []int{1, 2}
+		p.Mode = ObjRouteVar
+		p.Weights = []float64{1, 0, 0}
+		return p
+	}
+	if err := mk().Validate(); err != nil {
+		t.Fatalf("valid routevar problem rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Problem)
+	}{
+		{"nil weights", func(q *Problem) { q.Weights = nil }},
+		{"short weights", func(q *Problem) { q.Weights = []float64{1} }},
+		{"negative weight", func(q *Problem) { q.Weights[0] = -1 }},
+		{"NaN weight", func(q *Problem) { q.Weights[0] = math.NaN() }},
+		{"Inf weight", func(q *Problem) { q.Weights[0] = math.Inf(1) }},
+	}
+	for _, tc := range cases {
+		p := mk()
+		tc.mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestRouteVarSelectsForSensitivity: with equal correlations and equal σ, the
+// route-aware objective must probe the proxy of the query road whose travel
+// time is most sensitive — the road the plain varmin objective is
+// indifferent about.
+func TestRouteVarSelectsForSensitivity(t *testing.T) {
+	// Path 0-1-2-3: query {0, 3}, workers {1, 2}, budget 1.
+	// corr(0,1) = corr(2,3) = 0.8; σ identical; weight of road 3 dominates.
+	p, _ := pathProblem(t, []float64{0.8, 0.1, 0.8})
+	p.Query = []int{0, 3}
+	p.Workers = []int{1, 2}
+	p.Budget = 1
+	p.Theta = 0.95
+	p.Mode = ObjRouteVar
+	p.Weights = []float64{1, 0, 0, 50}
+
+	sol, err := HybridGreedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Roads) != 1 || sol.Roads[0] != 2 {
+		t.Fatalf("routevar picked %v, want road 2 (covers the sensitive query road 3)", sol.Roads)
+	}
+	if want := p.WeightedVarianceReduction(sol.Roads, p.Weights); math.Abs(sol.Value-want) > 1e-12 {
+		t.Fatalf("solution value %v != WeightedVarianceReduction %v", sol.Value, want)
+	}
+	// Flip the weights and the pick must flip with them.
+	p.Weights = []float64{50, 0, 0, 1}
+	sol, err = HybridGreedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Roads) != 1 || sol.Roads[0] != 1 {
+		t.Fatalf("flipped weights picked %v, want road 1", sol.Roads)
+	}
+}
+
+// TestRouteVarGreedyNearExhaustive: the weighted objective keeps the monotone
+// submodular max-coverage form, so the hybrid bound must hold on random
+// instances with random weights.
+func TestRouteVarGreedyNearExhaustive(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		p := randomInstance(seed, 12)
+		p.Mode = ObjRouteVar
+		p.Weights = make([]float64, len(p.Sigma))
+		for i := range p.Weights {
+			// Deterministic pseudo-weights, a few roads weightless.
+			p.Weights[i] = float64((int(seed)+i*7)%5) * 0.3
+		}
+		opt, err := Exhaustive(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := HybridGreedy(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.Value <= 0 {
+			continue
+		}
+		if ratio := sol.Value / opt.Value; ratio < ApproxRatioBound-1e-9 {
+			t.Fatalf("seed %d: routevar hybrid %v / optimum %v = %v below bound %v",
+				seed, sol.Value, opt.Value, ratio, ApproxRatioBound)
+		}
+		if !p.Feasible(sol.Roads) {
+			t.Fatalf("seed %d: infeasible routevar selection %v", seed, sol.Roads)
+		}
+	}
+}
+
+// TestRouteVarValueConsistency: incremental greedy value equals the
+// from-scratch objective of the final set.
+func TestRouteVarValueConsistency(t *testing.T) {
+	for seed := int64(40); seed < 50; seed++ {
+		p := randomInstance(seed, 16)
+		p.Mode = ObjRouteVar
+		p.Weights = make([]float64, len(p.Sigma))
+		for i := range p.Weights {
+			p.Weights[i] = 0.1 + float64(i%4)
+		}
+		for name, solve := range map[string]func(*Problem) (Solution, error){
+			"ratio": RatioGreedy, "objective": ObjectiveGreedy, "hybrid": HybridGreedy,
+		} {
+			sol, err := solve(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := p.WeightedVarianceReduction(sol.Roads, p.Weights)
+			if math.Abs(sol.Value-want) > 1e-9 {
+				t.Fatalf("seed %d %s: value %v != objective %v", seed, name, sol.Value, want)
+			}
+		}
+	}
+}

@@ -54,13 +54,22 @@ var envelopeCases = []envelopeCase{
 	{route: "select", method: http.MethodPost, path: "/v1/select", body: `{"slot":102,"roads":[1],"budget":5,"theta":0.9}`, status: http.StatusConflict, code: "conflict"},
 	{route: "select", method: http.MethodPost, path: "/v1/select", body: `{"slot":102,"selector":"Bogus"}`, status: http.StatusBadRequest, code: "bad_request"},
 	{route: "estimate", method: http.MethodDelete, path: "/v1/estimate", status: http.StatusMethodNotAllowed, code: "method_not_allowed"},
-	{route: "estimate", method: http.MethodGet, path: "/v1/estimate?slot=notanumber", status: http.StatusBadRequest, code: "bad_request"},
+	{route: "estimate", method: http.MethodGet, path: "/v1/estimate?slot=10", status: http.StatusMethodNotAllowed, code: "method_not_allowed"},
 	{route: "estimate", method: http.MethodPost, path: "/v1/estimate", body: `{"slot":999999}`, status: http.StatusBadRequest, code: "bad_request"},
 	{route: "estimate", method: http.MethodPost, path: "/v1/estimate", body: `{"slot":10,"observed":{"nope":1}}`, status: http.StatusBadRequest, code: "bad_request"},
 	{route: "query", method: http.MethodGet, path: "/v1/query", status: http.StatusMethodNotAllowed, code: "method_not_allowed"},
 	{route: "query", method: http.MethodPost, path: "/v1/query", body: `{"queries":[]}`, status: http.StatusBadRequest, code: "bad_request"},
 	{route: "query", method: http.MethodPost, path: "/v1/query", body: `{"queries":[{"slot":10},{"slot":999999}]}`, status: http.StatusBadRequest, code: "bad_request"},
 	{route: "forecast", method: http.MethodGet, path: "/v1/forecast", status: http.StatusMethodNotAllowed, code: "method_not_allowed"},
+	{route: "index", method: http.MethodPost, path: "/v1/", body: `{}`, status: http.StatusMethodNotAllowed, code: "method_not_allowed"},
+	{route: "index", method: http.MethodGet, path: "/v1/nosuchendpoint", status: http.StatusNotFound, code: "not_found"},
+	{route: "route", method: http.MethodGet, path: "/v1/route", status: http.StatusMethodNotAllowed, code: "method_not_allowed"},
+	{route: "route", method: http.MethodPost, path: "/v1/route", body: `{not json`, status: http.StatusBadRequest, code: "bad_request"},
+	{route: "route", method: http.MethodPost, path: "/v1/route", body: `{"slot":102,"src":-1,"dst":3}`, status: http.StatusBadRequest, code: "bad_request"},
+	{route: "route", method: http.MethodPost, path: "/v1/route", body: `{"slot":102,"src":0,"dst":99999}`, status: http.StatusBadRequest, code: "bad_request"},
+	{route: "route", method: http.MethodPost, path: "/v1/route", body: `{"slot":102,"src":0,"dst":3,"horizon":99}`, status: http.StatusBadRequest, code: "bad_request"},
+	{route: "route", method: http.MethodPost, path: "/v1/route", body: `{"slot":102,"src":0,"dst":3,"depart_minute":5000}`, status: http.StatusBadRequest, code: "bad_request"},
+	{route: "route", method: http.MethodPost, path: "/v1/route", body: `{"slot":102,"src":0,"dst":3,"objective":"Bogus"}`, status: http.StatusBadRequest, code: "bad_request"},
 	{route: "forecast", method: http.MethodPost, path: "/v1/forecast", body: `{"slot":999999,"horizon":2}`, status: http.StatusBadRequest, code: "bad_request"},
 	{route: "forecast", method: http.MethodPost, path: "/v1/forecast", body: `{"slot":10,"horizon":99}`, status: http.StatusBadRequest, code: "bad_request"},
 	{route: "forecast", method: http.MethodPost, path: "/v1/forecast", body: `{"slot":10,"horizon":2,"roads":[99999]}`, status: http.StatusBadRequest, code: "bad_request"},
@@ -174,56 +183,6 @@ func TestRequestIDEcho(t *testing.T) {
 	resp2.Body.Close()
 	if resp2.Header.Get("X-Request-ID") == "" {
 		t.Error("success response missing minted X-Request-ID")
-	}
-}
-
-// TestEstimateGetPostParity: the deprecated GET alias and the POST body form
-// must return identical estimates, and GET must flag its deprecation.
-func TestEstimateGetPostParity(t *testing.T) {
-	ts, _, h := newTestServer(t)
-	// Feed some reports so the estimate carries signal.
-	for _, road := range []int{2, 7, 11} {
-		resp := postJSON(t, ts.URL+"/v1/report", map[string]interface{}{
-			"road": road, "slot": 40, "speed": h.At(0, 40, road),
-		})
-		resp.Body.Close()
-	}
-
-	get, err := http.Get(ts.URL + "/v1/estimate?slot=40&roads=1,2,3")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if get.Header.Get("Deprecation") != "true" {
-		t.Error("GET alias missing Deprecation header")
-	}
-	var fromGet estimateResponse
-	decode(t, get, &fromGet)
-
-	post := postJSON(t, ts.URL+"/v1/estimate", map[string]interface{}{
-		"slot": 40, "roads": []int{1, 2, 3},
-	})
-	if post.Header.Get("Deprecation") != "" {
-		t.Error("POST form carries Deprecation header")
-	}
-	var fromPost estimateResponse
-	decode(t, post, &fromPost)
-
-	if len(fromGet.Estimates) != 3 || len(fromPost.Estimates) != 3 {
-		t.Fatalf("estimate sizes: GET %d, POST %d", len(fromGet.Estimates), len(fromPost.Estimates))
-	}
-	for id, want := range fromGet.Estimates {
-		got, ok := fromPost.Estimates[id]
-		if !ok {
-			t.Fatalf("POST estimate missing road %s", id)
-		}
-		// Identical within the GSP ε (the POST run may warm-start from the
-		// GET run's field).
-		if math.Abs(got-want) > 1e-2 {
-			t.Errorf("road %s: GET %v, POST %v", id, want, got)
-		}
-	}
-	if fromGet.Observed != fromPost.Observed {
-		t.Errorf("observed: GET %d, POST %d", fromGet.Observed, fromPost.Observed)
 	}
 }
 

@@ -22,7 +22,6 @@ import (
 	"strconv"
 
 	"repro/internal/stattest"
-	"repro/internal/tslot"
 )
 
 // maxForecastHorizon is K: the farthest slot ahead a forecast may reach
@@ -33,13 +32,12 @@ const maxForecastHorizon = 12
 // defaultForecastHorizon is used when the request omits the horizon.
 const defaultForecastHorizon = 3
 
+// forecastRequest is the shared road-set base (slot, roads, level) plus the
+// fan depth.
 type forecastRequest struct {
-	Slot  int   `json:"slot"`
-	Roads []int `json:"roads"`
+	RoadSetRequest
 	// Horizon is the number of slots to forecast ahead (1..12, default 3).
 	Horizon int `json:"horizon"`
-	// Level is the credible level for per-road intervals (default 0.9).
-	Level float64 `json:"level,omitempty"`
 }
 
 // forecastStepJSON is one horizon step of the fan: per-road mean, SD and
@@ -91,9 +89,10 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 // forecastOne validates and answers one forecast request against the live
 // filter. On error the returned status is the HTTP code to report.
 func (s *Server) forecastOne(req forecastRequest) (*forecastResponse, int, error) {
-	slot := tslot.Slot(req.Slot)
-	if !slot.Valid() {
-		return nil, http.StatusBadRequest, fmt.Errorf("slot %d out of range", req.Slot)
+	n := s.sys.Network().N()
+	slot, level, err := req.validate(n)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
 	}
 	k := req.Horizon
 	if k == 0 {
@@ -103,23 +102,7 @@ func (s *Server) forecastOne(req forecastRequest) (*forecastResponse, int, error
 		return nil, http.StatusBadRequest,
 			fmt.Errorf("horizon %d out of range (1..%d slots)", req.Horizon, maxForecastHorizon)
 	}
-	level, err := resolveLevel(req.Level)
-	if err != nil {
-		return nil, http.StatusBadRequest, err
-	}
-	n := s.sys.Network().N()
-	roads := req.Roads
-	for _, id := range roads {
-		if id < 0 || id >= n {
-			return nil, http.StatusBadRequest, fmt.Errorf("road %d out of range", id)
-		}
-	}
-	if len(roads) == 0 {
-		roads = make([]int, n)
-		for i := range roads {
-			roads[i] = i
-		}
-	}
+	roads := req.roadsOrAll(n)
 	filt := s.batcher.Temporal()
 	if filt == nil {
 		return nil, http.StatusConflict, fmt.Errorf("no temporal filter attached")

@@ -118,10 +118,7 @@ func TestEstimateDegradedFlag(t *testing.T) {
 		Degraded      bool `json:"degraded"`
 		FallbackPrior bool `json:"fallback_prior"`
 	}
-	resp, err := http.Get(ts.URL + "/v1/estimate?slot=100&roads=1,2")
-	if err != nil {
-		t.Fatal(err)
-	}
+	resp := postJSON(t, ts.URL+"/v1/estimate", map[string]interface{}{"slot": 100, "roads": []int{1, 2}})
 	decode(t, resp, &est)
 	if !est.Degraded || !est.FallbackPrior || est.Observed != 0 {
 		t.Errorf("prior-only estimate not degraded: %+v", est)
@@ -131,10 +128,7 @@ func TestEstimateDegradedFlag(t *testing.T) {
 	postJSON(t, ts.URL+"/v1/report", map[string]interface{}{
 		"road": 1, "slot": 100, "speed": 42.0,
 	}).Body.Close()
-	resp, err = http.Get(ts.URL + "/v1/estimate?slot=100&roads=1,2")
-	if err != nil {
-		t.Fatal(err)
-	}
+	resp = postJSON(t, ts.URL+"/v1/estimate", map[string]interface{}{"slot": 100, "roads": []int{1, 2}})
 	decode(t, resp, &est)
 	if est.Degraded || est.FallbackPrior || est.Observed != 1 {
 		t.Errorf("observed estimate still degraded: %+v", est)
@@ -144,7 +138,7 @@ func TestEstimateDegradedFlag(t *testing.T) {
 	var al struct {
 		Degraded bool `json:"degraded"`
 	}
-	resp, err = http.Get(ts.URL + "/v1/alerts?slot=200")
+	resp, err := http.Get(ts.URL + "/v1/alerts?slot=200")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,11 +217,7 @@ func TestConcurrentReportAndEstimate(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 10; i++ {
-				resp, err := http.Get(ts.URL + "/v1/estimate?slot=100")
-				if err != nil {
-					errs <- err
-					return
-				}
+				resp := postJSON(t, ts.URL+"/v1/estimate", map[string]interface{}{"slot": 100})
 				var est struct {
 					Estimates map[string]float64 `json:"estimates"`
 				}

@@ -83,14 +83,12 @@ func TestEstimateIntervalDefaults(t *testing.T) {
 	if out.Level != 0.9 {
 		t.Fatalf("default level %v, want 0.9", out.Level)
 	}
-	resp, err := http.Get(ts.URL + "/v1/estimate?slot=10&roads=1,2&level=0.75")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var getOut estimateResponse
-	decode(t, resp, &getOut)
-	if getOut.Level != 0.75 || len(getOut.Intervals) != 2 {
-		t.Fatalf("GET level %v intervals %d", getOut.Level, len(getOut.Intervals))
+	var out2 estimateResponse
+	decode(t, postJSON(t, ts.URL+"/v1/estimate", map[string]interface{}{
+		"slot": 10, "roads": []int{1, 2}, "level": 0.75,
+	}), &out2)
+	if out2.Level != 0.75 || len(out2.Intervals) != 2 {
+		t.Fatalf("level %v intervals %d", out2.Level, len(out2.Intervals))
 	}
 }
 

@@ -18,13 +18,12 @@ const (
 	MHTTPSeconds   = "crowdrtse_http_request_seconds"
 )
 
-// routes is the stable list of instrumented endpoints; anything else counts
-// under "other" (404s, scrapes of wrong paths) so the by-route counters stay
-// a closed set.
-var routes = []string{
-	"network", "workers", "report", "select", "estimate", "query",
-	"forecast", "subscribe", "alerts", "healthz", "model", "metrics", "pprof",
-}
+// routes is the stable list of instrumented endpoints, derived from the
+// apiTable inventory (api.go) so the metrics label set, GET /v1/ and the
+// route-inventory test cannot drift apart; anything else counts under
+// "other" (404s, scrapes of wrong paths) so the by-route counters stay a
+// closed set.
+var routes = routeLabels()
 
 // httpMetrics is the request-level instrument block: per-route request
 // counters, per-status-class response counters, an in-flight gauge and one
@@ -72,6 +71,8 @@ func (m *httpMetrics) class(status int) *obs.Counter {
 // routeName maps a request path to its instrument label.
 func routeName(path string) string {
 	switch {
+	case path == "/v1/":
+		return "index"
 	case len(path) > 4 && path[:4] == "/v1/":
 		return path[4:]
 	case len(path) >= 12 && path[:12] == "/debug/pprof":

@@ -99,10 +99,7 @@ func TestMetricsEndToEnd(t *testing.T) {
 	}
 	resp.Body.Close()
 	for i := 0; i < 2; i++ {
-		r2, err := http.Get(ts.URL + "/v1/estimate?slot=102&roads=1,2")
-		if err != nil {
-			t.Fatal(err)
-		}
+		r2 := postJSON(t, ts.URL+"/v1/estimate", map[string]interface{}{"slot": 102, "roads": []int{1, 2}})
 		if r2.StatusCode != http.StatusOK {
 			t.Fatalf("estimate = %d", r2.StatusCode)
 		}
@@ -194,7 +191,7 @@ func TestTraceLogEmission(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/estimate?slot=10", nil)
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/estimate", strings.NewReader(`{"slot":10}`))
 	req.Header.Set("X-Request-ID", "trace-me-42")
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {

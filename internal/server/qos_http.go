@@ -36,7 +36,7 @@ import (
 // controller.
 var qosRoutes = map[string]bool{
 	"select": true, "estimate": true, "query": true, "subscribe": true, "alerts": true,
-	"forecast": true,
+	"forecast": true, "route": true,
 }
 
 // admissionInfo travels with an admitted request through the context.
@@ -122,9 +122,10 @@ func (s *Server) withAdmission(next http.Handler) http.Handler {
 			class = qos.ClassInteractive
 		}
 		ai := &admissionInfo{Tenant: tenant}
-		if routeName(r.URL.Path) == "query" {
-			// Defer the token charge to handleQuery: the fair price is one
-			// token per batch entry, known only after the body parses.
+		if rn := routeName(r.URL.Path); rn == "query" || rn == "route" {
+			// Defer the token charge to the handler: the fair price is one
+			// token per batch entry (known after the body parses) or per
+			// route segment (known after the planner runs).
 			ai.Deferred = true
 			ai.Decision = qos.Decision{Tenant: tenant, Class: class}
 		} else {

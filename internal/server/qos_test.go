@@ -159,28 +159,31 @@ func TestQoSRateLimit429(t *testing.T) {
 	}
 }
 
-// TestQoSShedOnDeprecatedGetAlias pins satellite 2: a pressure shed on the
-// deprecated GET /v1/estimate alias carries the full envelope contract.
-func TestQoSShedOnDeprecatedGetAlias(t *testing.T) {
-	ts, _, fp := newQoSServer(t, qos.Config{})
-	fp.set(0.95) // past the batch shed threshold (0.92)
-	resp := doReq(t, http.MethodGet, ts.URL+"/v1/estimate?slot=10&roads=1,2", "",
-		map[string]string{"X-API-Key": "etl-key", "X-Request-ID": "alias-1"})
-	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("status %d, want 429", resp.StatusCode)
+// TestEstimateGetAliasRemoved pins the PR 10 sunset: the deprecated GET
+// /v1/estimate alias (Deprecation-headered since PR 5) is gone. GET now
+// answers 405 in the unified envelope, with no Deprecation header, and the
+// admitted POST form is unaffected.
+func TestEstimateGetAliasRemoved(t *testing.T) {
+	ts, _, _ := newQoSServer(t, qos.Config{})
+	hdr := map[string]string{"X-API-Key": "etl-key", "X-Request-ID": "alias-1"}
+	resp := doReq(t, http.MethodGet, ts.URL+"/v1/estimate?slot=10&roads=1,2", "", hdr)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Error("GET alias 429 missing Retry-After")
+	if resp.Header.Get("Deprecation") != "" {
+		t.Error("removed alias still advertises Deprecation")
 	}
 	env := decodeEnvelope(t, resp)
-	if env.Error.Code != "too_many_requests" {
+	if env.Error.Code != "method_not_allowed" {
 		t.Errorf("code %q", env.Error.Code)
 	}
 	if env.Error.RequestID != "alias-1" {
 		t.Errorf("request_id %q", env.Error.RequestID)
 	}
-	if !strings.Contains(env.Error.Message, "batch") {
-		t.Errorf("shed message does not name the class: %q", env.Error.Message)
+	post := doReq(t, http.MethodPost, ts.URL+"/v1/estimate", `{"slot":10,"roads":[1,2]}`, hdr)
+	post.Body.Close()
+	if post.StatusCode != http.StatusOK {
+		t.Errorf("POST form status %d", post.StatusCode)
 	}
 }
 

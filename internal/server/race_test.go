@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -69,9 +70,9 @@ func TestMetricsScrapeDuringHotSwapRace(t *testing.T) {
 						}
 					}
 				} else {
-					url := fmt.Sprintf("%s/v1/estimate?slot=%d&roads=%d,%d",
-						ts.URL, 50+(c+q)%8, c%40, (c+11)%40)
-					resp, err := http.Get(url)
+					body := fmt.Sprintf(`{"slot":%d,"roads":[%d,%d]}`,
+						50+(c+q)%8, c%40, (c+11)%40)
+					resp, err := http.Post(ts.URL+"/v1/estimate", "application/json", strings.NewReader(body))
 					if err != nil {
 						t.Errorf("client %d round %d: %v", c, q, err)
 						return

@@ -1,0 +1,291 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/network"
+	"repro/internal/qos"
+	"repro/internal/speedgen"
+)
+
+func TestRouteHappyPath(t *testing.T) {
+	ts, _, h := newTestServer(t)
+	// Feed some signal so the departure slot's field is not pure prior.
+	for _, road := range []int{0, 1, 2} {
+		postJSON(t, ts.URL+"/v1/report", map[string]interface{}{
+			"road": road, "slot": 102, "speed": h.At(0, 102, road),
+		}).Body.Close()
+	}
+	var out routeResponse
+	decode(t, postJSON(t, ts.URL+"/v1/route", map[string]interface{}{
+		"slot": 102, "src": 0, "dst": 30, "level": 0.9,
+	}), &out)
+	if len(out.Roads) < 2 || out.Roads[0] != 0 || out.Roads[len(out.Roads)-1] != 30 {
+		t.Fatalf("roads = %v", out.Roads)
+	}
+	if out.ETAMinutes <= 0 || out.ETASD <= 0 {
+		t.Fatalf("degenerate ETA: %v ± %v", out.ETAMinutes, out.ETASD)
+	}
+	if out.Interval.Lo >= out.ETAMinutes || out.Interval.Hi <= out.ETAMinutes {
+		t.Errorf("interval [%v, %v] does not bracket the mean %v", out.Interval.Lo, out.Interval.Hi, out.ETAMinutes)
+	}
+	if out.Level != 0.9 {
+		t.Errorf("level = %v", out.Level)
+	}
+	if len(out.Segments) != len(out.Roads)-1 {
+		t.Fatalf("%d segments for %d roads", len(out.Segments), len(out.Roads))
+	}
+	for _, seg := range out.Segments {
+		if seg.Provenance == "" {
+			t.Errorf("segment %d missing provenance", seg.Road)
+		}
+		if seg.Minutes <= 0 {
+			t.Errorf("segment %d non-positive minutes", seg.Road)
+		}
+	}
+	if out.Probes != nil {
+		t.Error("unbudgeted route returned probes")
+	}
+}
+
+func TestRouteProbes(t *testing.T) {
+	ts, sys, _ := newTestServer(t)
+	ws := make([]map[string]int, sys.Network().N())
+	for i := range ws {
+		ws[i] = map[string]int{"road": i}
+	}
+	postJSON(t, ts.URL+"/v1/workers", map[string]interface{}{"workers": ws}).Body.Close()
+
+	var out routeResponse
+	decode(t, postJSON(t, ts.URL+"/v1/route", map[string]interface{}{
+		"slot": 102, "src": 0, "dst": 30, "budget": 5,
+	}), &out)
+	if out.Probes == nil {
+		t.Fatal("budgeted route returned no probes")
+	}
+	if out.Probes.Objective != "RouteVar" {
+		t.Errorf("objective = %q, want RouteVar", out.Probes.Objective)
+	}
+	if len(out.Probes.Roads) == 0 || out.Probes.Cost > 5 {
+		t.Errorf("selection = %+v", out.Probes)
+	}
+	if out.Probes.Value <= 0 {
+		t.Errorf("projected ETA-variance reduction = %v", out.Probes.Value)
+	}
+	// The probes may land off the path — OCS picks correlated proxies — but
+	// they must be real roads.
+	for _, r := range out.Probes.Roads {
+		if r < 0 || r >= sys.Network().N() {
+			t.Errorf("probe road %d out of range", r)
+		}
+	}
+}
+
+// TestRouteDisconnectedPair: a two-component network answers 400 for an O/D
+// pair that no path joins.
+func TestRouteDisconnectedPair(t *testing.T) {
+	g := graph.New(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {3, 4}, {4, 5}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	roads := make([]network.Road, 6)
+	for i := range roads {
+		roads[i].LengthKM = 1
+	}
+	net, err := network.New(g, roads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := speedgen.Generate(net, speedgen.Default(4, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.Train(net, h, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(sys).Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/route", map[string]interface{}{
+		"slot": 10, "src": 0, "dst": 5,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("disconnected pair status = %d, want 400", resp.StatusCode)
+	}
+	env := decodeEnvelope(t, resp)
+	if env.Error.Code != "bad_request" {
+		t.Errorf("code = %q", env.Error.Code)
+	}
+	if !strings.Contains(env.Error.Message, "no route") {
+		t.Errorf("message %q does not explain the disconnection", env.Error.Message)
+	}
+	// The same pair inside one component works.
+	ok := postJSON(t, ts.URL+"/v1/route", map[string]interface{}{
+		"slot": 10, "src": 3, "dst": 5,
+	})
+	ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Errorf("in-component route status = %d", ok.StatusCode)
+	}
+}
+
+// TestRouteQuotaPriced429: a budgeted route draws the probe budget from the
+// same per-tenant quota as /v1/select — exhaustion is a 429 with Retry-After.
+func TestRouteQuotaPriced429(t *testing.T) {
+	ts, srv, _ := newQoSServer(t, qos.Config{
+		Tenants: []qos.TenantConfig{
+			{Key: "maps-key", Name: "maps", Class: qos.ClassInteractive, ProbeQuota: 8},
+		},
+	})
+	ws := make([]map[string]int, 50)
+	for i := range ws {
+		ws[i] = map[string]int{"road": i}
+	}
+	doReq(t, http.MethodPost, ts.URL+"/v1/workers",
+		mustJSON(t, map[string]interface{}{"workers": ws}), nil).Body.Close()
+	_ = srv
+
+	hdr := map[string]string{"X-API-Key": "maps-key"}
+	body := mustJSON(t, map[string]interface{}{"slot": 102, "src": 0, "dst": 30, "budget": 6})
+	first := doReq(t, http.MethodPost, ts.URL+"/v1/route", body, hdr)
+	first.Body.Close()
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("first budgeted route = %d", first.StatusCode)
+	}
+	second := doReq(t, http.MethodPost, ts.URL+"/v1/route", body, hdr)
+	if second.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("quota-breaching route = %d, want 429", second.StatusCode)
+	}
+	if second.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+	env := decodeEnvelope(t, second)
+	if env.Error.Code != "too_many_requests" {
+		t.Errorf("code = %q", env.Error.Code)
+	}
+	if !strings.Contains(env.Error.Message, "quota") {
+		t.Errorf("message %q does not name the quota", env.Error.Message)
+	}
+}
+
+// TestRouteChargedPerSegment: cost-aware admission — a k-segment route costs
+// k tokens, so a tight bucket admits a short trip and sheds a long one.
+func TestRouteChargedPerSegment(t *testing.T) {
+	ts, _, _ := newQoSServer(t, qos.Config{
+		Tenants: []qos.TenantConfig{
+			{Key: "maps-key", Name: "maps", Class: qos.ClassInteractive, RatePerSec: 0.001, Burst: 3},
+		},
+	})
+	hdr := map[string]string{"X-API-Key": "maps-key"}
+	long := doReq(t, http.MethodPost, ts.URL+"/v1/route",
+		mustJSON(t, map[string]interface{}{"slot": 102, "src": 0, "dst": 30}), hdr)
+	long.Body.Close()
+	if long.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("long route through a 3-token bucket = %d, want 429", long.StatusCode)
+	}
+	short := doReq(t, http.MethodPost, ts.URL+"/v1/route",
+		mustJSON(t, map[string]interface{}{"slot": 102, "src": 0, "dst": 1}), hdr)
+	short.Body.Close()
+	if short.StatusCode != http.StatusOK {
+		t.Fatalf("1-segment route through a 3-token bucket = %d, want 200", short.StatusCode)
+	}
+}
+
+// TestIndexInventory: GET /v1/ is the machine-readable surface map, generated
+// from the same apiTable the metrics labels and the route-inventory test use.
+func TestIndexInventory(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Endpoints []endpointInfo `json:"endpoints"`
+	}
+	decode(t, resp, &out)
+	if len(out.Endpoints) != len(apiTable) {
+		t.Fatalf("%d endpoints listed, want %d", len(out.Endpoints), len(apiTable))
+	}
+	byName := map[string]endpointInfo{}
+	for _, e := range out.Endpoints {
+		byName[e.Name] = e
+		if e.Path == "" || len(e.Methods) == 0 {
+			t.Errorf("endpoint %q missing path or methods", e.Name)
+		}
+		if e.Deprecated {
+			t.Errorf("endpoint %q still flagged deprecated post-sunset", e.Name)
+		}
+	}
+	rt, ok := byName["route"]
+	if !ok {
+		t.Fatal("route endpoint not listed")
+	}
+	if rt.Path != "/v1/route" || len(rt.Methods) != 1 || rt.Methods[0] != http.MethodPost {
+		t.Errorf("route entry = %+v", rt)
+	}
+	if est := byName["estimate"]; len(est.Methods) != 1 || est.Methods[0] != http.MethodPost {
+		t.Errorf("estimate methods = %v, want POST only after the alias sunset", est.Methods)
+	}
+	// The inventory and the metrics label set are the same closed set.
+	for _, e := range out.Endpoints {
+		found := false
+		for _, r := range routes {
+			if r == e.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("inventory endpoint %q missing from metrics routes", e.Name)
+		}
+	}
+}
+
+// TestRouteConcurrentWithReports: the -race workout at the HTTP layer —
+// concurrent route queries for one slot race reports and point estimates.
+func TestRouteConcurrentWithReports(t *testing.T) {
+	ts, _, h := newTestServer(t)
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				postJSON(t, ts.URL+"/v1/report", map[string]interface{}{
+					"road": (c*7 + i) % 50, "slot": 102, "speed": h.At(0, 102, (c*7+i)%50),
+				}).Body.Close()
+				resp := postJSON(t, ts.URL+"/v1/route", map[string]interface{}{
+					"slot": 102, "src": c % 10, "dst": 30 + c,
+				})
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusBadRequest {
+					t.Errorf("client %d: route = %d", c, resp.StatusCode)
+				}
+				resp.Body.Close()
+				postJSON(t, ts.URL+"/v1/estimate", map[string]interface{}{
+					"slot": 102, "roads": []int{c, c + 1},
+				}).Body.Close()
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func mustJSON(tb testing.TB, v interface{}) string {
+	tb.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return string(raw)
+}

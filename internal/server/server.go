@@ -3,13 +3,14 @@
 // reports; clients ask for crowdsourced-road selections, realtime estimates
 // and incident alerts.
 //
+//	GET  /v1/                        machine-readable route inventory (names, methods, deprecation)
 //	GET  /v1/network                 network statistics
 //	POST /v1/workers                 replace the worker pool            {"workers":[{"road":3}, ...]}
 //	POST /v1/report                  submit a speed answer              {"road":3,"slot":102,"speed":47.5}
 //	POST /v1/select                  run OCS                            {"slot":102,"roads":[1,2],"budget":30,"theta":0.92,"selector":"Hybrid"}
 //	POST /v1/estimate                run GSP over current reports       {"slot":102,"roads":[1,2],"observed":{"3":47.5}}
-//	GET  /v1/estimate?slot=102&roads=1,2,3   deprecated alias of POST /v1/estimate (Deprecation header)
 //	POST /v1/query                   batch estimate: coalesces entries  {"queries":[{"slot":102,"roads":[1,2]}, ...]}
+//	POST /v1/route                   origin→destination ETA distribution {"slot":102,"src":3,"dst":41,"horizon":3}
 //	POST /v1/forecast                k-slot-ahead forecast fan          {"slot":102,"roads":[1,2],"horizon":3}
 //	GET  /v1/subscribe?slot=102&roads=1,2    standing query: long-poll (digest=...) or SSE (stream=sse)
 //	GET  /v1/alerts?slot=102         scan the slot's estimates for incidents
@@ -50,7 +51,6 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -193,12 +193,14 @@ func (s *Server) Batcher() *core.Batcher { return s.batcher }
 // middleware (panic recovery → body limit → request timeout).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/", s.handleIndex)
 	mux.HandleFunc("/v1/network", s.handleNetwork)
 	mux.HandleFunc("/v1/workers", s.handleWorkers)
 	mux.HandleFunc("/v1/report", s.handleReport)
 	mux.HandleFunc("/v1/select", s.handleSelect)
 	mux.HandleFunc("/v1/estimate", s.handleEstimate)
 	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/route", s.handleRoute)
 	mux.HandleFunc("/v1/forecast", s.handleForecast)
 	mux.HandleFunc("/v1/subscribe", s.handleSubscribe)
 	mux.HandleFunc("/v1/alerts", s.handleAlerts)
@@ -380,6 +382,8 @@ func parseSelector(name string) (core.Selector, error) {
 		return core.RandomSel, nil
 	case "VarMin", "VarianceMin":
 		return core.VarMin, nil
+	case "RouteVar":
+		return core.RouteVar, nil
 	default:
 		return 0, fmt.Errorf("unknown selector %q", name)
 	}
@@ -584,60 +588,26 @@ func resolveLevel(level float64) (float64, error) {
 // ask for one.
 const defaultCredibleLevel = 0.9
 
-// estimateRequest is the POST /v1/estimate body — the same shape as
-// /v1/select plus per-road observation overrides: values in Observed replace
-// (or extend) the collector's aggregates for the slot, letting a client ask
-// "what would the field look like if road 3 reported 47.5 right now".
+// estimateRequest is the POST /v1/estimate body — the shared road-set base
+// (slot, roads, level) plus per-road observation overrides: values in
+// Observed replace (or extend) the collector's aggregates for the slot,
+// letting a client ask "what would the field look like if road 3 reported
+// 47.5 right now". The pre-PR-5 GET query-string alias (deprecated since
+// then with a Deprecation header) is gone: POST is the only form.
 type estimateRequest struct {
-	Slot  int   `json:"slot"`
-	Roads []int `json:"roads"`
+	RoadSetRequest
 	// Observed maps road id (string, JSON object keys) → speed override.
 	Observed map[string]float64 `json:"observed,omitempty"`
-	// Level is the credible level for the per-road intervals; 0 means the
-	// default 0.9.
-	Level float64 `json:"level,omitempty"`
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, r, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
 	var req estimateRequest
-	switch r.Method {
-	case http.MethodPost:
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(w, r, http.StatusBadRequest, "decode: %v", err)
-			return
-		}
-	case http.MethodGet:
-		// Deprecated query-string form, kept for pre-PR-5 clients. The
-		// Deprecation header (RFC 9745 style) signals the migration.
-		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Link", `</v1/estimate>; rel="successor-version"`)
-		q := r.URL.Query()
-		slotN, err := strconv.Atoi(q.Get("slot"))
-		if err != nil {
-			writeErr(w, r, http.StatusBadRequest, "slot: %v", err)
-			return
-		}
-		req.Slot = slotN
-		if raw := q.Get("roads"); raw != "" {
-			for _, part := range strings.Split(raw, ",") {
-				id, err := strconv.Atoi(strings.TrimSpace(part))
-				if err != nil {
-					writeErr(w, r, http.StatusBadRequest, "roads: %v", err)
-					return
-				}
-				req.Roads = append(req.Roads, id)
-			}
-		}
-		if raw := q.Get("level"); raw != "" {
-			level, err := strconv.ParseFloat(raw, 64)
-			if err != nil {
-				writeErr(w, r, http.StatusBadRequest, "level: %v", err)
-				return
-			}
-			req.Level = level
-		}
-	default:
-		writeErr(w, r, http.StatusMethodNotAllowed, "GET or POST only")
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, r, http.StatusBadRequest, "decode: %v", err)
 		return
 	}
 	out, status, err := s.estimateOne(r.Context(), req)
@@ -651,27 +621,12 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 // estimateOne validates and answers one estimate request through the
 // coalescing layer. On error the returned status is the HTTP code to report.
 func (s *Server) estimateOne(ctx context.Context, req estimateRequest) (*estimateResponse, int, error) {
-	slot := tslot.Slot(req.Slot)
-	if !slot.Valid() {
-		return nil, http.StatusBadRequest, fmt.Errorf("slot %d out of range", req.Slot)
-	}
-	level, err := resolveLevel(req.Level)
+	n := s.sys.Network().N()
+	slot, level, err := req.validate(n)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	n := s.sys.Network().N()
-	roads := req.Roads
-	for _, id := range roads {
-		if id < 0 || id >= n {
-			return nil, http.StatusBadRequest, fmt.Errorf("road %d out of range", id)
-		}
-	}
-	if len(roads) == 0 {
-		roads = make([]int, n)
-		for i := range roads {
-			roads[i] = i
-		}
-	}
+	roads := req.roadsOrAll(n)
 
 	// Robust per-road aggregates of this slot's reports, plus any explicit
 	// per-request overrides.
@@ -834,8 +789,10 @@ type alertPredicateJSON struct {
 	Confidence float64 `json:"confidence,omitempty"`
 }
 
+// alertsPredicateRequest embeds the shared road-set base (the slot; roads
+// are named per predicate) plus the predicate list.
 type alertsPredicateRequest struct {
-	Slot       int                  `json:"slot"`
+	RoadSetRequest
 	Predicates []alertPredicateJSON `json:"predicates"`
 }
 

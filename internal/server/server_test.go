@@ -159,10 +159,9 @@ func TestEstimateFlow(t *testing.T) {
 		})
 		resp.Body.Close()
 	}
-	resp, err := http.Get(fmt.Sprintf("%s/v1/estimate?slot=%d&roads=0,1,2,7", ts.URL, slot))
-	if err != nil {
-		t.Fatal(err)
-	}
+	resp := postJSON(t, ts.URL+"/v1/estimate", map[string]interface{}{
+		"slot": slot, "roads": []int{0, 1, 2, 7},
+	})
 	var out estimateResponse
 	decode(t, resp, &out)
 	if out.Observed != 3 {
@@ -183,10 +182,7 @@ func TestEstimateFlow(t *testing.T) {
 
 func TestEstimateDefaultsToAllRoads(t *testing.T) {
 	ts, sys, _ := newTestServer(t)
-	resp, err := http.Get(ts.URL + "/v1/estimate?slot=50")
-	if err != nil {
-		t.Fatal(err)
-	}
+	resp := postJSON(t, ts.URL+"/v1/estimate", map[string]interface{}{"slot": 50})
 	var out estimateResponse
 	decode(t, resp, &out)
 	if len(out.Estimates) != sys.Network().N() {
@@ -203,20 +199,16 @@ func TestEstimateDefaultsToAllRoads(t *testing.T) {
 
 func TestEstimateValidation(t *testing.T) {
 	ts, _, _ := newTestServer(t)
-	for _, url := range []string{
-		"/v1/estimate",                    // missing slot
-		"/v1/estimate?slot=abc",           // bad slot
-		"/v1/estimate?slot=999",           // out of range slot
-		"/v1/estimate?slot=1&roads=x",     // bad roads
-		"/v1/estimate?slot=1&roads=99999", // out-of-range road
+	for _, body := range []map[string]interface{}{
+		{"slot": "abc"},                     // bad slot type
+		{"slot": 999},                       // out of range slot
+		{"slot": 1, "roads": []string{"x"}}, // bad roads type
+		{"slot": 1, "roads": []int{99999}},  // out-of-range road
 	} {
-		resp, err := http.Get(ts.URL + url)
-		if err != nil {
-			t.Fatal(err)
-		}
+		resp := postJSON(t, ts.URL+"/v1/estimate", body)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("%s status = %d", url, resp.StatusCode)
+			t.Errorf("%v status = %d", body, resp.StatusCode)
 		}
 	}
 }
